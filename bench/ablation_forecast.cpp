@@ -1,0 +1,107 @@
+// Ablation (paper §III): the paper plans each slot from that slot's
+// average arrival rate and points at "existing prediction methods (e.g.
+// the Kalman Filter [18])" for obtaining it. This bench closes the loop:
+// run the WorldCup day *causally* — plan slot t from a forecast built on
+// history through t-1, settle the ledger against realized traffic — and
+// price each forecaster against the oracle (paper-style perfect rates).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "workload/generators.hpp"
+#include "forecast/forecasting_controller.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+namespace {
+
+/// The canned WorldCup scenario wraps its 24-hour traces, which would
+/// make the seasonal forecaster a perfect oracle; regenerate the same
+/// study over 48 *distinct* hours (same diurnal pattern, fresh burst
+/// noise each day) so day-2 forecasting is honest.
+Scenario two_day_worldcup() {
+  Scenario sc = paper::worldcup_study();
+  Rng rng(77);
+  workload::WorldCupParams base;
+  base.base_rate = 25.0;
+  base.daily_peak = 115.0;
+  base.match_boost = 1.4;
+  base.burst_sigma = 0.12;
+  base.slots = 48;
+  const auto frontends = workload::worldcup_frontends(4, base, rng);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      sc.arrivals[k][s] = frontends[s].shifted(3 * k);
+    }
+  }
+  sc.validate();
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  const Scenario sc = two_day_worldcup();
+  const std::size_t first = 24;  // one day of history to prime on
+  const std::size_t slots = 24;
+
+  OptimizedPolicy oracle_policy;
+  const RunResult oracle =
+      SlotController(sc).run(oracle_policy, slots, first);
+
+  TextTable t({"arrival model", "RMSE req/s", "MAPE %", "net profit $/day",
+               "vs oracle %"});
+  t.add_row({"oracle (paper)", "-", "-",
+             format_double(oracle.total.net_profit(), 2), "100.0"});
+
+  const NaiveForecaster naive;
+  const EwmaForecaster ewma(0.4);
+  const SeasonalNaiveForecaster seasonal(24);
+  const KalmanForecaster kalman(25.0, 400.0);
+  struct Row {
+    const Forecaster* proto;
+    double inflation;
+    std::string label;
+  };
+  const std::vector<Row> rows = {
+      {&naive, 1.0, "naive"},
+      {&ewma, 1.0, "ewma"},
+      {&seasonal, 1.0, "seasonal-naive"},
+      {&kalman, 1.0, "kalman"},
+      // The asymmetric loss (stability cliff below, wasted shares above)
+      // makes hedged forecasts strictly better operators.
+      {&seasonal, 1.15, "seasonal +15% headroom"},
+      {&kalman, 1.25, "kalman +25% headroom"},
+  };
+  for (const Row& row : rows) {
+    ForecastingController::Options opt;
+    opt.forecast_inflation = row.inflation;
+    ForecastingController controller(sc, *row.proto, opt);
+    OptimizedPolicy policy;
+    const ForecastRunResult r = controller.run(policy, slots, first);
+    double rmse = 0.0, mape = 0.0;
+    for (const auto& e : r.errors) {
+      rmse += e.rmse();
+      mape += e.mape();
+    }
+    rmse /= static_cast<double>(r.errors.size());
+    mape /= static_cast<double>(r.errors.size());
+    t.add_row({row.label, format_double(rmse, 1),
+               format_double(100.0 * mape, 1),
+               format_double(r.run.total.net_profit(), 2),
+               format_double(100.0 * r.run.total.net_profit() /
+                                 oracle.total.net_profit(),
+                             1)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: forecast error translates directly into profit —\n"
+      "over-forecasts waste shares, under-forecasts overload queues\n"
+      "(zero revenue past the stability edge). Seasonal/Kalman models\n"
+      "recover most of the oracle's profit on diurnal traffic.\n");
+  return 0;
+}

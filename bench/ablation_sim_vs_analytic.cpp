@@ -1,0 +1,56 @@
+// Validation bench: the analytic M/M/1 ledger (what the optimizer plans
+// with, Eq. 1) versus a discrete-event stochastic replay of the same
+// plans — per-slot net profit, plus the gap between the paper's
+// mean-delay revenue accounting and stricter per-request accounting.
+
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  const Scenario sc = paper::worldcup_study();
+  const SlotController controller(sc);
+  OptimizedPolicy policy;
+  const RunResult run = controller.run(policy, 24);
+
+  SlotSimulator::Options opt;
+  opt.replications = 2;
+  SlotSimulator sim(opt);
+  Rng rng(99);
+
+  TextTable t({"hour", "analytic $", "simulated $ (mean-delay)",
+               "simulated $ (per-request)", "rel.diff %"});
+  double analytic_total = 0.0, sim_total = 0.0, strict_total = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    const SlotInput input = sc.slot_input(h);
+    const SimOutcome out =
+        sim.simulate(sc.topology, input, run.plans[h], rng);
+    const double analytic = run.slots[h].net_profit();
+    const double simulated = out.net_profit_mean_delay();
+    analytic_total += analytic;
+    sim_total += simulated;
+    strict_total += out.net_profit_per_request();
+    t.add_row({std::to_string(h), format_double(analytic, 2),
+               format_double(simulated, 2),
+               format_double(out.net_profit_per_request(), 2),
+               format_double(100.0 * relative_difference(analytic, simulated),
+                             2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nday totals: analytic $%.2f | simulated mean-delay $%.2f "
+      "(gap %.2f%%) | simulated per-request $%.2f\n",
+      analytic_total, sim_total,
+      100.0 * relative_difference(analytic_total, sim_total), strict_total);
+  std::printf(
+      "Reading: the Eq. 1 planning model tracks the stochastic system "
+      "closely; per-request TUF accounting is lower because individual "
+      "sojourns straddle band edges that the mean stays inside of.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: SLA violation fees (after the penalty TUFs of the authors'
+// predecessor work [17], which the paper's task model calls out: requests
+// "may encounter both profit and cost"). Under overload the penalty-free
+// optimizer cherry-picks the most profitable traffic and silently drops
+// the rest; a per-request fee changes the calculus toward serving
+// everything it physically can. Sweep the fee on the overloaded basic
+// study and watch the completion rate and the policy gap move.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/simple_policies.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  std::printf(
+      "SLA-penalty ablation — basic study, high arrival set (overload)\n\n");
+  TextTable t({"fee $/dropped", "Optimized $", "completed % (opt)",
+               "Balanced $", "CostMin $"});
+  for (double fee : {0.0, 0.001, 0.004, 0.012, 0.03}) {
+    Scenario sc = paper::basic_synthetic(paper::ArrivalSet::kHigh);
+    for (auto& cls : sc.topology.classes) {
+      cls.drop_penalty_per_request = fee;
+    }
+    const bench::HeadToHead duel = bench::run_head_to_head(sc, 1);
+    CostMinPolicy costmin;
+    const RunResult cm = SlotController(sc).run(costmin, 1);
+    t.add_row({format_double(fee, 3),
+               format_double(duel.optimized.total.net_profit(), 2),
+               format_double(
+                   100.0 * duel.optimized.total.completed_fraction(), 2),
+               format_double(duel.balanced.total.net_profit(), 2),
+               format_double(cm.total.net_profit(), 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: fees turn dropped traffic from free into liability.\n"
+      "The optimizer's completion rate climbs with the fee (it accepts\n"
+      "lower-band service to dodge penalties) and its edge over the\n"
+      "penalty-blind heuristics widens — at the highest fee the\n"
+      "volume-first CostMin overtakes Balanced for the same reason.\n");
+  return 0;
+}

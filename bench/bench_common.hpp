@@ -1,0 +1,102 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harnesses: run a scenario
+// under the two headline policies and print paper-style series.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/balanced_policy.hpp"
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "util/table.hpp"
+
+namespace palb::bench {
+
+struct HeadToHead {
+  RunResult optimized;
+  RunResult balanced;
+};
+
+inline HeadToHead run_head_to_head(const Scenario& scenario,
+                                   std::size_t slots,
+                                   std::size_t first_slot = 0) {
+  const SlotController controller(scenario);
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  HeadToHead out;
+  out.optimized = controller.run(optimized, slots, first_slot);
+  out.balanced = controller.run(balanced, slots, first_slot);
+  return out;
+}
+
+inline void print_profit_series(const std::string& title,
+                                const HeadToHead& duel) {
+  std::vector<double> hours;
+  for (std::size_t t = 0; t < duel.optimized.slots.size(); ++t) {
+    hours.push_back(static_cast<double>(t));
+  }
+  std::printf("%s", render_multi_series(
+                        title, hours, {"Optimized $", "Balanced $"},
+                        {duel.optimized.net_profit_series(),
+                         duel.balanced.net_profit_series()},
+                        "hour")
+                        .c_str());
+  std::printf(
+      "totals: Optimized $%.2f | Balanced $%.2f | improvement %.1f%%\n\n",
+      duel.optimized.total.net_profit(), duel.balanced.total.net_profit(),
+      100.0 * (duel.optimized.total.net_profit() -
+               duel.balanced.total.net_profit()) /
+          std::max(1e-9, std::abs(duel.balanced.total.net_profit())));
+}
+
+inline void print_topology_tables(const Topology& topo) {
+  {
+    TextTable t({"class", "TUF levels $", "sub-deadlines s",
+                 "transfer $/req-mile"});
+    for (const auto& c : topo.classes) {
+      std::string levels, deadlines;
+      for (std::size_t q = 0; q < c.tuf.levels(); ++q) {
+        levels += (q ? " / " : "") + format_double(c.tuf.utility_at_level(q), 4);
+        deadlines += (q ? " / " : "") + format_double(c.tuf.sub_deadline(q), 3);
+      }
+      t.add_row({c.name, levels, deadlines,
+                 format_double(c.transfer_cost_per_mile * 1e6, 3) + "e-6"});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  {
+    std::vector<std::string> header{"data center", "servers", "PUE"};
+    for (const auto& c : topo.classes) header.push_back("mu(" + c.name + ")");
+    for (const auto& c : topo.classes) {
+      header.push_back("kWh(" + c.name + ")");
+    }
+    TextTable t(std::move(header));
+    for (const auto& dc : topo.datacenters) {
+      std::vector<std::string> row{dc.name, std::to_string(dc.num_servers),
+                                   format_double(dc.pue, 2)};
+      for (double mu : dc.service_rate) row.push_back(format_double(mu, 0));
+      for (double e : dc.energy_per_request_kwh) {
+        row.push_back(format_double(e, 4));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  {
+    std::vector<std::string> header{"distance (miles)"};
+    for (const auto& dc : topo.datacenters) header.push_back(dc.name);
+    TextTable t(std::move(header));
+    for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
+      std::vector<std::string> row{topo.frontends[s].name};
+      for (double d : topo.distance_miles[s]) {
+        row.push_back(format_double(d, 0));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+}
+
+}  // namespace palb::bench

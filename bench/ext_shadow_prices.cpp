@@ -1,0 +1,55 @@
+// Extension bench: capacity shadow prices. The winning profile's LP dual
+// on each data center's share-budget row prices "one more server" in
+// dollars per hour without re-solving — the sensitivity-analysis story a
+// commercial solver would give the paper's authors for free. Printed
+// against a brute-force check (actually adding a server and re-solving).
+
+#include <cstdio>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  const Scenario sc = paper::worldcup_study();
+  std::printf(
+      "marginal value of one extra server, $/hour (WorldCup study)\n\n");
+  TextTable t({"hour", "dual dc1", "dual dc2", "dual dc3",
+               "brute dc1", "brute dc3"});
+  for (std::size_t hour : {4, 10, 14, 18, 21}) {
+    const SlotInput input = sc.slot_input(hour);
+    OptimizedPolicy policy;
+    const DispatchPlan plan = policy.plan_slot(sc.topology, input);
+    const double base =
+        evaluate_plan(sc.topology, input, plan).net_profit();
+    const auto duals = policy.server_shadow_prices();
+
+    // Brute force for dc1 and dc3: add one server, re-plan, diff.
+    double brute[2] = {0.0, 0.0};
+    const std::size_t check_dcs[2] = {0, 2};
+    for (int i = 0; i < 2; ++i) {
+      Topology bigger = sc.topology;
+      ++bigger.datacenters[check_dcs[i]].num_servers;
+      OptimizedPolicy repolicy;
+      const DispatchPlan replan = repolicy.plan_slot(bigger, input);
+      brute[i] = evaluate_plan(bigger, input, replan).net_profit() - base;
+    }
+
+    t.add_row({std::to_string(hour), format_double(duals[0], 2),
+               format_double(duals[1], 2), format_double(duals[2], 2),
+               format_double(brute[0], 2), format_double(brute[1], 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nReading: at off-peak hours capacity is slack and a new server is\n"
+      "worth ~$0; at the peak the dual prices the *first marginal unit* of\n"
+      "capacity. The brute-force column adds a whole server — a discrete\n"
+      "jump that can run past the point where all offered traffic is\n"
+      "served (the flow-conservation rows take over as the binding\n"
+      "constraint), so it reads at or below the dual, approaching it as\n"
+      "the overload deepens (hour 18).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 1 reproduction: hourly electricity prices at three data-center
+// locations over one day. The embedded curves preserve the features the
+// algorithm exploits (see DESIGN.md §2): California priciest with a broad
+// afternoon plateau, Texas volatile with a sharp spike, Georgia flat and
+// cheap — and the cheapest location changes during the day.
+
+#include <cstdio>
+
+#include "market/price_library.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  const auto set = prices::figure1_set();
+  std::vector<double> hours;
+  for (int h = 0; h < 24; ++h) hours.push_back(h);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  for (const auto& trace : set) {
+    names.push_back(trace.location() + " $/kWh");
+    series.push_back(trace.values());
+  }
+  std::printf("%s", render_multi_series(
+                        "Fig. 1 — electricity prices at different "
+                        "locations in a day",
+                        hours, names, series, "hour")
+                        .c_str());
+
+  TextTable summary({"location", "min", "mean", "max"});
+  for (const auto& trace : set) {
+    summary.add_row(trace.location(),
+                    {trace.min_price(), trace.mean_price(),
+                     trace.max_price()});
+  }
+  std::printf("\n%s", summary.render().c_str());
+
+  // The arbitrage premise: count how often each location is cheapest.
+  int cheapest_count[3] = {0, 0, 0};
+  for (std::size_t h = 0; h < 24; ++h) {
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < set.size(); ++l) {
+      if (set[l].at(h) < set[best].at(h)) best = l;
+    }
+    ++cheapest_count[best];
+  }
+  std::printf("\nhours cheapest: %s %d | %s %d | %s %d\n",
+              set[0].location().c_str(), cheapest_count[0],
+              set[1].location().c_str(), cheapest_count[1],
+              set[2].location().c_str(), cheapest_count[2]);
+  return 0;
+}

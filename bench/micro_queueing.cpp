@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks for the queueing and trace substrates:
+// the Eq. 1 algebra on the optimizer's hot path, Erlang-C, the
+// discrete-event queue simulators, and the workload/price generators.
+
+#include <benchmark/benchmark.h>
+
+#include "market/price_generator.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/mm1_simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace palb;
+
+void BM_Mm1RequiredShare(benchmark::State& state) {
+  double lambda = 10.0;
+  for (auto _ : state) {
+    lambda = lambda < 90.0 ? lambda + 0.1 : 10.0;
+    benchmark::DoNotOptimize(mm1::required_share(lambda, 1.0, 120.0, 0.08));
+  }
+}
+BENCHMARK(BM_Mm1RequiredShare);
+
+void BM_ErlangC(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mmm::erlang_c(servers, 10.0, 0.8 * 10.0 * servers));
+  }
+}
+BENCHMARK(BM_ErlangC)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Mm1SimulatorFcfs(benchmark::State& state) {
+  Mm1Simulator::Params p;
+  p.arrival_rate = 50.0;
+  p.service_rate = 80.0;
+  p.horizon = static_cast<double>(state.range(0));
+  p.warmup = 0.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(Mm1Simulator::run_fcfs(p, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.arrival_rate *
+                                                    p.horizon));
+}
+BENCHMARK(BM_Mm1SimulatorFcfs)->Arg(100)->Arg(1000);
+
+void BM_Mm1SimulatorPs(benchmark::State& state) {
+  Mm1Simulator::Params p;
+  p.arrival_rate = 50.0;
+  p.service_rate = 80.0;
+  p.horizon = 200.0;
+  p.warmup = 0.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(Mm1Simulator::run_processor_sharing(p, rng));
+  }
+}
+BENCHMARK(BM_Mm1SimulatorPs);
+
+void BM_WorldCupTrace(benchmark::State& state) {
+  workload::WorldCupParams p;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(workload::worldcup_like("w", p, rng));
+  }
+}
+BENCHMARK(BM_WorldCupTrace);
+
+void BM_OuPrices(benchmark::State& state) {
+  OuPriceGenerator gen({});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(gen.generate("loc", 168, rng));
+  }
+}
+BENCHMARK(BM_OuPrices);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks for the in-house solver substrate:
+// simplex throughput vs problem size, MILP branch-and-bound on
+// knapsacks, augmented-Lagrangian NLP convergence cost, and the big-M
+// constraint-system evaluation hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "solver/milp.hpp"
+#include "solver/nlp.hpp"
+#include "solver/simplex.hpp"
+#include "solver/step_tuf_bigm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace palb;
+
+LinearProgram random_lp(int vars, int rows, std::uint64_t seed) {
+  Rng rng(seed);
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  for (int j = 0; j < vars; ++j) {
+    lp.add_variable(0.0, rng.uniform(0.5, 4.0), rng.uniform(-1.0, 3.0));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < vars; ++j) terms.emplace_back(j, rng.uniform(0.0, 2.0));
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(2.0, 8.0));
+  }
+  return lp;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LinearProgram lp = random_lp(n, n, 42);
+  const SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(lp));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimplexSolve)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  std::vector<int> ints;
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < n; ++i) {
+    const int v = lp.add_variable(0.0, 1.0, rng.uniform(1.0, 10.0));
+    ints.push_back(v);
+    row.emplace_back(v, rng.uniform(1.0, 6.0));
+  }
+  lp.add_constraint(row, Relation::kLe, static_cast<double>(n));
+  const MilpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(lp, ints));
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_AugLagCircle(benchmark::State& state) {
+  NlpProblem p;
+  p.dimension = 2;
+  p.lower = {-2.0, -2.0};
+  p.upper = {2.0, 2.0};
+  p.objective = [](const std::vector<double>& x) { return -(x[0] + x[1]); };
+  p.inequalities.push_back([](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1] - 1.0;
+  });
+  const AugLagSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, {0.0, 0.0}));
+  }
+}
+BENCHMARK(BM_AugLagCircle);
+
+void BM_BigMConstraintEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> utilities, deadlines;
+  for (std::size_t q = 0; q < n; ++q) {
+    utilities.push_back(static_cast<double>(10 * (n - q)));
+    deadlines.push_back(static_cast<double>(q + 1));
+  }
+  const StepTufBigM bigm(utilities, deadlines);
+  double delay = 0.1;
+  for (auto _ : state) {
+    delay = delay < static_cast<double>(n) ? delay + 0.07 : 0.1;
+    benchmark::DoNotOptimize(bigm.admitted_level(delay));
+  }
+}
+BENCHMARK(BM_BigMConstraintEval)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Capacity planning with the profit model: for a fixed diurnal workload,
+// sweep the fleet size of a two-location deployment and report the
+// day-long net profit plus how many servers the controller actually
+// powers per hour. Demonstrates using the library for a what-if study
+// rather than online control.
+//
+// Run: ./capacity_planner
+
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "market/price_library.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace palb;
+
+namespace {
+
+Scenario make_scenario(int servers_per_dc) {
+  Scenario sc;
+  sc.topology.classes = {
+      {"web", StepTuf::constant(0.008, 0.08), 1e-6},
+      {"api", StepTuf({0.016, 0.008}, {0.05, 0.12}), 1.5e-6},
+  };
+  sc.topology.frontends = {{"gateway"}};
+  sc.topology.datacenters = {
+      {"houston", servers_per_dc, 1.0, {130.0, 110.0}, {0.002, 0.003}, 1.1},
+      {"atlanta", servers_per_dc, 1.0, {120.0, 120.0}, {0.002, 0.002}, 1.1},
+  };
+  sc.topology.distance_miles = {{600.0, 500.0}};
+  sc.prices = {prices::houston_tx(), prices::atlanta_ga()};
+
+  Rng rng(2024);
+  workload::WorldCupParams wp;
+  wp.base_rate = 60.0;
+  wp.daily_peak = 420.0;
+  wp.burst_sigma = 0.1;
+  const RateTrace web = workload::worldcup_like("web", wp, rng);
+  sc.arrivals = {{web}, {web.shifted(2).scaled(0.6)}};
+  sc.slot_seconds = 3600.0;
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table({"servers/DC", "day profit $", "peak servers on",
+                   "mean servers on", "completed %"});
+  for (int servers = 2; servers <= 12; servers += 2) {
+    const SlotController controller(make_scenario(servers));
+    OptimizedPolicy policy;
+    const RunResult run = controller.run(policy, 24);
+    int peak_on = 0;
+    double sum_on = 0.0;
+    for (const auto& m : run.slots) {
+      peak_on = std::max(peak_on, m.servers_on);
+      sum_on += m.servers_on;
+    }
+    table.add_row({std::to_string(servers),
+                   format_double(run.total.net_profit(), 2),
+                   std::to_string(peak_on), format_double(sum_on / 24.0, 1),
+                   format_double(100.0 * run.total.completed_fraction(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: profit saturates once the fleet covers peak demand —\n"
+      "beyond that extra servers never power on (the model's energy cost\n"
+      "is per request, so idle capacity costs nothing here; add a static\n"
+      "power term per powered server to study right-sizing further).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Multi-level SLAs under pressure: a three-level step-downward TUF
+// ($0.03 within 30 ms, $0.02 within 80 ms, $0.01 within 200 ms) served
+// by one data center while demand ramps from idle to overload. Shows the
+// optimizer gracefully sliding streams down the utility ladder instead
+// of dropping them — the behaviour the paper's multi-level TUF model
+// (Eq. 16) exists to enable.
+//
+// Run: ./sla_tiers
+
+#include <cstdio>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+int main() {
+  Topology topo;
+  topo.classes = {
+      {"tiered", StepTuf({0.03, 0.02, 0.01}, {0.03, 0.08, 0.20}), 0.0}};
+  topo.frontends = {{"fe"}};
+  topo.datacenters = {{"dc", 6, 1.0, {100.0}, {0.002}, 1.0}};
+  topo.distance_miles = {{100.0}};
+  topo.validate();
+
+  OptimizedPolicy policy;
+  TextTable table({"offered req/s", "served req/s", "tier hit",
+                   "mean delay ms", "net profit $/h"});
+  for (double demand = 50.0; demand <= 900.0; demand += 85.0) {
+    SlotInput input;
+    input.arrival_rate = {{demand}};
+    input.price = {0.05};
+    input.slot_seconds = 3600.0;
+
+    const DispatchPlan plan = policy.plan_slot(topo, input);
+    const SlotMetrics m = evaluate_plan(topo, input, plan);
+    const auto& outcome = m.outcomes[0][0];
+    table.add_row(
+        {format_double(demand, 0), format_double(outcome.rate, 1),
+         outcome.rate > 0.0 ? std::to_string(outcome.tuf_level + 1) : "-",
+         outcome.rate > 0.0 ? format_double(outcome.delay * 1000.0, 1) : "-",
+         format_double(m.net_profit(), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: as demand grows past a tier's capacity the optimizer\n"
+      "drops the stream to the next sub-deadline (cheaper per request,\n"
+      "but far better than rejecting traffic), exactly the trade the\n"
+      "multi-level TUF encodes.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "cloud/accounting.hpp"
+
+#include <algorithm>
+
+#include "queueing/mm1.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+
+SlotMetrics evaluate_plan(const Topology& topology, const SlotInput& input,
+                          const DispatchPlan& plan) {
+  topology.validate();
+  input.validate(topology);
+  const std::size_t K = topology.num_classes();
+  const std::size_t S = topology.num_frontends();
+  const std::size_t L = topology.num_datacenters();
+  const double T = input.slot_seconds;
+
+  SlotMetrics m;
+  m.outcomes.assign(K, std::vector<ClassDcOutcome>(L));
+
+  for (std::size_t k = 0; k < K; ++k) {
+    m.offered_requests += input.total_offered(k) * T;
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    m.servers_on += plan.dc[l].servers_on;
+    // Idle (static) power of powered-on servers — zero under the paper's
+    // pure per-request energy model.
+    const auto& center = topology.datacenters[l];
+    m.energy_cost += static_cast<double>(plan.dc[l].servers_on) *
+                     center.idle_power_kw * (T / 3600.0) * input.price[l] *
+                     center.pue;
+  }
+
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& cls = topology.classes[k];
+    double class_valuable = 0.0;  // requests of class k that earned > $0
+    for (std::size_t l = 0; l < L; ++l) {
+      const auto& center = topology.datacenters[l];
+      ClassDcOutcome& out = m.outcomes[k][l];
+      out.rate = plan.class_dc_rate(k, l);
+      if (out.rate <= 0.0) continue;
+
+      m.dispatched_requests += out.rate * T;
+
+      // Energy is paid for every processed request (Eq. 2), whatever its
+      // timeliness; PUE covers cooling/peripheral overhead (extension).
+      m.energy_cost += center.energy_per_request_kwh[k] * out.rate *
+                       input.price[l] * center.pue * T;
+
+      // Wire cost per Eq. 3, split per originating front-end.
+      for (std::size_t s = 0; s < S; ++s) {
+        m.transfer_cost += cls.transfer_cost_per_mile *
+                           topology.distance_miles[s][l] *
+                           plan.rate[k][s][l] * T;
+      }
+
+      const int servers = plan.dc[l].servers_on;
+      const double share =
+          plan.dc[l].share.empty() ? 0.0 : plan.dc[l].share[k];
+      if (servers <= 0 || share <= 0.0) {
+        out.stable = false;
+        continue;  // routed into a wall: no service, no revenue
+      }
+      const double per_server = out.rate / static_cast<double>(servers);
+      out.stable = mm1::is_stable(share, center.server_capacity,
+                                  center.service_rate[k], per_server);
+      if (!out.stable) continue;
+
+      m.completed_requests += out.rate * T;
+      out.delay = mm1::expected_delay(share, center.server_capacity,
+                                      center.service_rate[k], per_server);
+      // tuf_level reports the *queue* delay band (Eq. 1's quantity);
+      // revenue additionally charges each origin's network propagation
+      // (zero under the paper's model, where wires cost dollars but not
+      // time).
+      out.tuf_level = cls.tuf.level_for_delay(out.delay);
+      double value_rate = 0.0;     // $ earned per second
+      double valuable_rate = 0.0;  // req/s earning > 0
+      for (std::size_t s = 0; s < S; ++s) {
+        const double flow = plan.rate[k][s][l];
+        if (flow <= 0.0) continue;
+        const double u = cls.tuf.utility(
+            out.delay + topology.propagation_delay(s, l));
+        if (u > 0.0) {
+          value_rate += u * flow;
+          valuable_rate += flow;
+        }
+      }
+      out.utility_per_request = value_rate / out.rate;
+      if (value_rate > 0.0) {
+        class_valuable += valuable_rate * T;
+        m.valuable_requests += valuable_rate * T;
+        m.revenue += value_rate * T;
+      }
+    }
+    // SLA violation fees on everything that earned nothing (extension;
+    // zero under the paper's model).
+    const double worthless =
+        std::max(0.0, input.total_offered(k) * T - class_valuable);
+    m.penalty_cost += cls.drop_penalty_per_request * worthless;
+  }
+  return m;
+}
+
+SlotMetrics accumulate(const std::vector<SlotMetrics>& slots) {
+  SlotMetrics total;
+  for (const auto& s : slots) {
+    total.revenue += s.revenue;
+    total.energy_cost += s.energy_cost;
+    total.transfer_cost += s.transfer_cost;
+    total.penalty_cost += s.penalty_cost;
+    total.offered_requests += s.offered_requests;
+    total.dispatched_requests += s.dispatched_requests;
+    total.completed_requests += s.completed_requests;
+    total.valuable_requests += s.valuable_requests;
+    total.servers_on += s.servers_on;
+  }
+  return total;
+}
+
+}  // namespace palb

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+
+namespace palb {
+
+/// Per-(class, data center) outcome of a slot under a plan.
+struct ClassDcOutcome {
+  double rate = 0.0;          ///< req/s of this class landing at this DC
+  double delay = 0.0;         ///< analytic mean sojourn (s); 0 if no load
+  int tuf_level = -1;         ///< 0-based band hit, -1 = none/overdue
+  double utility_per_request = 0.0;  ///< $ per request (TUF value)
+  bool stable = true;         ///< false = the VM queue diverges
+};
+
+/// Dollar ledger for one slot (the terms of Eq. 4/5, integrated over T).
+struct SlotMetrics {
+  double revenue = 0.0;        ///< sum U_k(R) * lambda * T
+  double energy_cost = 0.0;    ///< sum P_{k,l} * lambda * p_l * PUE * T
+  double transfer_cost = 0.0;  ///< sum TranCost_k * d_{s,l} * lambda * T
+  /// SLA violation fees: drop_penalty_k * (offered_k - valuable_k)
+  /// summed over classes (zero under the paper's penalty-free model).
+  double penalty_cost = 0.0;
+  double offered_requests = 0.0;
+  double dispatched_requests = 0.0;
+  /// Requests on stable queues (they all finish; possibly past deadline).
+  double completed_requests = 0.0;
+  /// Requests that earned a non-zero utility (met the final deadline on
+  /// average).
+  double valuable_requests = 0.0;
+  int servers_on = 0;
+
+  /// outcomes[k][l].
+  std::vector<std::vector<ClassDcOutcome>> outcomes;
+
+  double net_profit() const {
+    return revenue - energy_cost - transfer_cost - penalty_cost;
+  }
+  double total_cost() const {
+    return energy_cost + transfer_cost + penalty_cost;
+  }
+  double completed_fraction() const {
+    return offered_requests <= 0.0 ? 1.0
+                                   : completed_requests / offered_requests;
+  }
+};
+
+/// Evaluates what a plan earns and costs over one slot using the paper's
+/// analytic model (Eq. 1 delays, Eq. 2 processing cost, Eq. 3 transfer
+/// cost, Eq. 4 objective). An unstable (class, DC) queue earns zero
+/// revenue but still pays its energy and wire bills — deliberately so
+/// that a broken plan is *penalized*, not masked.
+SlotMetrics evaluate_plan(const Topology& topology, const SlotInput& input,
+                          const DispatchPlan& plan);
+
+/// Sums a sequence of slot ledgers into one (multi-slot runs).
+SlotMetrics accumulate(const std::vector<SlotMetrics>& slots);
+
+}  // namespace palb

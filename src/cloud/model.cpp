@@ -1,0 +1,94 @@
+#include "cloud/model.hpp"
+
+#include "queueing/mm1.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+
+void Topology::validate() const {
+  PALB_REQUIRE(!classes.empty(), "topology needs at least one class");
+  PALB_REQUIRE(!frontends.empty(), "topology needs at least one front-end");
+  PALB_REQUIRE(!datacenters.empty(),
+               "topology needs at least one data center");
+  for (const auto& c : classes) {
+    PALB_REQUIRE(c.transfer_cost_per_mile >= 0.0,
+                 "transfer cost must be >= 0 for class " + c.name);
+    PALB_REQUIRE(c.drop_penalty_per_request >= 0.0,
+                 "drop penalty must be >= 0 for class " + c.name);
+  }
+  for (const auto& dc : datacenters) {
+    PALB_REQUIRE(dc.num_servers >= 0,
+                 "server count must be >= 0 in " + dc.name);
+    PALB_REQUIRE(dc.server_capacity > 0.0,
+                 "server capacity must be > 0 in " + dc.name);
+    PALB_REQUIRE(dc.pue >= 1.0, "PUE must be >= 1 in " + dc.name);
+    PALB_REQUIRE(dc.idle_power_kw >= 0.0,
+                 "idle power must be >= 0 in " + dc.name);
+    PALB_REQUIRE(dc.service_rate.size() == classes.size(),
+                 "one service rate per class required in " + dc.name);
+    PALB_REQUIRE(dc.energy_per_request_kwh.size() == classes.size(),
+                 "one energy figure per class required in " + dc.name);
+    for (double mu : dc.service_rate) {
+      PALB_REQUIRE(mu > 0.0, "service rates must be > 0 in " + dc.name);
+    }
+    for (double e : dc.energy_per_request_kwh) {
+      PALB_REQUIRE(e >= 0.0, "energy per request must be >= 0 in " + dc.name);
+    }
+  }
+  PALB_REQUIRE(network_latency_s_per_mile >= 0.0,
+               "network latency must be >= 0");
+  PALB_REQUIRE(distance_miles.size() == frontends.size(),
+               "one distance row per front-end required");
+  for (const auto& row : distance_miles) {
+    PALB_REQUIRE(row.size() == datacenters.size(),
+                 "one distance per data center required");
+    for (double d : row) {
+      PALB_REQUIRE(d >= 0.0, "distances must be >= 0");
+    }
+  }
+}
+
+double Topology::propagation_delay(std::size_t s, std::size_t l) const {
+  PALB_REQUIRE(s < frontends.size(), "front-end index out of range");
+  PALB_REQUIRE(l < datacenters.size(), "data center index out of range");
+  return network_latency_s_per_mile * distance_miles[s][l];
+}
+
+double Topology::dedicated_capacity(std::size_t k) const {
+  PALB_REQUIRE(k < classes.size(), "class index out of range");
+  const double deadline = classes[k].tuf.final_deadline();
+  double total = 0.0;
+  for (const auto& dc : datacenters) {
+    const double per_server =
+        mm1::max_rate(1.0, dc.server_capacity, dc.service_rate[k], deadline);
+    total += per_server * static_cast<double>(dc.num_servers);
+  }
+  return total;
+}
+
+void SlotInput::validate(const Topology& topology) const {
+  PALB_REQUIRE(arrival_rate.size() == topology.num_classes(),
+               "one arrival row per class required");
+  for (const auto& row : arrival_rate) {
+    PALB_REQUIRE(row.size() == topology.num_frontends(),
+                 "one arrival per front-end required");
+    for (double r : row) {
+      PALB_REQUIRE(r >= 0.0, "arrival rates must be >= 0");
+    }
+  }
+  PALB_REQUIRE(price.size() == topology.num_datacenters(),
+               "one price per data center required");
+  for (double p : price) {
+    PALB_REQUIRE(p == p, "prices must not be NaN");
+  }
+  PALB_REQUIRE(slot_seconds > 0.0, "slot length must be > 0");
+}
+
+double SlotInput::total_offered(std::size_t k) const {
+  PALB_REQUIRE(k < arrival_rate.size(), "class index out of range");
+  double total = 0.0;
+  for (double r : arrival_rate[k]) total += r;
+  return total;
+}
+
+}  // namespace palb

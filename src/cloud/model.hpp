@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/tuf.hpp"
+
+namespace palb {
+
+/// One request type (the paper's k index). The model is layer-agnostic:
+/// SaaS/PaaS/IaaS requests are all "a stream with a TUF, an energy
+/// footprint and a wire cost" (paper §I: "we abstract the service
+/// requests of those layers with a uniform task model").
+struct RequestClass {
+  std::string name;
+  StepTuf tuf;
+  /// TranCost_k of Eq. 3: dollars per request-mile moved from a front-end
+  /// to a data center.
+  double transfer_cost_per_mile = 0.0;
+  /// EXTENSION (after the penalty TUFs of the authors' predecessor work
+  /// [17]): dollars forfeited per request that earns no utility — not
+  /// admitted, routed into an unstable queue, or finished past the final
+  /// deadline. Zero (default) reproduces the paper, where ignoring
+  /// traffic is free; positive values model SLA violation fees.
+  double drop_penalty_per_request = 0.0;
+};
+
+/// One data center (the paper's l index): M_l homogeneous servers.
+/// Heterogeneity across data centers is expected; heterogeneity *within*
+/// one is handled by splitting it into several homogeneous pools.
+struct DataCenter {
+  std::string name;
+  int num_servers = 0;
+  /// C_l of Eq. 1 (normalized to 1 in the paper).
+  double server_capacity = 1.0;
+  /// mu_{k,l}: type-k service rate (req/s) of one server at full capacity.
+  std::vector<double> service_rate;
+  /// P_{k,l} of Eq. 2: kWh consumed processing one type-k request here.
+  std::vector<double> energy_per_request_kwh;
+  /// Power-usage-effectiveness multiplier on the energy bill (1.0 = ideal;
+  /// the paper's suggested cooling-cost extension, §II-A).
+  double pue = 1.0;
+  /// EXTENSION beyond the paper's per-request energy model: constant
+  /// power drawn by each powered-on server (kW), billed for the whole
+  /// slot at the local price. Zero (the default) reproduces the paper,
+  /// where idle capacity is free; positive values make server
+  /// right-sizing a real economic decision.
+  double idle_power_kw = 0.0;
+};
+
+/// A front-end collector (the paper's s index). Arrival rates live in
+/// SlotInput, not here, because they change every slot.
+struct FrontEnd {
+  std::string name;
+};
+
+/// The full static system: request classes, front-ends, data centers and
+/// the front-end-to-data-center distance matrix (miles, Eq. 3).
+struct Topology {
+  std::vector<RequestClass> classes;
+  std::vector<FrontEnd> frontends;
+  std::vector<DataCenter> datacenters;
+  /// distance_miles[s][l].
+  std::vector<std::vector<double>> distance_miles;
+  /// EXTENSION: one-way network propagation delay per mile (seconds).
+  /// The paper charges distance in *dollars* (Eq. 3) but not in *time*;
+  /// at 1000+ miles the wire adds ~10-30 ms each way — comparable to
+  /// the sub-deadlines. Zero (default) reproduces the paper. A realistic
+  /// figure for routed fiber is ~1.6e-5 s/mile round-trip.
+  double network_latency_s_per_mile = 0.0;
+
+  /// Round-trip propagation delay between front-end s and DC l.
+  double propagation_delay(std::size_t s, std::size_t l) const;
+
+  std::size_t num_classes() const { return classes.size(); }
+  std::size_t num_frontends() const { return frontends.size(); }
+  std::size_t num_datacenters() const { return datacenters.size(); }
+
+  /// Throws InvalidArgument on any inconsistency (dimension mismatches,
+  /// non-positive rates, negative distances, ...).
+  void validate() const;
+
+  /// Total fleet service capacity for class k under its final deadline
+  /// with whole servers dedicated to k — a quick upper bound used by
+  /// scenario sanity checks.
+  double dedicated_capacity(std::size_t k) const;
+};
+
+/// Arrival rates and prices for one control slot.
+struct SlotInput {
+  /// arrival_rate[k][s]: req/s of class k offered at front-end s.
+  std::vector<std::vector<double>> arrival_rate;
+  /// price[l]: $/kWh at data center l during this slot.
+  std::vector<double> price;
+  /// Slot length T in seconds (paper: one hour).
+  double slot_seconds = 3600.0;
+
+  void validate(const Topology& topology) const;
+  double total_offered(std::size_t k) const;
+};
+
+}  // namespace palb

@@ -1,0 +1,145 @@
+#include "cloud/plan.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+DispatchPlan DispatchPlan::zero(const Topology& topology) {
+  DispatchPlan plan;
+  plan.rate.assign(
+      topology.num_classes(),
+      std::vector<std::vector<double>>(
+          topology.num_frontends(),
+          std::vector<double>(topology.num_datacenters(), 0.0)));
+  plan.dc.assign(topology.num_datacenters(), DcAllocation{});
+  for (auto& alloc : plan.dc) {
+    alloc.share.assign(topology.num_classes(), 0.0);
+  }
+  return plan;
+}
+
+double DispatchPlan::class_dc_rate(std::size_t k, std::size_t l) const {
+  PALB_REQUIRE(k < rate.size(), "class index out of range");
+  double total = 0.0;
+  for (const auto& per_frontend : rate[k]) {
+    PALB_REQUIRE(l < per_frontend.size(), "data center index out of range");
+    total += per_frontend[l];
+  }
+  return total;
+}
+
+double DispatchPlan::class_frontend_rate(std::size_t k,
+                                         std::size_t s) const {
+  PALB_REQUIRE(k < rate.size(), "class index out of range");
+  PALB_REQUIRE(s < rate[k].size(), "front-end index out of range");
+  double total = 0.0;
+  for (double r : rate[k][s]) total += r;
+  return total;
+}
+
+double DispatchPlan::total_rate() const {
+  double total = 0.0;
+  for (const auto& per_class : rate) {
+    for (const auto& per_frontend : per_class) {
+      for (double r : per_frontend) total += r;
+    }
+  }
+  return total;
+}
+
+double DispatchPlan::per_server_rate(std::size_t k, std::size_t l) const {
+  PALB_REQUIRE(l < dc.size(), "data center index out of range");
+  const int m = dc[l].servers_on;
+  if (m <= 0) return 0.0;
+  return class_dc_rate(k, l) / static_cast<double>(m);
+}
+
+std::vector<std::string> DispatchPlan::violations(const Topology& topology,
+                                                  const SlotInput& input,
+                                                  double tol) const {
+  std::vector<std::string> out;
+  const std::size_t K = topology.num_classes();
+  const std::size_t S = topology.num_frontends();
+  const std::size_t L = topology.num_datacenters();
+
+  if (rate.size() != K || dc.size() != L) {
+    out.push_back("plan shape does not match topology");
+    return out;  // further indexing would be UB-ish; stop here
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    if (rate[k].size() != S) {
+      out.push_back("plan front-end dimension mismatch for class " +
+                    topology.classes[k].name);
+      return out;
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      if (rate[k][s].size() != L) {
+        out.push_back("plan data-center dimension mismatch");
+        return out;
+      }
+      for (std::size_t l = 0; l < L; ++l) {
+        if (rate[k][s][l] < -tol || !std::isfinite(rate[k][s][l])) {
+          out.push_back("negative or non-finite rate for class " +
+                        topology.classes[k].name + " at " +
+                        topology.frontends[s].name + "->" +
+                        topology.datacenters[l].name);
+        }
+      }
+      // Flow conservation (Eq. 7): dispatch <= offered.
+      const double dispatched = class_frontend_rate(k, s);
+      if (dispatched > input.arrival_rate[k][s] + tol) {
+        out.push_back("dispatched " + std::to_string(dispatched) +
+                      " req/s exceeds offered " +
+                      std::to_string(input.arrival_rate[k][s]) + " for " +
+                      topology.classes[k].name + " at " +
+                      topology.frontends[s].name);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& alloc = dc[l];
+    const auto& center = topology.datacenters[l];
+    if (alloc.share.size() != K) {
+      out.push_back("share vector mismatch at " + center.name);
+      continue;
+    }
+    if (alloc.servers_on < 0 || alloc.servers_on > center.num_servers) {
+      out.push_back("servers_on out of [0, " +
+                    std::to_string(center.num_servers) + "] at " +
+                    center.name);
+    }
+    double share_sum = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (alloc.share[k] < -tol || alloc.share[k] > 1.0 + tol) {
+        out.push_back("share out of [0,1] at " + center.name);
+      }
+      share_sum += alloc.share[k];
+    }
+    // CPU budget (Eq. 8).
+    if (share_sum > 1.0 + tol) {
+      out.push_back("share sum " + std::to_string(share_sum) +
+                    " exceeds 1 at " + center.name);
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      const double load = class_dc_rate(k, l);
+      if (load > tol) {
+        if (alloc.servers_on == 0) {
+          out.push_back("load routed to powered-off " + center.name);
+        } else if (alloc.share[k] <= tol) {
+          out.push_back("load routed to zero-share VM for class " +
+                        topology.classes[k].name + " at " + center.name);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool DispatchPlan::is_valid(const Topology& topology, const SlotInput& input,
+                            double tol) const {
+  return violations(topology, input, tol).empty();
+}
+
+}  // namespace palb

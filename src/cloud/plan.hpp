@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/model.hpp"
+
+namespace palb {
+
+/// Resource allocation inside one data center for one slot.
+struct DcAllocation {
+  /// Servers powered on this slot (the rest are off; paper assumes
+  /// negligible switching cost relative to a one-hour slot).
+  int servers_on = 0;
+  /// share[k]: CPU fraction phi_{k,l} each powered-on server grants the
+  /// class-k VM. Active servers are interchangeable (homogeneous) and the
+  /// dispatched load spreads evenly across them.
+  std::vector<double> share;
+};
+
+/// A complete decision for one slot: the routing matrix lambda_{k,s,l}
+/// plus per-data-center resource allocations. (The paper's per-server
+/// index i collapses because servers within a data center are homogeneous
+/// and active servers share the load evenly — §III-A.)
+struct DispatchPlan {
+  /// rate[k][s][l]: req/s of class k sent from front-end s to DC l.
+  std::vector<std::vector<std::vector<double>>> rate;
+  /// One allocation per data center.
+  std::vector<DcAllocation> dc;
+
+  /// Zero-routing plan shaped for `topology`.
+  static DispatchPlan zero(const Topology& topology);
+
+  /// Total class-k rate arriving at data center l (sum over front-ends).
+  double class_dc_rate(std::size_t k, std::size_t l) const;
+  /// Total class-k rate dispatched from front-end s (sum over DCs).
+  double class_frontend_rate(std::size_t k, std::size_t s) const;
+  /// Grand total dispatched rate.
+  double total_rate() const;
+  /// Per-server class-k arrival rate at DC l (0 when no server is on).
+  double per_server_rate(std::size_t k, std::size_t l) const;
+
+  /// Structural + physical checks: shapes match the topology, rates are
+  /// non-negative, flow conservation (Eq. 7), CPU-share budget (Eq. 8),
+  /// server counts within fleet size, and every loaded (class, DC) pair
+  /// has an on server with a positive share. Returns human-readable
+  /// violations; empty means valid.
+  std::vector<std::string> violations(const Topology& topology,
+                                      const SlotInput& input,
+                                      double tol = 1e-6) const;
+  bool is_valid(const Topology& topology, const SlotInput& input,
+                double tol = 1e-6) const;
+};
+
+}  // namespace palb

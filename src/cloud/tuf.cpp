@@ -1,0 +1,73 @@
+#include "cloud/tuf.hpp"
+
+#include "util/error.hpp"
+
+namespace palb {
+
+StepTuf::StepTuf(std::vector<double> utilities,
+                 std::vector<double> sub_deadlines)
+    : utilities_(std::move(utilities)),
+      sub_deadlines_(std::move(sub_deadlines)) {
+  PALB_REQUIRE(!utilities_.empty(), "TUF needs at least one level");
+  PALB_REQUIRE(utilities_.size() == sub_deadlines_.size(),
+               "TUF needs one sub-deadline per level");
+  PALB_REQUIRE(sub_deadlines_.front() > 0.0,
+               "TUF sub-deadlines must be positive");
+  PALB_REQUIRE(utilities_.front() > 0.0,
+               "top TUF level must be worth a positive utility");
+  for (std::size_t q = 0; q + 1 < utilities_.size(); ++q) {
+    PALB_REQUIRE(utilities_[q] > utilities_[q + 1],
+                 "TUF utilities must be strictly decreasing");
+    PALB_REQUIRE(sub_deadlines_[q] < sub_deadlines_[q + 1],
+                 "TUF sub-deadlines must be strictly increasing");
+  }
+}
+
+StepTuf StepTuf::constant(double utility, double deadline) {
+  return StepTuf({utility}, {deadline});
+}
+
+StepTuf StepTuf::approximate_decay(double max_utility, double deadline,
+                                   std::size_t steps) {
+  PALB_REQUIRE(steps >= 1, "decay approximation needs >= 1 step");
+  PALB_REQUIRE(max_utility > 0.0 && deadline > 0.0,
+               "decay approximation needs positive utility and deadline");
+  std::vector<double> utilities;
+  std::vector<double> deadlines;
+  utilities.reserve(steps);
+  deadlines.reserve(steps);
+  const double n = static_cast<double>(steps);
+  for (std::size_t q = 1; q <= steps; ++q) {
+    const double frac = static_cast<double>(q) / n;
+    deadlines.push_back(deadline * frac);
+    // Midpoint value of the linear decay on this band (unbiased staircase).
+    const double mid = deadline * (static_cast<double>(q) - 0.5) / n;
+    utilities.push_back(max_utility * (1.0 - mid / deadline));
+  }
+  return StepTuf(std::move(utilities), std::move(deadlines));
+}
+
+double StepTuf::utility_at_level(std::size_t level) const {
+  PALB_REQUIRE(level < utilities_.size(), "TUF level out of range");
+  return utilities_[level];
+}
+
+double StepTuf::sub_deadline(std::size_t level) const {
+  PALB_REQUIRE(level < sub_deadlines_.size(), "TUF level out of range");
+  return sub_deadlines_[level];
+}
+
+double StepTuf::utility(double delay) const {
+  const int level = level_for_delay(delay);
+  return level < 0 ? 0.0 : utilities_[static_cast<std::size_t>(level)];
+}
+
+int StepTuf::level_for_delay(double delay) const {
+  PALB_REQUIRE(delay > 0.0, "delay must be positive");
+  for (std::size_t q = 0; q < sub_deadlines_.size(); ++q) {
+    if (delay <= sub_deadlines_[q]) return static_cast<int>(q);
+  }
+  return -1;
+}
+
+}  // namespace palb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// Multi-level step-downward time-utility function (paper §III-B1,
+/// Eqs. 9/10/16): the dollar value earned per completed request as a
+/// non-increasing step function of the achieved mean delay.
+///
+///   U(R) = U_q   for D_{q-1} < R <= D_q   (D_0 = 0)
+///   U(R) = 0     for R > D_n              (final deadline missed)
+///
+/// A one-level instance is the paper's constant-before-deadline TUF
+/// (Fig. 3a / Eq. 9); the paper argues any monotone non-increasing TUF
+/// (Fig. 3b) is the infinite-level limit — `approximate_decay` builds
+/// that finite approximation.
+class StepTuf {
+ public:
+  /// `utilities` strictly decreasing positive values {U_1..U_n};
+  /// `sub_deadlines` strictly increasing positive times {D_1..D_n}
+  /// (seconds). D_n is the final deadline.
+  StepTuf(std::vector<double> utilities, std::vector<double> sub_deadlines);
+
+  /// Convenience: one-level TUF worth `utility` before `deadline`.
+  static StepTuf constant(double utility, double deadline);
+
+  /// n-step staircase approximation of a linearly decaying TUF that is
+  /// worth `max_utility` at delay 0 and 0 at `deadline`.
+  static StepTuf approximate_decay(double max_utility, double deadline,
+                                   std::size_t steps);
+
+  std::size_t levels() const { return utilities_.size(); }
+  const std::vector<double>& utilities() const { return utilities_; }
+  const std::vector<double>& sub_deadlines() const { return sub_deadlines_; }
+  double utility_at_level(std::size_t level) const;
+  double sub_deadline(std::size_t level) const;
+  double final_deadline() const { return sub_deadlines_.back(); }
+  double max_utility() const { return utilities_.front(); }
+
+  /// Utility for an achieved mean delay (0 past the final deadline).
+  /// Delay must be > 0 (an M/M/1 sojourn is never 0).
+  double utility(double delay) const;
+
+  /// Level index (0-based) whose band contains `delay`, or -1 past the
+  /// final deadline.
+  int level_for_delay(double delay) const;
+
+ private:
+  std::vector<double> utilities_;
+  std::vector<double> sub_deadlines_;
+};
+
+}  // namespace palb

@@ -1,0 +1,98 @@
+#include "core/balanced_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "queueing/mm1.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+
+DispatchPlan BalancedPolicy::plan_slot(const Topology& topology,
+                                       const SlotInput& input) {
+  topology.validate();
+  input.validate(topology);
+  const std::size_t K = topology.num_classes();
+  const std::size_t S = topology.num_frontends();
+  const std::size_t L = topology.num_datacenters();
+  const double even_share = 1.0 / static_cast<double>(K);
+
+  DispatchPlan plan = DispatchPlan::zero(topology);
+
+  // Deadline-bounded capacity of one server for class k at the static
+  // even share: the largest rate whose mean delay still meets the final
+  // deadline (Eq. 1 inverted).
+  std::vector<std::vector<double>> per_server_cap(
+      K, std::vector<double>(L, 0.0));
+  for (std::size_t k = 0; k < K; ++k) {
+    // Tiny relative margin keeps a fully-loaded queue's delay strictly
+    // inside the deadline band despite floating-point round-trips.
+    const double deadline =
+        topology.classes[k].tuf.final_deadline() * (1.0 - 1e-6);
+    for (std::size_t l = 0; l < L; ++l) {
+      const auto& dc = topology.datacenters[l];
+      per_server_cap[k][l] = mm1::max_rate(even_share, dc.server_capacity,
+                                           dc.service_rate[k], deadline);
+    }
+  }
+
+  // Remaining class capacity per data center (whole fleet powered).
+  std::vector<std::vector<double>> remaining(K, std::vector<double>(L, 0.0));
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t l = 0; l < L; ++l) {
+      remaining[k][l] = per_server_cap[k][l] *
+                        static_cast<double>(topology.datacenters[l].num_servers);
+    }
+  }
+
+  // Data centers in ascending order of the current electricity price.
+  std::vector<std::size_t> by_price(L);
+  std::iota(by_price.begin(), by_price.end(), 0);
+  std::stable_sort(by_price.begin(), by_price.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return input.price[a] < input.price[b];
+                   });
+
+  // Greedy fill, front-ends in index order sharing the capacity ledger.
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t k = 0; k < K; ++k) {
+      double demand = input.arrival_rate[k][s];
+      for (std::size_t l : by_price) {
+        if (demand <= 0.0) break;
+        const double grant = std::min(demand, remaining[k][l]);
+        if (grant <= 0.0) continue;
+        plan.rate[k][s][l] += grant;
+        remaining[k][l] -= grant;
+        demand -= grant;
+      }
+      // Any residual demand is simply not admitted (the paper's Balanced
+      // fails to complete requests under heavy load, Fig. 9).
+    }
+  }
+
+  // Power on the fewest servers that keep every class within its static
+  // per-server capacity; shares stay at the fixed even split.
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topology.datacenters[l];
+    int servers = 0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double load = plan.class_dc_rate(k, l);
+      if (load <= 0.0) continue;
+      PALB_REQUIRE(per_server_cap[k][l] > 0.0,
+                   "balanced fill granted load without capacity");
+      servers = std::max(
+          servers, static_cast<int>(std::ceil(load / per_server_cap[k][l] -
+                                              1e-9)));
+    }
+    servers = std::min(servers, dc.num_servers);
+    plan.dc[l].servers_on = servers;
+    for (std::size_t k = 0; k < K; ++k) {
+      plan.dc[l].share[k] = servers > 0 ? even_share : 0.0;
+    }
+  }
+  return plan;
+}
+
+}  // namespace palb

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace palb {
+
+/// The paper's baseline (§V-A "Balanced"): a static, profit-oblivious
+/// strategy.
+///
+/// * Resource allocation is even: every class gets a fixed 1/K CPU share
+///   on every powered-on server.
+/// * Dispatching is price-greedy: front-ends fill the data center with
+///   the lowest current electricity price up to full (deadline-bounded)
+///   utilization, then spill to the next cheapest, and so on.
+/// * Transfer costs, TUF shapes and per-location energy footprints are
+///   ignored when deciding (they are of course still *charged* by the
+///   accounting).
+class BalancedPolicy : public Policy {
+ public:
+  BalancedPolicy() = default;
+
+  const std::string& name() const override { return name_; }
+  DispatchPlan plan_slot(const Topology& topology,
+                         const SlotInput& input) override;
+
+ private:
+  std::string name_ = "Balanced";
+};
+
+}  // namespace palb

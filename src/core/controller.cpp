@@ -1,0 +1,80 @@
+#include "core/controller.hpp"
+
+#include "util/error.hpp"
+
+namespace palb {
+
+void Scenario::validate() const {
+  topology.validate();
+  PALB_REQUIRE(arrivals.size() == topology.num_classes(),
+               "one arrival-trace row per class required");
+  for (const auto& row : arrivals) {
+    PALB_REQUIRE(row.size() == topology.num_frontends(),
+                 "one arrival trace per front-end required");
+    for (const auto& trace : row) {
+      PALB_REQUIRE(!trace.empty(), "arrival traces must not be empty");
+    }
+  }
+  PALB_REQUIRE(prices.size() == topology.num_datacenters(),
+               "one price trace per data center required");
+  for (const auto& trace : prices) {
+    PALB_REQUIRE(!trace.empty(), "price traces must not be empty");
+  }
+  PALB_REQUIRE(slot_seconds > 0.0, "slot length must be > 0");
+}
+
+SlotInput Scenario::slot_input(std::size_t t) const {
+  SlotInput input;
+  input.slot_seconds = slot_seconds;
+  input.arrival_rate.assign(topology.num_classes(),
+                            std::vector<double>(topology.num_frontends()));
+  for (std::size_t k = 0; k < topology.num_classes(); ++k) {
+    for (std::size_t s = 0; s < topology.num_frontends(); ++s) {
+      input.arrival_rate[k][s] = arrivals[k][s].at(t);
+    }
+  }
+  input.price.resize(topology.num_datacenters());
+  for (std::size_t l = 0; l < topology.num_datacenters(); ++l) {
+    input.price[l] = prices[l].at(t);
+  }
+  return input;
+}
+
+std::vector<double> RunResult::net_profit_series() const {
+  std::vector<double> out;
+  out.reserve(slots.size());
+  for (const auto& s : slots) out.push_back(s.net_profit());
+  return out;
+}
+
+std::vector<double> RunResult::class_dc_rate_series(std::size_t k,
+                                                    std::size_t l) const {
+  std::vector<double> out;
+  out.reserve(plans.size());
+  for (const auto& p : plans) out.push_back(p.class_dc_rate(k, l));
+  return out;
+}
+
+SlotController::SlotController(Scenario scenario)
+    : scenario_(std::move(scenario)) {
+  scenario_.validate();
+}
+
+RunResult SlotController::run(Policy& policy, std::size_t num_slots,
+                              std::size_t first_slot) const {
+  PALB_REQUIRE(num_slots > 0, "need at least one slot");
+  RunResult result;
+  result.slots.reserve(num_slots);
+  result.plans.reserve(num_slots);
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    const SlotInput input = scenario_.slot_input(first_slot + t);
+    DispatchPlan plan = policy.plan_slot(scenario_.topology, input);
+    result.slots.push_back(
+        evaluate_plan(scenario_.topology, input, plan));
+    result.plans.push_back(std::move(plan));
+  }
+  result.total = accumulate(result.slots);
+  return result;
+}
+
+}  // namespace palb

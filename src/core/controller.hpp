@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "cloud/accounting.hpp"
+#include "core/policy.hpp"
+#include "market/price_trace.hpp"
+#include "workload/rate_trace.hpp"
+
+namespace palb {
+
+/// A multi-slot scenario: static topology + per-(class, front-end) rate
+/// traces + per-data-center price traces. The controller re-plans at the
+/// start of every slot, exactly like the paper's hourly loop (§III).
+struct Scenario {
+  Topology topology;
+  /// arrivals[k][s]: the rate trace feeding class k at front-end s.
+  std::vector<std::vector<RateTrace>> arrivals;
+  /// prices[l]: the price trace at data center l.
+  std::vector<PriceTrace> prices;
+  double slot_seconds = 3600.0;
+
+  void validate() const;
+  /// Materializes the inputs of slot `t`.
+  SlotInput slot_input(std::size_t t) const;
+};
+
+/// Everything a run produced, slot by slot.
+struct RunResult {
+  std::vector<SlotMetrics> slots;
+  std::vector<DispatchPlan> plans;
+  SlotMetrics total;
+
+  /// Convenience series for the figure benches.
+  std::vector<double> net_profit_series() const;
+  std::vector<double> class_dc_rate_series(std::size_t k,
+                                           std::size_t l) const;
+};
+
+/// Drives a policy across `num_slots` slots of a scenario.
+class SlotController {
+ public:
+  explicit SlotController(Scenario scenario);
+
+  const Scenario& scenario() const { return scenario_; }
+
+  RunResult run(Policy& policy, std::size_t num_slots,
+                std::size_t first_slot = 0) const;
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace palb

@@ -1,0 +1,66 @@
+#include "core/hetero.hpp"
+
+#include "util/error.hpp"
+
+namespace palb::hetero {
+
+Scenario split_datacenter(const Scenario& scenario, std::size_t dc_index,
+                          const std::vector<ServerGroup>& groups) {
+  scenario.validate();
+  PALB_REQUIRE(dc_index < scenario.topology.num_datacenters(),
+               "data center index out of range");
+  PALB_REQUIRE(!groups.empty(), "need at least one server group");
+  for (const auto& g : groups) {
+    PALB_REQUIRE(g.num_servers >= 0, "group server count must be >= 0");
+    PALB_REQUIRE(g.capacity > 0.0, "group capacity must be > 0");
+    PALB_REQUIRE(g.energy_factor > 0.0, "energy factor must be > 0");
+  }
+
+  Scenario out = scenario;
+  const DataCenter original = scenario.topology.datacenters[dc_index];
+
+  // Build the replacement pools.
+  std::vector<DataCenter> pools;
+  pools.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    DataCenter pool = original;
+    pool.name = original.name + "/g" + std::to_string(g + 1);
+    pool.num_servers = groups[g].num_servers;
+    pool.server_capacity = original.server_capacity * groups[g].capacity;
+    for (double& e : pool.energy_per_request_kwh) {
+      e *= groups[g].energy_factor;
+    }
+    if (groups[g].idle_power_kw >= 0.0) {
+      pool.idle_power_kw = groups[g].idle_power_kw;
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  // Splice pools into the data-center list.
+  auto& dcs = out.topology.datacenters;
+  dcs.erase(dcs.begin() + static_cast<std::ptrdiff_t>(dc_index));
+  dcs.insert(dcs.begin() + static_cast<std::ptrdiff_t>(dc_index),
+             pools.begin(), pools.end());
+
+  // Duplicate the location-bound data: distances per front-end and the
+  // price trace.
+  for (auto& row : out.topology.distance_miles) {
+    const double distance = row[dc_index];
+    row.erase(row.begin() + static_cast<std::ptrdiff_t>(dc_index));
+    row.insert(row.begin() + static_cast<std::ptrdiff_t>(dc_index),
+               groups.size(), distance);
+  }
+  const PriceTrace price = out.prices[dc_index];
+  out.prices.erase(out.prices.begin() +
+                   static_cast<std::ptrdiff_t>(dc_index));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    out.prices.insert(
+        out.prices.begin() + static_cast<std::ptrdiff_t>(dc_index + g),
+        price);
+  }
+
+  out.validate();
+  return out;
+}
+
+}  // namespace palb::hetero

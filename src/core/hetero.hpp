@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace palb {
+
+/// Heterogeneous-fleet support (paper §III-A: "our scenario [assumes]
+/// the servers in a data center are homogeneous. It can be easily
+/// extended to heterogeneous data centers with heterogeneous servers").
+///
+/// The extension mechanism is exactly the one the paper implies: a data
+/// center with several server generations is modeled as several
+/// *homogeneous pools* at the same location — same electricity price,
+/// same wire distance — which the optimizer already handles, since
+/// nothing in the formulation requires distinct locations per "data
+/// center". These helpers perform that split on a Scenario.
+namespace hetero {
+
+/// One homogeneous group inside a heterogeneous data center.
+struct ServerGroup {
+  int num_servers = 0;
+  /// Capacity multiplier C of this generation (Eq. 1; 1.0 = baseline).
+  double capacity = 1.0;
+  /// Optional per-group energy scaling (newer boxes are usually both
+  /// faster and more efficient). 1.0 keeps the DC's per-request figures.
+  double energy_factor = 1.0;
+  /// Optional per-group idle-power override (< 0 keeps the DC's value).
+  double idle_power_kw = -1.0;
+};
+
+/// Replaces data center `dc_index` of `scenario` with one pool per
+/// group. Prices and distances are duplicated (same location); pool
+/// names get a "/gN" suffix. Throws InvalidArgument on bad indices or
+/// empty/invalid groups.
+Scenario split_datacenter(const Scenario& scenario, std::size_t dc_index,
+                          const std::vector<ServerGroup>& groups);
+
+}  // namespace hetero
+}  // namespace palb

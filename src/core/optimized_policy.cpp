@@ -1,0 +1,412 @@
+#include "core/optimized_policy.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <optional>
+
+#include "queueing/mm1.hpp"
+#include "solver/simplex.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace palb {
+
+namespace {
+
+/// profile[l * K + k] = -1 (class k not served at DC l) or the 0-based
+/// TUF level the mean delay must land in.
+using Profile = std::vector<int>;
+
+struct ProfileOutcome {
+  bool feasible = false;
+  double objective = 0.0;  // net profit over the slot per the LP model
+  DispatchPlan plan;
+  /// Marginal $ value of one extra server per DC (capacity-row dual x a
+  /// server's net capacity under the profile).
+  std::vector<double> server_shadow_prices;
+  int lp_iterations = 0;
+};
+
+/// Effective (margin-tightened) *queue* sub-deadline for class k at
+/// level q, after spending `prop_offset` of the budget on network
+/// propagation (0 under the paper's instant-wire model). Under the tail
+/// metric the remaining budget additionally shrinks by ln(1/(1-p)): an
+/// exponential sojourn tail P(T > t) = e^{-t/R} meets P(T <= D) >= p
+/// exactly when the mean R <= D / ln(1/(1-p)). Returns <= 0 when the
+/// propagation alone exhausts the band's budget (band unreachable).
+double effective_deadline(const Topology& topo, std::size_t k, int level,
+                          double prop_offset,
+                          const OptimizedPolicy::Options& opt) {
+  double deadline =
+      topo.classes[k].tuf.sub_deadline(static_cast<std::size_t>(level)) -
+      prop_offset;
+  if (deadline <= 0.0) return 0.0;
+  deadline *= (1.0 - opt.deadline_margin);
+  if (opt.delay_metric == OptimizedPolicy::DelayMetric::kTailPercentile) {
+    PALB_REQUIRE(opt.tail_percentile > 0.0 && opt.tail_percentile < 1.0,
+                 "tail percentile must be in (0,1)");
+    deadline /= std::log(1.0 / (1.0 - opt.tail_percentile));
+  }
+  return deadline;
+}
+
+/// Worst network propagation the class-k stream into DC l may carry:
+/// the max over front-ends that actually offer class-k traffic. Routing
+/// is the LP's decision, so this is conservative — a far trickle
+/// tightens the whole (k, l) budget; splitting the DC per origin group
+/// (hetero::split_datacenter-style) recovers the finer optimum.
+double worst_propagation(const Topology& topo, const SlotInput& input,
+                         std::size_t k, std::size_t l) {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
+    if (input.arrival_rate[k][s] > 0.0) {
+      worst = std::max(worst, topo.propagation_delay(s, l));
+    }
+  }
+  return worst;
+}
+
+/// Solves the LP conditioned on a band profile and realizes the plan
+/// (integer server counts, minimal shares, optional spare distribution).
+ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
+                             const Profile& profile,
+                             const OptimizedPolicy::Options& opt) {
+  const std::size_t K = topo.num_classes();
+  const std::size_t S = topo.num_frontends();
+  const std::size_t L = topo.num_datacenters();
+  const double T = input.slot_seconds;
+
+  ProfileOutcome out;
+
+  // Per-DC per-server share overhead of the profile's active bands:
+  // sum_k 1 / (D_eff * C * mu). A DC whose overhead reaches 1 cannot run
+  // the profile on any server.
+  std::vector<double> overhead(L, 0.0);
+  std::vector<double> prop(K * L, 0.0);  // worst propagation per (k,l)
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topo.datacenters[l];
+    for (std::size_t k = 0; k < K; ++k) {
+      const int level = profile[l * K + k];
+      if (level < 0) continue;
+      prop[l * K + k] = worst_propagation(topo, input, k, l);
+      const double deadline =
+          effective_deadline(topo, k, level, prop[l * K + k], opt);
+      if (deadline <= 0.0) return out;  // band unreachable over the wire
+      overhead[l] +=
+          1.0 / (deadline * dc.server_capacity * dc.service_rate[k]);
+    }
+    if (overhead[l] >= 1.0) return out;  // profile physically impossible
+  }
+
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+
+  // Routing variables for every active (k, s, l).
+  std::vector<int> var(K * S * L, -1);
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& cls = topo.classes[k];
+    for (std::size_t l = 0; l < L; ++l) {
+      const int level = profile[l * K + k];
+      if (level < 0) continue;
+      const auto& dc = topo.datacenters[l];
+      const double utility =
+          cls.tuf.utility_at_level(static_cast<std::size_t>(level));
+      const double energy = dc.energy_per_request_kwh[k] * input.price[l] *
+                            dc.pue;
+      // Static-power extension: under the continuous server relaxation,
+      // powered-on servers scale as sum_k X_k/(C mu_k) / (1 - overhead),
+      // so the idle bill is linear in the routed rates and folds exactly
+      // into the objective coefficients. Zero idle power (the paper's
+      // model) leaves the coefficients untouched.
+      const double idle_per_unit_rate =
+          dc.idle_power_kw * input.price[l] * dc.pue * (T / 3600.0) /
+          ((1.0 - overhead[l]) * dc.server_capacity * dc.service_rate[k]);
+      for (std::size_t s = 0; s < S; ++s) {
+        const double wire =
+            cls.transfer_cost_per_mile * topo.distance_miles[s][l];
+        // Serving a request both earns its band utility (the queue
+        // deadline was already tightened by the worst routed
+        // propagation, so every origin's total stays in-band) and
+        // avoids its drop penalty; the constant -penalty*offered*T is
+        // common to every profile (objectives are "relative to dropping
+        // everything").
+        const double value =
+            (utility + cls.drop_penalty_per_request - energy - wire) * T -
+            idle_per_unit_rate;
+        var[(k * S + s) * L + l] = lp.add_variable(
+            0.0, input.arrival_rate[k][s], value,
+            "x_k" + std::to_string(k) + "_s" + std::to_string(s) + "_l" +
+                std::to_string(l));
+      }
+    }
+  }
+  if (lp.num_variables() == 0) {
+    // All-off profile: the zero plan, worth exactly zero.
+    out.feasible = true;
+    out.objective = 0.0;
+    out.plan = DispatchPlan::zero(topo);
+    return out;
+  }
+
+  // Flow conservation (Eq. 7): per (class, front-end).
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t l = 0; l < L; ++l) {
+        const int v = var[(k * S + s) * L + l];
+        if (v >= 0) terms.emplace_back(v, 1.0);
+      }
+      if (terms.size() > 1) {
+        lp.add_constraint(terms, Relation::kLe, input.arrival_rate[k][s]);
+      }
+      // With a single destination the variable's upper bound suffices.
+    }
+  }
+
+  // Per-DC linearized share budget (Eq. 8 after the band reduction):
+  // sum_k X_{k,l} / (C mu_k)  <=  M_l (1 - overhead_l).
+  std::vector<int> capacity_row(L, -1);
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topo.datacenters[l];
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (profile[l * K + k] < 0) continue;
+      const double inv_rate =
+          1.0 / (dc.server_capacity * dc.service_rate[k]);
+      for (std::size_t s = 0; s < S; ++s) {
+        const int v = var[(k * S + s) * L + l];
+        if (v >= 0) terms.emplace_back(v, inv_rate);
+      }
+    }
+    if (!terms.empty()) {
+      capacity_row[l] = lp.add_constraint(
+          terms, Relation::kLe,
+          static_cast<double>(dc.num_servers) * (1.0 - overhead[l]));
+    }
+  }
+
+  const SimplexSolver solver;
+  const LpSolution sol = solver.solve(lp);
+  out.lp_iterations = sol.iterations;
+  if (sol.status != LpStatus::kOptimal) return out;
+
+  // A server added to DC l raises the capacity rhs by (1 - overhead_l);
+  // the row dual prices that change in dollars per slot.
+  out.server_shadow_prices.assign(L, 0.0);
+  for (std::size_t l = 0; l < L; ++l) {
+    if (capacity_row[l] >= 0) {
+      out.server_shadow_prices[l] =
+          sol.duals[static_cast<std::size_t>(capacity_row[l])] *
+          (1.0 - overhead[l]);
+    }
+  }
+
+  // ---- Realize the plan. -------------------------------------------------
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t l = 0; l < L; ++l) {
+        const int v = var[(k * S + s) * L + l];
+        if (v >= 0) plan.rate[k][s][l] = sol.x[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topo.datacenters[l];
+    // Only classes that actually received load pay a share overhead in
+    // the realized allocation.
+    double active_overhead = 0.0;
+    double load_sum = 0.0;  // sum X_k / (C mu_k)
+    for (std::size_t k = 0; k < K; ++k) {
+      const double x = plan.class_dc_rate(k, l);
+      if (x <= 1e-12) continue;
+      const int level = profile[l * K + k];
+      const double deadline =
+          effective_deadline(topo, k, level, prop[l * K + k], opt);
+      active_overhead +=
+          1.0 / (deadline * dc.server_capacity * dc.service_rate[k]);
+      load_sum += x / (dc.server_capacity * dc.service_rate[k]);
+    }
+    if (load_sum <= 0.0) {
+      plan.dc[l].servers_on = 0;
+      continue;
+    }
+    int servers = static_cast<int>(
+        std::ceil(load_sum / (1.0 - active_overhead) - 1e-12));
+    servers = std::max(servers, 1);
+    servers = std::min(servers, dc.num_servers);
+    plan.dc[l].servers_on = servers;
+
+    double share_sum = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double x = plan.class_dc_rate(k, l);
+      if (x <= 1e-12) continue;
+      const int level = profile[l * K + k];
+      const double deadline =
+          effective_deadline(topo, k, level, prop[l * K + k], opt);
+      const double per_server = x / static_cast<double>(servers);
+      plan.dc[l].share[k] = mm1::required_share(
+          per_server, dc.server_capacity, dc.service_rate[k], deadline);
+      share_sum += plan.dc[l].share[k];
+    }
+    if (share_sum > 1.0) {
+      // Floating-point slack at a binding capacity row can leave the sum
+      // an ulp above 1; renormalize (the deadline loss is O(1e-16)).
+      for (std::size_t k = 0; k < K; ++k) plan.dc[l].share[k] /= share_sum;
+    } else if (opt.distribute_spare_share && share_sum > 0.0) {
+      const double scale = 1.0 / share_sum;
+      for (std::size_t k = 0; k < K; ++k) {
+        plan.dc[l].share[k] =
+            std::min(1.0, plan.dc[l].share[k] * scale);
+      }
+    }
+  }
+
+  out.feasible = true;
+  out.objective = sol.objective;
+  out.plan = std::move(plan);
+  return out;
+}
+
+/// Mixed-radix decoding of profile index -> profile. Option count per
+/// (k,l) cell is levels(k) + 1; option 0 encodes "off".
+Profile decode_profile(std::uint64_t index, const Topology& topo) {
+  const std::size_t K = topo.num_classes();
+  const std::size_t L = topo.num_datacenters();
+  Profile profile(K * L, -1);
+  for (std::size_t cell = 0; cell < K * L; ++cell) {
+    const std::size_t k = cell % K;
+    const auto radix =
+        static_cast<std::uint64_t>(topo.classes[k].tuf.levels()) + 1;
+    profile[cell] = static_cast<int>(index % radix) - 1;
+    index /= radix;
+  }
+  return profile;
+}
+
+std::uint64_t profile_space_size(const Topology& topo,
+                                 std::uint64_t clamp_at) {
+  std::uint64_t total = 1;
+  for (std::size_t l = 0; l < topo.num_datacenters(); ++l) {
+    for (std::size_t k = 0; k < topo.num_classes(); ++k) {
+      const auto radix =
+          static_cast<std::uint64_t>(topo.classes[k].tuf.levels()) + 1;
+      if (total > clamp_at / radix) return clamp_at + 1;  // overflow guard
+      total *= radix;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
+                                        const SlotInput& input) {
+  topo.validate();
+  input.validate(topo);
+  profiles_examined_ = 0;
+  lp_iterations_ = 0;
+
+  std::mutex best_mutex;
+  ProfileOutcome best;
+  best.feasible = true;
+  best.objective = 0.0;  // the all-off plan is always available
+  best.plan = DispatchPlan::zero(topo);
+
+  std::atomic<std::uint64_t> examined{0};
+  std::atomic<std::uint64_t> pivots{0};
+
+  auto consider = [&](const Profile& profile) {
+    ProfileOutcome outcome = solve_profile(topo, input, profile, options_);
+    examined.fetch_add(1, std::memory_order_relaxed);
+    pivots.fetch_add(static_cast<std::uint64_t>(outcome.lp_iterations),
+                     std::memory_order_relaxed);
+    if (!outcome.feasible) return -kInfinity;
+    const double objective = outcome.objective;
+    std::lock_guard lock(best_mutex);
+    if (objective > best.objective) best = std::move(outcome);
+    return objective;
+  };
+
+  const std::uint64_t space =
+      profile_space_size(topo, options_.max_enumerated_profiles);
+
+  if (space <= options_.max_enumerated_profiles) {
+    // Exhaustive sweep; embarrassingly parallel across profile indices.
+    auto body = [&](std::size_t i) {
+      consider(decode_profile(static_cast<std::uint64_t>(i), topo));
+    };
+    if (options_.parallel) {
+      parallel_for(static_cast<std::size_t>(space), body);
+    } else {
+      for (std::uint64_t i = 0; i < space; ++i) {
+        body(static_cast<std::size_t>(i));
+      }
+    }
+  } else {
+    // First-improvement local search over profile cells from several
+    // deterministic/random starting profiles.
+    const std::size_t K = topo.num_classes();
+    const std::size_t L = topo.num_datacenters();
+    const std::size_t cells = K * L;
+
+    std::vector<Profile> starts;
+    Profile all_top(cells), all_last(cells);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const std::size_t k = cell % K;
+      all_top[cell] = 0;
+      all_last[cell] =
+          static_cast<int>(topo.classes[k].tuf.levels()) - 1;
+    }
+    starts.push_back(all_top);
+    starts.push_back(all_last);
+    Rng rng(0xC0FFEEull);
+    for (int r = 0; r < options_.local_search_restarts; ++r) {
+      Profile p(cells);
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        const std::size_t k = cell % K;
+        const auto options =
+            static_cast<std::uint64_t>(topo.classes[k].tuf.levels()) + 1;
+        p[cell] = static_cast<int>(rng.uniform_index(options)) - 1;
+      }
+      starts.push_back(std::move(p));
+    }
+
+    for (Profile current : starts) {
+      double current_value = consider(current);
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (std::size_t cell = 0; cell < cells && !improved; ++cell) {
+          const std::size_t k = cell % K;
+          const int levels =
+              static_cast<int>(topo.classes[k].tuf.levels());
+          for (int option = -1; option < levels; ++option) {
+            if (option == current[cell]) continue;
+            Profile neighbor = current;
+            neighbor[cell] = option;
+            const double value = consider(neighbor);
+            if (value > current_value + 1e-9) {
+              current = std::move(neighbor);
+              current_value = value;
+              improved = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  profiles_examined_ = examined.load();
+  lp_iterations_ = pivots.load();
+  server_shadow_prices_ = best.server_shadow_prices;
+  if (server_shadow_prices_.empty()) {
+    server_shadow_prices_.assign(topo.num_datacenters(), 0.0);
+  }
+  return best.plan;
+}
+
+}  // namespace palb

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace palb {
+
+/// The paper's "Optimized" approach: jointly decide request dispatching
+/// (lambda_{k,s,l}), CPU shares (phi_{k,l}) and powered-on server counts
+/// to maximize net profit (Eq. 4-8).
+///
+/// Solution method (DESIGN.md §3): for step TUFs the only delay question
+/// per (class, data center) is *which utility band* the mean delay lands
+/// in. Conditioning on a band profile {q_{k,l}} (including "not served")
+/// turns the whole problem into a linear program in the routing rates —
+/// the minimal share for band q is phi = (lambda_per_server + 1/D_q)/(C mu)
+/// so the per-server share budget becomes a linear capacity row. The
+/// policy searches profile space (exhaustively below a threshold,
+/// first-improvement local search above it), solving one LP per profile;
+/// the sweep fans across a thread pool.
+///
+/// For one-level TUFs the profile space is {off, on}^(K*L) and each LP is
+/// exactly the paper's linearized formulation (§IV-1).
+class OptimizedPolicy : public Policy {
+ public:
+  /// What the TUF sub-deadlines constrain. The paper uses the *mean*
+  /// sojourn (Eq. 1). kTailPercentile instead requires
+  /// P(sojourn <= D_q) >= tail_percentile, which for an M/M/1 queue
+  /// (P(T > t) = e^{-(mu_eff - lambda) t}) is exactly a mean-delay
+  /// constraint with the deadline shrunk by ln(1/(1-p)) — so the same
+  /// LP machinery plans hard latency SLOs at a capacity premium.
+  enum class DelayMetric { kMeanDelay, kTailPercentile };
+
+  struct Options {
+    /// Exhaustive enumeration is used while the profile count stays below
+    /// this bound; larger spaces fall back to local search.
+    std::uint64_t max_enumerated_profiles = 1u << 20;
+    DelayMetric delay_metric = DelayMetric::kMeanDelay;
+    /// Percentile for kTailPercentile, in (0, 1).
+    double tail_percentile = 0.95;
+    /// Local-search restarts (profile space too big to enumerate).
+    int local_search_restarts = 4;
+    /// Give unused CPU share back to loaded classes after solving — the
+    /// extra headroom shortens delays and can only raise utility.
+    bool distribute_spare_share = true;
+    /// Parallelize the enumeration sweep across hardware threads.
+    bool parallel = true;
+    /// Relative safety margin inside each sub-deadline: the plan targets
+    /// delays of at most D*(1-margin) so that (a) floating-point
+    /// round-trips and (b) the sampling noise of *empirical* mean delays
+    /// in a stochastic replay keep the stream strictly inside its
+    /// intended utility band. 2% costs almost no capacity (the per-server
+    /// rate loss is ~margin/D req/s) and makes plans robust end-to-end.
+    double deadline_margin = 0.02;
+  };
+
+  OptimizedPolicy() = default;
+  explicit OptimizedPolicy(Options options) : options_(options) {}
+
+  const std::string& name() const override { return name_; }
+  DispatchPlan plan_slot(const Topology& topology,
+                         const SlotInput& input) override;
+
+  /// Profiles examined by the most recent plan_slot (observability for
+  /// the computation-time study, Fig. 11).
+  std::uint64_t profiles_examined() const { return profiles_examined_; }
+  /// LP simplex iterations accumulated by the most recent plan_slot.
+  std::uint64_t lp_iterations() const { return lp_iterations_; }
+  /// Marginal dollar value, per slot, of adding one server to each data
+  /// center — the dual of the winning profile's capacity row scaled by a
+  /// server's net capacity contribution. Zero where capacity is slack.
+  /// Sized [num_datacenters] after a plan_slot; what-if capacity planning
+  /// reads this instead of re-solving (see bench/ext_shadow_prices).
+  const std::vector<double>& server_shadow_prices() const {
+    return server_shadow_prices_;
+  }
+
+ private:
+  std::string name_ = "Optimized";
+  Options options_;
+  std::uint64_t profiles_examined_ = 0;
+  std::uint64_t lp_iterations_ = 0;
+  std::vector<double> server_shadow_prices_;
+};
+
+}  // namespace palb

@@ -1,0 +1,104 @@
+#include "core/plan_json.hpp"
+
+#include "util/error.hpp"
+
+namespace palb::plan_json {
+
+namespace {
+Json numbers(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (double v : values) arr.push_back(Json(v));
+  return arr;
+}
+}  // namespace
+
+Json to_json(const DispatchPlan& plan) {
+  Json doc = Json::object();
+  Json rate = Json::array();
+  for (const auto& per_class : plan.rate) {
+    Json class_row = Json::array();
+    for (const auto& per_frontend : per_class) {
+      class_row.push_back(numbers(per_frontend));
+    }
+    rate.push_back(std::move(class_row));
+  }
+  doc.set("rate", std::move(rate));
+
+  Json dcs = Json::array();
+  for (const auto& alloc : plan.dc) {
+    Json d = Json::object();
+    d.set("servers_on", Json(alloc.servers_on));
+    d.set("share", numbers(alloc.share));
+    dcs.push_back(std::move(d));
+  }
+  doc.set("datacenters", std::move(dcs));
+  return doc;
+}
+
+DispatchPlan from_json(const Json& doc, const Topology& topology) {
+  DispatchPlan plan = DispatchPlan::zero(topology);
+  const Json& rate = doc.at("rate");
+  PALB_REQUIRE(rate.size() == topology.num_classes(),
+               "plan JSON class dimension mismatch");
+  for (std::size_t k = 0; k < topology.num_classes(); ++k) {
+    const Json& per_class = rate[k];
+    PALB_REQUIRE(per_class.size() == topology.num_frontends(),
+                 "plan JSON front-end dimension mismatch");
+    for (std::size_t s = 0; s < topology.num_frontends(); ++s) {
+      const Json& per_frontend = per_class[s];
+      PALB_REQUIRE(per_frontend.size() == topology.num_datacenters(),
+                   "plan JSON data-center dimension mismatch");
+      for (std::size_t l = 0; l < topology.num_datacenters(); ++l) {
+        plan.rate[k][s][l] = per_frontend[l].as_number();
+      }
+    }
+  }
+  const Json& dcs = doc.at("datacenters");
+  PALB_REQUIRE(dcs.size() == topology.num_datacenters(),
+               "plan JSON allocation dimension mismatch");
+  for (std::size_t l = 0; l < topology.num_datacenters(); ++l) {
+    plan.dc[l].servers_on =
+        static_cast<int>(dcs[l].at("servers_on").as_index());
+    const Json& share = dcs[l].at("share");
+    PALB_REQUIRE(share.size() == topology.num_classes(),
+                 "plan JSON share dimension mismatch");
+    for (std::size_t k = 0; k < topology.num_classes(); ++k) {
+      plan.dc[l].share[k] = share[k].as_number();
+    }
+  }
+  return plan;
+}
+
+Json metrics_to_json(const SlotMetrics& m) {
+  Json doc = Json::object();
+  doc.set("revenue", Json(m.revenue));
+  doc.set("energy_cost", Json(m.energy_cost));
+  doc.set("transfer_cost", Json(m.transfer_cost));
+  doc.set("penalty_cost", Json(m.penalty_cost));
+  doc.set("net_profit", Json(m.net_profit()));
+  doc.set("offered_requests", Json(m.offered_requests));
+  doc.set("dispatched_requests", Json(m.dispatched_requests));
+  doc.set("completed_requests", Json(m.completed_requests));
+  doc.set("valuable_requests", Json(m.valuable_requests));
+  doc.set("servers_on", Json(m.servers_on));
+  return doc;
+}
+
+Json run_to_json(const RunResult& run) {
+  PALB_REQUIRE(run.slots.size() == run.plans.size(),
+               "run has mismatched slots/plans");
+  Json doc = Json::object();
+  Json slots = Json::array();
+  for (std::size_t t = 0; t < run.slots.size(); ++t) {
+    Json entry = Json::object();
+    entry.set("slot", Json(t));
+    entry.set("plan", to_json(run.plans[t]));
+    entry.set("ledger", metrics_to_json(run.slots[t]));
+    slots.push_back(std::move(entry));
+  }
+  doc.set("slots", std::move(slots));
+  doc.set("total", metrics_to_json(run.total));
+  return doc;
+}
+
+}  // namespace palb::plan_json

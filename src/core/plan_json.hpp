@@ -1,0 +1,33 @@
+#pragma once
+
+#include "cloud/accounting.hpp"
+#include "cloud/plan.hpp"
+#include "core/controller.hpp"
+#include "util/json.hpp"
+
+namespace palb {
+
+/// DispatchPlan / ledger serialization, so the CLI (and any ops tooling)
+/// can hand the hour's routing matrix and VM shares to the systems that
+/// actually enact them.
+///
+/// Plan schema:
+/// {
+///   "rate": [ [ [r_l0, r_l1, ...], ...per frontend ], ...per class ],
+///   "datacenters": [ { "servers_on": 3, "share": [0.4, 0.6] }, ... ]
+/// }
+namespace plan_json {
+
+Json to_json(const DispatchPlan& plan);
+/// Shape-checks against `topology`; throws IoError/InvalidArgument on
+/// mismatch.
+DispatchPlan from_json(const Json& doc, const Topology& topology);
+
+/// One slot's ledger as JSON (read-only export; not round-tripped).
+Json metrics_to_json(const SlotMetrics& metrics);
+
+/// A whole run: slots -> { plan, ledger } entries plus the total.
+Json run_to_json(const RunResult& run);
+
+}  // namespace plan_json
+}  // namespace palb

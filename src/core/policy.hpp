@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+
+namespace palb {
+
+/// A request-dispatching and resource-allocation strategy: given the
+/// static topology and one slot's arrivals + prices, produce the slot's
+/// DispatchPlan. Implementations must return plans that pass
+/// DispatchPlan::violations (the test suite enforces it for every policy
+/// on every scenario).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const std::string& name() const = 0;
+  virtual DispatchPlan plan_slot(const Topology& topology,
+                                 const SlotInput& input) = 0;
+};
+
+}  // namespace palb

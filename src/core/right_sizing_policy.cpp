@@ -1,0 +1,87 @@
+#include "core/right_sizing_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+RightSizingPolicy::RightSizingPolicy() : RightSizingPolicy(Options{}) {}
+
+RightSizingPolicy::RightSizingPolicy(Options options)
+    : options_(options), inner_(options.inner) {
+  PALB_REQUIRE(options_.switch_cost >= 0.0, "switch cost must be >= 0");
+  PALB_REQUIRE(options_.max_hold_slots >= 0, "hold cap must be >= 0");
+}
+
+void RightSizingPolicy::reset() {
+  prev_on_.clear();
+  hold_remaining_.clear();
+  last_switch_cost_ = 0.0;
+  total_switch_cost_ = 0.0;
+  total_transitions_ = 0;
+}
+
+DispatchPlan RightSizingPolicy::plan_slot(const Topology& topo,
+                                          const SlotInput& input) {
+  DispatchPlan plan = inner_.plan_slot(topo, input);
+  const std::size_t L = topo.num_datacenters();
+  if (prev_on_.size() != L) {
+    prev_on_.assign(L, 0);
+    hold_remaining_.assign(L, 0);
+  }
+
+  last_switch_cost_ = 0.0;
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topo.datacenters[l];
+    const int needed = plan.dc[l].servers_on;
+    int target = needed;
+
+    // hold_remaining_ state machine: 0 = no hold pending (fresh),
+    // > 0 = active countdown, -1 = hold expired (drop to `needed` until
+    // demand recovers).
+    if (needed >= prev_on_[l] || options_.switch_cost <= 0.0) {
+      hold_remaining_[l] = 0;  // demand recovered (or holding disabled)
+    } else if (hold_remaining_[l] > 0) {
+      --hold_remaining_[l];
+      if (hold_remaining_[l] == 0) hold_remaining_[l] = -1;
+      target = prev_on_[l];  // keep the idled block powered this slot
+    } else if (hold_remaining_[l] == 0) {
+      // Fresh idle event: size the break-even window. Keeping one idle
+      // server costs idle_power * price * (T/3600) per slot; dropping it
+      // and re-powering later costs 2 * switch_cost.
+      const double idle_cost_per_slot = dc.idle_power_kw * input.price[l] *
+                                        dc.pue *
+                                        (input.slot_seconds / 3600.0);
+      int hold = options_.max_hold_slots;  // free idle capacity: hold max
+      if (idle_cost_per_slot > 0.0) {
+        hold = std::min(
+            hold, static_cast<int>(std::ceil(2.0 * options_.switch_cost /
+                                             idle_cost_per_slot)));
+      }
+      if (hold > 0) {
+        hold_remaining_[l] = hold - 1;  // this slot consumes one
+        if (hold_remaining_[l] == 0) hold_remaining_[l] = -1;
+        target = prev_on_[l];
+      } else {
+        hold_remaining_[l] = -1;  // zero window: drop immediately
+      }
+    }
+    // hold_remaining_ == -1: expired, fall through with target = needed.
+
+    target = std::clamp(target, needed, dc.num_servers);
+    const int transitions = std::abs(target - prev_on_[l]);
+    last_switch_cost_ +=
+        options_.switch_cost * static_cast<double>(transitions);
+    total_transitions_ += transitions;
+    prev_on_[l] = target;
+    plan.dc[l].servers_on = target;
+    // Extra held servers only lower per-server load under even split —
+    // shares stay valid and delays can only shrink.
+  }
+  total_switch_cost_ += last_switch_cost_;
+  return plan;
+}
+
+}  // namespace palb

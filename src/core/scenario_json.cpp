@@ -1,0 +1,166 @@
+#include "core/scenario_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb::scenario_json {
+
+namespace {
+
+Json numbers(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (double v : values) arr.push_back(Json(v));
+  return arr;
+}
+
+std::vector<double> doubles(const Json& arr) {
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (const auto& v : arr.as_array()) out.push_back(v.as_number());
+  return out;
+}
+
+}  // namespace
+
+Json to_json(const Scenario& scenario) {
+  scenario.validate();
+  const Topology& topo = scenario.topology;
+  Json doc = Json::object();
+  doc.set("slot_seconds", Json(scenario.slot_seconds));
+
+  Json classes = Json::array();
+  for (const auto& cls : topo.classes) {
+    Json tuf = Json::object();
+    tuf.set("utilities", numbers(cls.tuf.utilities()));
+    tuf.set("deadlines", numbers(cls.tuf.sub_deadlines()));
+    Json c = Json::object();
+    c.set("name", Json(cls.name));
+    c.set("tuf", std::move(tuf));
+    c.set("transfer_cost_per_mile", Json(cls.transfer_cost_per_mile));
+    c.set("drop_penalty_per_request", Json(cls.drop_penalty_per_request));
+    classes.push_back(std::move(c));
+  }
+  doc.set("classes", std::move(classes));
+
+  Json frontends = Json::array();
+  for (const auto& fe : topo.frontends) {
+    Json f = Json::object();
+    f.set("name", Json(fe.name));
+    frontends.push_back(std::move(f));
+  }
+  doc.set("frontends", std::move(frontends));
+
+  Json datacenters = Json::array();
+  for (const auto& dc : topo.datacenters) {
+    Json d = Json::object();
+    d.set("name", Json(dc.name));
+    d.set("servers", Json(dc.num_servers));
+    d.set("capacity", Json(dc.server_capacity));
+    d.set("service_rate", numbers(dc.service_rate));
+    d.set("energy_per_request_kwh", numbers(dc.energy_per_request_kwh));
+    d.set("pue", Json(dc.pue));
+    d.set("idle_power_kw", Json(dc.idle_power_kw));
+    datacenters.push_back(std::move(d));
+  }
+  doc.set("datacenters", std::move(datacenters));
+
+  doc.set("network_latency_s_per_mile",
+          Json(topo.network_latency_s_per_mile));
+  Json distances = Json::array();
+  for (const auto& row : topo.distance_miles) distances.push_back(numbers(row));
+  doc.set("distance_miles", std::move(distances));
+
+  Json arrivals = Json::array();
+  for (const auto& per_class : scenario.arrivals) {
+    Json row = Json::array();
+    for (const auto& trace : per_class) row.push_back(numbers(trace.values()));
+    arrivals.push_back(std::move(row));
+  }
+  doc.set("arrivals", std::move(arrivals));
+
+  Json prices = Json::array();
+  for (const auto& trace : scenario.prices) {
+    Json p = Json::object();
+    p.set("location", Json(trace.location()));
+    p.set("values", numbers(trace.values()));
+    prices.push_back(std::move(p));
+  }
+  doc.set("prices", std::move(prices));
+  return doc;
+}
+
+Scenario from_json(const Json& doc) {
+  Scenario sc;
+  sc.slot_seconds = doc.get("slot_seconds", 3600.0);
+
+  for (const auto& c : doc.at("classes").as_array()) {
+    const Json& tuf = c.at("tuf");
+    sc.topology.classes.push_back(RequestClass{
+        c.get("name", std::string("class") +
+                          std::to_string(sc.topology.classes.size())),
+        StepTuf(doubles(tuf.at("utilities")), doubles(tuf.at("deadlines"))),
+        c.get("transfer_cost_per_mile", 0.0),
+        c.get("drop_penalty_per_request", 0.0)});
+  }
+  for (const auto& f : doc.at("frontends").as_array()) {
+    sc.topology.frontends.push_back(FrontEnd{f.get(
+        "name",
+        std::string("fe") + std::to_string(sc.topology.frontends.size()))});
+  }
+  for (const auto& d : doc.at("datacenters").as_array()) {
+    DataCenter dc;
+    dc.name = d.get("name", std::string("dc") + std::to_string(
+                                                    sc.topology.datacenters
+                                                        .size()));
+    dc.num_servers = static_cast<int>(d.at("servers").as_index());
+    dc.server_capacity = d.get("capacity", 1.0);
+    dc.service_rate = doubles(d.at("service_rate"));
+    dc.energy_per_request_kwh = doubles(d.at("energy_per_request_kwh"));
+    dc.pue = d.get("pue", 1.0);
+    dc.idle_power_kw = d.get("idle_power_kw", 0.0);
+    sc.topology.datacenters.push_back(std::move(dc));
+  }
+  for (const auto& row : doc.at("distance_miles").as_array()) {
+    sc.topology.distance_miles.push_back(doubles(row));
+  }
+  sc.topology.network_latency_s_per_mile =
+      doc.get("network_latency_s_per_mile", 0.0);
+
+  for (const auto& per_class : doc.at("arrivals").as_array()) {
+    std::vector<RateTrace> row;
+    std::size_t s = 0;
+    for (const auto& values : per_class.as_array()) {
+      row.emplace_back("k" + std::to_string(sc.arrivals.size()) + "s" +
+                           std::to_string(s++),
+                       doubles(values));
+    }
+    sc.arrivals.push_back(std::move(row));
+  }
+  for (const auto& p : doc.at("prices").as_array()) {
+    sc.prices.emplace_back(
+        p.get("location",
+              std::string("loc") + std::to_string(sc.prices.size())),
+        doubles(p.at("values")));
+  }
+
+  sc.validate();
+  return sc;
+}
+
+void save(const Scenario& scenario, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for write: " + path);
+  os << to_json(scenario).dump(2) << "\n";
+}
+
+Scenario load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return from_json(Json::parse(buffer.str()));
+}
+
+}  // namespace palb::scenario_json

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "core/controller.hpp"
+#include "util/json.hpp"
+
+namespace palb {
+
+/// Scenario <-> JSON, so whole experiments (topology + arrival traces +
+/// price traces) live in one human-editable file the CLI can run.
+///
+/// Schema (all rates req/s, deadlines seconds, prices $/kWh):
+///
+/// {
+///   "slot_seconds": 3600,
+///   "classes": [
+///     { "name": "web",
+///       "tuf": { "utilities": [0.02, 0.01], "deadlines": [0.05, 0.15] },
+///       "transfer_cost_per_mile": 1e-6 } ],
+///   "frontends": [ { "name": "fe1" } ],
+///   "datacenters": [
+///     { "name": "dc1", "servers": 6, "capacity": 1.0,
+///       "service_rate": [110, 130], "energy_per_request_kwh": [2e-3, 3e-3],
+///       "pue": 1.0, "idle_power_kw": 0.0 } ],
+///   "distance_miles": [ [1000, 2000] ],              // [frontend][dc]
+///   "arrivals": [ [ [r0, r1, ...], ... ], ... ],     // [class][frontend][slot]
+///   "prices": [ { "location": "Houston", "values": [ ... ] } ]
+/// }
+namespace scenario_json {
+
+Json to_json(const Scenario& scenario);
+Scenario from_json(const Json& doc);
+
+/// File helpers (pretty-printed on write).
+void save(const Scenario& scenario, const std::string& path);
+Scenario load(const std::string& path);
+
+}  // namespace scenario_json
+}  // namespace palb

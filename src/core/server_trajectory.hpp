@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+namespace palb {
+
+/// Offline-optimal server trajectory (extension; the clairvoyant bound
+/// of Lin et al. [8], the right-sizing work the paper cites).
+///
+/// Given, for one data center, the per-slot server *requirement*
+/// (capacity feasibility), the per-slot cost of keeping one server
+/// powered (idle energy at that slot's price), and a per-transition
+/// switching cost, choose the powered-on trajectory minimizing
+///
+///   sum_t idle_cost[t] * m_t  +  switch_cost * sum_t |m_t - m_{t-1}|
+///   s.t. needed[t] <= m_t <= max_servers.
+///
+/// The LP relaxation of this program is totally unimodular (it is a
+/// min-cost flow), so the simplex solution is integral — the returned
+/// trajectory is exactly optimal, making it the yardstick online rules
+/// (RightSizingPolicy's break-even hold) are judged against.
+struct TrajectoryResult {
+  std::vector<int> servers;  ///< m_t per slot
+  double idle_cost = 0.0;    ///< sum idle_cost[t] * m_t
+  double switch_cost = 0.0;  ///< switch dollars paid
+  double total() const { return idle_cost + switch_cost; }
+};
+
+TrajectoryResult optimal_server_trajectory(
+    const std::vector<int>& needed,
+    const std::vector<double>& idle_cost_per_slot, double switch_cost,
+    int max_servers, int initial_on = 0);
+
+}  // namespace palb

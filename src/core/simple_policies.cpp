@@ -1,0 +1,231 @@
+#include "core/simple_policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "queueing/mm1.hpp"
+#include "solver/simplex.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+
+namespace {
+
+/// Deadline-bounded per-server rate capacity for class k at DC l under a
+/// fixed even share (the static-allocation convention shared by the
+/// greedy baselines; the tiny margin keeps band edges FP-safe).
+double even_share_capacity(const Topology& topo, std::size_t k,
+                           std::size_t l) {
+  const auto& dc = topo.datacenters[l];
+  const double share = 1.0 / static_cast<double>(topo.num_classes());
+  const double deadline =
+      topo.classes[k].tuf.final_deadline() * (1.0 - 1e-6);
+  return mm1::max_rate(share, dc.server_capacity, dc.service_rate[k],
+                       deadline);
+}
+
+/// Shared fill loop for greedy baselines: walk data centers in
+/// `order[s]` preference for front-end s, grant capacity, then power the
+/// fewest servers that carry the granted load at even shares.
+DispatchPlan greedy_fill(
+    const Topology& topo, const SlotInput& input,
+    const std::vector<std::vector<std::size_t>>& order) {
+  const std::size_t K = topo.num_classes();
+  const std::size_t S = topo.num_frontends();
+  const std::size_t L = topo.num_datacenters();
+  const double even_share = 1.0 / static_cast<double>(K);
+
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  std::vector<std::vector<double>> remaining(K, std::vector<double>(L));
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t l = 0; l < L; ++l) {
+      remaining[k][l] =
+          even_share_capacity(topo, k, l) *
+          static_cast<double>(topo.datacenters[l].num_servers);
+    }
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t k = 0; k < K; ++k) {
+      double demand = input.arrival_rate[k][s];
+      for (std::size_t l : order[s]) {
+        if (demand <= 0.0) break;
+        const double grant = std::min(demand, remaining[k][l]);
+        if (grant <= 0.0) continue;
+        plan.rate[k][s][l] += grant;
+        remaining[k][l] -= grant;
+        demand -= grant;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    int servers = 0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double load = plan.class_dc_rate(k, l);
+      if (load <= 0.0) continue;
+      const double cap = even_share_capacity(topo, k, l);
+      PALB_REQUIRE(cap > 0.0, "greedy fill granted load without capacity");
+      servers = std::max(
+          servers, static_cast<int>(std::ceil(load / cap - 1e-9)));
+    }
+    servers = std::min(servers, topo.datacenters[l].num_servers);
+    plan.dc[l].servers_on = servers;
+    for (std::size_t k = 0; k < K; ++k) {
+      plan.dc[l].share[k] = servers > 0 ? even_share : 0.0;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+DispatchPlan NearestPolicy::plan_slot(const Topology& topo,
+                                      const SlotInput& input) {
+  topo.validate();
+  input.validate(topo);
+  std::vector<std::vector<std::size_t>> order(topo.num_frontends());
+  for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
+    order[s].resize(topo.num_datacenters());
+    std::iota(order[s].begin(), order[s].end(), 0);
+    std::stable_sort(order[s].begin(), order[s].end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return topo.distance_miles[s][a] <
+                              topo.distance_miles[s][b];
+                     });
+  }
+  return greedy_fill(topo, input, order);
+}
+
+DispatchPlan CostMinPolicy::plan_slot(const Topology& topo,
+                                      const SlotInput& input) {
+  topo.validate();
+  input.validate(topo);
+  const std::size_t K = topo.num_classes();
+  const std::size_t S = topo.num_frontends();
+  const std::size_t L = topo.num_datacenters();
+  const double T = input.slot_seconds;
+
+  // Volume bonus far above any per-request cost so the LP is
+  // lexicographic: maximize served volume, then minimize dollars.
+  double max_cost_rate = 1e-9;
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const double energy = topo.datacenters[l].energy_per_request_kwh[k] *
+                            input.price[l] * topo.datacenters[l].pue;
+      for (std::size_t s = 0; s < S; ++s) {
+        const double wire = topo.classes[k].transfer_cost_per_mile *
+                            topo.distance_miles[s][l];
+        max_cost_rate = std::max(max_cost_rate, energy + wire);
+      }
+    }
+  }
+  const double bonus = 1e4 * max_cost_rate;
+
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  std::vector<int> var(K * S * L, -1);
+  std::vector<double> overhead(L, 0.0);
+  for (std::size_t l = 0; l < L; ++l) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const auto& dc = topo.datacenters[l];
+      overhead[l] += 1.0 / (topo.classes[k].tuf.final_deadline() *
+                            (1.0 - 1e-6) * dc.server_capacity *
+                            dc.service_rate[k]);
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t l = 0; l < L; ++l) {
+      if (overhead[l] >= 1.0) continue;  // DC can't host all-class profile
+      const auto& dc = topo.datacenters[l];
+      const double energy =
+          dc.energy_per_request_kwh[k] * input.price[l] * dc.pue;
+      for (std::size_t s = 0; s < S; ++s) {
+        const double wire = topo.classes[k].transfer_cost_per_mile *
+                            topo.distance_miles[s][l];
+        var[(k * S + s) * L + l] = lp.add_variable(
+            0.0, input.arrival_rate[k][s], (bonus - energy - wire) * T);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t l = 0; l < L; ++l) {
+        const int v = var[(k * S + s) * L + l];
+        if (v >= 0) terms.emplace_back(v, 1.0);
+      }
+      if (terms.size() > 1) {
+        lp.add_constraint(terms, Relation::kLe, input.arrival_rate[k][s]);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    if (overhead[l] >= 1.0) continue;
+    const auto& dc = topo.datacenters[l];
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double inv = 1.0 / (dc.server_capacity * dc.service_rate[k]);
+      for (std::size_t s = 0; s < S; ++s) {
+        const int v = var[(k * S + s) * L + l];
+        if (v >= 0) terms.emplace_back(v, inv);
+      }
+    }
+    if (!terms.empty()) {
+      lp.add_constraint(terms, Relation::kLe,
+                        static_cast<double>(dc.num_servers) *
+                            (1.0 - overhead[l]));
+    }
+  }
+
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  if (lp.num_variables() == 0) return plan;
+  const LpSolution sol = SimplexSolver().solve(lp);
+  if (sol.status != LpStatus::kOptimal) return plan;
+
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t l = 0; l < L; ++l) {
+        const int v = var[(k * S + s) * L + l];
+        if (v >= 0) plan.rate[k][s][l] = sol.x[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  // Minimal servers + minimal shares at the final deadline, like the
+  // optimizer's realization but with no band choice.
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topo.datacenters[l];
+    double active_overhead = 0.0, load_sum = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double x = plan.class_dc_rate(k, l);
+      if (x <= 1e-12) continue;
+      const double deadline =
+          topo.classes[k].tuf.final_deadline() * (1.0 - 1e-6);
+      active_overhead +=
+          1.0 / (deadline * dc.server_capacity * dc.service_rate[k]);
+      load_sum += x / (dc.server_capacity * dc.service_rate[k]);
+    }
+    if (load_sum <= 0.0) continue;
+    int servers = static_cast<int>(
+        std::ceil(load_sum / (1.0 - active_overhead) - 1e-12));
+    servers = std::clamp(servers, 1, dc.num_servers);
+    plan.dc[l].servers_on = servers;
+    double share_sum = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double x = plan.class_dc_rate(k, l);
+      if (x <= 1e-12) continue;
+      const double deadline =
+          topo.classes[k].tuf.final_deadline() * (1.0 - 1e-6);
+      plan.dc[l].share[k] =
+          mm1::required_share(x / static_cast<double>(servers),
+                              dc.server_capacity, dc.service_rate[k],
+                              deadline);
+      share_sum += plan.dc[l].share[k];
+    }
+    if (share_sum > 1.0) {
+      for (std::size_t k = 0; k < K; ++k) plan.dc[l].share[k] /= share_sum;
+    }
+  }
+  return plan;
+}
+
+}  // namespace palb

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace palb {
+
+/// Latency-greedy baseline: every front-end sends each class to its
+/// *nearest* data center until that center's (even-share, final-deadline)
+/// capacity fills, then spills to the next nearest — the classic
+/// "route to the closest replica" CDN heuristic. Price-, energy- and
+/// TUF-oblivious; the natural foil for wire-cost-dominated scenarios.
+class NearestPolicy : public Policy {
+ public:
+  const std::string& name() const override { return name_; }
+  DispatchPlan plan_slot(const Topology& topology,
+                         const SlotInput& input) override;
+
+ private:
+  std::string name_ = "Nearest";
+};
+
+/// Electricity-cost minimizer in the spirit of the single-service-type
+/// geo-balancing literature the paper builds on (Rao et al. [2][12]):
+/// serve as much traffic as possible within the *final* deadlines, and
+/// among volume-maximal dispatches pick the cheapest (energy + wire).
+/// It is profit-aware about costs but blind to the TUF's upper bands —
+/// the gap to OptimizedPolicy isolates the value of multi-level SLAs.
+///
+/// Implemented as one LP: the objective pays every served request a
+/// constant bonus far above any real per-request cost (lexicographic
+/// volume-then-cost) and charges true energy + wire rates.
+class CostMinPolicy : public Policy {
+ public:
+  const std::string& name() const override { return name_; }
+  DispatchPlan plan_slot(const Topology& topology,
+                         const SlotInput& input) override;
+
+ private:
+  std::string name_ = "CostMin";
+};
+
+}  // namespace palb

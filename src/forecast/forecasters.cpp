@@ -1,0 +1,124 @@
+#include "forecast/forecasters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+// ---- NaiveForecaster -------------------------------------------------------
+
+double NaiveForecaster::predict() { return seen_ ? std::max(0.0, last_) : 0.0; }
+
+void NaiveForecaster::observe(double rate) {
+  PALB_REQUIRE(rate >= 0.0, "observed rate must be >= 0");
+  last_ = rate;
+  seen_ = true;
+}
+
+std::unique_ptr<Forecaster> NaiveForecaster::clone() const {
+  return std::make_unique<NaiveForecaster>();
+}
+
+// ---- EwmaForecaster --------------------------------------------------------
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  PALB_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0,1]");
+}
+
+double EwmaForecaster::predict() { return seen_ ? std::max(0.0, level_) : 0.0; }
+
+void EwmaForecaster::observe(double rate) {
+  PALB_REQUIRE(rate >= 0.0, "observed rate must be >= 0");
+  level_ = seen_ ? alpha_ * rate + (1.0 - alpha_) * level_ : rate;
+  seen_ = true;
+}
+
+std::unique_ptr<Forecaster> EwmaForecaster::clone() const {
+  return std::make_unique<EwmaForecaster>(alpha_);
+}
+
+// ---- SeasonalNaiveForecaster -----------------------------------------------
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(std::size_t period)
+    : period_(period) {
+  PALB_REQUIRE(period > 0, "season period must be > 0");
+}
+
+double SeasonalNaiveForecaster::predict() {
+  if (history_.empty()) return 0.0;
+  if (history_.size() >= period_) {
+    // The value one full period before the upcoming slot.
+    return history_[history_.size() - period_];
+  }
+  return history_.back();
+}
+
+void SeasonalNaiveForecaster::observe(double rate) {
+  PALB_REQUIRE(rate >= 0.0, "observed rate must be >= 0");
+  history_.push_back(rate);
+}
+
+std::unique_ptr<Forecaster> SeasonalNaiveForecaster::clone() const {
+  return std::make_unique<SeasonalNaiveForecaster>(period_);
+}
+
+// ---- KalmanForecaster ------------------------------------------------------
+
+KalmanForecaster::KalmanForecaster(double process_noise,
+                                   double measurement_noise)
+    : q_(process_noise), r_(measurement_noise) {
+  PALB_REQUIRE(q_ > 0.0 && r_ > 0.0, "Kalman noise variances must be > 0");
+}
+
+double KalmanForecaster::predict() { return seen_ ? std::max(0.0, x_) : 0.0; }
+
+void KalmanForecaster::observe(double rate) {
+  PALB_REQUIRE(rate >= 0.0, "observed rate must be >= 0");
+  if (!seen_) {
+    // First measurement initializes the state directly.
+    x_ = rate;
+    p_ = r_;
+    seen_ = true;
+    return;
+  }
+  // Time update (random walk): covariance grows by the process noise.
+  const double p_pred = p_ + q_;
+  // Measurement update.
+  k_ = p_pred / (p_pred + r_);
+  x_ += k_ * (rate - x_);
+  p_ = (1.0 - k_) * p_pred;
+}
+
+std::unique_ptr<Forecaster> KalmanForecaster::clone() const {
+  return std::make_unique<KalmanForecaster>(q_, r_);
+}
+
+// ---- ForecastError ---------------------------------------------------------
+
+void ForecastError::add(double predicted, double actual) {
+  const double err = predicted - actual;
+  ++n_;
+  abs_sum_ += std::abs(err);
+  sq_sum_ += err * err;
+  if (actual > 1e-9) {
+    pct_sum_ += std::abs(err) / actual;
+    ++pct_n_;
+  }
+}
+
+double ForecastError::mae() const {
+  return n_ == 0 ? 0.0 : abs_sum_ / static_cast<double>(n_);
+}
+
+double ForecastError::rmse() const {
+  return n_ == 0 ? 0.0 : std::sqrt(sq_sum_ / static_cast<double>(n_));
+}
+
+double ForecastError::mape(double floor) const {
+  (void)floor;
+  return pct_n_ == 0 ? 0.0 : pct_sum_ / static_cast<double>(pct_n_);
+}
+
+}  // namespace palb

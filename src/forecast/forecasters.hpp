@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// One-step-ahead arrival-rate forecaster. The paper's controller plans
+/// each slot from that slot's average arrival rate and defers prediction
+/// to "existing methods (e.g. the Kalman Filter [18])" — this module
+/// supplies those methods so the controller can run *causally* (plan
+/// slot t from history up to t-1) instead of with oracle rates.
+///
+/// Protocol: call predict() for the upcoming slot, then observe() with
+/// the realized rate once the slot ends.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual const std::string& name() const = 0;
+  /// Forecast of the next slot's average rate (req/s, always >= 0).
+  virtual double predict() = 0;
+  /// Feed the realized rate of the slot just finished.
+  virtual void observe(double rate) = 0;
+  /// Fresh instance with the same configuration (per-stream state).
+  virtual std::unique_ptr<Forecaster> clone() const = 0;
+};
+
+/// Predicts the last observed value (random-walk baseline).
+class NaiveForecaster final : public Forecaster {
+ public:
+  const std::string& name() const override { return name_; }
+  double predict() override;
+  void observe(double rate) override;
+  std::unique_ptr<Forecaster> clone() const override;
+
+ private:
+  std::string name_ = "naive";
+  double last_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Exponentially weighted moving average.
+class EwmaForecaster final : public Forecaster {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit EwmaForecaster(double alpha = 0.4);
+  const std::string& name() const override { return name_; }
+  double predict() override;
+  void observe(double rate) override;
+  std::unique_ptr<Forecaster> clone() const override;
+
+ private:
+  std::string name_ = "ewma";
+  double alpha_;
+  double level_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Seasonal-naive: predicts the value observed one period (e.g. 24
+/// slots) ago; falls back to the last value until a full period exists.
+/// The natural choice for diurnal web traffic.
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(std::size_t period = 24);
+  const std::string& name() const override { return name_; }
+  double predict() override;
+  void observe(double rate) override;
+  std::unique_ptr<Forecaster> clone() const override;
+
+ private:
+  std::string name_ = "seasonal-naive";
+  std::size_t period_;
+  std::vector<double> history_;
+};
+
+/// Scalar Kalman filter on a local-level (random-walk + noise) model —
+/// the method the paper cites ([18], Welch & Bishop):
+///
+///   state:        x_t = x_{t-1} + w,  w ~ N(0, q)
+///   measurement:  z_t = x_t + v,      v ~ N(0, r)
+///
+/// predict() returns the current state estimate; observe() runs the
+/// predict/update cycle. The gain adapts: noisy streams lean on the
+/// model, clean streams track measurements.
+class KalmanForecaster final : public Forecaster {
+ public:
+  /// `process_noise` (q) and `measurement_noise` (r) must be > 0.
+  KalmanForecaster(double process_noise = 25.0,
+                   double measurement_noise = 100.0);
+  const std::string& name() const override { return name_; }
+  double predict() override;
+  void observe(double rate) override;
+  std::unique_ptr<Forecaster> clone() const override;
+
+  /// Current error covariance (exposed for tests/diagnostics).
+  double covariance() const { return p_; }
+  /// Last Kalman gain applied.
+  double gain() const { return k_; }
+
+ private:
+  std::string name_ = "kalman";
+  double q_;
+  double r_;
+  double x_ = 0.0;   // state estimate
+  double p_ = 1e6;   // error covariance (uninformative prior)
+  double k_ = 0.0;   // last gain
+  bool seen_ = false;
+};
+
+/// Forecast-accuracy accumulator: mean absolute error, RMSE and mean
+/// absolute percentage error over a stream of (predicted, actual) pairs.
+class ForecastError {
+ public:
+  void add(double predicted, double actual);
+  std::size_t count() const { return n_; }
+  double mae() const;
+  double rmse() const;
+  /// MAPE over samples with actual > floor (zero-rate slots excluded).
+  double mape(double floor = 1e-9) const;
+
+ private:
+  std::size_t n_ = 0;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double pct_sum_ = 0.0;
+  std::size_t pct_n_ = 0;
+};
+
+}  // namespace palb

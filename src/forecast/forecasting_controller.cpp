@@ -1,0 +1,119 @@
+#include "forecast/forecasting_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+ForecastingController::ForecastingController(Scenario scenario,
+                                             const Forecaster& prototype)
+    : ForecastingController(std::move(scenario), prototype, Options{}) {}
+
+ForecastingController::ForecastingController(Scenario scenario,
+                                             const Forecaster& prototype,
+                                             Options options)
+    : scenario_(std::move(scenario)),
+      prototype_(prototype.clone()),
+      options_(options) {
+  scenario_.validate();
+}
+
+ForecastRunResult ForecastingController::run(Policy& policy,
+                                             std::size_t num_slots,
+                                             std::size_t first_slot) const {
+  PALB_REQUIRE(num_slots > 0, "need at least one slot");
+  const std::size_t K = scenario_.topology.num_classes();
+  const std::size_t S = scenario_.topology.num_frontends();
+
+  // One forecaster per (class, front-end) stream.
+  std::vector<std::vector<std::unique_ptr<Forecaster>>> streams(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      streams[k].push_back(prototype_->clone());
+    }
+  }
+
+  // Prime on history strictly before the scored window.
+  const std::size_t warmup = std::min(options_.warmup_slots, first_slot);
+  for (std::size_t t = first_slot - warmup; t < first_slot; ++t) {
+    const SlotInput real = scenario_.slot_input(t);
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t s = 0; s < S; ++s) {
+        streams[k][s]->observe(real.arrival_rate[k][s]);
+      }
+    }
+  }
+
+  ForecastRunResult out;
+  out.errors.resize(K);
+  out.run.slots.reserve(num_slots);
+  out.run.plans.reserve(num_slots);
+
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    const SlotInput real = scenario_.slot_input(first_slot + t);
+
+    // Plan from the forecast...
+    SlotInput forecast = real;
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t s = 0; s < S; ++s) {
+        const double predicted = streams[k][s]->predict();
+        forecast.arrival_rate[k][s] =
+            predicted * options_.forecast_inflation;
+        // Accuracy is scored on the raw prediction, not the hedge.
+        out.errors[k].add(predicted, real.arrival_rate[k][s]);
+      }
+    }
+    DispatchPlan plan = policy.plan_slot(scenario_.topology, forecast);
+
+    // ... settle against reality.
+    if (options_.route_actual) {
+      // Scale each (class, front-end) row to the realized volume,
+      // preserving the planned destination split. More traffic than
+      // predicted overloads the planned shares (the accounting then
+      // zeroes revenue on any queue pushed past stability); less traffic
+      // under-uses them.
+      for (std::size_t k = 0; k < K; ++k) {
+        for (std::size_t s = 0; s < S; ++s) {
+          double planned = 0.0;
+          for (double r : plan.rate[k][s]) planned += r;
+          const double actual = real.arrival_rate[k][s];
+          if (planned <= 0.0) continue;
+          const double scale =
+              std::min(actual, forecast.arrival_rate[k][s]) > 0.0
+                  ? actual / forecast.arrival_rate[k][s]
+                  : 0.0;
+          for (double& r : plan.rate[k][s]) {
+            r = std::min(r * scale, actual);
+          }
+        }
+      }
+    }
+    // Either way the plan must remain structurally valid vs reality.
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t s = 0; s < S; ++s) {
+        double dispatched = 0.0;
+        for (double r : plan.rate[k][s]) dispatched += r;
+        const double cap = real.arrival_rate[k][s];
+        if (dispatched > cap && dispatched > 0.0) {
+          const double fix = cap / dispatched;
+          for (double& r : plan.rate[k][s]) r *= fix;
+        }
+      }
+    }
+
+    out.run.slots.push_back(
+        evaluate_plan(scenario_.topology, real, plan));
+    out.run.plans.push_back(std::move(plan));
+
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t s = 0; s < S; ++s) {
+        streams[k][s]->observe(real.arrival_rate[k][s]);
+      }
+    }
+  }
+  out.run.total = accumulate(out.run.slots);
+  return out;
+}
+
+}  // namespace palb

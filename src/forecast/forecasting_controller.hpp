@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "forecast/forecasters.hpp"
+
+namespace palb {
+
+/// Causal variant of SlotController: the policy plans slot t from
+/// *forecast* arrival rates (one forecaster per (class, front-end)
+/// stream, primed on history), while the ledger is settled against the
+/// *realized* rates — the plan's shares and server counts face traffic
+/// they did not exactly anticipate, exactly as a deployed controller
+/// would. Under-forecasting shows up as either dropped flow (the plan
+/// dispatches at most its predicted volume) or, with
+/// `route_actual = true`, as overload on the planned allocation.
+struct ForecastRunResult {
+  RunResult run;
+  /// Accuracy per class (aggregated over front-ends).
+  std::vector<ForecastError> errors;
+};
+
+class ForecastingController {
+ public:
+  struct Options {
+    /// Slots of history fed to the forecasters before the scored run.
+    std::size_t warmup_slots = 24;
+    /// If true, realized traffic is routed proportionally to the planned
+    /// split (the plan meets real demand, possibly overloading queues).
+    /// If false, only the planned volume is admitted (conservative).
+    bool route_actual = true;
+    /// Multiplier applied to every prediction before planning. The loss
+    /// is asymmetric — an under-forecast pushes queues past the
+    /// stability edge (zero revenue) while an over-forecast merely
+    /// wastes shares — so operators provision above the point forecast;
+    /// values around 1.1-1.3 hedge typical burst noise.
+    double forecast_inflation = 1.0;
+  };
+
+  ForecastingController(Scenario scenario, const Forecaster& prototype);
+  ForecastingController(Scenario scenario, const Forecaster& prototype,
+                        Options options);
+
+  const Scenario& scenario() const { return scenario_; }
+
+  ForecastRunResult run(Policy& policy, std::size_t num_slots,
+                        std::size_t first_slot = 0) const;
+
+ private:
+  Scenario scenario_;
+  std::unique_ptr<Forecaster> prototype_;
+  Options options_;
+};
+
+}  // namespace palb

@@ -1,0 +1,41 @@
+#include "market/price_generator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+OuPriceGenerator::OuPriceGenerator(Params params) : params_(params) {
+  PALB_REQUIRE(params_.mean > 0.0, "mean price must be > 0");
+  PALB_REQUIRE(params_.reversion >= 0.0, "reversion must be >= 0");
+  PALB_REQUIRE(params_.volatility >= 0.0, "volatility must be >= 0");
+  PALB_REQUIRE(params_.floor >= 0.0, "price floor must be >= 0");
+}
+
+PriceTrace OuPriceGenerator::generate(const std::string& location,
+                                      std::size_t hours, Rng& rng) const {
+  PALB_REQUIRE(hours > 0, "need at least one hour");
+  std::vector<double> out;
+  out.reserve(hours);
+  double noise = 0.0;  // OU deviation around the diurnal base
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double hour_of_day = static_cast<double>(h % 24);
+    const double base =
+        params_.mean +
+        0.5 * params_.diurnal_amplitude *
+            std::cos(2.0 * M_PI * (hour_of_day - params_.peak_hour) / 24.0);
+    // Exact OU transition over one hour.
+    const double decay = std::exp(-params_.reversion);
+    const double stddev =
+        params_.reversion > 0.0
+            ? params_.volatility *
+                  std::sqrt((1.0 - decay * decay) / (2.0 * params_.reversion))
+            : params_.volatility;
+    noise = noise * decay + rng.normal(0.0, stddev);
+    out.push_back(std::max(params_.floor, base + noise));
+  }
+  return PriceTrace(location, std::move(out));
+}
+
+}  // namespace palb

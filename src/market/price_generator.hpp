@@ -1,0 +1,35 @@
+#pragma once
+
+#include "market/price_trace.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+
+/// Stochastic electricity-price generator: mean-reverting
+/// Ornstein-Uhlenbeck noise superimposed on a diurnal base curve — the
+/// standard reduced-form model for deregulated spot markets (the paper
+/// cites price deregulation as the source of hour-to-hour variation).
+/// Used by the sensitivity/ablation sweeps that go beyond the three
+/// embedded Fig. 1 curves.
+class OuPriceGenerator {
+ public:
+  struct Params {
+    double mean = 0.05;          ///< long-run level, $/kWh
+    double diurnal_amplitude = 0.02;  ///< peak-vs-trough swing of the base
+    double peak_hour = 15.0;     ///< hour of the diurnal maximum
+    double reversion = 0.5;      ///< OU mean-reversion per hour
+    double volatility = 0.008;   ///< OU diffusion per sqrt(hour)
+    double floor = 0.005;        ///< prices clamp here (no free energy)
+  };
+
+  explicit OuPriceGenerator(Params params);
+
+  /// Generates `hours` hourly prices for `location`.
+  PriceTrace generate(const std::string& location, std::size_t hours,
+                      Rng& rng) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace palb

@@ -1,0 +1,46 @@
+#include "market/price_library.hpp"
+
+namespace palb::prices {
+
+// 24 hourly values, $/kWh, midnight-to-midnight local time.
+// Magnitudes follow typical 2012-era wholesale levels (a few cents/kWh)
+// so the energy bill of a request at Google's ~0.0003 kWh/search lands in
+// the same relative range as the paper's profit values.
+
+PriceTrace houston_tx() {
+  // Volatile: cheap overnight, sharp spike around 14:00-17:00.
+  return PriceTrace(
+      "Houston, TX",
+      {0.031, 0.029, 0.027, 0.026, 0.026, 0.028, 0.033, 0.039,
+       0.044, 0.048, 0.053, 0.059, 0.066, 0.078, 0.096, 0.104,
+       0.098, 0.082, 0.064, 0.052, 0.045, 0.040, 0.036, 0.033});
+}
+
+PriceTrace mountain_view_ca() {
+  // Highest on average, broad afternoon/evening plateau.
+  return PriceTrace(
+      "Mountain View, CA",
+      {0.052, 0.049, 0.047, 0.046, 0.047, 0.050, 0.057, 0.066,
+       0.074, 0.081, 0.088, 0.094, 0.099, 0.103, 0.106, 0.108,
+       0.107, 0.104, 0.098, 0.090, 0.079, 0.069, 0.061, 0.055});
+}
+
+PriceTrace atlanta_ga() {
+  // Flat and cheap; mild midday bump.
+  return PriceTrace(
+      "Atlanta, GA",
+      {0.034, 0.033, 0.032, 0.032, 0.032, 0.033, 0.035, 0.038,
+       0.041, 0.043, 0.046, 0.048, 0.050, 0.051, 0.052, 0.052,
+       0.051, 0.049, 0.046, 0.043, 0.040, 0.038, 0.036, 0.035});
+}
+
+std::vector<PriceTrace> figure1_set() {
+  return {houston_tx(), mountain_view_ca(), atlanta_ga()};
+}
+
+PriceTrace flat(const std::string& location, double price,
+                std::size_t hours) {
+  return PriceTrace(location, std::vector<double>(hours, price));
+}
+
+}  // namespace palb::prices

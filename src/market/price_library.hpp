@@ -1,0 +1,33 @@
+#pragma once
+
+#include "market/price_trace.hpp"
+
+namespace palb {
+
+/// Embedded 24-hour price curves standing in for the paper's Fig. 1
+/// (real-time prices at Houston TX, Mountain View CA and Atlanta GA).
+///
+/// SUBSTITUTION NOTE (see DESIGN.md §2): the paper plots unlabeled
+/// historical curves; only their qualitative features matter to the
+/// algorithm — California is the most expensive with a strong afternoon
+/// peak, Texas is volatile with a midday spike, Georgia is flat and
+/// cheap, and the curves *cross* during the day so the cheapest location
+/// changes hour to hour. These curves encode exactly those features,
+/// in $/kWh.
+namespace prices {
+
+PriceTrace houston_tx();
+PriceTrace mountain_view_ca();
+PriceTrace atlanta_ga();
+
+/// The three Fig. 1 curves in the paper's order (Houston, Mountain View,
+/// Atlanta).
+std::vector<PriceTrace> figure1_set();
+
+/// Flat price, for controlled experiments where geography should not
+/// matter.
+PriceTrace flat(const std::string& location, double price,
+                std::size_t hours = 24);
+
+}  // namespace prices
+}  // namespace palb

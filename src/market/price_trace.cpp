@@ -1,0 +1,56 @@
+#include "market/price_trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+PriceTrace::PriceTrace(std::string location,
+                       std::vector<double> dollars_per_kwh)
+    : location_(std::move(location)), prices_(std::move(dollars_per_kwh)) {
+  PALB_REQUIRE(!prices_.empty(), "price trace must not be empty");
+  for (double p : prices_) {
+    // Negative prices do occur in deregulated markets; reject only NaN-ish
+    // nonsense by requiring finite values via comparison with itself.
+    PALB_REQUIRE(p == p, "price trace contains NaN");
+  }
+}
+
+double PriceTrace::at(std::size_t t) const {
+  PALB_REQUIRE(!prices_.empty(), "price trace is empty");
+  return prices_[t % prices_.size()];
+}
+
+double PriceTrace::min_price() const {
+  PALB_REQUIRE(!prices_.empty(), "price trace is empty");
+  return *std::min_element(prices_.begin(), prices_.end());
+}
+
+double PriceTrace::max_price() const {
+  PALB_REQUIRE(!prices_.empty(), "price trace is empty");
+  return *std::max_element(prices_.begin(), prices_.end());
+}
+
+double PriceTrace::mean_price() const {
+  PALB_REQUIRE(!prices_.empty(), "price trace is empty");
+  return std::accumulate(prices_.begin(), prices_.end(), 0.0) /
+         static_cast<double>(prices_.size());
+}
+
+PriceTrace PriceTrace::scaled(double factor) const {
+  std::vector<double> out = prices_;
+  for (double& p : out) p *= factor;
+  return PriceTrace(location_, std::move(out));
+}
+
+PriceTrace PriceTrace::window(std::size_t first, std::size_t count) const {
+  PALB_REQUIRE(count > 0, "window must contain at least one slot");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(at(first + i));
+  return PriceTrace(location_, std::move(out));
+}
+
+}  // namespace palb

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// Hourly electricity price series for one location, in $/kWh. The
+/// controller reads one value per time slot (the paper holds the price
+/// constant within a slot, §III). Indexing wraps modulo the trace length
+/// so a 24-hour curve can drive arbitrarily long runs.
+class PriceTrace {
+ public:
+  PriceTrace() = default;
+  PriceTrace(std::string location, std::vector<double> dollars_per_kwh);
+
+  const std::string& location() const { return location_; }
+  std::size_t size() const { return prices_.size(); }
+  bool empty() const { return prices_.empty(); }
+
+  /// Price for slot `t` (wraps).
+  double at(std::size_t t) const;
+  const std::vector<double>& values() const { return prices_; }
+
+  double min_price() const;
+  double max_price() const;
+  double mean_price() const;
+
+  /// Returns a trace scaled by `factor` (sensitivity sweeps).
+  PriceTrace scaled(double factor) const;
+  /// Returns the sub-trace for slots [first, first+count) (wrapping),
+  /// e.g. the paper's 14:00-19:00 window in the Google study.
+  PriceTrace window(std::size_t first, std::size_t count) const;
+
+ private:
+  std::string location_;
+  std::vector<double> prices_;
+};
+
+}  // namespace palb

@@ -1,0 +1,78 @@
+#include "queueing/mg1.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+namespace mg1 {
+
+namespace {
+void check(double mu, double lambda) {
+  PALB_REQUIRE(mu > 0.0, "service rate must be > 0");
+  PALB_REQUIRE(lambda >= 0.0, "arrival rate must be >= 0");
+  PALB_REQUIRE(lambda < mu, "M/G/1 requires lambda < mu");
+}
+}  // namespace
+
+double expected_wait_fcfs(double mu, double lambda, double scv) {
+  check(mu, lambda);
+  PALB_REQUIRE(scv >= 0.0, "SCV must be >= 0");
+  const double rho = lambda / mu;
+  // Pollaczek-Khinchine: W_q = rho (1 + c^2) / (2 (mu - lambda)).
+  return rho * (1.0 + scv) / (2.0 * (mu - lambda));
+}
+
+double expected_sojourn_fcfs(double mu, double lambda, double scv) {
+  return expected_wait_fcfs(mu, lambda, scv) + 1.0 / mu;
+}
+
+double expected_sojourn_ps(double mu, double lambda) {
+  check(mu, lambda);
+  return 1.0 / (mu - lambda);
+}
+
+}  // namespace mg1
+
+namespace mmm {
+
+double erlang_c(int servers, double mu, double lambda) {
+  PALB_REQUIRE(servers >= 1, "need at least one server");
+  PALB_REQUIRE(mu > 0.0, "service rate must be > 0");
+  PALB_REQUIRE(lambda >= 0.0, "arrival rate must be >= 0");
+  const double offered = lambda / mu;  // Erlangs
+  PALB_REQUIRE(offered < static_cast<double>(servers),
+               "M/M/m requires lambda < m*mu");
+  if (lambda == 0.0) return 0.0;
+  // Numerically stable iterative Erlang-B, then convert to Erlang-C.
+  double erlang_b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    erlang_b = offered * erlang_b / (static_cast<double>(k) + offered * erlang_b);
+  }
+  const double rho = offered / static_cast<double>(servers);
+  return erlang_b / (1.0 - rho + rho * erlang_b);
+}
+
+double expected_sojourn(int servers, double mu, double lambda) {
+  const double c = erlang_c(servers, mu, lambda);
+  const double m = static_cast<double>(servers);
+  return c / (m * mu - lambda) + 1.0 / mu;
+}
+
+int servers_for_deadline(double mu, double lambda, double deadline,
+                         int max_servers) {
+  PALB_REQUIRE(deadline > 0.0, "deadline must be > 0");
+  PALB_REQUIRE(mu > 0.0 && lambda >= 0.0, "rates must be valid");
+  PALB_REQUIRE(deadline >= 1.0 / mu,
+               "deadline below the bare service time is unreachable");
+  if (lambda == 0.0) return 1;
+  for (int m = 1; m <= max_servers; ++m) {
+    if (lambda >= static_cast<double>(m) * mu) continue;  // unstable yet
+    if (expected_sojourn(m, mu, lambda) <= deadline) return m;
+  }
+  throw NumericalError("servers_for_deadline exceeded max_servers");
+}
+
+}  // namespace mmm
+}  // namespace palb

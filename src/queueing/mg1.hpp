@@ -1,0 +1,55 @@
+#pragma once
+
+namespace palb {
+
+/// Beyond-M/M/1 queueing analytics.
+///
+/// Why they are here: the paper's Eq. 1 assumes exponential service. Two
+/// classical results bound how much that assumption matters for this
+/// system:
+///
+/// * M/G/1-FCFS (Pollaczek-Khinchine): the mean sojourn depends on the
+///   service distribution only through its squared coefficient of
+///   variation (SCV) — heavier-tailed work inflates delays.
+/// * M/G/1-PS (processor sharing, i.e. the VM model the paper actually
+///   describes): the mean sojourn is *insensitive* to the service
+///   distribution — Eq. 1 is exact for any work distribution with the
+///   same mean. The simulator tests demonstrate both facts empirically.
+///
+/// M/M/m (Erlang-C) covers pooling several whole servers into one queue,
+/// an alternative to the paper's independent-server split.
+namespace mg1 {
+
+/// Mean sojourn of an M/G/1-FCFS queue: service rate `mu` (mean service
+/// time 1/mu), arrival rate `lambda` < mu, squared coefficient of
+/// variation `scv` >= 0 of the service time (0 = deterministic,
+/// 1 = exponential).
+double expected_sojourn_fcfs(double mu, double lambda, double scv);
+
+/// Mean wait in queue (excluding service) of the same M/G/1-FCFS queue.
+double expected_wait_fcfs(double mu, double lambda, double scv);
+
+/// Mean sojourn of an M/G/1-PS queue — insensitive: equals the M/M/1
+/// value 1/(mu - lambda) for every service distribution.
+double expected_sojourn_ps(double mu, double lambda);
+
+}  // namespace mg1
+
+namespace mmm {
+
+/// Erlang-C: probability an arrival waits in an M/M/m queue with per-
+/// server rate `mu`, `servers` servers and arrival rate `lambda`
+/// (lambda < m*mu).
+double erlang_c(int servers, double mu, double lambda);
+
+/// Mean sojourn of the M/M/m queue.
+double expected_sojourn(int servers, double mu, double lambda);
+
+/// Smallest server count keeping the M/M/m mean sojourn within
+/// `deadline` (returns a count even if large; throws only on invalid
+/// arguments or an unreachable deadline < 1/mu).
+int servers_for_deadline(double mu, double lambda, double deadline,
+                         int max_servers = 100000);
+
+}  // namespace mmm
+}  // namespace palb

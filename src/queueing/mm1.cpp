@@ -1,0 +1,70 @@
+#include "queueing/mm1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb::mm1 {
+
+namespace {
+void check_params(double share, double capacity, double mu) {
+  PALB_REQUIRE(share >= 0.0 && share <= 1.0, "CPU share must be in [0,1]");
+  PALB_REQUIRE(capacity > 0.0, "capacity must be > 0");
+  PALB_REQUIRE(mu > 0.0, "service rate mu must be > 0");
+}
+}  // namespace
+
+double effective_rate(double share, double capacity, double mu) {
+  check_params(share, capacity, mu);
+  return share * capacity * mu;
+}
+
+bool is_stable(double share, double capacity, double mu, double lambda) {
+  check_params(share, capacity, mu);
+  PALB_REQUIRE(lambda >= 0.0, "arrival rate must be >= 0");
+  return lambda < effective_rate(share, capacity, mu);
+}
+
+double expected_delay(double share, double capacity, double mu,
+                      double lambda) {
+  PALB_REQUIRE(is_stable(share, capacity, mu, lambda),
+               "M/M/1 delay undefined for an unstable queue");
+  return 1.0 / (effective_rate(share, capacity, mu) - lambda);
+}
+
+double required_share(double lambda, double capacity, double mu,
+                      double deadline) {
+  PALB_REQUIRE(lambda >= 0.0, "arrival rate must be >= 0");
+  PALB_REQUIRE(capacity > 0.0 && mu > 0.0, "capacity and mu must be > 0");
+  PALB_REQUIRE(deadline > 0.0, "deadline must be > 0");
+  return (lambda + 1.0 / deadline) / (capacity * mu);
+}
+
+double max_rate(double share, double capacity, double mu, double deadline) {
+  check_params(share, capacity, mu);
+  PALB_REQUIRE(deadline > 0.0, "deadline must be > 0");
+  return std::max(0.0, effective_rate(share, capacity, mu) - 1.0 / deadline);
+}
+
+double mean_in_system(double share, double capacity, double mu,
+                      double lambda) {
+  return lambda * expected_delay(share, capacity, mu, lambda);
+}
+
+double utilization(double share, double capacity, double mu, double lambda) {
+  PALB_REQUIRE(lambda >= 0.0, "arrival rate must be >= 0");
+  const double rate = effective_rate(share, capacity, mu);
+  PALB_REQUIRE(rate > 0.0, "utilization undefined at zero service rate");
+  return lambda / rate;
+}
+
+double delay_tail_probability(double share, double capacity, double mu,
+                              double lambda, double t) {
+  PALB_REQUIRE(t >= 0.0, "tail time must be >= 0");
+  PALB_REQUIRE(is_stable(share, capacity, mu, lambda),
+               "tail undefined for an unstable queue");
+  return std::exp(-(effective_rate(share, capacity, mu) - lambda) * t);
+}
+
+}  // namespace palb::mm1

@@ -1,0 +1,49 @@
+#pragma once
+
+namespace palb {
+
+/// M/M/1 sojourn-time algebra behind the paper's Eq. 1:
+///
+///   R_k = 1 / (phi_k * C * mu_k - lambda_k)
+///
+/// A VM that owns CPU share `phi` of a server with capacity `C` serving
+/// type-k requests at full-capacity rate `mu_k` behaves as an M/M/1 queue
+/// with effective service rate `phi*C*mu_k`. All helpers below are pure
+/// inversions of that formula; every one validates stability and domain.
+namespace mm1 {
+
+/// Effective service rate of the VM.
+double effective_rate(double share, double capacity, double mu);
+
+/// True iff the queue is stable (arrival < effective service rate).
+bool is_stable(double share, double capacity, double mu, double lambda);
+
+/// Expected sojourn (response) time R = 1/(phi*C*mu - lambda).
+/// Requires stability.
+double expected_delay(double share, double capacity, double mu,
+                      double lambda);
+
+/// Smallest CPU share meeting mean-delay deadline D at arrival rate
+/// lambda: phi = (lambda + 1/D) / (C*mu). May exceed 1 (caller decides
+/// feasibility).
+double required_share(double lambda, double capacity, double mu,
+                      double deadline);
+
+/// Largest sustainable arrival rate at share phi under deadline D:
+/// lambda = phi*C*mu - 1/D (clamped at 0).
+double max_rate(double share, double capacity, double mu, double deadline);
+
+/// Mean number in system L = lambda * R (Little's law).
+double mean_in_system(double share, double capacity, double mu,
+                      double lambda);
+
+/// Utilization rho = lambda / (phi*C*mu).
+double utilization(double share, double capacity, double mu, double lambda);
+
+/// P(sojourn > t) = exp(-(mu_eff - lambda) t) for M/M/1-FCFS; used by the
+/// simulator cross-checks and the percentile reporting extension.
+double delay_tail_probability(double share, double capacity, double mu,
+                              double lambda, double t);
+
+}  // namespace mm1
+}  // namespace palb

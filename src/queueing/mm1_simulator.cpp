@@ -1,0 +1,168 @@
+#include "queueing/mm1_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+void check(const Mm1Simulator::Params& p) {
+  PALB_REQUIRE(p.arrival_rate >= 0.0, "arrival rate must be >= 0");
+  PALB_REQUIRE(p.service_rate > 0.0, "service rate must be > 0");
+  PALB_REQUIRE(p.horizon > p.warmup && p.warmup >= 0.0,
+               "need horizon > warmup >= 0");
+  if (p.service.kind == ServiceDistribution::Kind::kLognormal) {
+    PALB_REQUIRE(p.service.scv > 0.0, "lognormal SCV must be > 0");
+  }
+}
+}  // namespace
+
+double ServiceDistribution::theoretical_scv() const {
+  switch (kind) {
+    case Kind::kExponential:
+      return 1.0;
+    case Kind::kDeterministic:
+      return 0.0;
+    case Kind::kLognormal:
+      return scv;
+  }
+  return 1.0;
+}
+
+double ServiceDistribution::sample(double mean, Rng& rng) const {
+  switch (kind) {
+    case Kind::kExponential:
+      return rng.exponential(1.0 / mean);
+    case Kind::kDeterministic:
+      return mean;
+    case Kind::kLognormal: {
+      // Match mean and SCV: for X = exp(N(m, s^2)),
+      // E[X] = exp(m + s^2/2), SCV = exp(s^2) - 1.
+      const double sigma2 = std::log(1.0 + scv);
+      const double m = std::log(mean) - 0.5 * sigma2;
+      return rng.lognormal(m, std::sqrt(sigma2));
+    }
+  }
+  return mean;
+}
+
+Mm1SimResult Mm1Simulator::run_fcfs(const Params& p, Rng& rng) {
+  check(p);
+  Mm1SimResult out;
+  if (p.arrival_rate == 0.0) return out;
+
+  double now = 0.0;
+  double next_arrival = rng.exponential(p.arrival_rate);
+  double departure = -1.0;  // < 0 means server idle
+  double busy_time = 0.0;
+  double queue_area = 0.0;  // integral of N(t) dt past warmup
+  std::deque<double> queue;  // arrival stamps, head in service
+
+  while (now < p.horizon) {
+    const bool serve_next =
+        departure >= 0.0 && (departure < next_arrival);
+    const double t = serve_next ? departure : next_arrival;
+    if (t >= p.horizon) break;
+    if (t > p.warmup) {
+      const double span = t - std::max(now, p.warmup);
+      if (!queue.empty()) busy_time += span;
+      queue_area += span * static_cast<double>(queue.size());
+    }
+    now = t;
+
+    if (serve_next) {
+      const double arrived = queue.front();
+      queue.pop_front();
+      ++out.completions;
+      if (arrived >= p.warmup) out.sojourn.add(now - arrived);
+      departure =
+          queue.empty() ? -1.0 : now + p.service.sample(1.0 / p.service_rate, rng);
+    } else {
+      ++out.arrivals;
+      queue.push_back(now);
+      if (queue.size() == 1) {
+        departure = now + p.service.sample(1.0 / p.service_rate, rng);
+      }
+      next_arrival = now + rng.exponential(p.arrival_rate);
+    }
+  }
+  out.busy_fraction = busy_time / (p.horizon - p.warmup);
+  out.time_avg_in_system = queue_area / (p.horizon - p.warmup);
+  return out;
+}
+
+Mm1SimResult Mm1Simulator::run_processor_sharing(const Params& p, Rng& rng) {
+  check(p);
+  Mm1SimResult out;
+  if (p.arrival_rate == 0.0) return out;
+
+  struct Job {
+    double arrived;
+    double remaining;  // remaining service requirement (seconds at rate 1)
+  };
+  std::vector<Job> jobs;
+  double now = 0.0;
+  double next_arrival = rng.exponential(p.arrival_rate);
+  double busy_time = 0.0;
+  double queue_area = 0.0;
+
+  while (now < p.horizon) {
+    // Next completion under equal sharing: the job with least remaining
+    // work finishes after min_remaining * n / mu_eff... each of n jobs
+    // progresses at service_rate / n (work measured in service units).
+    double completion_at = kNever;
+    std::size_t completing = 0;
+    if (!jobs.empty()) {
+      double min_rem = jobs[0].remaining;
+      completing = 0;
+      for (std::size_t i = 1; i < jobs.size(); ++i) {
+        if (jobs[i].remaining < min_rem) {
+          min_rem = jobs[i].remaining;
+          completing = i;
+        }
+      }
+      completion_at =
+          now + min_rem * static_cast<double>(jobs.size()) / p.service_rate;
+    }
+
+    const double t = std::min(next_arrival, completion_at);
+    if (t >= p.horizon) break;
+    if (t > p.warmup) {
+      const double span = t - std::max(now, p.warmup);
+      if (!jobs.empty()) busy_time += span;
+      queue_area += span * static_cast<double>(jobs.size());
+    }
+    if (!jobs.empty()) {
+      // Progress all jobs by the elapsed share of work.
+      const double done =
+          (t - now) * p.service_rate / static_cast<double>(jobs.size());
+      for (auto& j : jobs) j.remaining -= done;
+    }
+    now = t;
+
+    if (completion_at <= next_arrival && !jobs.empty()) {
+      const Job finished = jobs[completing];
+      jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(completing));
+      ++out.completions;
+      if (finished.arrived >= p.warmup) out.sojourn.add(now - finished.arrived);
+    } else {
+      ++out.arrivals;
+      // Service demand in "work units"; rate 1 => exponential(1) work,
+      // server drains work at service_rate.
+      jobs.push_back({now, p.service.sample(1.0, rng)});
+      next_arrival = now + rng.exponential(p.arrival_rate);
+    }
+  }
+  out.busy_fraction = busy_time / (p.horizon - p.warmup);
+  out.time_avg_in_system = queue_area / (p.horizon - p.warmup);
+  return out;
+}
+
+}  // namespace palb

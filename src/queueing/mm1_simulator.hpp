@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace palb {
+
+/// Discrete-event simulation of a single M/M/1 queue — the empirical
+/// counterpart of Eq. 1. Used by tests and the validation benches to show
+/// the analytic sojourn time the dispatcher plans with actually emerges
+/// from a stochastic system.
+struct Mm1SimResult {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  RunningStats sojourn;  ///< per-request time in system
+  /// Time-weighted mean number in system over (warmup, horizon) — the
+  /// quantity Little's law relates to the mean sojourn.
+  double time_avg_in_system = 0.0;
+  double busy_fraction = 0.0;
+};
+
+/// Service-time law for the simulators. Mean is always 1/service_rate;
+/// the shape varies:
+///  * kExponential — the M/M/1 of Eq. 1 (SCV 1)
+///  * kDeterministic — constant service (SCV 0, the M/D/1 case)
+///  * kLognormal — heavy-ish tail with the given SCV (> 0)
+struct ServiceDistribution {
+  enum class Kind { kExponential, kDeterministic, kLognormal };
+  Kind kind = Kind::kExponential;
+  /// Squared coefficient of variation; used by kLognormal only.
+  double scv = 1.0;
+
+  /// Theoretical SCV of this law (0 / 1 / scv).
+  double theoretical_scv() const;
+  /// Draws one service time with mean `mean`.
+  double sample(double mean, Rng& rng) const;
+};
+
+class Mm1Simulator {
+ public:
+  struct Params {
+    double arrival_rate = 1.0;   ///< lambda
+    double service_rate = 2.0;   ///< mu_eff = phi * C * mu
+    double horizon = 10000.0;    ///< simulated seconds
+    double warmup = 100.0;       ///< stats discarded before this time
+    ServiceDistribution service;  ///< service-time law (default M/M/1)
+  };
+
+  /// FCFS service order (classic M/M/1; Eq. 1's mean holds for any
+  /// work-conserving order, which the tests demonstrate).
+  static Mm1SimResult run_fcfs(const Params& params, Rng& rng);
+
+  /// Processor-sharing service order (the virtualization story of the
+  /// paper: many requests share the VM's CPU). Mean sojourn matches FCFS.
+  static Mm1SimResult run_processor_sharing(const Params& params, Rng& rng);
+};
+
+}  // namespace palb

@@ -1,0 +1,151 @@
+#include "sim/slot_simulator.hpp"
+
+#include <deque>
+
+#include "queueing/mm1.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+
+namespace {
+
+/// One M/M/1-FCFS queue replayed for `horizon` seconds; every completion
+/// is reported through `on_complete(sojourn_seconds)`.
+template <typename OnComplete>
+std::pair<std::uint64_t, std::uint64_t> replay_queue(
+    double arrival_rate, double service_rate, double horizon, Rng& rng,
+    OnComplete&& on_complete) {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  if (arrival_rate <= 0.0) return {arrivals, completions};
+
+  double now = 0.0;
+  double next_arrival = rng.exponential(arrival_rate);
+  double departure = -1.0;
+  std::deque<double> queue;  // arrival stamps; head in service
+
+  // Jobs in flight at the horizon are abandoned: the controller re-plans
+  // next slot and short queues drain in far less than a slot.
+  for (;;) {
+    const bool service_next = departure >= 0.0 && departure < next_arrival;
+    const double t = service_next ? departure : next_arrival;
+    if (t >= horizon) break;
+    now = t;
+    if (service_next) {
+      const double arrived = queue.front();
+      queue.pop_front();
+      ++completions;
+      on_complete(now - arrived);
+      departure = queue.empty() ? -1.0 : now + rng.exponential(service_rate);
+    } else {
+      ++arrivals;
+      queue.push_back(now);
+      if (queue.size() == 1) departure = now + rng.exponential(service_rate);
+      next_arrival = now + rng.exponential(arrival_rate);
+    }
+  }
+  return {arrivals, completions};
+}
+
+}  // namespace
+
+SimOutcome SlotSimulator::simulate(const Topology& topology,
+                                   const SlotInput& input,
+                                   const DispatchPlan& plan,
+                                   Rng& rng) const {
+  topology.validate();
+  input.validate(topology);
+  PALB_REQUIRE(options_.replications >= 1, "need >= 1 replication");
+
+  const std::size_t K = topology.num_classes();
+  const std::size_t S = topology.num_frontends();
+  const std::size_t L = topology.num_datacenters();
+  const double T = input.slot_seconds;
+  const double reps = static_cast<double>(options_.replications);
+
+  SimOutcome out;
+  out.sojourn.assign(K, std::vector<RunningStats>(L));
+  if (options_.record_samples) {
+    out.sojourn_samples.assign(K, std::vector<SampleSet>(L));
+  }
+
+  std::uint64_t stream = 1;
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& cls = topology.classes[k];
+    for (std::size_t l = 0; l < L; ++l) {
+      const auto& dc = topology.datacenters[l];
+      const double load = plan.class_dc_rate(k, l);
+      if (load <= 0.0) continue;
+      const int servers = plan.dc[l].servers_on;
+      const double share = plan.dc[l].share.empty() ? 0.0 : plan.dc[l].share[k];
+      PALB_REQUIRE(servers > 0 && share > 0.0,
+                   "plan routes load into an unserviced (class, DC) pair");
+      const double per_server = load / static_cast<double>(servers);
+      const double service_rate =
+          mm1::effective_rate(share, dc.server_capacity, dc.service_rate[k]);
+
+      // Origin mix for network propagation: a completed request came
+      // from front-end s with probability flow_s / load; utilities are
+      // charged at sojourn + propagation, expectation taken over the mix
+      // (deterministic, unbiased for revenue).
+      std::vector<std::pair<double, double>> origin_mix;  // (frac, prop)
+      for (std::size_t s = 0; s < S; ++s) {
+        const double flow = plan.rate[k][s][l];
+        if (flow <= 0.0) continue;
+        origin_mix.emplace_back(flow / load,
+                                topology.propagation_delay(s, l));
+      }
+      const auto mixed_utility = [&](double sojourn) {
+        double u = 0.0;
+        for (const auto& [frac, prop] : origin_mix) {
+          u += frac * cls.tuf.utility(sojourn + prop);
+        }
+        return u;
+      };
+
+      double per_request_value = 0.0;
+      std::uint64_t pair_arrivals = 0;
+      std::uint64_t pair_completions = 0;
+      RunningStats& stats = out.sojourn[k][l];
+
+      for (int rep = 0; rep < options_.replications; ++rep) {
+        for (int server = 0; server < servers; ++server) {
+          Rng queue_rng = rng.substream(stream++);
+          const auto [arr, comp] = replay_queue(
+              per_server, service_rate, T, queue_rng, [&](double sojourn) {
+                stats.add(sojourn);
+                if (options_.record_samples) {
+                  out.sojourn_samples[k][l].add(sojourn);
+                }
+                per_request_value += mixed_utility(sojourn);
+              });
+          pair_arrivals += arr;
+          pair_completions += comp;
+        }
+      }
+
+      const double arrivals_avg = static_cast<double>(pair_arrivals) / reps;
+      const double completions_avg =
+          static_cast<double>(pair_completions) / reps;
+      out.arrivals += static_cast<std::uint64_t>(arrivals_avg + 0.5);
+      out.completions += static_cast<std::uint64_t>(completions_avg + 0.5);
+      out.revenue_per_request += per_request_value / reps;
+      if (stats.count() > 0) {
+        out.revenue_mean_delay += mixed_utility(stats.mean()) * completions_avg;
+      }
+
+      // Dollar ledger mirrors evaluate_plan but on simulated volumes.
+      out.energy_cost += dc.energy_per_request_kwh[k] * completions_avg *
+                         input.price[l] * dc.pue;
+      for (std::size_t s = 0; s < S; ++s) {
+        const double fraction = plan.rate[k][s][l] / load;
+        out.transfer_cost += cls.transfer_cost_per_mile *
+                             topology.distance_miles[s][l] * fraction *
+                             arrivals_avg;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace palb

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/accounting.hpp"
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace palb {
+
+/// Result of stochastically replaying one slot of a plan.
+struct SimOutcome {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  /// Revenue with the paper's accounting: the TUF evaluated at the
+  /// *empirical mean* delay of each (class, DC) stream.
+  double revenue_mean_delay = 0.0;
+  /// Revenue with per-request accounting: the TUF evaluated at every
+  /// individual sojourn time (stricter; quantifies what averaging hides).
+  double revenue_per_request = 0.0;
+  double energy_cost = 0.0;
+  double transfer_cost = 0.0;
+  /// sojourn[k][l]: empirical sojourn stats of the class-k stream at DC l.
+  std::vector<std::vector<RunningStats>> sojourn;
+  /// Raw per-request sojourn samples per (class, DC) when
+  /// Options::record_samples is set (empty otherwise) — for percentile
+  /// SLO verification.
+  std::vector<std::vector<SampleSet>> sojourn_samples;
+
+  double net_profit_mean_delay() const {
+    return revenue_mean_delay - energy_cost - transfer_cost;
+  }
+  double net_profit_per_request() const {
+    return revenue_per_request - energy_cost - transfer_cost;
+  }
+};
+
+/// Discrete-event replay of a DispatchPlan: Poisson arrivals at the
+/// planned rates, each (class, server) VM an M/M/1-FCFS queue with
+/// service rate phi * C * mu, per-request latency and dollar accounting.
+///
+/// This is the empirical check on the controller's analytic model: the
+/// Eq. 1 delays the optimizer plans with should match the simulated
+/// means, and the analytic ledger of evaluate_plan() should match the
+/// simulated ledger (tests and bench/ablation_sim_vs_analytic hold both
+/// to tolerance).
+class SlotSimulator {
+ public:
+  struct Options {
+    /// Replications averaged per (class, server) queue — the slot is
+    /// replayed this many times with different substreams.
+    int replications = 1;
+    /// Retain every sojourn sample (memory ~ arrivals) so callers can
+    /// read exact percentiles from SimOutcome::sojourn_samples.
+    bool record_samples = false;
+  };
+
+  SlotSimulator() = default;
+  explicit SlotSimulator(Options options) : options_(options) {}
+
+  SimOutcome simulate(const Topology& topology, const SlotInput& input,
+                      const DispatchPlan& plan, Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace palb

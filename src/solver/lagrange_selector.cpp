@@ -1,0 +1,57 @@
+#include "solver/lagrange_selector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+namespace {
+double factorial(int n) {
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+}  // namespace
+
+double lagrange_level_polynomial(const std::vector<double>& levels,
+                                 double x) {
+  PALB_REQUIRE(!levels.empty(), "selector needs at least one level");
+  const int n = static_cast<int>(levels.size());
+  // The paper's closed form assumes integer x for the (-1)^x / (x!(n-x)!)
+  // normalization; for the continuous extension we use the equivalent
+  // standard Lagrange basis through the same nodes {1..n} (identical at
+  // every integer point, see tests).
+  double acc = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    double basis = 1.0;
+    for (int j = 1; j <= n; ++j) {
+      if (j == i) continue;
+      basis *= (x - static_cast<double>(j)) /
+               static_cast<double>(i - j);
+    }
+    acc += basis * levels[static_cast<std::size_t>(i - 1)];
+  }
+  return acc;
+}
+
+double lagrange_level_select(const std::vector<double>& levels, int x) {
+  PALB_REQUIRE(!levels.empty(), "selector needs at least one level");
+  const int n = static_cast<int>(levels.size());
+  PALB_REQUIRE(x >= 1 && x <= n, "selector index x must be in [1, n]");
+  // Verbatim Eq. 25/26: the product runs over j in [0, n] \ {i}.
+  const double sign = (x % 2 == 0) ? 1.0 : -1.0;
+  const double denom = factorial(x) * factorial(n - x);
+  double acc = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    double prod = 1.0;
+    for (int j = 0; j <= n; ++j) {
+      if (j == i) continue;
+      prod *= static_cast<double>(j - x);
+    }
+    acc += prod * levels[static_cast<std::size_t>(i - 1)];
+  }
+  return acc * sign / denom;
+}
+
+}  // namespace palb

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+namespace palb {
+
+/// Implements the paper's Eq. 25/26 level selector:
+///
+///   U(x) = sum_{i=1..n} [ prod_{j=0..n, j!=i} (j - x) ] * U_i
+///          * (-1)^x / ( x! (n-x)! ),      1 <= x <= n  (Eq. 25)
+///
+/// which is a Lagrange interpolation through the points (i, U_i): at every
+/// integer x in [1, n] it returns exactly U_x, letting an integer variable
+/// x pick one utility level of a multi-level step-downward TUF inside a
+/// mathematical program with no if/else.
+///
+/// `levels` is {U_1, ..., U_n}; `x` must be an integer in [1, n] (checked).
+double lagrange_level_select(const std::vector<double>& levels, int x);
+
+/// Continuous extension of the same polynomial (used by relaxations and by
+/// tests probing behaviour between the integer points).
+double lagrange_level_polynomial(const std::vector<double>& levels, double x);
+
+}  // namespace palb

@@ -1,0 +1,165 @@
+#include "solver/linear_program.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+int LinearProgram::add_variable(double lb, double ub, double cost,
+                                std::string name) {
+  PALB_REQUIRE(lb <= ub, "variable bounds must satisfy lb <= ub");
+  costs_.push_back(cost);
+  lbs_.push_back(lb);
+  ubs_.push_back(ub);
+  if (name.empty()) name = "x" + std::to_string(costs_.size() - 1);
+  var_names_.push_back(std::move(name));
+  return static_cast<int>(costs_.size()) - 1;
+}
+
+int LinearProgram::add_constraint(Relation rel, double rhs,
+                                  std::string name) {
+  rows_.emplace_back();
+  relations_.push_back(rel);
+  rhss_.push_back(rhs);
+  if (name.empty()) name = "r" + std::to_string(rows_.size() - 1);
+  row_names_.push_back(std::move(name));
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+int LinearProgram::add_constraint(
+    const std::vector<std::pair<int, double>>& terms, Relation rel,
+    double rhs, std::string name) {
+  const int row = add_constraint(rel, rhs, std::move(name));
+  for (const auto& [var, coef] : terms) add_term(row, var, coef);
+  return row;
+}
+
+void LinearProgram::set_coefficient(int row, int var, double value) {
+  check_row(row);
+  check_var(var);
+  for (auto& [v, c] : rows_[row]) {
+    if (v == var) {
+      c = value;
+      return;
+    }
+  }
+  rows_[row].emplace_back(var, value);
+}
+
+void LinearProgram::add_term(int row, int var, double value) {
+  check_row(row);
+  check_var(var);
+  for (auto& [v, c] : rows_[row]) {
+    if (v == var) {
+      c += value;
+      return;
+    }
+  }
+  rows_[row].emplace_back(var, value);
+}
+
+void LinearProgram::set_cost(int var, double cost) {
+  check_var(var);
+  costs_[var] = cost;
+}
+
+void LinearProgram::set_bounds(int var, double lb, double ub) {
+  check_var(var);
+  PALB_REQUIRE(lb <= ub, "variable bounds must satisfy lb <= ub");
+  lbs_[var] = lb;
+  ubs_[var] = ub;
+}
+
+double LinearProgram::cost(int var) const {
+  check_var(var);
+  return costs_[var];
+}
+
+double LinearProgram::lower_bound(int var) const {
+  check_var(var);
+  return lbs_[var];
+}
+
+double LinearProgram::upper_bound(int var) const {
+  check_var(var);
+  return ubs_[var];
+}
+
+Relation LinearProgram::relation(int row) const {
+  check_row(row);
+  return relations_[row];
+}
+
+double LinearProgram::rhs(int row) const {
+  check_row(row);
+  return rhss_[row];
+}
+
+const std::vector<std::pair<int, double>>& LinearProgram::row_terms(
+    int row) const {
+  check_row(row);
+  return rows_[row];
+}
+
+const std::string& LinearProgram::variable_name(int var) const {
+  check_var(var);
+  return var_names_[var];
+}
+
+const std::string& LinearProgram::constraint_name(int row) const {
+  check_row(row);
+  return row_names_[row];
+}
+
+double LinearProgram::row_activity(int row,
+                                   const std::vector<double>& x) const {
+  check_row(row);
+  PALB_REQUIRE(static_cast<int>(x.size()) == num_variables(),
+               "point dimension mismatch");
+  double acc = 0.0;
+  for (const auto& [var, coef] : rows_[row]) acc += coef * x[var];
+  return acc;
+}
+
+double LinearProgram::objective_value(const std::vector<double>& x) const {
+  PALB_REQUIRE(static_cast<int>(x.size()) == num_variables(),
+               "point dimension mismatch");
+  double acc = offset_;
+  for (int j = 0; j < num_variables(); ++j) acc += costs_[j] * x[j];
+  return acc;
+}
+
+bool LinearProgram::is_feasible(const std::vector<double>& x,
+                                double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  for (int j = 0; j < num_variables(); ++j) {
+    if (x[j] < lbs_[j] - tol || x[j] > ubs_[j] + tol) return false;
+    if (!std::isfinite(x[j])) return false;
+  }
+  for (int r = 0; r < num_constraints(); ++r) {
+    const double a = row_activity(r, x);
+    switch (relations_[r]) {
+      case Relation::kLe:
+        if (a > rhss_[r] + tol) return false;
+        break;
+      case Relation::kGe:
+        if (a < rhss_[r] - tol) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(a - rhss_[r]) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void LinearProgram::check_var(int var) const {
+  PALB_REQUIRE(var >= 0 && var < num_variables(), "variable index range");
+}
+
+void LinearProgram::check_row(int row) const {
+  PALB_REQUIRE(row >= 0 && row < num_constraints(), "row index range");
+}
+
+}  // namespace palb

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace palb {
+
+/// Row sense of a linear constraint.
+enum class Relation { kLe, kEq, kGe };
+
+/// Optimization direction.
+enum class Sense { kMinimize, kMaximize };
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Sparse linear-program model:
+///
+///   opt  c'x      s.t.  for each row r:  a_r' x  (<=|=|>=)  b_r,
+///   lb <= x <= ub  (any bound may be infinite)
+///
+/// This is the interface the profit-aware dispatcher compiles its
+/// conditioned (level-profile) problems into; it is also what the MILP
+/// branch-and-bound relaxes. Variables and rows are referenced by the
+/// dense indices returned at creation.
+class LinearProgram {
+ public:
+  /// Adds a variable; returns its index.
+  int add_variable(double lb = 0.0, double ub = kInfinity, double cost = 0.0,
+                   std::string name = {});
+
+  /// Adds an empty constraint row; returns its index. Coefficients are
+  /// attached afterwards via set_coefficient / add_term.
+  int add_constraint(Relation rel, double rhs, std::string name = {});
+
+  /// Adds a fully-formed constraint from (variable, coefficient) terms.
+  int add_constraint(const std::vector<std::pair<int, double>>& terms,
+                     Relation rel, double rhs, std::string name = {});
+
+  /// Sets (overwrites) one coefficient in a row.
+  void set_coefficient(int row, int var, double value);
+  /// Adds to an existing coefficient (creates it at `value` if absent).
+  void add_term(int row, int var, double value);
+
+  void set_cost(int var, double cost);
+  void set_bounds(int var, double lb, double ub);
+  void set_objective_sense(Sense sense) { sense_ = sense; }
+  /// Constant added to the objective (profit terms independent of x).
+  void set_objective_offset(double offset) { offset_ = offset; }
+
+  int num_variables() const { return static_cast<int>(costs_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  Sense objective_sense() const { return sense_; }
+  double objective_offset() const { return offset_; }
+  double cost(int var) const;
+  double lower_bound(int var) const;
+  double upper_bound(int var) const;
+  Relation relation(int row) const;
+  double rhs(int row) const;
+  const std::vector<std::pair<int, double>>& row_terms(int row) const;
+  const std::string& variable_name(int var) const;
+  const std::string& constraint_name(int row) const;
+
+  /// Evaluates a_r' x for a candidate point.
+  double row_activity(int row, const std::vector<double>& x) const;
+  /// Evaluates c'x + offset.
+  double objective_value(const std::vector<double>& x) const;
+  /// True iff x satisfies every bound and row within `tol`.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-7) const;
+
+ private:
+  void check_var(int var) const;
+  void check_row(int row) const;
+
+  Sense sense_ = Sense::kMinimize;
+  double offset_ = 0.0;
+  std::vector<double> costs_;
+  std::vector<double> lbs_;
+  std::vector<double> ubs_;
+  std::vector<std::string> var_names_;
+  std::vector<std::vector<std::pair<int, double>>> rows_;
+  std::vector<Relation> relations_;
+  std::vector<double> rhss_;
+  std::vector<std::string> row_names_;
+};
+
+}  // namespace palb

@@ -1,0 +1,152 @@
+#include "solver/milp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stack>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal:
+      return "optimal";
+    case MilpStatus::kInfeasible:
+      return "infeasible";
+    case MilpStatus::kNodeLimit:
+      return "node-limit";
+    case MilpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "?";
+}
+
+namespace {
+struct Node {
+  // Tightened bounds for the integer variables along this branch.
+  std::vector<std::pair<int, std::pair<double, double>>> bounds;
+};
+}  // namespace
+
+MilpSolution MilpSolver::solve(const LinearProgram& model,
+                               const std::vector<int>& integer_vars) const {
+  for (int v : integer_vars) {
+    PALB_REQUIRE(v >= 0 && v < model.num_variables(),
+                 "integer variable index out of range");
+  }
+  SimplexSolver lp_solver(options_.lp);
+  const bool maximizing = model.objective_sense() == Sense::kMaximize;
+  const double tol = options_.integrality_tolerance;
+
+  MilpSolution best;
+  best.status = MilpStatus::kInfeasible;
+  bool have_incumbent = false;
+
+  std::stack<Node> open;
+  open.push(Node{});
+  int nodes = 0;
+  bool hit_limit = false;
+  bool root_unbounded = false;
+
+  while (!open.empty()) {
+    if (nodes >= options_.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    Node node = std::move(open.top());
+    open.pop();
+    ++nodes;
+
+    // Apply the branch bounds on a copy of the model.
+    LinearProgram relaxed = model;
+    bool bounds_consistent = true;
+    for (const auto& [var, lb_ub] : node.bounds) {
+      const double lb = std::max(lb_ub.first, model.lower_bound(var));
+      const double ub = std::min(lb_ub.second, model.upper_bound(var));
+      if (lb > ub) {
+        bounds_consistent = false;
+        break;
+      }
+      relaxed.set_bounds(var, lb, ub);
+    }
+    if (!bounds_consistent) continue;
+
+    const LpSolution rel = lp_solver.solve(relaxed);
+    if (rel.status == LpStatus::kInfeasible) continue;
+    if (rel.status == LpStatus::kUnbounded) {
+      // Unbounded relaxation at the root means the MILP itself is
+      // unbounded or pathological; report rather than loop.
+      root_unbounded = true;
+      break;
+    }
+    if (rel.status == LpStatus::kIterationLimit) continue;
+
+    // Bound-based pruning.
+    if (have_incumbent) {
+      const bool dominated =
+          maximizing
+              ? rel.objective <= best.objective + options_.absolute_gap
+              : rel.objective >= best.objective - options_.absolute_gap;
+      if (dominated) continue;
+    }
+
+    // Most-fractional branching variable.
+    int branch_var = -1;
+    double worst_frac = tol;
+    for (int v : integer_vars) {
+      const double x = rel.x[static_cast<std::size_t>(v)];
+      const double frac = std::abs(x - std::round(x));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = v;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      const bool better = !have_incumbent ||
+                          (maximizing ? rel.objective > best.objective
+                                      : rel.objective < best.objective);
+      if (better) {
+        best.objective = rel.objective;
+        best.x = rel.x;
+        for (int v : integer_vars) {
+          best.x[static_cast<std::size_t>(v)] =
+              std::round(best.x[static_cast<std::size_t>(v)]);
+        }
+        have_incumbent = true;
+      }
+      continue;
+    }
+
+    const double x = rel.x[static_cast<std::size_t>(branch_var)];
+    const double floor_x = std::floor(x);
+    Node down = node;
+    down.bounds.push_back({branch_var, {-kInfinity, floor_x}});
+    Node up = node;
+    up.bounds.push_back({branch_var, {floor_x + 1.0, kInfinity}});
+    // Explore the side nearest the fractional value first.
+    if (x - floor_x > 0.5) {
+      open.push(std::move(down));
+      open.push(std::move(up));
+    } else {
+      open.push(std::move(up));
+      open.push(std::move(down));
+    }
+  }
+
+  best.nodes_explored = nodes;
+  if (root_unbounded) {
+    best.status = MilpStatus::kUnbounded;
+  } else if (have_incumbent) {
+    // A node-limit abort with an incumbent still reports the incumbent,
+    // flagged as kNodeLimit so callers know optimality is unproven.
+    best.status = hit_limit ? MilpStatus::kNodeLimit : MilpStatus::kOptimal;
+  } else {
+    best.status = hit_limit ? MilpStatus::kNodeLimit : MilpStatus::kInfeasible;
+  }
+  return best;
+}
+
+}  // namespace palb

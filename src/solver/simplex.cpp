@@ -1,0 +1,444 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// How an original model variable maps onto the >=0 internal variables.
+struct VarMap {
+  enum class Kind { kShifted, kReflected, kFree } kind = Kind::kShifted;
+  int primary = -1;    // internal column
+  int secondary = -1;  // second column for free variables (x = y+ - y-)
+  double shift = 0.0;  // lb for kShifted, ub for kReflected
+};
+
+struct Tableau {
+  int rows = 0;  // constraint rows (cost row stored separately)
+  int cols = 0;  // columns excluding rhs
+  /// Columns at or beyond this index may never *enter* the basis
+  /// (phase 2 sets it to exclude the artificials — a one-time
+  /// reduced-cost overwrite is not enough, since later pivots can drive
+  /// an artificial's reduced cost negative again).
+  int enter_limit = 0;
+  std::vector<std::vector<double>> a;  // rows x cols
+  std::vector<double> b;               // rhs, kept >= 0
+  std::vector<double> cost;            // reduced-cost row
+  double cost_rhs = 0.0;               // negative of current objective
+  std::vector<int> basis;              // basic column per row
+
+  void pivot(int row, int col) {
+    const double p = a[row][col];
+    const double inv = 1.0 / p;
+    for (double& v : a[row]) v *= inv;
+    b[row] *= inv;
+    a[row][col] = 1.0;  // kill rounding residue on the pivot itself
+    for (int r = 0; r < rows; ++r) {
+      if (r == row) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (int c = 0; c < cols; ++c) a[r][c] -= f * a[row][c];
+      a[r][col] = 0.0;
+      b[r] -= f * b[row];
+    }
+    const double f = cost[col];
+    if (f != 0.0) {
+      for (int c = 0; c < cols; ++c) cost[c] -= f * a[row][c];
+      cost[col] = 0.0;
+      cost_rhs -= f * b[row];
+    }
+    basis[row] = col;
+  }
+};
+
+/// Solves the dense square system M y = rhs by Gaussian elimination with
+/// partial pivoting. Returns false when M is (numerically) singular —
+/// degenerate optima can have non-unique duals; callers then skip them.
+bool solve_linear_system(std::vector<std::vector<double>> m,
+                         std::vector<double> rhs, std::vector<double>& y) {
+  const std::size_t n = m.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    if (std::abs(m[pivot][col]) < 1e-11) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    const double inv = 1.0 / m[col][col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = m[r][col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) m[r][c] -= f * m[col][c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  y.assign(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = rhs[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= m[r][c] * y[c];
+    y[r] = acc / m[r][r];
+  }
+  return true;
+}
+
+/// One simplex phase: iterate until no negative reduced cost. Returns
+/// kOptimal, kUnbounded or kIterationLimit; iteration counter accumulates.
+LpStatus run_phase(Tableau& t, const SimplexSolver::Options& opt,
+                   int& iterations) {
+  int stalled = 0;
+  double last_obj = t.cost_rhs;
+  while (iterations < opt.max_iterations) {
+    // Entering column: Dantzig rule normally, Bland once stalled.
+    int enter = -1;
+    if (stalled < opt.stall_threshold) {
+      double best = -opt.tolerance;
+      for (int c = 0; c < t.enter_limit; ++c) {
+        if (t.cost[c] < best) {
+          best = t.cost[c];
+          enter = c;
+        }
+      }
+    } else {
+      for (int c = 0; c < t.enter_limit; ++c) {
+        if (t.cost[c] < -opt.tolerance) {
+          enter = c;
+          break;
+        }
+      }
+    }
+    if (enter < 0) return LpStatus::kOptimal;
+
+    // Ratio test; ties broken by smallest basis index (anti-cycling aid).
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < t.rows; ++r) {
+      const double col_val = t.a[r][enter];
+      if (col_val <= opt.tolerance) continue;
+      const double ratio = t.b[r] / col_val;
+      if (leave < 0 || ratio < best_ratio - opt.tolerance ||
+          (ratio < best_ratio + opt.tolerance &&
+           t.basis[r] < t.basis[leave])) {
+        leave = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leave < 0) return LpStatus::kUnbounded;
+
+    t.pivot(leave, enter);
+    ++iterations;
+    if (t.cost_rhs < last_obj - opt.tolerance) {
+      stalled = 0;
+      last_obj = t.cost_rhs;
+    } else {
+      ++stalled;
+    }
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
+  const double tol = options_.tolerance;
+  const int n_orig = lp.num_variables();
+
+  // --- 1. Map original variables onto internal >= 0 columns. -------------
+  std::vector<VarMap> vmap(static_cast<std::size_t>(n_orig));
+  int n_internal = 0;
+  // Upper-bound rows for internal columns: (column, bound).
+  std::vector<std::pair<int, double>> ub_rows;
+  for (int j = 0; j < n_orig; ++j) {
+    const double lb = lp.lower_bound(j);
+    const double ub = lp.upper_bound(j);
+    VarMap& m = vmap[static_cast<std::size_t>(j)];
+    if (std::isfinite(lb)) {
+      m.kind = VarMap::Kind::kShifted;  // x = lb + y
+      m.shift = lb;
+      m.primary = n_internal++;
+      if (std::isfinite(ub)) ub_rows.emplace_back(m.primary, ub - lb);
+    } else if (std::isfinite(ub)) {
+      m.kind = VarMap::Kind::kReflected;  // x = ub - y
+      m.shift = ub;
+      m.primary = n_internal++;
+    } else {
+      m.kind = VarMap::Kind::kFree;  // x = y+ - y-
+      m.primary = n_internal++;
+      m.secondary = n_internal++;
+    }
+  }
+
+  // Internal objective: minimize. Flip sign for maximization.
+  const double sense_mul =
+      lp.objective_sense() == Sense::kMaximize ? -1.0 : 1.0;
+  std::vector<double> int_cost(static_cast<std::size_t>(n_internal), 0.0);
+  double obj_const = 0.0;  // objective contribution of the shifts
+  for (int j = 0; j < n_orig; ++j) {
+    const VarMap& m = vmap[static_cast<std::size_t>(j)];
+    const double c = sense_mul * lp.cost(j);
+    switch (m.kind) {
+      case VarMap::Kind::kShifted:
+        int_cost[m.primary] += c;
+        obj_const += c * m.shift;
+        break;
+      case VarMap::Kind::kReflected:
+        int_cost[m.primary] -= c;
+        obj_const += c * m.shift;
+        break;
+      case VarMap::Kind::kFree:
+        int_cost[m.primary] += c;
+        int_cost[m.secondary] -= c;
+        break;
+    }
+  }
+
+  // --- 2. Build dense rows (model rows + upper-bound rows). --------------
+  const int m_model = lp.num_constraints();
+  const int m_total = m_model + static_cast<int>(ub_rows.size());
+  std::vector<std::vector<double>> dense(
+      static_cast<std::size_t>(m_total),
+      std::vector<double>(static_cast<std::size_t>(n_internal), 0.0));
+  std::vector<double> rhs(static_cast<std::size_t>(m_total), 0.0);
+  std::vector<Relation> rel(static_cast<std::size_t>(m_total));
+
+  for (int r = 0; r < m_model; ++r) {
+    rel[r] = lp.relation(r);
+    double b = lp.rhs(r);
+    for (const auto& [var, coef] : lp.row_terms(r)) {
+      const VarMap& m = vmap[static_cast<std::size_t>(var)];
+      switch (m.kind) {
+        case VarMap::Kind::kShifted:
+          dense[r][m.primary] += coef;
+          b -= coef * m.shift;
+          break;
+        case VarMap::Kind::kReflected:
+          dense[r][m.primary] -= coef;
+          b -= coef * m.shift;
+          break;
+        case VarMap::Kind::kFree:
+          dense[r][m.primary] += coef;
+          dense[r][m.secondary] -= coef;
+          break;
+      }
+    }
+    rhs[r] = b;
+  }
+  for (std::size_t u = 0; u < ub_rows.size(); ++u) {
+    const int r = m_model + static_cast<int>(u);
+    dense[r][ub_rows[u].first] = 1.0;
+    rhs[r] = ub_rows[u].second;
+    rel[r] = Relation::kLe;
+  }
+
+  // Normalize to b >= 0, remembering flips and row provenance so duals
+  // can be mapped back to the user's rows at the end.
+  std::vector<double> row_sign(static_cast<std::size_t>(m_total), 1.0);
+  std::vector<int> row_source(static_cast<std::size_t>(m_total), -1);
+  for (int r = 0; r < m_model; ++r) row_source[r] = r;
+  for (int r = 0; r < m_total; ++r) {
+    if (rhs[r] < 0.0) {
+      for (double& v : dense[r]) v = -v;
+      rhs[r] = -rhs[r];
+      row_sign[r] = -1.0;
+      if (rel[r] == Relation::kLe) {
+        rel[r] = Relation::kGe;
+      } else if (rel[r] == Relation::kGe) {
+        rel[r] = Relation::kLe;
+      }
+    }
+  }
+
+  // --- 3. Assemble the tableau with slack / surplus / artificials. -------
+  int n_slack = 0, n_art = 0;
+  for (int r = 0; r < m_total; ++r) {
+    if (rel[r] != Relation::kEq) ++n_slack;
+    if (rel[r] != Relation::kLe) ++n_art;
+  }
+  Tableau t;
+  t.rows = m_total;
+  t.cols = n_internal + n_slack + n_art;
+  t.enter_limit = t.cols;  // phase 1: everything may move
+  t.a.assign(static_cast<std::size_t>(t.rows),
+             std::vector<double>(static_cast<std::size_t>(t.cols), 0.0));
+  t.b = rhs;
+  t.basis.assign(static_cast<std::size_t>(t.rows), -1);
+  int next_slack = n_internal;
+  const int art_base = n_internal + n_slack;
+  int next_art = art_base;
+  for (int r = 0; r < m_total; ++r) {
+    for (int c = 0; c < n_internal; ++c) t.a[r][c] = dense[r][c];
+    switch (rel[r]) {
+      case Relation::kLe:
+        t.a[r][next_slack] = 1.0;
+        t.basis[r] = next_slack++;
+        break;
+      case Relation::kGe:
+        t.a[r][next_slack++] = -1.0;
+        t.a[r][next_art] = 1.0;
+        t.basis[r] = next_art++;
+        break;
+      case Relation::kEq:
+        t.a[r][next_art] = 1.0;
+        t.basis[r] = next_art++;
+        break;
+    }
+  }
+
+  LpSolution out;
+  out.x.assign(static_cast<std::size_t>(n_orig), 0.0);
+
+  // Pristine copy of the constraint matrix: pivoting rewrites t.a in
+  // place, but the dual system B^T y = c_B needs the *original* basic
+  // columns at the end. Rows erased as redundant are erased here too so
+  // indices stay aligned.
+  std::vector<std::vector<double>> original_a = t.a;
+
+  // --- 4. Phase 1: drive artificials to zero. -----------------------------
+  if (n_art > 0) {
+    t.cost.assign(static_cast<std::size_t>(t.cols), 0.0);
+    for (int c = art_base; c < t.cols; ++c) t.cost[c] = 1.0;
+    t.cost_rhs = 0.0;
+    // Price out the basic artificials.
+    for (int r = 0; r < t.rows; ++r) {
+      if (t.basis[r] >= art_base) {
+        for (int c = 0; c < t.cols; ++c) t.cost[c] -= t.a[r][c];
+        t.cost_rhs -= t.b[r];
+      }
+    }
+    const LpStatus st = run_phase(t, options_, out.iterations);
+    if (st == LpStatus::kIterationLimit) {
+      out.status = st;
+      return out;
+    }
+    // Residual infeasibility: -cost_rhs is the phase-1 objective value.
+    if (-t.cost_rhs > 1e-7) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    // Pivot remaining (degenerate) artificials out of the basis; rows with
+    // no real nonzero left are redundant (0 = 0) and are dropped so a
+    // basic artificial can never drift away from zero later.
+    for (int r = 0; r < t.rows;) {
+      if (t.basis[r] < art_base) {
+        ++r;
+        continue;
+      }
+      int col = -1;
+      for (int c = 0; c < art_base; ++c) {
+        if (std::abs(t.a[r][c]) > 1e-7) {
+          col = c;
+          break;
+        }
+      }
+      if (col >= 0) {
+        t.pivot(r, col);
+        ++r;
+      } else {
+        t.a.erase(t.a.begin() + r);
+        t.b.erase(t.b.begin() + r);
+        t.basis.erase(t.basis.begin() + r);
+        row_sign.erase(row_sign.begin() + r);
+        row_source.erase(row_source.begin() + r);
+        original_a.erase(original_a.begin() + r);
+        --t.rows;
+      }
+    }
+  }
+
+  // --- 5. Phase 2 with the real objective. --------------------------------
+  t.cost.assign(static_cast<std::size_t>(t.cols), 0.0);
+  for (int c = 0; c < n_internal; ++c) t.cost[c] = int_cost[c];
+  t.cost_rhs = 0.0;
+  for (int r = 0; r < t.rows; ++r) {
+    const int bc = t.basis[r];
+    const double cb = t.cost[bc];
+    if (cb != 0.0) {
+      for (int c = 0; c < t.cols; ++c) t.cost[c] -= cb * t.a[r][c];
+      t.cost[bc] = 0.0;
+      t.cost_rhs -= cb * t.b[r];
+    }
+  }
+  // Structurally forbid the (now nonbasic) artificial columns from ever
+  // re-entering — their reduced costs keep evolving under pivots, so a
+  // cost overwrite alone would not be safe.
+  t.enter_limit = art_base;
+  const LpStatus st = run_phase(t, options_, out.iterations);
+  if (st != LpStatus::kOptimal) {
+    out.status = st;
+    return out;
+  }
+
+  // --- 6. Extract the solution back into the original space. --------------
+  std::vector<double> y(static_cast<std::size_t>(n_internal), 0.0);
+  for (int r = 0; r < t.rows; ++r) {
+    if (t.basis[r] < n_internal) y[t.basis[r]] = t.b[r];
+  }
+  for (int j = 0; j < n_orig; ++j) {
+    const VarMap& m = vmap[static_cast<std::size_t>(j)];
+    switch (m.kind) {
+      case VarMap::Kind::kShifted:
+        out.x[j] = m.shift + y[m.primary];
+        break;
+      case VarMap::Kind::kReflected:
+        out.x[j] = m.shift - y[m.primary];
+        break;
+      case VarMap::Kind::kFree:
+        out.x[j] = y[m.primary] - y[m.secondary];
+        break;
+    }
+    // Snap tiny numerical residue onto the bounds.
+    out.x[j] = std::clamp(out.x[j], lp.lower_bound(j), lp.upper_bound(j));
+    if (std::abs(out.x[j]) < tol) out.x[j] = 0.0;
+  }
+  out.status = LpStatus::kOptimal;
+  // Internal objective is minimize(sense_mul * c'x) with shift constant.
+  const double internal_obj = -t.cost_rhs + obj_const;
+  out.objective = sense_mul * internal_obj + lp.objective_offset();
+
+  // --- 7. Duals: solve B^T y = c_B from the original basic columns. -----
+  out.duals.assign(static_cast<std::size_t>(m_model), 0.0);
+  {
+    const auto m = static_cast<std::size_t>(t.rows);
+    std::vector<std::vector<double>> bt(m, std::vector<double>(m, 0.0));
+    std::vector<double> cb(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const int col = t.basis[static_cast<int>(i)];
+      for (std::size_t r = 0; r < m; ++r) bt[i][r] = original_a[r][col];
+      cb[i] = col < n_internal ? int_cost[col] : 0.0;
+    }
+    std::vector<double> y;
+    if (solve_linear_system(std::move(bt), std::move(cb), y)) {
+      for (std::size_t r = 0; r < m; ++r) {
+        const int source = row_source[r];
+        if (source < 0) continue;  // internal bound row
+        // Undo the b >= 0 flip and the minimize/maximize flip: the user
+        // wants d(user objective)/d(user rhs).
+        out.duals[static_cast<std::size_t>(source)] =
+            sense_mul * row_sign[r] * y[r];
+      }
+    }
+    // Singular basis (heavily degenerate optimum): duals stay zero —
+    // they are not unique there anyway.
+  }
+  return out;
+}
+
+}  // namespace palb

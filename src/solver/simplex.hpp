@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solver/linear_program.hpp"
+
+namespace palb {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* to_string(LpStatus status);
+
+/// Result of an LP solve. `x` is in the original variable space of the
+/// LinearProgram (bounds un-shifted), `objective` includes the model's
+/// constant offset and respects the model's optimization sense.
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  /// Dual value (shadow price) per model constraint: the sensitivity
+  /// d(objective)/d(rhs) at the optimum, in the model's own sense (for a
+  /// maximization, a binding <= capacity row has a non-negative dual —
+  /// "one more unit of rhs is worth this much"). Zero for non-binding
+  /// and redundant rows. Populated only at kOptimal.
+  std::vector<double> duals;
+  int iterations = 0;
+};
+
+/// Dense two-phase primal simplex.
+///
+/// Scope: the dispatcher's per-profile LPs are small (tens of variables,
+/// tens of rows) but solved by the hundreds per control slot, so the
+/// implementation favours robustness (explicit phase 1, Bland fallback
+/// against cycling, artificial-variable cleanup of redundant rows) over
+/// asymptotic sophistication. General bounds are handled by shifting
+/// finite lower bounds, reflecting (-inf, u] variables and splitting free
+/// variables; finite upper bounds become explicit rows.
+class SimplexSolver {
+ public:
+  struct Options {
+    /// Hard cap on pivots across both phases.
+    int max_iterations = 20000;
+    /// Feasibility / pricing tolerance.
+    double tolerance = 1e-9;
+    /// After this many non-improving pivots switch to Bland's rule.
+    int stall_threshold = 200;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  LpSolution solve(const LinearProgram& lp) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace palb

@@ -1,0 +1,123 @@
+#include "solver/step_tuf_bigm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+StepTufBigM::StepTufBigM(std::vector<double> utilities,
+                         std::vector<double> deadlines, double big_m,
+                         double delta)
+    : utilities_(std::move(utilities)),
+      deadlines_(std::move(deadlines)),
+      big_m_(big_m),
+      delta_(delta) {
+  PALB_REQUIRE(!utilities_.empty(), "TUF needs at least one level");
+  PALB_REQUIRE(utilities_.size() == deadlines_.size(),
+               "one sub-deadline per utility level");
+  PALB_REQUIRE(big_m_ > 0.0 && delta_ > 0.0, "big_m and delta must be > 0");
+  for (std::size_t q = 0; q + 1 < utilities_.size(); ++q) {
+    PALB_REQUIRE(utilities_[q] > utilities_[q + 1],
+                 "utility levels must be strictly decreasing");
+    PALB_REQUIRE(deadlines_[q] < deadlines_[q + 1],
+                 "sub-deadlines must be strictly increasing");
+  }
+  PALB_REQUIRE(deadlines_.front() > 0.0, "deadlines must be positive");
+
+  const std::size_t n = utilities_.size();
+  const auto& u = utilities_;
+  const auto& d = deadlines_;
+  const double m = big_m_;
+  const double dl = delta_;
+
+  if (n == 1) {
+    // One-level TUF (Eq. 9): the TUF is a constant before the deadline;
+    // no band-selection constraints are needed (U == U_1 identically and
+    // the QoS deadline R <= D_1 lives in the dispatch model, Eq. 6).
+    constraints_.emplace_back(
+        [u0 = u[0]](double /*delay*/, double utility) {
+          return std::abs(utility - u0);
+        });
+    labels_.push_back("|U - U_1| <= 0");
+    return;
+  }
+
+  // Upper guard for level 1 (Eq. 12 / 19): R > D_1 forbids U_1.
+  constraints_.emplace_back([d1 = d[0], m, u1 = u[0]](double delay,
+                                                      double utility) {
+    return (delay - d1) + m * (utility - u1);
+  });
+  labels_.push_back("(R - D_1) + M (U - U_1) <= 0");
+
+  // Interior guards (Eqs. 20/21 pattern), q is 1-based level index.
+  for (std::size_t q = 1; q + 1 < n; ++q) {
+    // Lower guard at D_q: R <= D_q forbids U_{q+1} (and U_{q+2}). The
+    // loop range (q <= n-2) guarantees u[q+1] exists; the q = n-1 guard
+    // is the linear one emitted after the loop.
+    constraints_.emplace_back(
+        [dq = d[q - 1] /*D_q, 0-based*/, m, dl, uq1 = u[q],
+         uq2 = u[q + 1]](double delay, double utility) {
+          return (dq + dl - delay) + m * (uq1 - utility) * (utility - uq2);
+        });
+    labels_.push_back("(D_" + std::to_string(q) + " + d - R) + M (U_" +
+                      std::to_string(q + 1) + " - U)(U - U_" +
+                      std::to_string(q + 2) + ") <= 0");
+    // Upper guard at D_{q+1}: R > D_{q+1} forbids U_{q+1} and U_q.
+    constraints_.emplace_back(
+        [dq1 = d[q], m, uq1 = u[q], uq = u[q - 1]](double delay,
+                                                   double utility) {
+          return (delay - dq1) + m * (uq1 - utility) * (utility - uq);
+        });
+    labels_.push_back("(R - D_" + std::to_string(q + 1) + ") + M (U_" +
+                      std::to_string(q + 1) + " - U)(U - U_" +
+                      std::to_string(q) + ") <= 0");
+  }
+
+  // Final lower guard (Eq. 13 / 22): R <= D_{n-1} forbids U_n.
+  constraints_.emplace_back([dn1 = d[n - 2], m, dl,
+                             un = u[n - 1]](double delay, double utility) {
+    return (dn1 + dl - delay) + m * (un - utility);
+  });
+  labels_.push_back("(D_" + std::to_string(n - 1) + " + d - R) + M (U_" +
+                    std::to_string(n) + " - U) <= 0");
+}
+
+double StepTufBigM::constraint_value(std::size_t i, double delay,
+                                     double utility) const {
+  PALB_REQUIRE(i < constraints_.size(), "constraint index out of range");
+  return constraints_[i](delay, utility);
+}
+
+const std::string& StepTufBigM::constraint_label(std::size_t i) const {
+  PALB_REQUIRE(i < labels_.size(), "constraint index out of range");
+  return labels_[i];
+}
+
+bool StepTufBigM::admits(double delay, double utility, double tol) const {
+  for (const auto& g : constraints_) {
+    if (g(delay, utility) > tol) return false;
+  }
+  return true;
+}
+
+int StepTufBigM::admitted_level(double delay, double tol) const {
+  int found = -1;
+  for (std::size_t q = 0; q < utilities_.size(); ++q) {
+    if (admits(delay, utilities_[q], tol)) {
+      if (found >= 0) return -1;  // ambiguous: equivalence would be broken
+      found = static_cast<int>(q);
+    }
+  }
+  return found;
+}
+
+double StepTufBigM::direct_utility(double delay) const {
+  PALB_REQUIRE(delay > 0.0, "delay must be positive");
+  for (std::size_t q = 0; q < deadlines_.size(); ++q) {
+    if (delay <= deadlines_[q]) return utilities_[q];
+  }
+  return 0.0;  // past the final deadline the request is worthless
+}
+
+}  // namespace palb

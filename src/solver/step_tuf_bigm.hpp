@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// The paper's big-M transformation of a multi-level step-downward TUF
+/// (Eqs. 11-13 for two levels, Eqs. 17-22 generalized to n levels).
+///
+/// A step TUF has levels U_1 > U_2 > ... > U_n with sub-deadlines
+/// D_1 < D_2 < ... < D_n; U(R) = U_q on the band D_{q-1} < R <= D_q
+/// (D_0 = 0). Because an if/else cannot be written inside a mathematical
+/// program, the paper replaces "U = TUF(R)" with the constraint system
+///
+///   (R - D_1)        + M (U - U_1)                 <= 0
+///   (D_q + d - R)    + M (U_{q+1} - U)(U - U_{q+2}) <= 0   q = 1..n-2
+///   (R - D_q)        + M (U_q - U)(U - U_{q-1})     <= 0   q = 2..n-1
+///   (D_{n-1} + d - R) + M (U_n - U)                 <= 0
+///
+/// over U restricted to {U_1..U_n}, which admits exactly U = U(R) for any
+/// R in (0, D_n]. This class materializes those constraints as callable
+/// g(R, U) <= 0 functors — the exact objects fed to the NLP solver by the
+/// paper-faithful BigMNlpPolicy — plus helpers used to *prove* the
+/// equivalence in the test suite.
+class StepTufBigM {
+ public:
+  /// `utilities` = {U_1..U_n} strictly decreasing, all > 0;
+  /// `deadlines` = {D_1..D_n} strictly increasing, all > 0.
+  /// `big_m` is the paper's "large constant", `delta` its "small enough"
+  /// time increment.
+  StepTufBigM(std::vector<double> utilities, std::vector<double> deadlines,
+              double big_m = 1e6, double delta = 1e-6);
+
+  std::size_t num_levels() const { return utilities_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  const std::vector<double>& utilities() const { return utilities_; }
+  const std::vector<double>& deadlines() const { return deadlines_; }
+  double big_m() const { return big_m_; }
+  double delta() const { return delta_; }
+
+  /// Value of constraint `i` at the point (R, U); feasible iff <= 0.
+  double constraint_value(std::size_t i, double delay, double utility) const;
+  /// Human-readable form of constraint `i` (for diagnostics / docs).
+  const std::string& constraint_label(std::size_t i) const;
+
+  /// True iff every constraint holds within `tol` at (R, U).
+  bool admits(double delay, double utility, double tol = 1e-9) const;
+
+  /// The unique level the system admits at this delay, or -1 if the
+  /// system admits none / more than one level (both would falsify the
+  /// paper's equivalence claim; exercised by the property tests).
+  int admitted_level(double delay, double tol = 1e-9) const;
+
+  /// Direct evaluation of the step TUF (ground truth): U(R), 0 past D_n.
+  double direct_utility(double delay) const;
+
+ private:
+  std::vector<double> utilities_;
+  std::vector<double> deadlines_;
+  double big_m_;
+  double delta_;
+  std::vector<std::function<double(double, double)>> constraints_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace palb

@@ -1,0 +1,140 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PALB_REQUIRE(!header_.empty(), "CSV header must not be empty");
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  PALB_REQUIRE(row.size() == header_.size(),
+               "CSV row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  PALB_REQUIRE(i < rows_.size(), "CSV row index out of range");
+  return rows_[i];
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  PALB_REQUIRE(row < rows_.size() && col < header_.size(),
+               "CSV cell out of range");
+  return rows_[row][col];
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw InvalidArgument("CSV column not found: " + name);
+}
+
+double CsvTable::cell_as_double(std::size_t row, std::size_t col) const {
+  const std::string& s = cell(row, col);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw IoError("CSV cell is not numeric: '" + s + "'");
+  }
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for write: " + path);
+  write(os);
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw IoError("CSV stream has no header");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  CsvTable table(csv_split(line));
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = csv_split(line);
+    if (fields.size() != table.header_.size()) {
+      throw IoError("CSV row width mismatch");
+    }
+    table.rows_.push_back(std::move(fields));
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for read: " + path);
+  return read(is);
+}
+
+}  // namespace palb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// Minimal CSV table: a header row plus string cells. Understands quoted
+/// fields with embedded commas/quotes; enough for trace import/export.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+  /// Appends a row; must match header width.
+  void add_row(std::vector<std::string> row);
+  const std::vector<std::string>& row(std::size_t i) const;
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  /// Column index by header name; throws InvalidArgument if absent.
+  std::size_t column(const std::string& name) const;
+
+  /// Numeric accessors (throw IoError on non-numeric cells).
+  double cell_as_double(std::size_t row, std::size_t col) const;
+
+  void write(std::ostream& os) const;
+  void write_file(const std::string& path) const;
+  static CsvTable read(std::istream& is);
+  static CsvTable read_file(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field (quotes when needed).
+std::string csv_escape(const std::string& field);
+
+/// Splits one CSV line into fields (handles quotes).
+std::vector<std::string> csv_split(const std::string& line);
+
+}  // namespace palb

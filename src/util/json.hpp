@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// Minimal JSON document model + strict parser + serializer.
+///
+/// Exists so scenarios (topologies, traces, prices) can live in plain
+/// files users edit and the CLI loads — with no external dependency.
+/// Strictness: the parser accepts exactly RFC 8259 JSON (no comments,
+/// no trailing commas, no NaN/Inf literals) and reports line/column on
+/// error. Numbers are held as double (adequate for scenario data).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// std::map keeps key order deterministic for stable serialization.
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(std::size_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw IoError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number narrowed to a checked non-negative integer.
+  std::size_t as_index() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field access; `at` throws IoError if missing, `get` returns
+  /// the fallback.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  double get(const std::string& key, double fallback) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  bool get(const std::string& key, bool fallback) const;
+
+  /// Array element access with bounds check.
+  const Json& operator[](std::size_t i) const;
+  std::size_t size() const;
+
+  /// Mutation for builders.
+  void set(const std::string& key, Json value);
+  void push_back(Json value);
+
+  /// Serialization. `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse; throws IoError with line/column context.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace palb

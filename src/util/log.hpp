@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace palb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-global log threshold; messages below it are dropped. The
+/// library defaults to kWarn so benches/tests stay quiet unless asked.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[level] message". Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define PALB_LOG(level) ::palb::detail::LogLine(level)
+#define PALB_DEBUG PALB_LOG(::palb::LogLevel::kDebug)
+#define PALB_INFO PALB_LOG(::palb::LogLevel::kInfo)
+#define PALB_WARN PALB_LOG(::palb::LogLevel::kWarn)
+
+}  // namespace palb

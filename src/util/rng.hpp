@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace palb {
+
+/// SplitMix64: tiny, fast generator used to seed Xoshiro and for cheap
+/// hashing of (seed, stream) pairs into independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Deterministic, fast, and of far
+/// higher quality than std::minstd; every stochastic component in palb
+/// takes an explicit Rng so that scenarios are replayable bit-for-bit.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also drive <random>
+/// distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Derives an independent substream: same seed + different stream ids
+  /// give statistically independent generators (used to give each
+  /// front-end / data-center / worker thread its own stream).
+  Rng substream(std::uint64_t stream_id) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next_u64(); }
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal();
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double exponential(double rate);
+  /// Poisson draw with the given mean (Knuth for small, normal approx for
+  /// large means). mean must be >= 0.
+  std::uint64_t poisson(double mean);
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace palb

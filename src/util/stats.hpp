@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace palb {
+
+/// Streaming mean/variance/min/max accumulator (Welford). O(1) memory,
+/// numerically stable; used everywhere a simulator needs summary stats
+/// without retaining samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains samples; offers exact quantiles. For latency distributions in
+/// the discrete-event simulator where percentile SLAs matter.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Exact quantile with linear interpolation, q in [0,1].
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,floor); symmetric, safe at 0.
+double relative_difference(double a, double b, double floor = 1e-12);
+
+}  // namespace palb

@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PALB_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PALB_REQUIRE(row.size() == header_.size(),
+               "table row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string render_series(const std::string& title,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys,
+                          const std::string& x_label,
+                          const std::string& y_label, int bar_width) {
+  PALB_REQUIRE(xs.size() == ys.size(), "series xs/ys size mismatch");
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  if (ys.empty()) return os.str();
+  double lo = *std::min_element(ys.begin(), ys.end());
+  double hi = *std::max_element(ys.begin(), ys.end());
+  lo = std::min(lo, 0.0);
+  hi = std::max(hi, lo + 1e-12);
+  os << x_label << "\t" << y_label << "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double frac = (ys[i] - lo) / (hi - lo);
+    const int bars =
+        static_cast<int>(std::lround(frac * static_cast<double>(bar_width)));
+    os << format_double(xs[i], 2) << "\t" << format_double(ys[i], 3) << "\t|"
+       << std::string(static_cast<std::size_t>(std::max(bars, 0)), '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string render_multi_series(const std::string& title,
+                                const std::vector<double>& xs,
+                                const std::vector<std::string>& names,
+                                const std::vector<std::vector<double>>& ys,
+                                const std::string& x_label) {
+  PALB_REQUIRE(names.size() == ys.size(), "one name per series required");
+  for (const auto& s : ys) {
+    PALB_REQUIRE(s.size() == xs.size(), "series length mismatch");
+  }
+  std::vector<std::string> header{x_label};
+  header.insert(header.end(), names.begin(), names.end());
+  TextTable table(std::move(header));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{format_double(xs[i], 2)};
+    for (const auto& s : ys) row.push_back(format_double(s[i], 3));
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << table.render();
+  return os.str();
+}
+
+}  // namespace palb

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// Plain-text table renderer used by the figure/table reproduction benches
+/// to print paper-style rows with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing-locale surprises).
+std::string format_double(double v, int precision = 3);
+
+/// Renders an ASCII sparkline-style series block: one "t value" row per
+/// point, plus a proportional bar. Used to print a figure's series in a
+/// shape a reader can eyeball against the paper.
+std::string render_series(const std::string& title,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys,
+                          const std::string& x_label = "t",
+                          const std::string& y_label = "value",
+                          int bar_width = 40);
+
+/// Renders several aligned series (same xs) side by side with bars for the
+/// first one; used for Optimized-vs-Balanced overlays.
+std::string render_multi_series(const std::string& title,
+                                const std::vector<double>& xs,
+                                const std::vector<std::string>& names,
+                                const std::vector<std::vector<double>>& ys,
+                                const std::string& x_label = "t");
+
+}  // namespace palb

@@ -1,0 +1,91 @@
+#include "workload/generators.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb::workload {
+
+RateTrace constant(const std::string& name, double rate, std::size_t slots) {
+  PALB_REQUIRE(rate >= 0.0, "rate must be >= 0");
+  PALB_REQUIRE(slots > 0, "need at least one slot");
+  return RateTrace(name, std::vector<double>(slots, rate));
+}
+
+RateTrace worldcup_like(const std::string& name, const WorldCupParams& p,
+                        Rng& rng) {
+  PALB_REQUIRE(p.slots > 0, "need at least one slot");
+  PALB_REQUIRE(p.base_rate >= 0.0 && p.daily_peak >= p.base_rate,
+               "need 0 <= base_rate <= daily_peak");
+  PALB_REQUIRE(p.match_boost >= 1.0, "match boost must be >= 1");
+  std::vector<double> rates;
+  rates.reserve(p.slots);
+  for (std::size_t s = 0; s < p.slots; ++s) {
+    const std::size_t hour = (s + p.phase_shift) % 24;
+    // Diurnal backbone: trough near 04:00, smooth daytime dome.
+    const double diurnal =
+        0.5 * (1.0 - std::cos(2.0 * M_PI *
+                              (static_cast<double>(hour) - 4.0) / 24.0));
+    double rate = p.base_rate + (p.daily_peak - p.base_rate) * diurnal;
+    // Evening match window.
+    const std::size_t match_delta = (hour + 24 - p.match_hour) % 24;
+    if (match_delta < 3) rate *= p.match_boost;
+    // Multiplicative burst noise, mean-one lognormal.
+    if (p.burst_sigma > 0.0) {
+      rate *= rng.lognormal(-0.5 * p.burst_sigma * p.burst_sigma,
+                            p.burst_sigma);
+    }
+    rates.push_back(rate);
+  }
+  return RateTrace(name, std::move(rates));
+}
+
+RateTrace google_like(const std::string& name, const GoogleParams& p,
+                      Rng& rng) {
+  PALB_REQUIRE(p.slots > 0, "need at least one slot");
+  PALB_REQUIRE(p.plateau_rate >= 0.0, "plateau rate must be >= 0");
+  PALB_REQUIRE(p.lull_probability >= 0.0 && p.lull_probability <= 1.0,
+               "lull probability must be in [0,1]");
+  std::vector<double> rates;
+  rates.reserve(p.slots);
+  for (std::size_t s = 0; s < p.slots; ++s) {
+    double rate = p.plateau_rate;
+    if (p.burst_sigma > 0.0) {
+      rate *= rng.lognormal(-0.5 * p.burst_sigma * p.burst_sigma,
+                            p.burst_sigma);
+    }
+    if (rng.bernoulli(p.lull_probability)) rate *= p.lull_factor;
+    rates.push_back(rate);
+  }
+  return RateTrace(name, std::move(rates));
+}
+
+std::vector<RateTrace> worldcup_frontends(std::size_t frontends,
+                                          const WorldCupParams& base,
+                                          Rng& rng) {
+  PALB_REQUIRE(frontends > 0, "need at least one front-end");
+  std::vector<RateTrace> out;
+  out.reserve(frontends);
+  for (std::size_t f = 0; f < frontends; ++f) {
+    WorldCupParams p = base;
+    // Distinct days of the original trace -> distinct phases & magnitudes.
+    p.phase_shift = base.phase_shift + f * 2;
+    p.daily_peak = base.daily_peak * (1.0 + 0.15 * static_cast<double>(f));
+    Rng stream = rng.substream(f);
+    out.push_back(
+        worldcup_like("frontend" + std::to_string(f + 1), p, stream));
+  }
+  return out;
+}
+
+std::vector<RateTrace> synthesize_types(const RateTrace& base,
+                                        std::size_t types,
+                                        std::size_t shift) {
+  PALB_REQUIRE(types > 0, "need at least one type");
+  std::vector<RateTrace> out;
+  out.reserve(types);
+  for (std::size_t k = 0; k < types; ++k) out.push_back(base.shifted(k * shift));
+  return out;
+}
+
+}  // namespace palb::workload

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "util/rng.hpp"
+#include "workload/rate_trace.hpp"
+
+namespace palb {
+
+/// Trace generators standing in for the paper's external datasets
+/// (DESIGN.md §2 documents the substitution).
+namespace workload {
+
+/// Constant-rate trace (the paper's §V synthetic study uses fixed
+/// per-front-end arrival rates, Table II).
+RateTrace constant(const std::string& name, double rate, std::size_t slots);
+
+/// WorldCup'98-like diurnal web trace: 24 hourly rates with a quiet
+/// overnight trough, a daytime ramp, a pronounced evening peak (match
+/// time), multiplicative burst noise, and a per-front-end phase shift.
+struct WorldCupParams {
+  double base_rate = 40.0;    ///< overnight trough, req/s
+  double daily_peak = 260.0;  ///< smooth diurnal maximum, req/s
+  double match_boost = 1.8;   ///< multiplier on the evening match window
+  std::size_t match_hour = 19;  ///< start of the 3-hour match window
+  double burst_sigma = 0.15;  ///< lognormal burst noise (0 = deterministic)
+  std::size_t phase_shift = 0;  ///< hours to rotate (per front-end offsets)
+  std::size_t slots = 24;
+};
+RateTrace worldcup_like(const std::string& name, const WorldCupParams& params,
+                        Rng& rng);
+
+/// Google-2010-like cluster task trace: a 7-hour window of bursty task
+/// submissions — a plateau with heavy-tailed (lognormal) bursts and an
+/// occasional lull, no diurnal structure (the paper's trace spans only
+/// 7 hours).
+struct GoogleParams {
+  double plateau_rate = 120.0;  ///< baseline submissions, req/s
+  double burst_sigma = 0.35;    ///< lognormal burstiness
+  double lull_probability = 0.15;  ///< chance a slot is a lull
+  double lull_factor = 0.45;    ///< rate multiplier during a lull
+  std::size_t slots = 7;
+};
+RateTrace google_like(const std::string& name, const GoogleParams& params,
+                      Rng& rng);
+
+/// The paper's §VI front-end set: one WorldCup-like trace per front-end,
+/// each with a distinct phase (the paper used four different *days* of the
+/// trace for the four front-ends).
+std::vector<RateTrace> worldcup_frontends(std::size_t frontends,
+                                          const WorldCupParams& base,
+                                          Rng& rng);
+
+/// The paper's type-synthesis trick (§VI, §VII): derive `types` traces
+/// from one trace by shifting it `shift` slots per type.
+std::vector<RateTrace> synthesize_types(const RateTrace& base,
+                                        std::size_t types,
+                                        std::size_t shift);
+
+}  // namespace workload
+}  // namespace palb

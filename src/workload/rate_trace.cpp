@@ -1,0 +1,83 @@
+#include "workload/rate_trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace palb {
+
+RateTrace::RateTrace(std::string name, std::vector<double> rates_per_second)
+    : name_(std::move(name)), rates_(std::move(rates_per_second)) {
+  PALB_REQUIRE(!rates_.empty(), "rate trace must not be empty");
+  for (double r : rates_) {
+    PALB_REQUIRE(r >= 0.0, "arrival rates must be >= 0");
+  }
+}
+
+double RateTrace::at(std::size_t t) const {
+  PALB_REQUIRE(!rates_.empty(), "rate trace is empty");
+  return rates_[t % rates_.size()];
+}
+
+double RateTrace::peak() const {
+  PALB_REQUIRE(!rates_.empty(), "rate trace is empty");
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+double RateTrace::mean() const {
+  PALB_REQUIRE(!rates_.empty(), "rate trace is empty");
+  return std::accumulate(rates_.begin(), rates_.end(), 0.0) /
+         static_cast<double>(rates_.size());
+}
+
+RateTrace RateTrace::shifted(std::size_t slots_forward) const {
+  PALB_REQUIRE(!rates_.empty(), "rate trace is empty");
+  std::vector<double> out(rates_.size());
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    out[i] = rates_[(i + rates_.size() - slots_forward % rates_.size()) %
+                    rates_.size()];
+  }
+  return RateTrace(name_ + "+shift" + std::to_string(slots_forward),
+                   std::move(out));
+}
+
+RateTrace RateTrace::scaled(double factor) const {
+  PALB_REQUIRE(factor >= 0.0, "scale factor must be >= 0");
+  std::vector<double> out = rates_;
+  for (double& r : out) r *= factor;
+  return RateTrace(name_, std::move(out));
+}
+
+RateTrace RateTrace::resampled(std::size_t factor) const {
+  PALB_REQUIRE(factor >= 1, "resample factor must be >= 1");
+  PALB_REQUIRE(!rates_.empty(), "rate trace is empty");
+  if (factor == 1) return *this;
+  std::vector<double> out;
+  out.reserve(rates_.size() * factor);
+  // Treat each stored value as the rate at its slot midpoint and
+  // interpolate linearly between midpoints (wrapping).
+  const auto n = rates_.size();
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    for (std::size_t sub = 0; sub < factor; ++sub) {
+      const double pos =
+          (static_cast<double>(sub) + 0.5) / static_cast<double>(factor) -
+          0.5;  // offset from this slot's midpoint, in slots
+      const std::size_t left = pos < 0.0 ? (slot + n - 1) % n : slot;
+      const std::size_t right = pos < 0.0 ? slot : (slot + 1) % n;
+      const double frac = pos < 0.0 ? pos + 1.0 : pos;
+      out.push_back(rates_[left] * (1.0 - frac) + rates_[right] * frac);
+    }
+  }
+  return RateTrace(name_ + "@x" + std::to_string(factor), std::move(out));
+}
+
+RateTrace RateTrace::window(std::size_t first, std::size_t count) const {
+  PALB_REQUIRE(count > 0, "window must contain at least one slot");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(at(first + i));
+  return RateTrace(name_, std::move(out));
+}
+
+}  // namespace palb

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace palb {
+
+/// Per-slot average arrival-rate series (requests/second) for one
+/// (front-end, request-type) stream. The controller runs on average
+/// rates per slot (paper §III: "job interarrival times are much shorter
+/// compared to a slot"), so a trace is simply one rate per slot.
+class RateTrace {
+ public:
+  RateTrace() = default;
+  RateTrace(std::string name, std::vector<double> rates_per_second);
+
+  const std::string& name() const { return name_; }
+  std::size_t slots() const { return rates_.size(); }
+  bool empty() const { return rates_.empty(); }
+
+  /// Rate for slot `t` (wraps modulo length).
+  double at(std::size_t t) const;
+  const std::vector<double>& values() const { return rates_; }
+
+  double peak() const;
+  double mean() const;
+
+  /// The paper synthesizes extra request types by shifting one real trace
+  /// in time (§VI: "We simply shifted the request traces ... by some time
+  /// units to simulate the requests of three different service types").
+  RateTrace shifted(std::size_t slots_forward) const;
+  /// Uniform scaling (the paper's §VII-B3 low/high workload study scales
+  /// capacity; scaling demand is the dual knob).
+  RateTrace scaled(double factor) const;
+  /// First `count` slots (wrapping), mirroring PriceTrace::window.
+  RateTrace window(std::size_t first, std::size_t count) const;
+  /// Re-samples the trace at `factor` sub-slots per slot by linear
+  /// interpolation between slot means (wrapping at the end), preserving
+  /// the diurnal shape while enabling finer re-planning intervals — the
+  /// slot-length ablation's input. factor >= 1.
+  RateTrace resampled(std::size_t factor) const;
+
+ private:
+  std::string name_;
+  std::vector<double> rates_;
+};
+
+}  // namespace palb

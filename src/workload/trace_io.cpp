@@ -1,0 +1,97 @@
+#include "workload/trace_io.hpp"
+
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace palb::trace_io {
+
+namespace {
+
+template <typename Trace>
+void write_generic(std::ostream& os, const std::vector<Trace>& traces,
+                   const std::string& what) {
+  PALB_REQUIRE(!traces.empty(), "no " + what + " traces to write");
+  const std::size_t slots = traces.front().size_proxy();
+  for (const auto& t : traces) {
+    PALB_REQUIRE(t.size_proxy() == slots,
+                 what + " traces must share a length for CSV export");
+  }
+  std::vector<std::string> header{"slot"};
+  for (const auto& t : traces) header.push_back(t.name_proxy());
+  CsvTable table(std::move(header));
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::vector<std::string> row{std::to_string(s)};
+    for (const auto& t : traces) {
+      row.push_back(format_double(t.at(s), 9));
+    }
+    table.add_row(std::move(row));
+  }
+  table.write(os);
+}
+
+// Thin adapters so one writer serves both trace kinds without inheritance.
+struct RateView {
+  const RateTrace& t;
+  std::size_t size_proxy() const { return t.slots(); }
+  const std::string& name_proxy() const { return t.name(); }
+  double at(std::size_t s) const { return t.at(s); }
+};
+struct PriceView {
+  const PriceTrace& t;
+  std::size_t size_proxy() const { return t.size(); }
+  const std::string& name_proxy() const { return t.location(); }
+  double at(std::size_t s) const { return t.at(s); }
+};
+
+}  // namespace
+
+void write_rates(std::ostream& os, const std::vector<RateTrace>& traces) {
+  std::vector<RateView> views;
+  views.reserve(traces.size());
+  for (const auto& t : traces) views.push_back(RateView{t});
+  write_generic(os, views, "rate");
+}
+
+std::vector<RateTrace> read_rates(std::istream& is) {
+  const CsvTable table = CsvTable::read(is);
+  PALB_REQUIRE(table.cols() >= 2, "rate CSV needs slot + 1 trace column");
+  PALB_REQUIRE(table.rows() > 0, "rate CSV has no rows");
+  std::vector<RateTrace> out;
+  for (std::size_t c = 1; c < table.cols(); ++c) {
+    std::vector<double> values;
+    values.reserve(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      values.push_back(table.cell_as_double(r, c));
+    }
+    out.emplace_back(table.header()[c], std::move(values));
+  }
+  return out;
+}
+
+void write_prices(std::ostream& os, const std::vector<PriceTrace>& traces) {
+  std::vector<PriceView> views;
+  views.reserve(traces.size());
+  for (const auto& t : traces) views.push_back(PriceView{t});
+  write_generic(os, views, "price");
+}
+
+std::vector<PriceTrace> read_prices(std::istream& is) {
+  const CsvTable table = CsvTable::read(is);
+  PALB_REQUIRE(table.cols() >= 2, "price CSV needs slot + 1 trace column");
+  PALB_REQUIRE(table.rows() > 0, "price CSV has no rows");
+  std::vector<PriceTrace> out;
+  for (std::size_t c = 1; c < table.cols(); ++c) {
+    std::vector<double> values;
+    values.reserve(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      values.push_back(table.cell_as_double(r, c));
+    }
+    out.emplace_back(table.header()[c], std::move(values));
+  }
+  return out;
+}
+
+}  // namespace palb::trace_io

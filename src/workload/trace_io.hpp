@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "market/price_trace.hpp"
+#include "workload/rate_trace.hpp"
+
+namespace palb {
+
+/// CSV import/export of rate and price traces so users can plug their own
+/// measured workloads / market data into the benches.
+///
+/// Format: first column "slot", one column per trace named by the trace.
+namespace trace_io {
+
+void write_rates(std::ostream& os, const std::vector<RateTrace>& traces);
+std::vector<RateTrace> read_rates(std::istream& is);
+
+void write_prices(std::ostream& os, const std::vector<PriceTrace>& traces);
+std::vector<PriceTrace> read_prices(std::istream& is);
+
+}  // namespace trace_io
+}  // namespace palb

@@ -1,0 +1,154 @@
+#include "cloud/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/mm1.hpp"
+
+namespace palb {
+namespace {
+
+/// One class, one front-end, one DC: every ledger line is checkable by
+/// hand.
+Topology one_lane_topology() {
+  Topology topo;
+  topo.classes = {{"req", StepTuf({2.0, 1.0}, {0.05, 0.2}), 1e-6}};
+  topo.frontends = {{"fe"}};
+  topo.datacenters = {{"dc", 2, 1.0, {100.0}, {0.003}, 1.0}};
+  topo.distance_miles = {{500.0}};
+  return topo;
+}
+
+SlotInput one_lane_input() {
+  SlotInput input;
+  input.arrival_rate = {{60.0}};
+  input.price = {0.05};
+  input.slot_seconds = 3600.0;
+  return input;
+}
+
+TEST(Accounting, EmptyPlanEarnsAndCostsNothing) {
+  const Topology topo = one_lane_topology();
+  const SlotInput input = one_lane_input();
+  const SlotMetrics m = evaluate_plan(topo, input, DispatchPlan::zero(topo));
+  EXPECT_DOUBLE_EQ(m.revenue, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_cost, 0.0);
+  EXPECT_DOUBLE_EQ(m.transfer_cost, 0.0);
+  EXPECT_DOUBLE_EQ(m.net_profit(), 0.0);
+  EXPECT_DOUBLE_EQ(m.offered_requests, 60.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(m.dispatched_requests, 0.0);
+  EXPECT_EQ(m.servers_on, 0);
+}
+
+TEST(Accounting, HandComputedLedger) {
+  const Topology topo = one_lane_topology();
+  const SlotInput input = one_lane_input();
+
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 60.0;
+  plan.dc[0].servers_on = 2;   // 30 req/s per server
+  plan.dc[0].share = {0.5};    // mu_eff = 50 req/s
+
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  // Delay = 1/(50-30) = 0.05 s -> exactly the first band edge -> $2/req.
+  const auto& outcome = m.outcomes[0][0];
+  EXPECT_NEAR(outcome.delay, 0.05, 1e-12);
+  EXPECT_EQ(outcome.tuf_level, 0);
+  EXPECT_DOUBLE_EQ(outcome.utility_per_request, 2.0);
+  EXPECT_TRUE(outcome.stable);
+
+  const double requests = 60.0 * 3600.0;
+  EXPECT_NEAR(m.revenue, 2.0 * requests, 1e-6);
+  EXPECT_NEAR(m.energy_cost, 0.003 * 60.0 * 0.05 * 3600.0, 1e-9);
+  EXPECT_NEAR(m.transfer_cost, 1e-6 * 500.0 * 60.0 * 3600.0, 1e-9);
+  EXPECT_NEAR(m.net_profit(),
+              m.revenue - m.energy_cost - m.transfer_cost, 1e-9);
+  EXPECT_DOUBLE_EQ(m.completed_requests, requests);
+  EXPECT_DOUBLE_EQ(m.valuable_requests, requests);
+  EXPECT_DOUBLE_EQ(m.completed_fraction(), 1.0);
+}
+
+TEST(Accounting, SecondBandUtility) {
+  const Topology topo = one_lane_topology();
+  const SlotInput input = one_lane_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 60.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.38};  // mu_eff 38; delay = 1/8 = 0.125 s -> band 2
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_EQ(m.outcomes[0][0].tuf_level, 1);
+  EXPECT_DOUBLE_EQ(m.outcomes[0][0].utility_per_request, 1.0);
+}
+
+TEST(Accounting, MissedFinalDeadlineEarnsNothingButPays) {
+  const Topology topo = one_lane_topology();
+  const SlotInput input = one_lane_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 60.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.32};  // mu_eff 32; delay = 0.5 s > 0.2 s deadline
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_EQ(m.outcomes[0][0].tuf_level, -1);
+  EXPECT_DOUBLE_EQ(m.revenue, 0.0);
+  EXPECT_GT(m.energy_cost, 0.0);
+  EXPECT_GT(m.transfer_cost, 0.0);
+  EXPECT_LT(m.net_profit(), 0.0);
+  // Queue is stable, so requests complete (just too late to be worth $).
+  EXPECT_DOUBLE_EQ(m.completed_requests, 60.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(m.valuable_requests, 0.0);
+}
+
+TEST(Accounting, UnstableQueuePaysWithoutRevenue) {
+  const Topology topo = one_lane_topology();
+  const SlotInput input = one_lane_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 60.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.25};  // mu_eff 25 < 30 per-server load
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_FALSE(m.outcomes[0][0].stable);
+  EXPECT_DOUBLE_EQ(m.revenue, 0.0);
+  EXPECT_GT(m.energy_cost, 0.0);
+  EXPECT_DOUBLE_EQ(m.completed_requests, 0.0);
+}
+
+TEST(Accounting, PueScalesEnergyOnly) {
+  Topology topo = one_lane_topology();
+  const SlotInput input = one_lane_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 40.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.5};
+  const SlotMetrics base = evaluate_plan(topo, input, plan);
+  topo.datacenters[0].pue = 1.5;
+  const SlotMetrics scaled = evaluate_plan(topo, input, plan);
+  EXPECT_NEAR(scaled.energy_cost, 1.5 * base.energy_cost, 1e-9);
+  EXPECT_DOUBLE_EQ(scaled.revenue, base.revenue);
+  EXPECT_DOUBLE_EQ(scaled.transfer_cost, base.transfer_cost);
+}
+
+TEST(Accounting, AccumulateSums) {
+  SlotMetrics a, b;
+  a.revenue = 10.0;
+  a.energy_cost = 2.0;
+  a.offered_requests = 100.0;
+  a.servers_on = 3;
+  b.revenue = 5.0;
+  b.transfer_cost = 1.0;
+  b.offered_requests = 50.0;
+  b.servers_on = 2;
+  const SlotMetrics total = accumulate({a, b});
+  EXPECT_DOUBLE_EQ(total.revenue, 15.0);
+  EXPECT_DOUBLE_EQ(total.energy_cost, 2.0);
+  EXPECT_DOUBLE_EQ(total.transfer_cost, 1.0);
+  EXPECT_DOUBLE_EQ(total.net_profit(), 12.0);
+  EXPECT_DOUBLE_EQ(total.offered_requests, 150.0);
+  EXPECT_EQ(total.servers_on, 5);
+}
+
+TEST(Accounting, CompletedFractionOnEmptyOffered) {
+  SlotMetrics m;
+  EXPECT_DOUBLE_EQ(m.completed_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace palb

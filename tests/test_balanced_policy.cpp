@@ -1,0 +1,113 @@
+#include "core/balanced_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "scenario_fixtures.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+TEST(BalancedPolicy, ProducesValidPlan) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_TRUE(plan.is_valid(topo, input)) << [&] {
+    std::string all;
+    for (const auto& v : plan.violations(topo, input)) all += v + "; ";
+    return all;
+  }();
+}
+
+TEST(BalancedPolicy, NameIsStable) {
+  BalancedPolicy policy;
+  EXPECT_EQ(policy.name(), "Balanced");
+}
+
+TEST(BalancedPolicy, FillsCheapestDataCenterFirst) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  SlotInput input = small_input(0.2);  // light load fits in one DC
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  // dc1 (price 0.04) takes everything; dc2 (0.09) stays dark.
+  EXPECT_GT(plan.class_dc_rate(0, 0) + plan.class_dc_rate(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.class_dc_rate(0, 1) + plan.class_dc_rate(1, 1),
+                   0.0);
+  EXPECT_EQ(plan.dc[1].servers_on, 0);
+}
+
+TEST(BalancedPolicy, SpillsToSecondDataCenterUnderLoad) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  SlotInput input = small_input(2.5);
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_GT(plan.class_dc_rate(0, 1) + plan.class_dc_rate(1, 1), 0.0);
+}
+
+TEST(BalancedPolicy, PriceOrderFlipsWithPrices) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  SlotInput input = small_input(0.2);
+  std::swap(input.price[0], input.price[1]);  // now dc2 is cheapest
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_DOUBLE_EQ(plan.class_dc_rate(0, 0) + plan.class_dc_rate(1, 0),
+                   0.0);
+  EXPECT_GT(plan.class_dc_rate(0, 1) + plan.class_dc_rate(1, 1), 0.0);
+}
+
+TEST(BalancedPolicy, UsesEvenSharesOnActiveServers) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  const DispatchPlan plan = policy.plan_slot(topo, small_input());
+  for (std::size_t l = 0; l < topo.num_datacenters(); ++l) {
+    if (plan.dc[l].servers_on == 0) continue;
+    for (double share : plan.dc[l].share) {
+      EXPECT_DOUBLE_EQ(share, 0.5);  // K = 2
+    }
+  }
+}
+
+TEST(BalancedPolicy, DropsExcessDemandRatherThanOverload) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input(20.0);  // far beyond fleet capacity
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  ASSERT_TRUE(plan.is_valid(topo, input));
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_LT(m.completed_fraction(), 1.0);
+  // Everything dispatched is actually completed (stability respected).
+  EXPECT_DOUBLE_EQ(m.completed_requests, m.dispatched_requests);
+}
+
+TEST(BalancedPolicy, ResultingPlanIsStableEverywhere) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  for (double scale : {0.3, 1.0, 3.0, 10.0}) {
+    const SlotInput input = small_input(scale);
+    const DispatchPlan plan = policy.plan_slot(topo, input);
+    const SlotMetrics m = evaluate_plan(topo, input, plan);
+    for (const auto& per_class : m.outcomes) {
+      for (const auto& outcome : per_class) {
+        if (outcome.rate > 0.0) {
+          EXPECT_TRUE(outcome.stable);
+        }
+      }
+    }
+  }
+}
+
+TEST(BalancedPolicy, ZeroArrivalsYieldZeroPlan) {
+  BalancedPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input(0.0);
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_DOUBLE_EQ(plan.total_rate(), 0.0);
+  for (const auto& dc : plan.dc) EXPECT_EQ(dc.servers_on, 0);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,156 @@
+#include "sim/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "core/balanced_policy.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "market/price_library.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace palb {
+namespace {
+
+Scenario small_scenario(double demand_scale = 1.0) {
+  Scenario sc;
+  sc.topology = testing_fixtures::small_topology();
+  sc.arrivals.resize(2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      sc.arrivals[k].push_back(RateTrace(
+          "t", {40.0 * demand_scale, 70.0 * demand_scale,
+                30.0 * demand_scale, 55.0 * demand_scale}));
+    }
+  }
+  sc.prices = {prices::flat("a", 0.04, 4), prices::flat("b", 0.08, 4)};
+  sc.slot_seconds = 2000.0;
+  return sc;
+}
+
+TEST(ClosedLoop, ConservationInvariants) {
+  const Scenario sc = small_scenario();
+  OptimizedPolicy policy;
+  ClosedLoopSimulator sim;
+  const ClosedLoopResult r = sim.run(sc, policy, 4);
+  ASSERT_EQ(r.slots.size(), 4u);
+
+  std::uint64_t arrivals = 0, dispatched = 0, dropped = 0, completed = 0;
+  for (const auto& s : r.slots) {
+    arrivals += s.arrivals;
+    dispatched += s.dispatched;
+    dropped += s.dropped;
+    completed += s.completions;
+    EXPECT_GE(s.revenue, 0.0);
+    EXPECT_GE(s.energy_cost, 0.0);
+  }
+  // `dropped` = front-end rejections + backlog lost to power-downs, so
+  // it covers at least the non-dispatched arrivals.
+  EXPECT_LE(dispatched, arrivals);
+  EXPECT_GE(dropped, arrivals - dispatched);
+  // Every dispatched request either completed, was dropped in a
+  // migration, or is stranded at the horizon.
+  EXPECT_LE(completed + r.stranded, dispatched);
+  EXPECT_EQ(completed + r.stranded + (dropped - (arrivals - dispatched)),
+            dispatched);
+  EXPECT_GT(arrivals, 0u);
+  EXPECT_GT(completed, 0u);
+}
+
+TEST(ClosedLoop, MatchesAnalyticLedgerOnSteadyState) {
+  // Constant rates, constant prices, ample capacity: boundary effects
+  // vanish and the closed loop should land near the per-slot analytic
+  // chain (per-request utility is the stricter accounting, so allow a
+  // modest downward gap but no blow-up).
+  Scenario sc = small_scenario(0.8);
+  sc.slot_seconds = 8000.0;  // long slots -> transients negligible
+  OptimizedPolicy policy;
+  const RunResult analytic = SlotController(sc).run(policy, 3);
+
+  OptimizedPolicy loop_policy;
+  ClosedLoopSimulator sim;
+  const ClosedLoopResult r = sim.run(sc, loop_policy, 3);
+  EXPECT_GT(r.total_profit(), 0.55 * analytic.total.net_profit());
+  EXPECT_LT(r.total_profit(), 1.05 * analytic.total.net_profit());
+}
+
+TEST(ClosedLoop, LatencyStatsAreQueuePlusPropagation) {
+  Scenario sc = small_scenario(0.5);
+  sc.topology.network_latency_s_per_mile = 1e-4;  // large, visible
+  OptimizedPolicy policy;
+  ClosedLoopSimulator sim;
+  const ClosedLoopResult r = sim.run(sc, policy, 3);
+  double min_prop = 1e9;
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t l = 0; l < 2; ++l) {
+      min_prop = std::min(min_prop, sc.topology.propagation_delay(s, l));
+    }
+  }
+  for (const auto& slot : r.slots) {
+    if (slot.completions > 0) {
+      EXPECT_GE(slot.total_latency.min(), min_prop);
+    }
+  }
+}
+
+TEST(ClosedLoop, DeterministicPerSeed) {
+  const Scenario sc = small_scenario();
+  ClosedLoopSimulator::Options opt;
+  opt.seed = 99;
+  OptimizedPolicy p1, p2;
+  const ClosedLoopResult a = ClosedLoopSimulator(opt).run(sc, p1, 3);
+  const ClosedLoopResult b = ClosedLoopSimulator(opt).run(sc, p2, 3);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t t = 0; t < a.slots.size(); ++t) {
+    EXPECT_EQ(a.slots[t].arrivals, b.slots[t].arrivals);
+    EXPECT_DOUBLE_EQ(a.slots[t].revenue, b.slots[t].revenue);
+  }
+}
+
+TEST(ClosedLoop, MeasuredPlanningLagsOracleOnSwings) {
+  // Demand doubles mid-run: the measured-rates controller plans slot t
+  // from slot t-1 and under-provisions the jump.
+  Scenario sc = small_scenario();
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      sc.arrivals[k][s] =
+          RateTrace("swing", {30.0, 30.0, 140.0, 140.0, 30.0, 140.0});
+    }
+  }
+  ClosedLoopSimulator::Options oracle_opt;
+  ClosedLoopSimulator::Options causal_opt;
+  causal_opt.planning_input =
+      ClosedLoopSimulator::Options::PlanningInput::kMeasuredPreviousSlot;
+  OptimizedPolicy p1, p2;
+  const double oracle =
+      ClosedLoopSimulator(oracle_opt).run(sc, p1, 6).total_profit();
+  const double causal =
+      ClosedLoopSimulator(causal_opt).run(sc, p2, 6).total_profit();
+  EXPECT_GT(oracle, causal);
+  EXPECT_GT(causal, 0.0);
+}
+
+TEST(ClosedLoop, OptimizedBeatsBalancedInTheLoop) {
+  const Scenario sc = paper::google_study();
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  ClosedLoopSimulator::Options opt;
+  opt.seed = 5;
+  const double a =
+      ClosedLoopSimulator(opt).run(sc, optimized, 4).total_profit();
+  const double b =
+      ClosedLoopSimulator(opt).run(sc, balanced, 4).total_profit();
+  EXPECT_GT(a, b);
+}
+
+TEST(ClosedLoop, RejectsZeroSlots) {
+  const Scenario sc = small_scenario();
+  OptimizedPolicy policy;
+  ClosedLoopSimulator sim;
+  EXPECT_THROW(sim.run(sc, policy, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,102 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/balanced_policy.hpp"
+#include "core/optimized_policy.hpp"
+#include "market/price_library.hpp"
+#include "scenario_fixtures.hpp"
+#include "workload/generators.hpp"
+
+namespace palb {
+namespace {
+
+Scenario small_scenario() {
+  Scenario sc;
+  sc.topology = testing_fixtures::small_topology();
+  sc.arrivals.resize(2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      sc.arrivals[k].push_back(RateTrace(
+          "a", {30.0 + 10.0 * static_cast<double>(k + s), 50.0, 20.0, 80.0}));
+    }
+  }
+  sc.prices = {prices::flat("dc1", 0.04, 4), prices::flat("dc2", 0.08, 4)};
+  sc.slot_seconds = 3600.0;
+  return sc;
+}
+
+TEST(Scenario, ValidatesCleanScenario) {
+  EXPECT_NO_THROW(small_scenario().validate());
+}
+
+TEST(Scenario, CatchesShapeErrors) {
+  Scenario sc = small_scenario();
+  sc.arrivals.pop_back();
+  EXPECT_THROW(sc.validate(), InvalidArgument);
+  sc = small_scenario();
+  sc.prices.pop_back();
+  EXPECT_THROW(sc.validate(), InvalidArgument);
+  sc = small_scenario();
+  sc.slot_seconds = 0.0;
+  EXPECT_THROW(sc.validate(), InvalidArgument);
+}
+
+TEST(Scenario, SlotInputMaterialization) {
+  const Scenario sc = small_scenario();
+  const SlotInput input = sc.slot_input(1);
+  EXPECT_DOUBLE_EQ(input.arrival_rate[0][0], 50.0);
+  EXPECT_DOUBLE_EQ(input.price[1], 0.08);
+  EXPECT_DOUBLE_EQ(input.slot_seconds, 3600.0);
+  // Traces wrap.
+  EXPECT_DOUBLE_EQ(sc.slot_input(5).arrival_rate[0][0], 50.0);
+}
+
+TEST(SlotController, RunsAllSlotsAndAccumulates) {
+  const SlotController controller(small_scenario());
+  BalancedPolicy policy;
+  const RunResult result = controller.run(policy, 4);
+  ASSERT_EQ(result.slots.size(), 4u);
+  ASSERT_EQ(result.plans.size(), 4u);
+  double sum = 0.0;
+  for (const auto& s : result.slots) sum += s.net_profit();
+  EXPECT_NEAR(result.total.net_profit(), sum, 1e-9);
+}
+
+TEST(SlotController, SeriesHelpers) {
+  const SlotController controller(small_scenario());
+  OptimizedPolicy policy;
+  const RunResult result = controller.run(policy, 3);
+  EXPECT_EQ(result.net_profit_series().size(), 3u);
+  EXPECT_EQ(result.class_dc_rate_series(0, 1).size(), 3u);
+}
+
+TEST(SlotController, FirstSlotOffsetApplies) {
+  const SlotController controller(small_scenario());
+  BalancedPolicy policy;
+  const RunResult a = controller.run(policy, 1, 0);
+  const RunResult b = controller.run(policy, 1, 3);
+  // Slot 3 carries much more demand (80 vs 30 req/s) => more dispatched.
+  EXPECT_GT(b.total.dispatched_requests, a.total.dispatched_requests);
+}
+
+TEST(SlotController, RejectsZeroSlots) {
+  const SlotController controller(small_scenario());
+  BalancedPolicy policy;
+  EXPECT_THROW(controller.run(policy, 0), InvalidArgument);
+}
+
+TEST(SlotController, EveryPlanPassesValidation) {
+  const SlotController controller(small_scenario());
+  OptimizedPolicy policy;
+  const RunResult result = controller.run(policy, 4);
+  for (std::size_t t = 0; t < result.plans.size(); ++t) {
+    EXPECT_TRUE(result.plans[t].is_valid(controller.scenario().topology,
+                                         controller.scenario().slot_input(t)));
+  }
+}
+
+}  // namespace
+}  // namespace palb

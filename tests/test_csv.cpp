@@ -1,0 +1,108 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaGetsQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteGetsDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvSplit, SimpleFields) {
+  const auto fields = csv_split("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvSplit, EmptyFields) {
+  const auto fields = csv_split("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvSplit, QuotedCommaAndQuote) {
+  const auto fields = csv_split("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+}
+
+TEST(CsvTable, RoundTrip) {
+  CsvTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"with,comma", "2"});
+  std::ostringstream os;
+  table.write(os);
+  std::istringstream is(os.str());
+  const CsvTable back = CsvTable::read(is);
+  ASSERT_EQ(back.rows(), 2u);
+  EXPECT_EQ(back.cell(1, 0), "with,comma");
+  EXPECT_DOUBLE_EQ(back.cell_as_double(0, 1), 1.5);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  CsvTable table({"a", "b"});
+  EXPECT_EQ(table.column("b"), 1u);
+  EXPECT_THROW(table.column("c"), InvalidArgument);
+}
+
+TEST(CsvTable, RowWidthEnforced) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(CsvTable, NonNumericCellThrows) {
+  CsvTable table({"a"});
+  table.add_row({"not-a-number"});
+  EXPECT_THROW(table.cell_as_double(0, 0), IoError);
+  CsvTable table2({"a"});
+  table2.add_row({"1.5x"});
+  EXPECT_THROW(table2.cell_as_double(0, 0), IoError);
+}
+
+TEST(CsvTable, ReadRejectsRaggedRows) {
+  std::istringstream is("a,b\n1,2\n3\n");
+  EXPECT_THROW(CsvTable::read(is), IoError);
+}
+
+TEST(CsvTable, ReadSkipsBlankLinesAndCr) {
+  std::istringstream is("a,b\r\n1,2\r\n\r\n3,4\n");
+  const CsvTable table = CsvTable::read(is);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.cell(1, 1), "4");
+}
+
+TEST(CsvTable, EmptyStreamThrows) {
+  std::istringstream is("");
+  EXPECT_THROW(CsvTable::read(is), IoError);
+}
+
+TEST(CsvTable, MissingFileThrows) {
+  EXPECT_THROW(CsvTable::read_file("/nonexistent/x.csv"), IoError);
+}
+
+TEST(CsvTable, CellRangeChecked) {
+  CsvTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.cell(1, 0), InvalidArgument);
+  EXPECT_THROW(table.cell(0, 1), InvalidArgument);
+  EXPECT_THROW(table.row(5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

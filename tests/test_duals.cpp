@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+const SimplexSolver solver;
+
+TEST(Duals, BindingCapacityRowOfAMaximization) {
+  // max x s.t. x <= 4: one more unit of capacity is worth exactly 1.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  ASSERT_EQ(sol.duals.size(), 1u);
+  EXPECT_NEAR(sol.duals[0], 1.0, 1e-9);
+}
+
+TEST(Duals, NonBindingRowHasZeroDual) {
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, 2.0, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 100.0);  // slack
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.duals[0], 0.0, 1e-9);
+}
+
+TEST(Duals, TextbookPairIsCorrect) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+  // Known duals: 0, 3/2, 1.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 3.0);
+  const int y = lp.add_variable(0, kInfinity, 5.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  lp.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.duals[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.duals[1], 1.5, 1e-9);
+  EXPECT_NEAR(sol.duals[2], 1.0, 1e-9);
+}
+
+TEST(Duals, MinimizationWithGeRows) {
+  // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6 (optimum (3,1), cost 9).
+  // Tightening a covering row *raises* the minimum: duals >= 0 as
+  // d(cost)/d(rhs). Known values: y1 = 3/2, y2 = 1/2.
+  LinearProgram lp;
+  const int x = lp.add_variable(0, kInfinity, 2.0);
+  const int y = lp.add_variable(0, kInfinity, 3.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 4.0);
+  lp.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::kGe, 6.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.duals[0], 1.5, 1e-9);
+  EXPECT_NEAR(sol.duals[1], 0.5, 1e-9);
+}
+
+TEST(Duals, EqualityRowDual) {
+  // min x + 2y s.t. x + y = 3, x <= 1 (bound). Optimum (1, 2), cost 5.
+  // Raising the equality rhs by d adds d units of y: dual = 2.
+  LinearProgram lp;
+  const int x = lp.add_variable(0, 1.0, 1.0);
+  const int y = lp.add_variable(0, kInfinity, 2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 3.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.duals[0], 2.0, 1e-9);
+}
+
+TEST(Duals, StrongDualityOnPureRowLp) {
+  // With no finite variable bounds beyond x >= 0, strong duality reads
+  // c'x* = sum_r y_r b_r.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int a = lp.add_variable(0, kInfinity, 4.0);
+  const int b = lp.add_variable(0, kInfinity, 3.0);
+  const int c = lp.add_variable(0, kInfinity, 2.5);
+  lp.add_constraint({{a, 2.0}, {b, 1.0}, {c, 1.0}}, Relation::kLe, 10.0);
+  lp.add_constraint({{a, 1.0}, {b, 3.0}, {c, 2.0}}, Relation::kLe, 15.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  const double dual_value =
+      sol.duals[0] * 10.0 + sol.duals[1] * 15.0;
+  EXPECT_NEAR(dual_value, sol.objective, 1e-7);
+}
+
+class DualsPerturbationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualsPerturbationTest, DualPredictsRhsSensitivity) {
+  // Random non-degenerate-ish LPs: nudging each rhs by eps must move the
+  // optimum by ~dual * eps.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+  const int n = 3, m = 3;
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    lp.add_variable(0.0, kInfinity, rng.uniform(0.5, 3.0));
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.emplace_back(j, rng.uniform(0.2, 2.0));
+    }
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(3.0, 9.0));
+  }
+  const LpSolution base = solver.solve(lp);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+
+  const double eps = 1e-5;
+  for (int r = 0; r < m; ++r) {
+    // Rebuild the model with one bumped rhs.
+    LinearProgram fresh;
+    fresh.set_objective_sense(Sense::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      fresh.add_variable(0.0, kInfinity, lp.cost(j));
+    }
+    for (int rr = 0; rr < m; ++rr) {
+      fresh.add_constraint(lp.row_terms(rr), Relation::kLe,
+                           lp.rhs(rr) + (rr == r ? eps : 0.0));
+    }
+    const LpSolution bumped = solver.solve(fresh);
+    ASSERT_EQ(bumped.status, LpStatus::kOptimal);
+    EXPECT_NEAR((bumped.objective - base.objective) / eps, base.duals[r],
+                1e-3)
+        << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualsPerturbationTest,
+                         ::testing::Range(0, 10));
+
+class ComplementarySlacknessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplementarySlacknessTest, DualTimesSlackVanishes) {
+  // KKT at an LP optimum: for every row, dual * (rhs - activity) = 0,
+  // and for a maximization with <= rows every dual is non-negative.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 17);
+  const int n = 2 + static_cast<int>(rng.uniform_index(4));
+  const int m = 2 + static_cast<int>(rng.uniform_index(4));
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    lp.add_variable(0.0, kInfinity, rng.uniform(0.2, 3.0));
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.emplace_back(j, rng.uniform(0.1, 2.0));
+    }
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(2.0, 10.0));
+  }
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  for (int r = 0; r < m; ++r) {
+    const double slack = lp.rhs(r) - lp.row_activity(r, sol.x);
+    EXPECT_GE(sol.duals[r], -1e-7) << "row " << r;
+    EXPECT_NEAR(sol.duals[r] * slack, 0.0, 1e-5) << "row " << r;
+  }
+  // Strong duality (no finite upper bounds, lb = 0): c'x* = y'b.
+  double dual_value = 0.0;
+  for (int r = 0; r < m; ++r) dual_value += sol.duals[r] * lp.rhs(r);
+  EXPECT_NEAR(dual_value, sol.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplementarySlacknessTest,
+                         ::testing::Range(0, 20));
+
+TEST(Duals, RedundantRowGetsZero) {
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kEq, 4.0);
+  lp.add_constraint({{x, 2.0}}, Relation::kEq, 8.0);  // redundant copy
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  ASSERT_EQ(sol.duals.size(), 2u);
+  // One of the two carries the full dual; the dropped one reads zero.
+  EXPECT_NEAR(sol.duals[0] * 4.0 + sol.duals[1] * 8.0, 4.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace palb

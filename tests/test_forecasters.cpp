@@ -1,0 +1,180 @@
+#include "forecast/forecasters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace palb {
+namespace {
+
+TEST(NaiveForecaster, PredictsLastValue) {
+  NaiveForecaster f;
+  EXPECT_DOUBLE_EQ(f.predict(), 0.0);  // no history yet
+  f.observe(10.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 10.0);
+  f.observe(4.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 4.0);
+}
+
+TEST(NaiveForecaster, RejectsNegativeRates) {
+  NaiveForecaster f;
+  EXPECT_THROW(f.observe(-1.0), InvalidArgument);
+}
+
+TEST(EwmaForecaster, ConvergesToConstantStream) {
+  EwmaForecaster f(0.5);
+  for (int i = 0; i < 30; ++i) f.observe(20.0);
+  EXPECT_NEAR(f.predict(), 20.0, 1e-6);
+}
+
+TEST(EwmaForecaster, FirstObservationInitializesLevel) {
+  EwmaForecaster f(0.1);
+  f.observe(50.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 50.0);
+}
+
+TEST(EwmaForecaster, AlphaControlsResponsiveness) {
+  EwmaForecaster fast(0.9), slow(0.1);
+  for (auto* f : {&fast, &slow}) {
+    f->observe(10.0);
+    f->observe(100.0);  // step change
+  }
+  EXPECT_GT(fast.predict(), slow.predict());
+}
+
+TEST(EwmaForecaster, ValidatesAlpha) {
+  EXPECT_THROW(EwmaForecaster(0.0), InvalidArgument);
+  EXPECT_THROW(EwmaForecaster(1.5), InvalidArgument);
+}
+
+TEST(SeasonalNaiveForecaster, RepeatsThePeriod) {
+  SeasonalNaiveForecaster f(3);
+  f.observe(1.0);
+  f.observe(2.0);
+  f.observe(3.0);
+  // Next slot is a new period start: predict the value 3 slots back.
+  EXPECT_DOUBLE_EQ(f.predict(), 1.0);
+  f.observe(1.5);
+  EXPECT_DOUBLE_EQ(f.predict(), 2.0);
+}
+
+TEST(SeasonalNaiveForecaster, FallsBackBeforeFullPeriod) {
+  SeasonalNaiveForecaster f(24);
+  f.observe(7.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 7.0);
+}
+
+TEST(SeasonalNaiveForecaster, PerfectOnPeriodicSignal) {
+  SeasonalNaiveForecaster f(6);
+  const double pattern[6] = {10, 40, 90, 70, 30, 15};
+  ForecastError err;
+  for (int t = 0; t < 60; ++t) {
+    const double actual = pattern[t % 6];
+    if (t >= 6) err.add(f.predict(), actual);
+    f.observe(actual);
+  }
+  EXPECT_DOUBLE_EQ(err.mae(), 0.0);
+}
+
+TEST(KalmanForecaster, TracksConstantSignalThroughNoise) {
+  KalmanForecaster f(1.0, 400.0);
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    f.observe(std::max(0.0, 100.0 + rng.normal(0.0, 20.0)));
+  }
+  EXPECT_NEAR(f.predict(), 100.0, 8.0);
+  // Steady-state gain settles strictly between 0 and 1.
+  EXPECT_GT(f.gain(), 0.0);
+  EXPECT_LT(f.gain(), 1.0);
+}
+
+TEST(KalmanForecaster, CovarianceShrinksFromPrior) {
+  KalmanForecaster f(1.0, 100.0);
+  f.observe(10.0);
+  const double after_first = f.covariance();
+  for (int i = 0; i < 50; ++i) f.observe(10.0);
+  EXPECT_LT(f.covariance(), after_first + 1e-9);
+}
+
+TEST(KalmanForecaster, BeatsNaiveOnNoisyLevel) {
+  // On a noisy constant level, filtering must beat echoing the noise.
+  KalmanForecaster kalman(0.5, 900.0);
+  NaiveForecaster naive;
+  ForecastError kalman_err, naive_err;
+  Rng rng(11);
+  for (int t = 0; t < 500; ++t) {
+    const double actual = std::max(0.0, 200.0 + rng.normal(0.0, 30.0));
+    if (t > 10) {
+      kalman_err.add(kalman.predict(), actual);
+      naive_err.add(naive.predict(), actual);
+    }
+    kalman.observe(actual);
+    naive.observe(actual);
+  }
+  EXPECT_LT(kalman_err.rmse(), naive_err.rmse());
+}
+
+TEST(KalmanForecaster, ValidatesNoise) {
+  EXPECT_THROW(KalmanForecaster(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(KalmanForecaster(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Forecasters, ClonesAreFreshAndIndependent) {
+  KalmanForecaster f;
+  f.observe(50.0);
+  auto clone = f.clone();
+  EXPECT_DOUBLE_EQ(clone->predict(), 0.0);  // fresh state
+  clone->observe(10.0);
+  EXPECT_NE(clone->predict(), f.predict());
+}
+
+TEST(ForecastError, KnownValues) {
+  ForecastError e;
+  e.add(12.0, 10.0);  // err +2
+  e.add(9.0, 10.0);   // err -1
+  EXPECT_EQ(e.count(), 2u);
+  EXPECT_DOUBLE_EQ(e.mae(), 1.5);
+  EXPECT_NEAR(e.rmse(), std::sqrt((4.0 + 1.0) / 2.0), 1e-12);
+  EXPECT_NEAR(e.mape(), 0.5 * (0.2 + 0.1), 1e-12);
+}
+
+TEST(ForecastError, MapeSkipsZeroActuals) {
+  ForecastError e;
+  e.add(5.0, 0.0);
+  e.add(11.0, 10.0);
+  EXPECT_NEAR(e.mape(), 0.1, 1e-12);
+}
+
+/// On diurnal traffic the seasonal forecaster should dominate the others
+/// once a full day of history exists.
+TEST(Forecasters, SeasonalWinsOnDiurnalTraffic) {
+  Rng rng(5);
+  workload::WorldCupParams p;
+  p.burst_sigma = 0.05;
+  const RateTrace trace = workload::worldcup_like("wc", p, rng);
+
+  SeasonalNaiveForecaster seasonal(24);
+  NaiveForecaster naive;
+  EwmaForecaster ewma(0.4);
+  ForecastError seasonal_err, naive_err, ewma_err;
+  for (std::size_t t = 0; t < 24 * 6; ++t) {
+    const double actual = trace.at(t);
+    if (t >= 24) {
+      seasonal_err.add(seasonal.predict(), actual);
+      naive_err.add(naive.predict(), actual);
+      ewma_err.add(ewma.predict(), actual);
+    }
+    seasonal.observe(actual);
+    naive.observe(actual);
+    ewma.observe(actual);
+  }
+  EXPECT_LT(seasonal_err.rmse(), naive_err.rmse());
+  EXPECT_LT(seasonal_err.rmse(), ewma_err.rmse());
+}
+
+}  // namespace
+}  // namespace palb

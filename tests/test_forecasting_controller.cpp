@@ -1,0 +1,105 @@
+#include "forecast/forecasting_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(ForecastingController, RunsAndScoresAccuracy) {
+  const Scenario sc = paper::worldcup_study();
+  ForecastingController controller(sc, NaiveForecaster());
+  OptimizedPolicy policy;
+  const ForecastRunResult result = controller.run(policy, 12, 24);
+  ASSERT_EQ(result.run.slots.size(), 12u);
+  ASSERT_EQ(result.errors.size(), 3u);
+  for (const auto& e : result.errors) {
+    EXPECT_EQ(e.count(), 12u * 4u);  // slots * front-ends
+    EXPECT_GT(e.rmse(), 0.0);        // last-value lags the diurnal swing
+  }
+}
+
+TEST(ForecastingController, SeasonalIsExactOnWrappedTraces) {
+  // Scenario traces wrap modulo 24 slots, so day 2 repeats day 1 exactly
+  // and the seasonal forecaster becomes an oracle — worth pinning down
+  // because it calibrates the ablation bench.
+  const Scenario sc = paper::worldcup_study();
+  ForecastingController controller(sc, SeasonalNaiveForecaster(24));
+  OptimizedPolicy policy;
+  const ForecastRunResult result = controller.run(policy, 12, 24);
+  for (const auto& e : result.errors) EXPECT_DOUBLE_EQ(e.rmse(), 0.0);
+}
+
+TEST(ForecastingController, PlansRemainValidAgainstReality) {
+  const Scenario sc = paper::worldcup_study();
+  ForecastingController controller(sc, KalmanForecaster());
+  OptimizedPolicy policy;
+  const ForecastRunResult result = controller.run(policy, 8, 24);
+  for (std::size_t t = 0; t < result.run.plans.size(); ++t) {
+    const SlotInput real = sc.slot_input(24 + t);
+    const auto violations =
+        result.run.plans[t].violations(sc.topology, real);
+    EXPECT_TRUE(violations.empty())
+        << "slot " << t << ": " << violations.front();
+  }
+}
+
+TEST(ForecastingController, OracleUpperBoundsForecastProfit) {
+  // Perfect knowledge can only help: the oracle (SlotController) nets at
+  // least as much as any causal forecast-driven run, modulo the tiny
+  // slack the realized-routing scaling can add; hold to 1%.
+  const Scenario sc = paper::worldcup_study();
+  OptimizedPolicy policy;
+  const RunResult oracle = SlotController(sc).run(policy, 12, 24);
+  ForecastingController seasonal(sc, SeasonalNaiveForecaster(24));
+  OptimizedPolicy policy2;
+  const ForecastRunResult causal = seasonal.run(policy2, 12, 24);
+  EXPECT_LE(causal.run.total.net_profit(),
+            oracle.total.net_profit() * 1.01);
+}
+
+TEST(ForecastingController, BetterForecastsEarnMore) {
+  // Seasonal-naive beats plain naive on diurnal traffic both in RMSE and
+  // in realized profit.
+  const Scenario sc = paper::worldcup_study();
+  OptimizedPolicy p1, p2;
+  ForecastingController seasonal(sc, SeasonalNaiveForecaster(24));
+  ForecastingController naive(sc, NaiveForecaster());
+  const ForecastRunResult rs = seasonal.run(p1, 16, 24);
+  const ForecastRunResult rn = naive.run(p2, 16, 24);
+  EXPECT_LT(rs.errors[0].rmse(), rn.errors[0].rmse());
+  EXPECT_GE(rs.run.total.net_profit(), rn.run.total.net_profit());
+}
+
+TEST(ForecastingController, ConservativeModeAdmitsOnlyPlannedVolume) {
+  const Scenario sc = paper::worldcup_study();
+  ForecastingController::Options opt;
+  opt.route_actual = false;
+  ForecastingController controller(sc, NaiveForecaster(), opt);
+  OptimizedPolicy policy;
+  const ForecastRunResult result = controller.run(policy, 6, 24);
+  // Everything it dispatched must have been planned within the forecast,
+  // so every loaded queue stays stable.
+  for (const auto& slot : result.run.slots) {
+    for (const auto& per_class : slot.outcomes) {
+      for (const auto& o : per_class) {
+        if (o.rate > 0.0) {
+          EXPECT_TRUE(o.stable);
+        }
+      }
+    }
+  }
+}
+
+TEST(ForecastingController, RejectsZeroSlots) {
+  const Scenario sc = paper::worldcup_study();
+  ForecastingController controller(sc, NaiveForecaster());
+  OptimizedPolicy policy;
+  EXPECT_THROW(controller.run(policy, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,168 @@
+// Property-based fuzzing over random scenarios: whatever the topology,
+// TUF geometry, prices and load, every policy must emit a structurally
+// valid plan and the accounting invariants must hold. This is the
+// broadest net in the suite — each seed builds a different system.
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "core/balanced_policy.hpp"
+#include "core/optimized_policy.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+struct FuzzCase {
+  Topology topology;
+  SlotInput input;
+};
+
+FuzzCase make_case(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 11);
+  FuzzCase fc;
+  const std::size_t K = 1 + rng.uniform_index(3);
+  const std::size_t S = 1 + rng.uniform_index(3);
+  const std::size_t L = 1 + rng.uniform_index(3);
+
+  for (std::size_t k = 0; k < K; ++k) {
+    const std::size_t levels = 1 + rng.uniform_index(3);
+    std::vector<double> utilities, deadlines;
+    double u = rng.uniform(0.005, 0.05);
+    double d = rng.uniform(0.02, 0.2);
+    for (std::size_t q = 0; q < levels; ++q) {
+      utilities.push_back(u);
+      deadlines.push_back(d);
+      u *= rng.uniform(0.3, 0.8);
+      d *= rng.uniform(1.5, 3.0);
+    }
+    fc.topology.classes.push_back(
+        RequestClass{"k" + std::to_string(k),
+                     StepTuf(std::move(utilities), std::move(deadlines)),
+                     rng.uniform(0.0, 3e-6),
+                     // SLA fees on ~30% of classes (extension knob).
+                     rng.bernoulli(0.3) ? rng.uniform(0.0, 0.01) : 0.0});
+  }
+  // Wire-time extension on ~25% of the worlds.
+  if (rng.bernoulli(0.25)) {
+    fc.topology.network_latency_s_per_mile = rng.uniform(0.0, 2e-5);
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    fc.topology.frontends.push_back(FrontEnd{"s" + std::to_string(s)});
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    DataCenter dc;
+    dc.name = "l" + std::to_string(l);
+    dc.num_servers = 1 + static_cast<int>(rng.uniform_index(8));
+    dc.server_capacity = rng.uniform(0.5, 2.0);
+    dc.pue = rng.uniform(1.0, 1.8);
+    dc.idle_power_kw = rng.bernoulli(0.3) ? rng.uniform(0.0, 5.0) : 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      dc.service_rate.push_back(rng.uniform(40.0, 250.0));
+      dc.energy_per_request_kwh.push_back(rng.uniform(0.0, 0.01));
+    }
+    fc.topology.datacenters.push_back(std::move(dc));
+  }
+  fc.topology.distance_miles.assign(S, std::vector<double>(L, 0.0));
+  for (auto& row : fc.topology.distance_miles) {
+    for (double& d : row) d = rng.uniform(0.0, 3000.0);
+  }
+
+  fc.input.arrival_rate.assign(K, std::vector<double>(S, 0.0));
+  for (auto& row : fc.input.arrival_rate) {
+    for (double& r : row) {
+      r = rng.bernoulli(0.1) ? 0.0 : rng.uniform(1.0, 600.0);
+    }
+  }
+  fc.input.price.assign(L, 0.0);
+  for (double& p : fc.input.price) p = rng.uniform(0.01, 0.15);
+  fc.input.slot_seconds = 3600.0;
+  return fc;
+}
+
+class PolicyFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyFuzzTest, InvariantsHoldOnRandomSystems) {
+  const FuzzCase fc = make_case(static_cast<std::uint64_t>(GetParam()));
+  ASSERT_NO_THROW(fc.topology.validate());
+  ASSERT_NO_THROW(fc.input.validate(fc.topology));
+
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  double optimized_profit = 0.0, balanced_profit = 0.0;
+  for (Policy* policy :
+       std::initializer_list<Policy*>{&optimized, &balanced}) {
+    const DispatchPlan plan = policy->plan_slot(fc.topology, fc.input);
+
+    // 1. Structural validity (Eq. 7, Eq. 8, shapes, server budgets).
+    const auto violations = plan.violations(fc.topology, fc.input);
+    ASSERT_TRUE(violations.empty())
+        << policy->name() << ": " << violations.front();
+
+    // 2. Ledger invariants.
+    const SlotMetrics m = evaluate_plan(fc.topology, fc.input, plan);
+    EXPECT_GE(m.revenue, 0.0);
+    EXPECT_GE(m.energy_cost, 0.0);
+    EXPECT_GE(m.transfer_cost, 0.0);
+    EXPECT_LE(m.dispatched_requests, m.offered_requests + 1e-6);
+    EXPECT_LE(m.completed_requests, m.dispatched_requests + 1e-6);
+    EXPECT_LE(m.valuable_requests, m.completed_requests + 1e-6);
+
+    // 3. Every stream the policy loaded must be stable (neither policy
+    // is allowed to plan an unstable queue).
+    for (const auto& per_class : m.outcomes) {
+      for (const auto& o : per_class) {
+        if (o.rate > 1e-9) {
+          EXPECT_TRUE(o.stable) << policy->name();
+        }
+      }
+    }
+    (policy == &optimized ? optimized_profit : balanced_profit) =
+        m.net_profit();
+  }
+
+  // 4. The optimizer is never materially beaten by the static baseline
+  // or by serving nothing (with SLA fees the do-nothing floor can be
+  // negative — unavoidable fees on unserveable traffic).
+  const double do_nothing =
+      evaluate_plan(fc.topology, fc.input, DispatchPlan::zero(fc.topology))
+          .net_profit();
+  EXPECT_GE(optimized_profit, do_nothing - 1e-6);
+  EXPECT_GE(optimized_profit, balanced_profit - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzzTest, ::testing::Range(0, 60));
+
+class EnumVsSearchFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumVsSearchFuzzTest, LocalSearchStaysNearExhaustive) {
+  const FuzzCase fc =
+      make_case(static_cast<std::uint64_t>(GetParam()) + 5000);
+  OptimizedPolicy::Options exhaustive;
+  OptimizedPolicy::Options search;
+  search.max_enumerated_profiles = 1;  // force hill climbing
+  OptimizedPolicy full(exhaustive), climber(search);
+  const double best =
+      evaluate_plan(fc.topology, fc.input, full.plan_slot(fc.topology, fc.input))
+          .net_profit();
+  const double found = evaluate_plan(fc.topology, fc.input,
+                                     climber.plan_slot(fc.topology, fc.input))
+                           .net_profit();
+  if (best > 1e-6) {
+    EXPECT_GE(found, 0.7 * best);
+  } else {
+    // With SLA fees the floor can be negative; hill climbing must still
+    // reach at least the do-nothing profit.
+    const double do_nothing =
+        evaluate_plan(fc.topology, fc.input,
+                      DispatchPlan::zero(fc.topology))
+            .net_profit();
+    EXPECT_GE(found, do_nothing - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumVsSearchFuzzTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,138 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(Generators, ConstantTrace) {
+  const RateTrace t = workload::constant("c", 12.5, 10);
+  EXPECT_EQ(t.slots(), 10u);
+  EXPECT_DOUBLE_EQ(t.peak(), 12.5);
+  EXPECT_DOUBLE_EQ(t.mean(), 12.5);
+  EXPECT_THROW(workload::constant("c", -1.0, 10), InvalidArgument);
+  EXPECT_THROW(workload::constant("c", 1.0, 0), InvalidArgument);
+}
+
+TEST(Generators, WorldCupDeterministicShape) {
+  workload::WorldCupParams p;
+  p.burst_sigma = 0.0;  // deterministic
+  Rng rng(1);
+  const RateTrace t = workload::worldcup_like("wc", p, rng);
+  ASSERT_EQ(t.slots(), 24u);
+  // Trough near 04:00 is close to the base rate; daytime well above it.
+  EXPECT_LT(t.at(4), p.base_rate * 1.2);
+  EXPECT_GT(t.at(14), p.base_rate * 3.0);
+  // Match window boost: 19:00 beats the same diurnal phase without boost.
+  workload::WorldCupParams no_boost = p;
+  no_boost.match_boost = 1.0;
+  Rng rng2(1);
+  const RateTrace base = workload::worldcup_like("wc0", no_boost, rng2);
+  EXPECT_NEAR(t.at(19), base.at(19) * p.match_boost, 1e-9);
+  EXPECT_DOUBLE_EQ(t.at(12), base.at(12));  // outside the window
+}
+
+TEST(Generators, WorldCupPhaseShiftRotates) {
+  workload::WorldCupParams p;
+  p.burst_sigma = 0.0;
+  workload::WorldCupParams shifted = p;
+  shifted.phase_shift = 5;
+  Rng r1(1), r2(1);
+  const RateTrace a = workload::worldcup_like("a", p, r1);
+  const RateTrace b = workload::worldcup_like("b", shifted, r2);
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_NEAR(b.at(h), a.at((h + 5) % 24), 1e-9);
+  }
+}
+
+TEST(Generators, WorldCupBurstNoiseIsMeanOne) {
+  workload::WorldCupParams p;
+  p.burst_sigma = 0.3;
+  p.slots = 24;
+  workload::WorldCupParams clean = p;
+  clean.burst_sigma = 0.0;
+  double noisy_sum = 0.0, clean_sum = 0.0;
+  for (int rep = 0; rep < 300; ++rep) {
+    Rng rng(static_cast<std::uint64_t>(rep) + 100);
+    noisy_sum += workload::worldcup_like("n", p, rng).mean();
+  }
+  Rng rng(1);
+  clean_sum = workload::worldcup_like("c", clean, rng).mean();
+  EXPECT_NEAR(noisy_sum / 300.0, clean_sum, 0.05 * clean_sum);
+}
+
+TEST(Generators, WorldCupValidation) {
+  workload::WorldCupParams p;
+  p.daily_peak = p.base_rate - 1.0;
+  Rng rng(1);
+  EXPECT_THROW(workload::worldcup_like("x", p, rng), InvalidArgument);
+  p = {};
+  p.match_boost = 0.5;
+  EXPECT_THROW(workload::worldcup_like("x", p, rng), InvalidArgument);
+}
+
+TEST(Generators, GoogleTraceShape) {
+  workload::GoogleParams p;
+  Rng rng(9);
+  const RateTrace t = workload::google_like("g", p, rng);
+  EXPECT_EQ(t.slots(), 7u);
+  EXPECT_GT(t.mean(), 0.0);
+  EXPECT_THROW(
+      [] {
+        workload::GoogleParams bad;
+        bad.lull_probability = 1.5;
+        Rng r(1);
+        workload::google_like("g", bad, r);
+      }(),
+      InvalidArgument);
+}
+
+TEST(Generators, GoogleLullReducesRate) {
+  workload::GoogleParams always_lull;
+  always_lull.burst_sigma = 0.0;
+  always_lull.lull_probability = 1.0;
+  workload::GoogleParams never_lull = always_lull;
+  never_lull.lull_probability = 0.0;
+  Rng r1(2), r2(2);
+  const RateTrace lulled = workload::google_like("l", always_lull, r1);
+  const RateTrace flat = workload::google_like("f", never_lull, r2);
+  for (std::size_t s = 0; s < lulled.slots(); ++s) {
+    EXPECT_NEAR(lulled.at(s), flat.at(s) * always_lull.lull_factor, 1e-9);
+  }
+}
+
+TEST(Generators, FrontendFamilyIsDiverse) {
+  workload::WorldCupParams base;
+  base.burst_sigma = 0.0;
+  Rng rng(3);
+  const auto family = workload::worldcup_frontends(4, base, rng);
+  ASSERT_EQ(family.size(), 4u);
+  // Later front-ends have larger magnitude (distinct trace days).
+  EXPECT_GT(family[3].peak(), family[0].peak());
+  // Phases differ: the argmax hour differs between fe0 and fe2.
+  auto argmax = [](const RateTrace& t) {
+    std::size_t best = 0;
+    for (std::size_t h = 1; h < t.slots(); ++h) {
+      if (t.at(h) > t.at(best)) best = h;
+    }
+    return best;
+  };
+  EXPECT_NE(argmax(family[0]), argmax(family[2]));
+}
+
+TEST(Generators, SynthesizeTypesShifts) {
+  const RateTrace base("b", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const auto types = workload::synthesize_types(base, 3, 2);
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_DOUBLE_EQ(types[0].at(0), 1.0);
+  EXPECT_DOUBLE_EQ(types[1].at(2), 1.0);
+  EXPECT_DOUBLE_EQ(types[2].at(4), 1.0);
+  EXPECT_THROW(workload::synthesize_types(base, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

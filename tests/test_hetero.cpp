@@ -1,0 +1,98 @@
+#include "core/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/balanced_policy.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(Hetero, SplitPreservesShapeInvariants) {
+  const Scenario sc = paper::google_study();
+  const Scenario split = hetero::split_datacenter(
+      sc, 0, {{4, 1.0, 1.0, -1.0}, {2, 1.5, 0.8, -1.0}});
+  EXPECT_EQ(split.topology.num_datacenters(), 3u);
+  EXPECT_NO_THROW(split.validate());
+  // Location-bound data duplicated.
+  EXPECT_DOUBLE_EQ(split.topology.distance_miles[0][0],
+                   split.topology.distance_miles[0][1]);
+  EXPECT_EQ(split.prices[0].values(), split.prices[1].values());
+  // Pool naming and parameters.
+  EXPECT_EQ(split.topology.datacenters[0].name, "datacenter1/g1");
+  EXPECT_EQ(split.topology.datacenters[1].name, "datacenter1/g2");
+  EXPECT_DOUBLE_EQ(split.topology.datacenters[1].server_capacity, 1.5);
+  EXPECT_NEAR(split.topology.datacenters[1].energy_per_request_kwh[0],
+              0.8 * sc.topology.datacenters[0].energy_per_request_kwh[0],
+              1e-12);
+  // The untouched DC keeps its position after the splice.
+  EXPECT_EQ(split.topology.datacenters[2].name, "datacenter2");
+}
+
+TEST(Hetero, IdenticalSplitIsProfitNeutral) {
+  // Splitting 6 identical servers into 4 + 2 identical pools must not
+  // change what the optimizer can earn (the even-split within one DC is
+  // equivalent to an even split across the two pools).
+  const Scenario sc = paper::google_study();
+  const Scenario split =
+      hetero::split_datacenter(sc, 0, {{4, 1.0, 1.0, -1.0},
+                                       {2, 1.0, 1.0, -1.0}});
+  OptimizedPolicy a, b;
+  const double whole =
+      SlotController(sc).run(a, 3).total.net_profit();
+  const double pooled =
+      SlotController(split).run(b, 3).total.net_profit();
+  EXPECT_NEAR(pooled, whole, 0.01 * std::abs(whole));
+}
+
+TEST(Hetero, FasterGenerationRaisesProfitCeiling) {
+  // Upgrading 2 of 6 servers to a 1.5x generation cannot hurt and, on a
+  // loaded system, helps.
+  const Scenario sc = paper::google_study(7, 1.0, 1.3);  // extra demand
+  const Scenario upgraded = hetero::split_datacenter(
+      sc, 0, {{4, 1.0, 1.0, -1.0}, {2, 1.5, 1.0, -1.0}});
+  OptimizedPolicy a, b;
+  const double base = SlotController(sc).run(a, 3).total.net_profit();
+  const double faster =
+      SlotController(upgraded).run(b, 3).total.net_profit();
+  EXPECT_GE(faster, base - 1e-6);
+}
+
+TEST(Hetero, PoliciesProduceValidPlansOnSplitFleets) {
+  const Scenario sc = paper::google_study();
+  const Scenario split = hetero::split_datacenter(
+      sc, 1, {{3, 0.8, 1.2, -1.0}, {3, 1.3, 0.9, 0.5}});
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  for (Policy* policy :
+       std::initializer_list<Policy*>{&optimized, &balanced}) {
+    const SlotInput input = split.slot_input(2);
+    const DispatchPlan plan = policy->plan_slot(split.topology, input);
+    EXPECT_TRUE(plan.is_valid(split.topology, input)) << policy->name();
+  }
+}
+
+TEST(Hetero, GroupIdleOverrideApplies) {
+  const Scenario sc = paper::google_study();
+  const Scenario split = hetero::split_datacenter(
+      sc, 0, {{4, 1.0, 1.0, 0.7}, {2, 1.0, 1.0, -1.0}});
+  EXPECT_DOUBLE_EQ(split.topology.datacenters[0].idle_power_kw, 0.7);
+  EXPECT_DOUBLE_EQ(split.topology.datacenters[1].idle_power_kw,
+                   sc.topology.datacenters[0].idle_power_kw);
+}
+
+TEST(Hetero, Validation) {
+  const Scenario sc = paper::google_study();
+  EXPECT_THROW(hetero::split_datacenter(sc, 5, {{2, 1.0, 1.0, -1.0}}),
+               InvalidArgument);
+  EXPECT_THROW(hetero::split_datacenter(sc, 0, {}), InvalidArgument);
+  EXPECT_THROW(hetero::split_datacenter(sc, 0, {{2, 0.0, 1.0, -1.0}}),
+               InvalidArgument);
+  EXPECT_THROW(hetero::split_datacenter(sc, 0, {{-1, 1.0, 1.0, -1.0}}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+TEST(IdlePower, ZeroIdlePowerReproducesPaperLedger) {
+  const Topology topo = small_topology();  // idle_power_kw defaults to 0
+  const SlotInput input = small_input();
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics base = evaluate_plan(topo, input, plan);
+
+  Topology with_field = topo;
+  for (auto& dc : with_field.datacenters) dc.idle_power_kw = 0.0;
+  const SlotMetrics same = evaluate_plan(with_field, input, plan);
+  EXPECT_DOUBLE_EQ(base.energy_cost, same.energy_cost);
+}
+
+TEST(IdlePower, LedgerChargesPerServerHour) {
+  Topology topo = small_topology();
+  topo.datacenters[0].idle_power_kw = 0.4;
+  const SlotInput input = small_input();
+
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 20.0;
+  plan.dc[0].servers_on = 3;
+  plan.dc[0].share = {0.5, 0.0};
+  const SlotMetrics with_idle = evaluate_plan(topo, input, plan);
+
+  topo.datacenters[0].idle_power_kw = 0.0;
+  const SlotMetrics without = evaluate_plan(topo, input, plan);
+  // 3 servers * 0.4 kW * 1 h * price * PUE(=1).
+  EXPECT_NEAR(with_idle.energy_cost - without.energy_cost,
+              3.0 * 0.4 * 1.0 * input.price[0], 1e-9);
+}
+
+TEST(IdlePower, ValidationRejectsNegative) {
+  Topology topo = small_topology();
+  topo.datacenters[1].idle_power_kw = -0.1;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+}
+
+TEST(IdlePower, OptimizerProfitFallsMonotonically) {
+  const SlotInput input = small_input();
+  double last = 1e300;
+  for (double idle : {0.0, 0.2, 0.5, 1.0}) {
+    Topology topo = small_topology();
+    for (auto& dc : topo.datacenters) dc.idle_power_kw = idle;
+    OptimizedPolicy policy;
+    const DispatchPlan plan = policy.plan_slot(topo, input);
+    const double profit = evaluate_plan(topo, input, plan).net_profit();
+    EXPECT_LE(profit, last + 1e-6) << "idle=" << idle;
+    last = profit;
+  }
+}
+
+TEST(IdlePower, OptimizerStopsServingWhenIdleDwarfsUtility) {
+  // With a per-server bill far above any revenue the flow can earn,
+  // powering anything is a loss; the optimizer must prefer the zero
+  // plan (profit 0 is always in its search space).
+  Topology topo = small_topology();
+  for (auto& dc : topo.datacenters) dc.idle_power_kw = 1e6;
+  const SlotInput input = small_input(0.1);
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_GE(m.net_profit(), 0.0);
+  EXPECT_EQ(m.servers_on, 0);
+}
+
+TEST(IdlePower, OptimizerAccountsIdleBillInItsChoice) {
+  // Two identical DCs except dc1 burns idle power: the optimizer must
+  // prefer dc0 once the idle bill outweighs dc0's higher price.
+  Topology topo = small_topology();
+  topo.classes = {{"c", StepTuf::constant(0.01, 0.1), 0.0}};
+  for (auto& dc : topo.datacenters) {
+    dc.service_rate = {100.0};
+    dc.energy_per_request_kwh = {0.001};
+  }
+  // Idle bill must beat dc1's per-kWh advantage: moving the ~60 req/s to
+  // dc1 saves 0.001 kWh * 60 * 3600 * (0.06-0.04) ~ $4.3/h, so make the
+  // single powered server cost well more than that when idle-hungry.
+  topo.datacenters[1].idle_power_kw = 500.0;  // $20/h at dc1's price
+  SlotInput input;
+  input.arrival_rate = {{60.0, 60.0}};
+  input.price = {0.06, 0.04};  // dc1 cheaper per kWh, but idle-hungry
+  input.slot_seconds = 3600.0;
+
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_GT(plan.class_dc_rate(0, 0), plan.class_dc_rate(0, 1));
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/balanced_policy.hpp"
+#include "core/bigm_nlp_policy.hpp"
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/stats.hpp"
+
+namespace palb {
+namespace {
+
+/// §V headline (Fig. 4): Optimized earns more than Balanced on both
+/// synthetic arrival sets.
+TEST(Integration, BasicStudyOptimizedBeatsBalanced) {
+  for (auto set : {paper::ArrivalSet::kLow, paper::ArrivalSet::kHigh}) {
+    const SlotController controller(paper::basic_synthetic(set));
+    OptimizedPolicy optimized;
+    BalancedPolicy balanced;
+    const double opt = controller.run(optimized, 1).total.net_profit();
+    const double bal = controller.run(balanced, 1).total.net_profit();
+    EXPECT_GT(opt, bal);
+  }
+}
+
+/// §V heavy-load claim: Optimized pushes through noticeably more
+/// requests than Balanced ("around 16% more" in the paper).
+TEST(Integration, BasicStudyHighLoadThroughputEdge) {
+  const SlotController controller(
+      paper::basic_synthetic(paper::ArrivalSet::kHigh));
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  const RunResult opt = controller.run(optimized, 1);
+  const RunResult bal = controller.run(balanced, 1);
+  // Neither serves everything...
+  EXPECT_LT(opt.total.completed_fraction(), 1.0);
+  EXPECT_LT(bal.total.completed_fraction(), 1.0);
+  // ...but Optimized completes materially more.
+  EXPECT_GT(opt.total.completed_requests,
+            1.05 * bal.total.completed_requests);
+}
+
+/// §VI headline (Fig. 6): over the 24-hour WorldCup day, Optimized's
+/// cumulative net profit dominates Balanced's.
+TEST(Integration, WorldCupDayOptimizedDominates) {
+  const SlotController controller(paper::worldcup_study());
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  const RunResult opt = controller.run(optimized, 24);
+  const RunResult bal = controller.run(balanced, 24);
+  EXPECT_GT(opt.total.net_profit(), bal.total.net_profit());
+  // Per-slot: Optimized never falls below Balanced by more than noise.
+  for (std::size_t t = 0; t < 24; ++t) {
+    EXPECT_GE(opt.slots[t].net_profit(), bal.slots[t].net_profit() - 1e-6)
+        << "hour " << t;
+  }
+}
+
+/// §VI dispatch shape (Fig. 7): the far/expensive datacenter2 receives
+/// much less request1 traffic than datacenter1 or datacenter3.
+TEST(Integration, WorldCupDc2GetsLittleTraffic) {
+  const SlotController controller(paper::worldcup_study());
+  OptimizedPolicy optimized;
+  const RunResult opt = controller.run(optimized, 24);
+  double to_dc[3] = {0.0, 0.0, 0.0};
+  for (const auto& plan : opt.plans) {
+    for (std::size_t l = 0; l < 3; ++l) to_dc[l] += plan.class_dc_rate(0, l);
+  }
+  EXPECT_LT(to_dc[1], to_dc[0]);
+  EXPECT_LT(to_dc[1], to_dc[2]);
+}
+
+/// §VII headline (Fig. 8): the Google two-level study, hourly profits.
+TEST(Integration, GoogleStudyOptimizedBeatsBalanced) {
+  const SlotController controller(paper::google_study());
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  const RunResult opt = controller.run(optimized, 6);
+  const RunResult bal = controller.run(balanced, 6);
+  EXPECT_GT(opt.total.net_profit(), bal.total.net_profit());
+}
+
+/// §VII completion claim (Fig. 9): Optimized completes (nearly) all
+/// requests; Balanced leaves some on the floor.
+TEST(Integration, GoogleStudyCompletionGap) {
+  const SlotController controller(paper::google_study());
+  OptimizedPolicy optimized;
+  BalancedPolicy balanced;
+  const RunResult opt = controller.run(optimized, 6);
+  const RunResult bal = controller.run(balanced, 6);
+  EXPECT_GE(opt.total.completed_fraction(),
+            bal.total.completed_fraction());
+}
+
+/// §VII-B3 (Fig. 10): the profit ordering is workload-independent.
+TEST(Integration, GoogleWorkloadEffect) {
+  for (double capacity_scale : {1.6, 0.6}) {
+    const SlotController controller(
+        paper::google_study(7, capacity_scale));
+    OptimizedPolicy optimized;
+    BalancedPolicy balanced;
+    const double opt = controller.run(optimized, 6).total.net_profit();
+    const double bal = controller.run(balanced, 6).total.net_profit();
+    EXPECT_GT(opt, bal) << "capacity_scale=" << capacity_scale;
+  }
+}
+
+/// The paper-faithful big-M NLP path also clears the Balanced bar on the
+/// Google study (it's "near optimal", not optimal).
+TEST(Integration, GoogleStudyBigMNlpBeatsBalanced) {
+  const SlotController controller(paper::google_study());
+  BigMNlpPolicy::Options opt_nlp;
+  opt_nlp.multistarts = 3;
+  opt_nlp.nlp.max_outer = 15;
+  opt_nlp.nlp.max_inner = 120;
+  BigMNlpPolicy nlp(opt_nlp);
+  BalancedPolicy balanced;
+  const double nlp_profit = controller.run(nlp, 3).total.net_profit();
+  const double bal_profit = controller.run(balanced, 3).total.net_profit();
+  EXPECT_GT(nlp_profit, bal_profit);
+}
+
+/// Cross-validation: replaying the WorldCup optimized plans through the
+/// discrete-event simulator lands within 15% of the analytic ledger.
+TEST(Integration, WorldCupPlansSurviveStochasticReplay) {
+  const Scenario sc = paper::worldcup_study();
+  const SlotController controller(sc);
+  OptimizedPolicy optimized;
+  const RunResult run = controller.run(optimized, 6, 8);  // busy hours
+  SlotSimulator sim;
+  Rng rng(31);
+  double analytic_total = 0.0, simulated_total = 0.0;
+  for (std::size_t t = 0; t < run.plans.size(); ++t) {
+    const SlotInput input = sc.slot_input(8 + t);
+    analytic_total += run.slots[t].net_profit();
+    simulated_total +=
+        sim.simulate(sc.topology, input, run.plans[t], rng)
+            .net_profit_mean_delay();
+  }
+  EXPECT_LT(relative_difference(analytic_total, simulated_total), 0.15);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,159 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+// ---- parsing primitives ------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, Whitespace) {
+  const Json v = Json::parse("  \n\t { \"a\" : [ 1 , 2 ] } \r\n");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json v = Json::parse(
+      R"({"name":"dc1","servers":6,"rates":[1.5,2.5],"meta":{"on":true}})");
+  EXPECT_EQ(v.at("name").as_string(), "dc1");
+  EXPECT_EQ(v.at("servers").as_index(), 6u);
+  EXPECT_DOUBLE_EQ(v.at("rates")[1].as_number(), 2.5);
+  EXPECT_TRUE(v.at("meta").at("on").as_bool());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(Json::parse(R"("line\nbreak")").as_string(), "line\nbreak");
+  EXPECT_EQ(Json::parse(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(Json::parse(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+}
+
+// ---- strictness ----------------------------------------------------------
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"a\":}", "{\"a\" 1}", "{a:1}", "[1,]",
+        "{\"a\":1,}", "tru", "nul", "01", "1.", ".5", "+1", "1e",
+        "\"unterminated", "\"bad\\escape\"", "[1] tail", "nan",
+        "Infinity", "'single'"}) {
+    EXPECT_THROW(Json::parse(bad), IoError) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, RejectsControlCharInString) {
+  EXPECT_THROW(Json::parse("\"a\nb\""), IoError);
+}
+
+TEST(JsonParse, ErrorCarriesLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": ??\n}");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// ---- accessors -----------------------------------------------------------
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json v = Json::parse("[1]");
+  EXPECT_THROW(v.as_object(), IoError);
+  EXPECT_THROW(v.as_string(), IoError);
+  EXPECT_THROW(v.at("k"), IoError);
+  EXPECT_THROW(v[5], IoError);
+  EXPECT_THROW(Json(1.5).as_index(), IoError);
+  EXPECT_THROW(Json(-2.0).as_index(), IoError);
+}
+
+TEST(Json, GetWithFallbacks) {
+  const Json v = Json::parse(R"({"a":1,"s":"x","b":true})");
+  EXPECT_DOUBLE_EQ(v.get("a", 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.get("missing", 9.0), 9.0);
+  EXPECT_EQ(v.get("s", std::string("y")), "x");
+  EXPECT_EQ(v.get("missing", std::string("y")), "y");
+  EXPECT_TRUE(v.get("b", false));
+  EXPECT_FALSE(v.get("missing", false));
+}
+
+TEST(Json, BuilderMutation) {
+  Json obj = Json::object();
+  obj.set("k", Json(3.0));
+  Json arr = Json::array();
+  arr.push_back(Json("v"));
+  obj.set("list", std::move(arr));
+  EXPECT_DOUBLE_EQ(obj.at("k").as_number(), 3.0);
+  EXPECT_EQ(obj.at("list")[0].as_string(), "v");
+  EXPECT_THROW(obj.push_back(Json(1.0)), IoError);  // object, not array
+}
+
+// ---- serialization ---------------------------------------------------------
+
+TEST(JsonDump, CompactForm) {
+  const Json v = Json::parse(R"({"b":[1,2],"a":"x"})");
+  // std::map orders keys.
+  EXPECT_EQ(v.dump(), R"({"a":"x","b":[1,2]})");
+}
+
+TEST(JsonDump, PrettyFormHasNewlines) {
+  const Json v = Json::parse(R"({"a":[1]})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_NE(pretty.find("  \"a\""), std::string::npos);
+}
+
+TEST(JsonDump, EscapesSpecials) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonDump, RejectsNonFinite) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(),
+               IoError);
+}
+
+TEST(JsonDump, IntegersStayIntegers) {
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTripTest, ParseDumpParseIsIdentity) {
+  const Json first = Json::parse(GetParam());
+  const Json second = Json::parse(first.dump());
+  EXPECT_TRUE(first == second) << GetParam();
+  const Json third = Json::parse(first.dump(2));
+  EXPECT_TRUE(first == third) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTripTest,
+    ::testing::Values(
+        "null", "true", "3.141592653589793", "-0.5", "\"text\"",
+        "[]", "{}", "[1,[2,[3,[4]]]]",
+        R"({"classes":[{"name":"web","tuf":{"utilities":[0.02,0.01]}}]})",
+        R"({"mixed":[null,true,1.5,"s",{"k":[]}]})",
+        R"({"esc":"quote\" slash\\ nl\n"})"));
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,80 @@
+#include "solver/lagrange_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+TEST(LagrangeSelector, SingleLevel) {
+  EXPECT_DOUBLE_EQ(lagrange_level_select({7.5}, 1), 7.5);
+}
+
+TEST(LagrangeSelector, TwoLevelsExact) {
+  const std::vector<double> levels{20.0, 10.0};
+  EXPECT_NEAR(lagrange_level_select(levels, 1), 20.0, 1e-12);
+  EXPECT_NEAR(lagrange_level_select(levels, 2), 10.0, 1e-12);
+}
+
+TEST(LagrangeSelector, ThreeLevelsExact) {
+  const std::vector<double> levels{30.0, 18.0, 5.0};
+  EXPECT_NEAR(lagrange_level_select(levels, 1), 30.0, 1e-12);
+  EXPECT_NEAR(lagrange_level_select(levels, 2), 18.0, 1e-12);
+  EXPECT_NEAR(lagrange_level_select(levels, 3), 5.0, 1e-12);
+}
+
+TEST(LagrangeSelector, RejectsOutOfRangeIndex) {
+  const std::vector<double> levels{3.0, 2.0};
+  EXPECT_THROW(lagrange_level_select(levels, 0), InvalidArgument);
+  EXPECT_THROW(lagrange_level_select(levels, 3), InvalidArgument);
+  EXPECT_THROW(lagrange_level_select({}, 1), InvalidArgument);
+}
+
+/// The paper's closed form (Eq. 25/26) and the standard Lagrange basis
+/// are the same polynomial: they must agree at every integer node for
+/// every level count.
+class SelectorEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorEquivalenceTest, PaperFormulaMatchesStandardBasis) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  // Strictly decreasing positive utilities, as the paper requires.
+  std::vector<double> levels;
+  double v = rng.uniform(50.0, 100.0);
+  for (int i = 0; i < n; ++i) {
+    levels.push_back(v);
+    v -= rng.uniform(1.0, 10.0);
+  }
+  for (int x = 1; x <= n; ++x) {
+    const double paper = lagrange_level_select(levels, x);
+    const double standard =
+        lagrange_level_polynomial(levels, static_cast<double>(x));
+    EXPECT_NEAR(paper, levels[static_cast<std::size_t>(x - 1)], 1e-9)
+        << "n=" << n << " x=" << x;
+    EXPECT_NEAR(paper, standard, 1e-9) << "n=" << n << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelCounts, SelectorEquivalenceTest,
+                         ::testing::Range(1, 9));
+
+TEST(LagrangePolynomial, InterpolatesBetweenNodes) {
+  // Between nodes the polynomial is smooth but need not be monotone; it
+  // must at least stay finite and hit the endpoints.
+  const std::vector<double> levels{10.0, 6.0, 1.0};
+  for (double x = 1.0; x <= 3.0; x += 0.125) {
+    const double y = lagrange_level_polynomial(levels, x);
+    EXPECT_TRUE(std::isfinite(y));
+  }
+  EXPECT_NEAR(lagrange_level_polynomial(levels, 1.0), 10.0, 1e-12);
+  EXPECT_NEAR(lagrange_level_polynomial(levels, 3.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,83 @@
+#include "solver/linear_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(LinearProgram, VariableAccounting) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 5.0, 2.0, "x");
+  const int y = lp.add_variable(-1.0, kInfinity, -3.0);
+  EXPECT_EQ(lp.num_variables(), 2);
+  EXPECT_DOUBLE_EQ(lp.cost(x), 2.0);
+  EXPECT_DOUBLE_EQ(lp.lower_bound(y), -1.0);
+  EXPECT_TRUE(std::isinf(lp.upper_bound(y)));
+  EXPECT_EQ(lp.variable_name(x), "x");
+  EXPECT_EQ(lp.variable_name(y), "x1");  // auto-named
+}
+
+TEST(LinearProgram, RejectsInvertedBounds) {
+  LinearProgram lp;
+  EXPECT_THROW(lp.add_variable(2.0, 1.0), InvalidArgument);
+  const int x = lp.add_variable();
+  EXPECT_THROW(lp.set_bounds(x, 5.0, 4.0), InvalidArgument);
+}
+
+TEST(LinearProgram, ConstraintTermsAccumulate) {
+  LinearProgram lp;
+  const int x = lp.add_variable();
+  const int r = lp.add_constraint(Relation::kLe, 10.0);
+  lp.add_term(r, x, 2.0);
+  lp.add_term(r, x, 3.0);
+  ASSERT_EQ(lp.row_terms(r).size(), 1u);
+  EXPECT_DOUBLE_EQ(lp.row_terms(r)[0].second, 5.0);
+  lp.set_coefficient(r, x, 7.0);
+  EXPECT_DOUBLE_EQ(lp.row_terms(r)[0].second, 7.0);
+}
+
+TEST(LinearProgram, RowActivityAndObjective) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  const int y = lp.add_variable(0, kInfinity, 2.0);
+  lp.set_objective_offset(5.0);
+  const int r = lp.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEq, 0.0);
+  const std::vector<double> point{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(lp.row_activity(r, point), -1.0);
+  EXPECT_DOUBLE_EQ(lp.objective_value(point), 3.0 + 8.0 + 5.0);
+}
+
+TEST(LinearProgram, FeasibilityCheck) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 2.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 1.0);
+  EXPECT_TRUE(lp.is_feasible({1.5}));
+  EXPECT_FALSE(lp.is_feasible({0.5}));   // violates >= row
+  EXPECT_FALSE(lp.is_feasible({2.5}));   // violates bound
+  EXPECT_FALSE(lp.is_feasible({1.0, 2.0}));  // wrong dimension
+}
+
+TEST(LinearProgram, FeasibilityEqualityTolerance) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 10.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kEq, 3.0);
+  EXPECT_TRUE(lp.is_feasible({3.0 + 1e-9}));
+  EXPECT_FALSE(lp.is_feasible({3.1}));
+}
+
+TEST(LinearProgram, IndexRangeChecks) {
+  LinearProgram lp;
+  EXPECT_THROW(lp.cost(0), InvalidArgument);
+  EXPECT_THROW(lp.rhs(0), InvalidArgument);
+  const int x = lp.add_variable();
+  const int r = lp.add_constraint(Relation::kLe, 1.0);
+  EXPECT_THROW(lp.set_coefficient(r, x + 1, 1.0), InvalidArgument);
+  EXPECT_THROW(lp.set_coefficient(r + 1, x, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,78 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace palb {
+namespace {
+
+/// The logger writes to stderr; these tests pin the level gate and the
+/// thread-safety contract (no crashes under concurrent emission).
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet in benches/tests unless asked.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmissionBelowThresholdIsDropped) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // Captured behaviourally: emitting below threshold must be a no-op
+  // (nothing to assert on stderr portably; the call must simply return).
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kInfo, "dropped");
+  log_message(LogLevel::kWarn, "dropped");
+  SUCCEED();
+}
+
+TEST(Log, StreamMacroBuildsMessages) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // keep the test output clean
+  PALB_DEBUG << "value=" << 42 << " ratio=" << 1.5;
+  PALB_INFO << "composed " << std::string("message");
+  PALB_WARN << "warning path";
+  SUCCEED();
+}
+
+TEST(Log, ConcurrentEmissionIsSafe) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        log_message(LogLevel::kDebug,
+                    "thread " + std::to_string(t) + " line " +
+                        std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,161 @@
+// Cross-validation of the core band reduction: for one-level TUFs the
+// dispatcher's profile enumeration must agree with an *independent*
+// MILP encoding of the same problem — binary on/off selectors z_{k,l}
+// whose deadline overhead is charged through the capacity row, solved by
+// the branch-and-bound MILP over the same simplex. Two formulations, two
+// algorithms, one optimum.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "solver/milp.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+struct Instance {
+  Topology topology;
+  SlotInput input;
+};
+
+Instance random_one_level_instance(std::uint64_t seed) {
+  Rng rng(seed * 60013 + 7);
+  Instance inst;
+  const std::size_t K = 1 + rng.uniform_index(2);
+  const std::size_t S = 1 + rng.uniform_index(2);
+  const std::size_t L = 1 + rng.uniform_index(2);
+  for (std::size_t k = 0; k < K; ++k) {
+    inst.topology.classes.push_back(
+        RequestClass{"k" + std::to_string(k),
+                     StepTuf::constant(rng.uniform(0.005, 0.03),
+                                       rng.uniform(0.05, 0.2)),
+                     rng.uniform(0.0, 2e-6)});
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    inst.topology.frontends.push_back(FrontEnd{"s" + std::to_string(s)});
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    DataCenter dc;
+    dc.name = "l" + std::to_string(l);
+    dc.num_servers = 2 + static_cast<int>(rng.uniform_index(5));
+    dc.server_capacity = rng.uniform(0.6, 1.5);
+    for (std::size_t k = 0; k < K; ++k) {
+      dc.service_rate.push_back(rng.uniform(60.0, 200.0));
+      dc.energy_per_request_kwh.push_back(rng.uniform(0.0, 0.006));
+    }
+    inst.topology.datacenters.push_back(std::move(dc));
+  }
+  inst.topology.distance_miles.assign(S, std::vector<double>(L, 0.0));
+  for (auto& row : inst.topology.distance_miles) {
+    for (double& d : row) d = rng.uniform(0.0, 2000.0);
+  }
+  inst.input.arrival_rate.assign(K, std::vector<double>(S, 0.0));
+  for (auto& row : inst.input.arrival_rate) {
+    for (double& r : row) r = rng.uniform(10.0, 500.0);
+  }
+  inst.input.price.assign(L, 0.0);
+  for (double& p : inst.input.price) p = rng.uniform(0.02, 0.12);
+  inst.input.slot_seconds = 3600.0;
+  return inst;
+}
+
+/// Independent MILP: maximize sum (U_k - costs) x_{k,s,l} T subject to
+/// flow conservation and, per DC,
+///   sum_k X_{k,l}/(C mu_k) + M_l * sum_k z_{k,l}/(D_k C mu_k) <= M_l
+///   x_{k,s,l} <= arrival_{k,s} * z_{k,l},  z binary.
+/// Mirrors OptimizedPolicy's margin so the optima are comparable.
+double milp_optimum(const Instance& inst, double margin) {
+  const std::size_t K = inst.topology.num_classes();
+  const std::size_t S = inst.topology.num_frontends();
+  const std::size_t L = inst.topology.num_datacenters();
+  const double T = inst.input.slot_seconds;
+
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  std::vector<int> x(K * S * L), z(K * L);
+  std::vector<int> ints;
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t l = 0; l < L; ++l) {
+      z[k * L + l] = lp.add_variable(0.0, 1.0, 0.0);
+      ints.push_back(z[k * L + l]);
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& cls = inst.topology.classes[k];
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t l = 0; l < L; ++l) {
+        const auto& dc = inst.topology.datacenters[l];
+        const double value =
+            (cls.tuf.max_utility() -
+             dc.energy_per_request_kwh[k] * inst.input.price[l] * dc.pue -
+             cls.transfer_cost_per_mile *
+                 inst.topology.distance_miles[s][l]) *
+            T;
+        x[(k * S + s) * L + l] = lp.add_variable(
+            0.0, inst.input.arrival_rate[k][s], value);
+        // Coupling x <= arrival * z.
+        lp.add_constraint({{x[(k * S + s) * L + l], 1.0},
+                           {z[k * L + l], -inst.input.arrival_rate[k][s]}},
+                          Relation::kLe, 0.0);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t l = 0; l < L; ++l) {
+        terms.emplace_back(x[(k * S + s) * L + l], 1.0);
+      }
+      lp.add_constraint(terms, Relation::kLe,
+                        inst.input.arrival_rate[k][s]);
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = inst.topology.datacenters[l];
+    const double servers = static_cast<double>(dc.num_servers);
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double deadline =
+          inst.topology.classes[k].tuf.final_deadline() * (1.0 - margin);
+      const double inv = 1.0 / (dc.server_capacity * dc.service_rate[k]);
+      for (std::size_t s = 0; s < S; ++s) {
+        terms.emplace_back(x[(k * S + s) * L + l], inv);
+      }
+      terms.emplace_back(z[k * L + l], servers * inv / deadline);
+    }
+    lp.add_constraint(terms, Relation::kLe, servers);
+  }
+
+  const MilpSolution sol = MilpSolver().solve(lp, ints);
+  EXPECT_EQ(sol.status, MilpStatus::kOptimal);
+  return std::max(0.0, sol.objective);
+}
+
+class MilpCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpCrossCheckTest, EnumerationMatchesIndependentMilp) {
+  const Instance inst =
+      random_one_level_instance(static_cast<std::uint64_t>(GetParam()));
+  OptimizedPolicy::Options opt;
+  opt.distribute_spare_share = false;  // compare the pure LP objectives
+  OptimizedPolicy policy(opt);
+  const DispatchPlan plan =
+      policy.plan_slot(inst.topology, inst.input);
+  const double enumerated =
+      evaluate_plan(inst.topology, inst.input, plan).net_profit();
+  const double milp = milp_optimum(inst, opt.deadline_margin);
+  // The realization rounds server counts up (never hurting the LP value)
+  // and accounting equals the LP objective for one-level TUFs, so the
+  // two independent optima must agree tightly.
+  EXPECT_NEAR(enumerated, milp, 1e-5 * std::max(1.0, milp))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpCrossCheckTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,108 @@
+#include "queueing/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(Mm1, EffectiveRate) {
+  EXPECT_DOUBLE_EQ(mm1::effective_rate(0.5, 1.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(mm1::effective_rate(1.0, 2.0, 100.0), 200.0);
+}
+
+TEST(Mm1, StabilityBoundary) {
+  EXPECT_TRUE(mm1::is_stable(0.5, 1.0, 100.0, 49.9));
+  EXPECT_FALSE(mm1::is_stable(0.5, 1.0, 100.0, 50.0));  // strict
+  EXPECT_FALSE(mm1::is_stable(0.5, 1.0, 100.0, 60.0));
+}
+
+TEST(Mm1, DelayMatchesEquationOne) {
+  // R = 1 / (phi*C*mu - lambda), the paper's Eq. 1.
+  EXPECT_DOUBLE_EQ(mm1::expected_delay(0.5, 1.0, 100.0, 40.0),
+                   1.0 / (50.0 - 40.0));
+  EXPECT_DOUBLE_EQ(mm1::expected_delay(1.0, 1.0, 10.0, 0.0), 0.1);
+}
+
+TEST(Mm1, DelayRejectsUnstableQueue) {
+  EXPECT_THROW(mm1::expected_delay(0.5, 1.0, 100.0, 50.0), InvalidArgument);
+}
+
+TEST(Mm1, RequiredShareInvertsDelay) {
+  // The share returned must produce exactly the requested deadline.
+  const double share = mm1::required_share(40.0, 1.0, 100.0, 0.25);
+  EXPECT_NEAR(mm1::expected_delay(share, 1.0, 100.0, 40.0), 0.25, 1e-12);
+}
+
+TEST(Mm1, RequiredShareCanExceedOne) {
+  // Infeasible demands are reported as shares > 1, caller decides.
+  EXPECT_GT(mm1::required_share(500.0, 1.0, 100.0, 0.1), 1.0);
+}
+
+TEST(Mm1, MaxRateInvertsRequiredShare) {
+  const double rate = mm1::max_rate(0.6, 1.0, 120.0, 0.5);
+  EXPECT_NEAR(mm1::required_share(rate, 1.0, 120.0, 0.5), 0.6, 1e-12);
+}
+
+TEST(Mm1, MaxRateClampsAtZero) {
+  // Tiny share + tight deadline: no sustainable rate.
+  EXPECT_DOUBLE_EQ(mm1::max_rate(0.01, 1.0, 10.0, 0.1), 0.0);
+}
+
+TEST(Mm1, LittlesLaw) {
+  const double L = mm1::mean_in_system(0.5, 1.0, 100.0, 40.0);
+  EXPECT_NEAR(L, 40.0 * mm1::expected_delay(0.5, 1.0, 100.0, 40.0), 1e-12);
+  // Closed form rho/(1-rho) with rho = 0.8.
+  EXPECT_NEAR(L, 0.8 / 0.2, 1e-9);
+}
+
+TEST(Mm1, Utilization) {
+  EXPECT_DOUBLE_EQ(mm1::utilization(0.5, 1.0, 100.0, 25.0), 0.5);
+}
+
+TEST(Mm1, TailProbability) {
+  // P(T > t) = exp(-(mu-lambda) t); at t=0 it is 1.
+  EXPECT_DOUBLE_EQ(mm1::delay_tail_probability(1.0, 1.0, 10.0, 5.0, 0.0),
+                   1.0);
+  EXPECT_NEAR(mm1::delay_tail_probability(1.0, 1.0, 10.0, 5.0, 0.2),
+              std::exp(-1.0), 1e-12);
+}
+
+TEST(Mm1, ParameterValidation) {
+  EXPECT_THROW(mm1::effective_rate(-0.1, 1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(mm1::effective_rate(1.1, 1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(mm1::effective_rate(0.5, 0.0, 10.0), InvalidArgument);
+  EXPECT_THROW(mm1::effective_rate(0.5, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(mm1::required_share(-1.0, 1.0, 10.0, 1.0), InvalidArgument);
+  EXPECT_THROW(mm1::required_share(1.0, 1.0, 10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(mm1::is_stable(0.5, 1.0, 10.0, -1.0), InvalidArgument);
+}
+
+/// Property: delay is monotone — decreasing in share, increasing in load.
+class Mm1MonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1MonotoneTest, DelayMonotoneInShareAndLoad) {
+  const double mu = GetParam();
+  const double lambda = 0.3 * mu;
+  double last = mm1::expected_delay(0.4, 1.0, mu, lambda);
+  for (double share = 0.5; share <= 1.0; share += 0.1) {
+    const double d = mm1::expected_delay(share, 1.0, mu, lambda);
+    EXPECT_LT(d, last);
+    last = d;
+  }
+  last = mm1::expected_delay(1.0, 1.0, mu, 0.0);
+  for (double frac = 0.1; frac < 1.0; frac += 0.1) {
+    const double d = mm1::expected_delay(1.0, 1.0, mu, frac * mu);
+    EXPECT_GT(d, last);
+    last = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServiceRates, Mm1MonotoneTest,
+                         ::testing::Values(10.0, 50.0, 130.0, 400.0));
+
+}  // namespace
+}  // namespace palb

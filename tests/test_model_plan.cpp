@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+/// Tiny 2-class, 2-front-end, 2-DC topology used across the cloud tests.
+Topology tiny_topology() {
+  Topology topo;
+  topo.classes = {
+      {"fast", StepTuf::constant(1.0, 0.1), 1e-6},
+      {"slow", StepTuf({2.0, 1.0}, {0.2, 0.5}), 2e-6},
+  };
+  topo.frontends = {{"fe1"}, {"fe2"}};
+  topo.datacenters = {
+      {"dc1", 4, 1.0, {100.0, 80.0}, {0.001, 0.002}, 1.0},
+      {"dc2", 2, 1.0, {120.0, 60.0}, {0.002, 0.001}, 1.2},
+  };
+  topo.distance_miles = {{100.0, 900.0}, {400.0, 300.0}};
+  return topo;
+}
+
+SlotInput tiny_input() {
+  SlotInput input;
+  input.arrival_rate = {{50.0, 40.0}, {30.0, 20.0}};
+  input.price = {0.05, 0.08};
+  input.slot_seconds = 3600.0;
+  return input;
+}
+
+TEST(Topology, ValidatesCleanModel) {
+  EXPECT_NO_THROW(tiny_topology().validate());
+}
+
+TEST(Topology, CatchesDimensionMismatches) {
+  Topology topo = tiny_topology();
+  topo.datacenters[0].service_rate.pop_back();
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+
+  topo = tiny_topology();
+  topo.distance_miles.pop_back();
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+
+  topo = tiny_topology();
+  topo.distance_miles[0].push_back(1.0);
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+}
+
+TEST(Topology, CatchesBadValues) {
+  Topology topo = tiny_topology();
+  topo.datacenters[0].num_servers = -1;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+
+  topo = tiny_topology();
+  topo.datacenters[1].pue = 0.5;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+
+  topo = tiny_topology();
+  topo.datacenters[0].service_rate[0] = 0.0;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+
+  topo = tiny_topology();
+  topo.distance_miles[0][0] = -5.0;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+}
+
+TEST(Topology, DedicatedCapacityIsPositiveAndBounded) {
+  const Topology topo = tiny_topology();
+  const double cap = topo.dedicated_capacity(0);
+  EXPECT_GT(cap, 0.0);
+  // Upper bound: all servers at full mu with no deadline overhead.
+  EXPECT_LT(cap, 4 * 100.0 + 2 * 120.0);
+  EXPECT_THROW(topo.dedicated_capacity(5), InvalidArgument);
+}
+
+TEST(SlotInput, Validation) {
+  const Topology topo = tiny_topology();
+  SlotInput input = tiny_input();
+  EXPECT_NO_THROW(input.validate(topo));
+  input.arrival_rate[0].pop_back();
+  EXPECT_THROW(input.validate(topo), InvalidArgument);
+  input = tiny_input();
+  input.price.pop_back();
+  EXPECT_THROW(input.validate(topo), InvalidArgument);
+  input = tiny_input();
+  input.arrival_rate[1][0] = -2.0;
+  EXPECT_THROW(input.validate(topo), InvalidArgument);
+  input = tiny_input();
+  input.slot_seconds = 0.0;
+  EXPECT_THROW(input.validate(topo), InvalidArgument);
+}
+
+TEST(SlotInput, TotalOffered) {
+  const SlotInput input = tiny_input();
+  EXPECT_DOUBLE_EQ(input.total_offered(0), 90.0);
+  EXPECT_DOUBLE_EQ(input.total_offered(1), 50.0);
+}
+
+TEST(DispatchPlan, ZeroPlanIsValid) {
+  const Topology topo = tiny_topology();
+  const DispatchPlan plan = DispatchPlan::zero(topo);
+  EXPECT_TRUE(plan.is_valid(topo, tiny_input()));
+  EXPECT_DOUBLE_EQ(plan.total_rate(), 0.0);
+}
+
+TEST(DispatchPlan, RateAggregation) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 10.0;
+  plan.rate[0][1][0] = 5.0;
+  plan.rate[0][0][1] = 2.0;
+  EXPECT_DOUBLE_EQ(plan.class_dc_rate(0, 0), 15.0);
+  EXPECT_DOUBLE_EQ(plan.class_frontend_rate(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(plan.total_rate(), 17.0);
+  plan.dc[0].servers_on = 3;
+  EXPECT_DOUBLE_EQ(plan.per_server_rate(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(plan.per_server_rate(0, 1), 0.0);  // no server on
+}
+
+TEST(DispatchPlan, DetectsOverdispatch) {
+  const Topology topo = tiny_topology();
+  const SlotInput input = tiny_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 40.0;
+  plan.rate[0][0][1] = 40.0;  // 80 > offered 50 at fe1
+  plan.dc[0].servers_on = 1;
+  plan.dc[0].share[0] = 0.5;
+  plan.dc[1].servers_on = 1;
+  plan.dc[1].share[0] = 0.5;
+  const auto violations = plan.violations(topo, input);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("exceeds offered"), std::string::npos);
+}
+
+TEST(DispatchPlan, DetectsShareBudgetBreach) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.dc[0].servers_on = 1;
+  plan.dc[0].share = {0.7, 0.6};
+  EXPECT_FALSE(plan.is_valid(topo, tiny_input()));
+}
+
+TEST(DispatchPlan, DetectsLoadIntoPoweredOffDc) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 1.0;  // dc1 has zero servers on
+  EXPECT_FALSE(plan.is_valid(topo, tiny_input()));
+}
+
+TEST(DispatchPlan, DetectsLoadIntoZeroShareVm) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 1.0;
+  plan.dc[0].servers_on = 1;  // share[0] still 0
+  EXPECT_FALSE(plan.is_valid(topo, tiny_input()));
+}
+
+TEST(DispatchPlan, DetectsServerOverCommit) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.dc[1].servers_on = 3;  // dc2 only has 2
+  EXPECT_FALSE(plan.is_valid(topo, tiny_input()));
+}
+
+TEST(DispatchPlan, DetectsNegativeRate) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[1][1][1] = -0.5;
+  EXPECT_FALSE(plan.is_valid(topo, tiny_input()));
+}
+
+TEST(DispatchPlan, DetectsShapeMismatch) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate.pop_back();
+  const auto violations = plan.violations(topo, tiny_input());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("shape"), std::string::npos);
+}
+
+TEST(DispatchPlan, AcceptsProperPlan) {
+  const Topology topo = tiny_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 30.0;
+  plan.rate[1][0][0] = 10.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.5, 0.5};
+  EXPECT_TRUE(plan.is_valid(topo, tiny_input()));
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,136 @@
+// Network-propagation extension: wires cost time, not only dollars.
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/scenario_json.hpp"
+#include "core/paper_scenarios.hpp"
+#include "scenario_fixtures.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+constexpr double kFiberRttPerMile = 1.6e-5;  // s/mile, routed fiber RTT
+
+TEST(NetworkLatency, ZeroLatencyReproducesPaperLedger) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics a = evaluate_plan(topo, input, plan);
+  Topology explicit_zero = topo;
+  explicit_zero.network_latency_s_per_mile = 0.0;
+  const SlotMetrics b = evaluate_plan(explicit_zero, input, plan);
+  EXPECT_DOUBLE_EQ(a.revenue, b.revenue);
+  EXPECT_DOUBLE_EQ(a.net_profit(), b.net_profit());
+}
+
+TEST(NetworkLatency, PropagationDelayHelper) {
+  Topology topo = small_topology();
+  topo.network_latency_s_per_mile = 2e-5;
+  EXPECT_NEAR(topo.propagation_delay(0, 1), 1500.0 * 2e-5, 1e-12);
+  EXPECT_THROW(topo.propagation_delay(9, 0), InvalidArgument);
+}
+
+TEST(NetworkLatency, FarOriginsEarnLessOrNothing) {
+  // One class, one DC; two front-ends at 100 and 5000 miles. With the
+  // queue delay near the band edge, the far origin's total misses the
+  // deadline entirely.
+  Topology topo = small_topology();
+  topo.classes = {{"c", StepTuf::constant(0.01, 0.1), 0.0}};
+  topo.datacenters.resize(1);
+  topo.datacenters[0].service_rate = {100.0};
+  topo.datacenters[0].energy_per_request_kwh = {0.0};
+  topo.distance_miles = {{100.0}, {5000.0}};
+  topo.network_latency_s_per_mile = 1.6e-5;  // far origin: +80 ms
+
+  SlotInput input;
+  input.arrival_rate = {{30.0, 30.0}};
+  input.price = {0.05};
+  input.slot_seconds = 3600.0;
+
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 30.0;
+  plan.rate[0][1][0] = 30.0;
+  plan.dc[0].servers_on = 1;
+  plan.dc[0].share = {0.72};  // mu_eff 72, load 60 -> queue delay 83 ms
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  // Near origin: 83 + 1.6 ms < 100 ms deadline -> paid.
+  // Far origin: 83 + 80 ms > 100 ms -> worthless.
+  const double T = input.slot_seconds;
+  EXPECT_NEAR(m.revenue, 0.01 * 30.0 * T, 1e-6);
+  EXPECT_NEAR(m.valuable_requests, 30.0 * T, 1e-6);
+  EXPECT_DOUBLE_EQ(m.completed_requests, 60.0 * T);  // all finish, late
+}
+
+TEST(NetworkLatency, AwareOptimizerBeatsBlindPlanning) {
+  Topology topo = small_topology();
+  topo.network_latency_s_per_mile = 4e-5;  // harsh: 1500 mi = 60 ms
+  const SlotInput input = small_input();
+
+  OptimizedPolicy aware;
+  const DispatchPlan aware_plan = aware.plan_slot(topo, input);
+
+  Topology blind_topo = topo;
+  blind_topo.network_latency_s_per_mile = 0.0;
+  OptimizedPolicy blind;
+  const DispatchPlan blind_plan = blind.plan_slot(blind_topo, input);
+
+  // Both evaluated against the true (latency-charging) world.
+  const double aware_profit =
+      evaluate_plan(topo, input, aware_plan).net_profit();
+  const double blind_profit =
+      evaluate_plan(topo, input, blind_plan).net_profit();
+  EXPECT_GE(aware_profit, blind_profit - 1e-6);
+}
+
+TEST(NetworkLatency, AwarePlanNeverValuesUnreachableBands) {
+  // With latency so harsh no deadline is reachable from anywhere, the
+  // aware optimizer should not serve at all (profit 0 beats paying
+  // costs for worthless traffic).
+  Topology topo = small_topology();
+  topo.network_latency_s_per_mile = 1e-2;  // 100+ ms per 10 miles
+  const SlotInput input = small_input();
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_DOUBLE_EQ(plan.total_rate(), 0.0);
+}
+
+TEST(NetworkLatency, SimulatorChargesTheMix) {
+  Topology topo = small_topology();
+  topo.network_latency_s_per_mile = kFiberRttPerMile;
+  SlotInput input = small_input();
+  input.slot_seconds = 10000.0;
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics analytic = evaluate_plan(topo, input, plan);
+  Rng rng(3);
+  const SimOutcome out = SlotSimulator().simulate(topo, input, plan, rng);
+  EXPECT_LT(relative_difference(out.net_profit_mean_delay(),
+                                analytic.net_profit()),
+            0.15);
+}
+
+TEST(NetworkLatency, ScenarioJsonRoundTripsTheField) {
+  Scenario sc = paper::google_study();
+  sc.topology.network_latency_s_per_mile = kFiberRttPerMile;
+  const Scenario back =
+      scenario_json::from_json(scenario_json::to_json(sc));
+  EXPECT_DOUBLE_EQ(back.topology.network_latency_s_per_mile,
+                   kFiberRttPerMile);
+}
+
+TEST(NetworkLatency, ValidationRejectsNegative) {
+  Topology topo = small_topology();
+  topo.network_latency_s_per_mile = -1e-6;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,128 @@
+#include "core/paper_scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(PaperScenarios, BasicSyntheticShapes) {
+  for (auto set : {paper::ArrivalSet::kLow, paper::ArrivalSet::kHigh}) {
+    const Scenario sc = paper::basic_synthetic(set);
+    EXPECT_EQ(sc.topology.num_classes(), 3u);
+    EXPECT_EQ(sc.topology.num_frontends(), 4u);
+    EXPECT_EQ(sc.topology.num_datacenters(), 3u);
+    for (const auto& dc : sc.topology.datacenters) {
+      EXPECT_EQ(dc.num_servers, 6);
+    }
+    // One-level (constant) TUFs in the basic study.
+    for (const auto& cls : sc.topology.classes) {
+      EXPECT_EQ(cls.tuf.levels(), 1u);
+      // Transfer cost excluded in the basic study.
+      EXPECT_DOUBLE_EQ(cls.transfer_cost_per_mile, 0.0);
+    }
+  }
+}
+
+TEST(PaperScenarios, HighSetCarriesMoreLoadThanLow) {
+  const Scenario low = paper::basic_synthetic(paper::ArrivalSet::kLow);
+  const Scenario high = paper::basic_synthetic(paper::ArrivalSet::kHigh);
+  double low_total = 0.0, high_total = 0.0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    low_total += low.slot_input(0).total_offered(k);
+    high_total += high.slot_input(0).total_offered(k);
+  }
+  EXPECT_GT(high_total, 4.0 * low_total);
+}
+
+TEST(PaperScenarios, HighSetExceedsFleetCapacity) {
+  // §V: "none of the approaches was able to process all the requests".
+  const Scenario high = paper::basic_synthetic(paper::ArrivalSet::kHigh);
+  double offered = 0.0, dedicated = 0.0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    offered += high.slot_input(0).total_offered(k);
+    dedicated += high.topology.dedicated_capacity(k);
+  }
+  // dedicated_capacity triple-counts servers (each class assumes the
+  // whole fleet), so offered > dedicated/3 certifies overload.
+  EXPECT_GT(offered, dedicated / 3.0);
+}
+
+TEST(PaperScenarios, WorldCupShapes) {
+  const Scenario sc = paper::worldcup_study();
+  EXPECT_EQ(sc.topology.num_classes(), 3u);
+  EXPECT_EQ(sc.topology.num_frontends(), 4u);
+  EXPECT_EQ(sc.topology.num_datacenters(), 3u);
+  // 24-hour diurnal traces and 24-hour price curves.
+  for (const auto& row : sc.arrivals) {
+    for (const auto& trace : row) EXPECT_EQ(trace.slots(), 24u);
+  }
+  for (const auto& p : sc.prices) EXPECT_EQ(p.size(), 24u);
+  // Types are time-shifted copies: same mass per front-end.
+  EXPECT_NEAR(sc.arrivals[0][0].mean(), sc.arrivals[1][0].mean(), 1e-9);
+  EXPECT_NEAR(sc.arrivals[0][0].mean(), sc.arrivals[2][0].mean(), 1e-9);
+}
+
+TEST(PaperScenarios, WorldCupDc2IsFarthest) {
+  const Scenario sc = paper::worldcup_study();
+  for (const auto& row : sc.topology.distance_miles) {
+    EXPECT_GT(row[1], row[0]);
+    EXPECT_GT(row[1], row[2]);
+  }
+}
+
+TEST(PaperScenarios, WorldCupIsDeterministicPerSeed) {
+  const Scenario a = paper::worldcup_study(5);
+  const Scenario b = paper::worldcup_study(5);
+  const Scenario c = paper::worldcup_study(6);
+  EXPECT_DOUBLE_EQ(a.arrivals[0][0].at(10), b.arrivals[0][0].at(10));
+  EXPECT_NE(a.arrivals[0][0].at(10), c.arrivals[0][0].at(10));
+}
+
+TEST(PaperScenarios, GoogleShapes) {
+  const Scenario sc = paper::google_study();
+  EXPECT_EQ(sc.topology.num_classes(), 2u);
+  EXPECT_EQ(sc.topology.num_frontends(), 1u);
+  EXPECT_EQ(sc.topology.num_datacenters(), 2u);
+  for (const auto& cls : sc.topology.classes) {
+    EXPECT_EQ(cls.tuf.levels(), 2u);  // two-level step-downward TUFs
+  }
+  // 7-hour trace (the 2010 Google dataset spans ~7 hours).
+  EXPECT_EQ(sc.arrivals[0][0].slots(), 7u);
+  // Type 2 is the 1-slot-shifted duplicate.
+  EXPECT_DOUBLE_EQ(sc.arrivals[1][0].at(1), sc.arrivals[0][0].at(0));
+  // Distances 1000 / 2000 miles per the paper.
+  EXPECT_DOUBLE_EQ(sc.topology.distance_miles[0][0], 1000.0);
+  EXPECT_DOUBLE_EQ(sc.topology.distance_miles[0][1], 2000.0);
+}
+
+TEST(PaperScenarios, GooglePriceWindowStartsAt14) {
+  const Scenario sc = paper::google_study();
+  // Window must reproduce the 14:00+ hours of the embedded curves.
+  EXPECT_DOUBLE_EQ(sc.prices[0].at(0), 0.096);  // Houston 14:00
+  EXPECT_DOUBLE_EQ(sc.prices[1].at(0), 0.106);  // Mountain View 14:00
+}
+
+TEST(PaperScenarios, GoogleKnobsScale) {
+  const Scenario base = paper::google_study(7, 1.0, 1.0, 6);
+  const Scenario big = paper::google_study(7, 2.0, 1.0, 6);
+  EXPECT_DOUBLE_EQ(big.topology.datacenters[0].service_rate[0],
+                   2.0 * base.topology.datacenters[0].service_rate[0]);
+  const Scenario busy = paper::google_study(7, 1.0, 3.0, 6);
+  EXPECT_NEAR(busy.arrivals[0][0].mean(), 3.0 * base.arrivals[0][0].mean(),
+              1e-9);
+  const Scenario wide = paper::google_study(7, 1.0, 1.0, 10);
+  EXPECT_EQ(wide.topology.datacenters[0].num_servers, 10);
+  EXPECT_THROW(paper::google_study(7, 0.0), InvalidArgument);
+  EXPECT_THROW(paper::google_study(7, 1.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(PaperScenarios, AllScenariosValidate) {
+  EXPECT_NO_THROW(paper::basic_synthetic(paper::ArrivalSet::kLow).validate());
+  EXPECT_NO_THROW(paper::worldcup_study().validate());
+  EXPECT_NO_THROW(paper::google_study().validate());
+}
+
+}  // namespace
+}  // namespace palb

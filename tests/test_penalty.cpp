@@ -1,0 +1,122 @@
+// SLA drop-penalty extension: worthless requests (never admitted,
+// unstable, or past the final deadline) forfeit a per-request fee, after
+// the penalty TUFs of the authors' predecessor work [17].
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/scenario_json.hpp"
+#include "core/paper_scenarios.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+TEST(Penalty, ZeroPenaltyReproducesPaperLedger) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_DOUBLE_EQ(m.penalty_cost, 0.0);
+}
+
+TEST(Penalty, ChargesExactlyTheWorthlessVolume) {
+  Topology topo = small_topology();
+  topo.classes[0].drop_penalty_per_request = 0.002;
+  const SlotInput input = small_input();
+  // Serve nothing: every offered class-0 request forfeits the fee.
+  const SlotMetrics m =
+      evaluate_plan(topo, input, DispatchPlan::zero(topo));
+  const double offered0 = input.total_offered(0) * input.slot_seconds;
+  EXPECT_NEAR(m.penalty_cost, 0.002 * offered0, 1e-6);
+  EXPECT_NEAR(m.net_profit(), -m.penalty_cost, 1e-9);
+}
+
+TEST(Penalty, LateCompletionStillForfeits) {
+  // A stable queue that misses the final deadline earns nothing AND
+  // pays the fee (completion without timeliness is worthless).
+  Topology topo = small_topology();
+  topo.classes = {{"c", StepTuf::constant(0.01, 0.05), 0.0, 0.001}};
+  topo.datacenters.resize(1);
+  topo.datacenters[0].service_rate = {100.0};
+  topo.datacenters[0].energy_per_request_kwh = {0.0};
+  topo.distance_miles = {{0.0}, {0.0}};
+
+  SlotInput input;
+  input.arrival_rate = {{30.0, 0.0}};
+  input.price = {0.05};
+  input.slot_seconds = 3600.0;
+
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 30.0;
+  plan.dc[0].servers_on = 1;
+  plan.dc[0].share = {0.4};  // mu_eff 40, delay 0.1 s > deadline 0.05 s
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  EXPECT_DOUBLE_EQ(m.revenue, 0.0);
+  EXPECT_NEAR(m.penalty_cost, 0.001 * 30.0 * 3600.0, 1e-6);
+}
+
+TEST(Penalty, OptimizerServesMarginalTrafficUnderPenalty) {
+  // Build a class whose utility does not cover its wire cost: without a
+  // penalty the optimizer drops it; with a penalty above the net loss of
+  // serving, it serves.
+  Topology topo = small_topology();
+  topo.classes = {{"marginal", StepTuf::constant(0.001, 0.1), 3e-6, 0.0}};
+  for (auto& dc : topo.datacenters) {
+    dc.service_rate = {100.0};
+    dc.energy_per_request_kwh = {0.001};
+  }
+  topo.distance_miles = {{800.0, 900.0}, {850.0, 950.0}};  // wire > utility
+
+  SlotInput input;
+  input.arrival_rate = {{40.0, 40.0}};
+  input.price = {0.05, 0.05};
+  input.slot_seconds = 3600.0;
+
+  OptimizedPolicy no_penalty;
+  EXPECT_DOUBLE_EQ(no_penalty.plan_slot(topo, input).total_rate(), 0.0);
+
+  topo.classes[0].drop_penalty_per_request = 0.01;  // fee >> serving loss
+  OptimizedPolicy with_penalty;
+  const DispatchPlan plan = with_penalty.plan_slot(topo, input);
+  EXPECT_GT(plan.total_rate(), 0.0);
+  // And serving beats dropping on the true ledger.
+  const double served_profit = evaluate_plan(topo, input, plan).net_profit();
+  const double dropped_profit =
+      evaluate_plan(topo, input, DispatchPlan::zero(topo)).net_profit();
+  EXPECT_GT(served_profit, dropped_profit);
+}
+
+TEST(Penalty, ScenarioJsonRoundTripsTheFee) {
+  Scenario sc = paper::google_study();
+  sc.topology.classes[0].drop_penalty_per_request = 0.0042;
+  const Scenario back =
+      scenario_json::from_json(scenario_json::to_json(sc));
+  EXPECT_DOUBLE_EQ(back.topology.classes[0].drop_penalty_per_request,
+                   0.0042);
+  EXPECT_DOUBLE_EQ(back.topology.classes[1].drop_penalty_per_request, 0.0);
+}
+
+TEST(Penalty, ValidationRejectsNegative) {
+  Topology topo = small_topology();
+  topo.classes[1].drop_penalty_per_request = -0.1;
+  EXPECT_THROW(topo.validate(), InvalidArgument);
+}
+
+TEST(Penalty, AccumulateCarriesPenalty) {
+  SlotMetrics a, b;
+  a.penalty_cost = 2.5;
+  b.penalty_cost = 1.5;
+  const SlotMetrics total = accumulate({a, b});
+  EXPECT_DOUBLE_EQ(total.penalty_cost, 4.0);
+  EXPECT_DOUBLE_EQ(total.net_profit(), -4.0);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,95 @@
+#include "core/plan_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimized_policy.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+TEST(PlanJson, RoundTripsAnOptimizedPlan) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+
+  const Json doc = plan_json::to_json(plan);
+  const DispatchPlan back =
+      plan_json::from_json(Json::parse(doc.dump(2)), topo);
+
+  for (std::size_t k = 0; k < topo.num_classes(); ++k) {
+    for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
+      for (std::size_t l = 0; l < topo.num_datacenters(); ++l) {
+        EXPECT_DOUBLE_EQ(back.rate[k][s][l], plan.rate[k][s][l]);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < topo.num_datacenters(); ++l) {
+    EXPECT_EQ(back.dc[l].servers_on, plan.dc[l].servers_on);
+    EXPECT_EQ(back.dc[l].share, plan.dc[l].share);
+  }
+  EXPECT_TRUE(back.is_valid(topo, input));
+}
+
+TEST(PlanJson, FromJsonShapeChecks) {
+  const Topology topo = small_topology();
+  const Json doc =
+      plan_json::to_json(DispatchPlan::zero(topo));
+  // Dropping a data center from every row must be rejected.
+  Json truncated = Json::object();
+  truncated.set("rate", doc.at("rate"));
+  Json dcs = Json::array();
+  dcs.push_back(doc.at("datacenters")[0]);
+  truncated.set("datacenters", std::move(dcs));
+  EXPECT_THROW(plan_json::from_json(truncated, topo), InvalidArgument);
+  // Missing section.
+  Json empty = Json::object();
+  EXPECT_THROW(plan_json::from_json(empty, topo), IoError);
+}
+
+TEST(PlanJson, MetricsExportCarriesTheLedger) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics m = evaluate_plan(topo, input, plan);
+  const Json doc = plan_json::metrics_to_json(m);
+  EXPECT_DOUBLE_EQ(doc.at("net_profit").as_number(), m.net_profit());
+  EXPECT_DOUBLE_EQ(doc.at("revenue").as_number(), m.revenue);
+  EXPECT_DOUBLE_EQ(doc.at("servers_on").as_number(),
+                   static_cast<double>(m.servers_on));
+}
+
+TEST(PlanJson, RunExportHasOneEntryPerSlot) {
+  Scenario sc;
+  sc.topology = small_topology();
+  sc.arrivals.resize(2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      sc.arrivals[k].push_back(RateTrace("t", {40.0, 60.0, 20.0}));
+    }
+  }
+  sc.prices = {PriceTrace("a", {0.04, 0.05, 0.06}),
+               PriceTrace("b", {0.08, 0.03, 0.07})};
+  const SlotController controller(sc);
+  OptimizedPolicy policy;
+  const RunResult run = controller.run(policy, 3);
+  const Json doc = plan_json::run_to_json(run);
+  EXPECT_EQ(doc.at("slots").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("total").at("net_profit").as_number(),
+                   run.total.net_profit());
+  // Entries parse back into valid plans.
+  for (std::size_t t = 0; t < 3; ++t) {
+    const DispatchPlan back = plan_json::from_json(
+        doc.at("slots")[t].at("plan"), sc.topology);
+    EXPECT_TRUE(back.is_valid(sc.topology, sc.slot_input(t)));
+  }
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "market/price_generator.hpp"
+#include "market/price_library.hpp"
+#include "market/price_trace.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(PriceTrace, BasicAccessorsAndWrap) {
+  PriceTrace t("x", {1.0, 2.0, 3.0});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(4), 2.0);  // wraps
+  EXPECT_DOUBLE_EQ(t.min_price(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max_price(), 3.0);
+  EXPECT_DOUBLE_EQ(t.mean_price(), 2.0);
+}
+
+TEST(PriceTrace, RejectsEmptyAndNan) {
+  EXPECT_THROW(PriceTrace("x", {}), InvalidArgument);
+  EXPECT_THROW(PriceTrace("x", {1.0, std::nan("")}), InvalidArgument);
+}
+
+TEST(PriceTrace, ScaledAndWindow) {
+  PriceTrace t("x", {1.0, 2.0, 3.0, 4.0});
+  const PriceTrace doubled = t.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.at(1), 4.0);
+  const PriceTrace win = t.window(3, 3);  // wraps: 4, 1, 2
+  ASSERT_EQ(win.size(), 3u);
+  EXPECT_DOUBLE_EQ(win.at(0), 4.0);
+  EXPECT_DOUBLE_EQ(win.at(1), 1.0);
+  EXPECT_THROW(t.window(0, 0), InvalidArgument);
+}
+
+TEST(PriceLibrary, CurvesAreDayLong) {
+  for (const auto& t : prices::figure1_set()) {
+    EXPECT_EQ(t.size(), 24u) << t.location();
+    EXPECT_GT(t.min_price(), 0.0) << t.location();
+  }
+}
+
+TEST(PriceLibrary, CaliforniaIsMostExpensiveOnAverage) {
+  // Fig. 1's qualitative feature the substitution must preserve.
+  const double ca = prices::mountain_view_ca().mean_price();
+  EXPECT_GT(ca, prices::houston_tx().mean_price());
+  EXPECT_GT(ca, prices::atlanta_ga().mean_price());
+}
+
+TEST(PriceLibrary, CheapestLocationChangesDuringTheDay) {
+  // The arbitrage opportunity exists only if the curves cross.
+  const auto set = prices::figure1_set();
+  std::size_t cheapest_at_4 = 0, cheapest_at_15 = 0;
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    if (set[i].at(4) < set[cheapest_at_4].at(4)) cheapest_at_4 = i;
+    if (set[i].at(15) < set[cheapest_at_15].at(15)) cheapest_at_15 = i;
+  }
+  EXPECT_NE(cheapest_at_4, cheapest_at_15);
+}
+
+TEST(PriceLibrary, HoustonPeaksInTheAfternoon) {
+  const PriceTrace tx = prices::houston_tx();
+  double peak_hour = 0;
+  double peak = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (tx.at(h) > peak) {
+      peak = tx.at(h);
+      peak_hour = static_cast<double>(h);
+    }
+  }
+  EXPECT_GE(peak_hour, 13.0);
+  EXPECT_LE(peak_hour, 18.0);
+}
+
+TEST(PriceLibrary, FlatTrace) {
+  const PriceTrace f = prices::flat("f", 0.05, 10);
+  EXPECT_EQ(f.size(), 10u);
+  EXPECT_DOUBLE_EQ(f.min_price(), f.max_price());
+}
+
+TEST(OuPriceGenerator, RespectsFloorAndLength) {
+  OuPriceGenerator::Params params;
+  params.mean = 0.05;
+  params.floor = 0.02;
+  params.volatility = 0.05;  // violent noise to stress the floor
+  OuPriceGenerator gen(params);
+  Rng rng(5);
+  const PriceTrace t = gen.generate("loc", 200, rng);
+  EXPECT_EQ(t.size(), 200u);
+  EXPECT_GE(t.min_price(), params.floor);
+}
+
+TEST(OuPriceGenerator, MeanRevertsToDiurnalLevel) {
+  OuPriceGenerator::Params params;
+  params.mean = 0.06;
+  params.diurnal_amplitude = 0.0;  // flat base isolates the OU part
+  params.volatility = 0.004;
+  OuPriceGenerator gen(params);
+  Rng rng(6);
+  const PriceTrace t = gen.generate("loc", 24 * 200, rng);
+  EXPECT_NEAR(t.mean_price(), 0.06, 0.003);
+}
+
+TEST(OuPriceGenerator, DiurnalShapeHasAfternoonPeak) {
+  OuPriceGenerator::Params params;
+  params.peak_hour = 15.0;
+  params.volatility = 0.0;  // deterministic base
+  OuPriceGenerator gen(params);
+  Rng rng(7);
+  const PriceTrace t = gen.generate("loc", 24, rng);
+  EXPECT_GT(t.at(15), t.at(3));
+}
+
+TEST(OuPriceGenerator, Validation) {
+  OuPriceGenerator::Params params;
+  params.mean = 0.0;
+  EXPECT_THROW(OuPriceGenerator{params}, InvalidArgument);
+  params.mean = 0.05;
+  params.volatility = -1.0;
+  EXPECT_THROW(OuPriceGenerator{params}, InvalidArgument);
+  params.volatility = 0.001;
+  OuPriceGenerator gen(params);
+  Rng rng(1);
+  EXPECT_THROW(gen.generate("loc", 0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

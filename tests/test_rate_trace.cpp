@@ -1,0 +1,88 @@
+#include "workload/rate_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(RateTrace, BasicAccessorsAndWrap) {
+  RateTrace t("w", {10.0, 20.0, 30.0});
+  EXPECT_EQ(t.slots(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(1), 20.0);
+  EXPECT_DOUBLE_EQ(t.at(4), 20.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 30.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 20.0);
+  EXPECT_EQ(t.name(), "w");
+}
+
+TEST(RateTrace, RejectsEmptyAndNegative) {
+  EXPECT_THROW(RateTrace("x", {}), InvalidArgument);
+  EXPECT_THROW(RateTrace("x", {1.0, -0.5}), InvalidArgument);
+}
+
+TEST(RateTrace, ShiftRotatesForward) {
+  RateTrace t("w", {1.0, 2.0, 3.0, 4.0});
+  const RateTrace s = t.shifted(1);
+  // Value that was at slot 0 now appears at slot 1.
+  EXPECT_DOUBLE_EQ(s.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(0), 4.0);
+  // Shifting by the period is the identity.
+  const RateTrace full = t.shifted(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(full.at(i), t.at(i));
+  }
+}
+
+TEST(RateTrace, ShiftPreservesMass) {
+  RateTrace t("w", {5.0, 1.0, 7.0, 2.0, 9.0});
+  EXPECT_DOUBLE_EQ(t.shifted(3).mean(), t.mean());
+  EXPECT_DOUBLE_EQ(t.shifted(3).peak(), t.peak());
+}
+
+TEST(RateTrace, ScaledMultiplies) {
+  RateTrace t("w", {2.0, 4.0});
+  const RateTrace s = t.scaled(1.5);
+  EXPECT_DOUBLE_EQ(s.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 6.0);
+  EXPECT_THROW(t.scaled(-1.0), InvalidArgument);
+}
+
+TEST(RateTrace, ResampledPreservesMassAndShape) {
+  RateTrace t("w", {10.0, 30.0, 20.0, 40.0});
+  const RateTrace fine = t.resampled(4);
+  EXPECT_EQ(fine.slots(), 16u);
+  // Linear interpolation of a wrapping signal preserves the mean.
+  EXPECT_NEAR(fine.mean(), t.mean(), 1e-9);
+  // Interpolation never escapes the original envelope.
+  for (double v : fine.values()) {
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 40.0);
+  }
+  // The ramp from slot 0 (10) toward slot 1 (30) is monotone and stays
+  // strictly between the two slot means.
+  EXPECT_GT(fine.at(3), 10.0);
+  EXPECT_LT(fine.at(3), 30.0);
+  EXPECT_LT(fine.at(2), fine.at(3));
+}
+
+TEST(RateTrace, ResampledIdentityAndValidation) {
+  RateTrace t("w", {5.0, 7.0});
+  const RateTrace same = t.resampled(1);
+  EXPECT_EQ(same.slots(), 2u);
+  EXPECT_DOUBLE_EQ(same.at(1), 7.0);
+  EXPECT_THROW(t.resampled(0), InvalidArgument);
+}
+
+TEST(RateTrace, WindowWraps) {
+  RateTrace t("w", {1.0, 2.0, 3.0});
+  const RateTrace w = t.window(2, 3);
+  EXPECT_DOUBLE_EQ(w.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(w.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(2), 2.0);
+  EXPECT_THROW(t.window(0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

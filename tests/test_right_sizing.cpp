@@ -1,0 +1,150 @@
+#include "core/right_sizing_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+Topology topo_with_idle(double idle_kw) {
+  Topology topo = small_topology();
+  for (auto& dc : topo.datacenters) dc.idle_power_kw = idle_kw;
+  return topo;
+}
+
+TEST(RightSizing, ZeroSwitchCostMatchesInnerOptimizer) {
+  const Topology topo = small_topology();
+  RightSizingPolicy wrapper;  // switch_cost = 0
+  OptimizedPolicy inner;
+  for (double scale : {0.4, 1.0, 2.0}) {
+    const SlotInput input = small_input(scale);
+    const DispatchPlan a = wrapper.plan_slot(topo, input);
+    const DispatchPlan b = inner.plan_slot(topo, input);
+    for (std::size_t l = 0; l < topo.num_datacenters(); ++l) {
+      EXPECT_EQ(a.dc[l].servers_on, b.dc[l].servers_on);
+    }
+    EXPECT_DOUBLE_EQ(wrapper.last_switch_cost(), 0.0);
+  }
+}
+
+TEST(RightSizing, HoldsIdledServersThroughADip) {
+  const Topology topo = topo_with_idle(1.0);
+  RightSizingPolicy::Options opt;
+  opt.switch_cost = 50.0;  // hold window of several slots
+  RightSizingPolicy policy(opt);
+
+  const SlotInput busy = small_input(2.0);
+  const SlotInput quiet = small_input(0.2);
+
+  const DispatchPlan p1 = policy.plan_slot(topo, busy);
+  int busy_servers = 0;
+  for (const auto& dc : p1.dc) busy_servers += dc.servers_on;
+
+  const DispatchPlan p2 = policy.plan_slot(topo, quiet);
+  int held_servers = 0;
+  for (const auto& dc : p2.dc) held_servers += dc.servers_on;
+  // The dip does not immediately shed capacity.
+  EXPECT_EQ(held_servers, busy_servers);
+  // Holding is free of switching dollars.
+  EXPECT_DOUBLE_EQ(policy.last_switch_cost(), 0.0);
+}
+
+TEST(RightSizing, EventuallyDropsAfterTheHoldWindow) {
+  const Topology topo = topo_with_idle(4.0);
+  RightSizingPolicy::Options opt;
+  opt.switch_cost = 0.2;  // small: short window
+  RightSizingPolicy policy(opt);
+
+  (void)policy.plan_slot(topo, small_input(2.0));
+  const SlotInput quiet = small_input(0.2);
+  int last = 1 << 20;
+  bool dropped = false;
+  for (int t = 0; t < 8; ++t) {
+    const DispatchPlan p = policy.plan_slot(topo, quiet);
+    int on = 0;
+    for (const auto& dc : p.dc) on += dc.servers_on;
+    EXPECT_LE(on, last);
+    last = on;
+    OptimizedPolicy inner;
+    int needed = 0;
+    for (const auto& dc : inner.plan_slot(topo, quiet).dc) {
+      needed += dc.servers_on;
+    }
+    if (on == needed) dropped = true;
+  }
+  EXPECT_TRUE(dropped) << "hold never expired";
+}
+
+TEST(RightSizing, ChargesSwitchingOnTransitions) {
+  const Topology topo = topo_with_idle(4.0);
+  RightSizingPolicy::Options opt;
+  opt.switch_cost = 1.0;
+  opt.max_hold_slots = 0;  // disable holding: pure transition metering
+  RightSizingPolicy policy(opt);
+
+  (void)policy.plan_slot(topo, small_input(2.0));
+  const int up_transitions = policy.total_transitions();
+  EXPECT_GT(up_transitions, 0);
+  EXPECT_NEAR(policy.total_switch_cost(),
+              static_cast<double>(up_transitions) * 1.0, 1e-9);
+
+  (void)policy.plan_slot(topo, small_input(0.2));
+  EXPECT_GT(policy.total_transitions(), up_transitions);  // downsizing
+}
+
+TEST(RightSizing, PlansStayValid) {
+  const Topology topo = topo_with_idle(2.0);
+  RightSizingPolicy::Options opt;
+  opt.switch_cost = 10.0;
+  RightSizingPolicy policy(opt);
+  for (double scale : {2.0, 0.3, 1.5, 0.1, 0.1, 0.1, 2.5}) {
+    const SlotInput input = small_input(scale);
+    const DispatchPlan plan = policy.plan_slot(topo, input);
+    EXPECT_TRUE(plan.is_valid(topo, input)) << "scale=" << scale;
+    // Held servers never exceed the fleet and never undercut need.
+    const SlotMetrics m = evaluate_plan(topo, input, plan);
+    for (const auto& per_class : m.outcomes) {
+      for (const auto& o : per_class) {
+        if (o.rate > 1e-9) {
+          EXPECT_TRUE(o.stable);
+        }
+      }
+    }
+  }
+}
+
+TEST(RightSizing, ResetForgetsPowerState) {
+  const Topology topo = topo_with_idle(1.0);
+  RightSizingPolicy::Options opt;
+  opt.switch_cost = 5.0;
+  RightSizingPolicy policy(opt);
+  (void)policy.plan_slot(topo, small_input(2.0));
+  policy.reset();
+  EXPECT_EQ(policy.total_transitions(), 0);
+  EXPECT_DOUBLE_EQ(policy.total_switch_cost(), 0.0);
+  // After reset, a quiet slot powers only what it needs (no held block).
+  const DispatchPlan p = policy.plan_slot(topo, small_input(0.2));
+  OptimizedPolicy inner;
+  const DispatchPlan q = inner.plan_slot(topo, small_input(0.2));
+  for (std::size_t l = 0; l < topo.num_datacenters(); ++l) {
+    EXPECT_EQ(p.dc[l].servers_on, q.dc[l].servers_on);
+  }
+}
+
+TEST(RightSizing, OptionValidation) {
+  RightSizingPolicy::Options opt;
+  opt.switch_cost = -1.0;
+  EXPECT_THROW(RightSizingPolicy{opt}, InvalidArgument);
+  opt.switch_cost = 0.0;
+  opt.max_hold_slots = -1;
+  EXPECT_THROW(RightSizingPolicy{opt}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,123 @@
+#include "core/scenario_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/paper_scenarios.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+void expect_scenarios_equal(const Scenario& a, const Scenario& b) {
+  ASSERT_EQ(a.topology.num_classes(), b.topology.num_classes());
+  ASSERT_EQ(a.topology.num_frontends(), b.topology.num_frontends());
+  ASSERT_EQ(a.topology.num_datacenters(), b.topology.num_datacenters());
+  EXPECT_DOUBLE_EQ(a.slot_seconds, b.slot_seconds);
+  for (std::size_t k = 0; k < a.topology.num_classes(); ++k) {
+    const auto& ca = a.topology.classes[k];
+    const auto& cb = b.topology.classes[k];
+    EXPECT_EQ(ca.name, cb.name);
+    EXPECT_EQ(ca.tuf.utilities(), cb.tuf.utilities());
+    EXPECT_EQ(ca.tuf.sub_deadlines(), cb.tuf.sub_deadlines());
+    EXPECT_DOUBLE_EQ(ca.transfer_cost_per_mile, cb.transfer_cost_per_mile);
+  }
+  for (std::size_t l = 0; l < a.topology.num_datacenters(); ++l) {
+    const auto& da = a.topology.datacenters[l];
+    const auto& db = b.topology.datacenters[l];
+    EXPECT_EQ(da.name, db.name);
+    EXPECT_EQ(da.num_servers, db.num_servers);
+    EXPECT_DOUBLE_EQ(da.server_capacity, db.server_capacity);
+    EXPECT_EQ(da.service_rate, db.service_rate);
+    EXPECT_EQ(da.energy_per_request_kwh, db.energy_per_request_kwh);
+    EXPECT_DOUBLE_EQ(da.pue, db.pue);
+    EXPECT_DOUBLE_EQ(da.idle_power_kw, db.idle_power_kw);
+  }
+  EXPECT_EQ(a.topology.distance_miles, b.topology.distance_miles);
+  for (std::size_t k = 0; k < a.arrivals.size(); ++k) {
+    for (std::size_t s = 0; s < a.arrivals[k].size(); ++s) {
+      EXPECT_EQ(a.arrivals[k][s].values(), b.arrivals[k][s].values());
+    }
+  }
+  for (std::size_t l = 0; l < a.prices.size(); ++l) {
+    EXPECT_EQ(a.prices[l].location(), b.prices[l].location());
+    EXPECT_EQ(a.prices[l].values(), b.prices[l].values());
+  }
+}
+
+TEST(ScenarioJson, RoundTripsEveryBuiltin) {
+  for (const Scenario& sc :
+       {paper::basic_synthetic(paper::ArrivalSet::kLow),
+        paper::basic_synthetic(paper::ArrivalSet::kHigh),
+        paper::worldcup_study(), paper::google_study()}) {
+    const Json doc = scenario_json::to_json(sc);
+    const Scenario back = scenario_json::from_json(doc);
+    expect_scenarios_equal(sc, back);
+    // And through text as well (exact doubles survive %.17g).
+    const Scenario back2 =
+        scenario_json::from_json(Json::parse(doc.dump(2)));
+    expect_scenarios_equal(sc, back2);
+  }
+}
+
+TEST(ScenarioJson, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/palb_scenario.json";
+  const Scenario sc = paper::google_study();
+  scenario_json::save(sc, path);
+  const Scenario back = scenario_json::load(path);
+  expect_scenarios_equal(sc, back);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioJson, LoadValidatesResult) {
+  // A structurally fine JSON that encodes an invalid scenario (negative
+  // rate) must be rejected by the model validation, not silently loaded.
+  Json doc = scenario_json::to_json(paper::google_study());
+  Json bad_arrivals = doc.at("arrivals");
+  // Patch one rate negative via rebuild (Json is value-semantic).
+  Json::Array outer = bad_arrivals.as_array();
+  Json::Array inner = outer[0].as_array()[0].as_array();
+  inner[0] = Json(-5.0);
+  Json::Array mid = outer[0].as_array();
+  mid[0] = Json(inner);
+  outer[0] = Json(mid);
+  doc.set("arrivals", Json(outer));
+  EXPECT_THROW(scenario_json::from_json(doc), InvalidArgument);
+}
+
+TEST(ScenarioJson, MissingSectionThrows) {
+  Json doc = scenario_json::to_json(paper::google_study());
+  Json stripped = Json::object();
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key != "prices") stripped.set(key, value);
+  }
+  EXPECT_THROW(scenario_json::from_json(stripped), IoError);
+}
+
+TEST(ScenarioJson, MissingFileThrows) {
+  EXPECT_THROW(scenario_json::load("/nonexistent/scenario.json"), IoError);
+}
+
+TEST(ScenarioJson, DefaultsApplyForOptionalFields) {
+  Json doc = scenario_json::to_json(paper::google_study());
+  // Strip optional per-DC fields; defaults must kick in.
+  Json::Array dcs;
+  for (const auto& d : doc.at("datacenters").as_array()) {
+    Json slim = Json::object();
+    for (const auto& [key, value] : d.as_object()) {
+      if (key != "pue" && key != "idle_power_kw" && key != "capacity") {
+        slim.set(key, value);
+      }
+    }
+    dcs.push_back(std::move(slim));
+  }
+  doc.set("datacenters", Json(std::move(dcs)));
+  const Scenario sc = scenario_json::from_json(doc);
+  EXPECT_DOUBLE_EQ(sc.topology.datacenters[0].pue, 1.0);
+  EXPECT_DOUBLE_EQ(sc.topology.datacenters[0].idle_power_kw, 0.0);
+  EXPECT_DOUBLE_EQ(sc.topology.datacenters[0].server_capacity, 1.0);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,114 @@
+#include "core/server_trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+/// Brute-force DP oracle over small instances: exact minimum of
+/// idle + switching cost with m_t in [needed_t, max].
+double dp_oracle(const std::vector<int>& needed,
+                 const std::vector<double>& idle, double sc, int max_servers,
+                 int initial_on) {
+  const std::size_t T = needed.size();
+  const std::size_t states = static_cast<std::size_t>(max_servers) + 1;
+  std::vector<double> cost(states, 1e300);
+  for (int s = needed[0]; s <= max_servers; ++s) {
+    cost[static_cast<std::size_t>(s)] =
+        idle[0] * s + sc * std::abs(s - initial_on);
+  }
+  for (std::size_t t = 1; t < T; ++t) {
+    std::vector<double> next(states, 1e300);
+    for (int s = needed[t]; s <= max_servers; ++s) {
+      for (int p = 0; p <= max_servers; ++p) {
+        if (cost[static_cast<std::size_t>(p)] >= 1e300) continue;
+        next[static_cast<std::size_t>(s)] =
+            std::min(next[static_cast<std::size_t>(s)],
+                     cost[static_cast<std::size_t>(p)] + idle[t] * s +
+                         sc * std::abs(s - p));
+      }
+    }
+    cost = std::move(next);
+  }
+  return *std::min_element(cost.begin(), cost.end());
+}
+
+TEST(ServerTrajectory, FreeSwitchingTracksNeed) {
+  const TrajectoryResult r = optimal_server_trajectory(
+      {3, 1, 4, 0, 2}, {1.0, 1.0, 1.0, 1.0, 1.0}, 0.0, 6, 0);
+  EXPECT_EQ(r.servers, (std::vector<int>{3, 1, 4, 0, 2}));
+  EXPECT_DOUBLE_EQ(r.switch_cost, 0.0);
+  EXPECT_DOUBLE_EQ(r.idle_cost, 10.0);
+}
+
+TEST(ServerTrajectory, ExpensiveSwitchingBridgesTheValley) {
+  // needed dips 4 -> 0 -> 4; with idle $1/slot and switch $10, toggling
+  // 4 servers off and on costs $80 vs holding them for $4.
+  const TrajectoryResult r = optimal_server_trajectory(
+      {4, 0, 4}, {1.0, 1.0, 1.0}, 10.0, 6, 4);
+  EXPECT_EQ(r.servers, (std::vector<int>{4, 4, 4}));
+  EXPECT_DOUBLE_EQ(r.switch_cost, 0.0);  // started at 4, never moved
+}
+
+TEST(ServerTrajectory, CheapSwitchingDrainsTheValley) {
+  const TrajectoryResult r = optimal_server_trajectory(
+      {4, 0, 4}, {10.0, 10.0, 10.0}, 0.1, 6, 4);
+  EXPECT_EQ(r.servers, (std::vector<int>{4, 0, 4}));
+}
+
+TEST(ServerTrajectory, InitialRampIsCharged) {
+  const TrajectoryResult r =
+      optimal_server_trajectory({5}, {1.0}, 2.0, 8, 0);
+  EXPECT_EQ(r.servers, (std::vector<int>{5}));
+  EXPECT_DOUBLE_EQ(r.switch_cost, 10.0);
+}
+
+TEST(ServerTrajectory, Validation) {
+  EXPECT_THROW(optimal_server_trajectory({}, {}, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(optimal_server_trajectory({1}, {}, 1.0, 4),
+               InvalidArgument);
+  EXPECT_THROW(optimal_server_trajectory({5}, {1.0}, 1.0, 4),
+               InvalidArgument);  // needed > max
+  EXPECT_THROW(optimal_server_trajectory({1}, {1.0}, -1.0, 4),
+               InvalidArgument);
+  EXPECT_THROW(optimal_server_trajectory({1}, {1.0}, 1.0, 4, 9),
+               InvalidArgument);  // initial_on > max
+}
+
+class TrajectoryOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrajectoryOracleTest, LpMatchesDpOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7349 + 29);
+  const int max_servers = 4;
+  const std::size_t T = 3 + rng.uniform_index(5);
+  std::vector<int> needed(T);
+  std::vector<double> idle(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    needed[t] = static_cast<int>(rng.uniform_index(max_servers + 1));
+    idle[t] = rng.uniform(0.1, 5.0);
+  }
+  const double sc = rng.uniform(0.0, 8.0);
+  const int initial = static_cast<int>(rng.uniform_index(max_servers + 1));
+
+  const TrajectoryResult lp =
+      optimal_server_trajectory(needed, idle, sc, max_servers, initial);
+  const double oracle = dp_oracle(needed, idle, sc, max_servers, initial);
+  EXPECT_NEAR(lp.total(), oracle, 1e-6);
+  // Feasibility.
+  for (std::size_t t = 0; t < T; ++t) {
+    EXPECT_GE(lp.servers[t], needed[t]);
+    EXPECT_LE(lp.servers[t], max_servers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrajectoryOracleTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,144 @@
+#include "core/simple_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/accounting.hpp"
+#include "core/optimized_policy.hpp"
+#include "scenario_fixtures.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+TEST(NearestPolicy, ProducesValidPlan) {
+  NearestPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_TRUE(plan.is_valid(topo, input));
+  EXPECT_EQ(policy.name(), "Nearest");
+}
+
+TEST(NearestPolicy, PrefersTheCloseDataCenter) {
+  NearestPolicy policy;
+  const Topology topo = small_topology();  // fe1: 200 vs 1500 miles
+  const SlotInput input = small_input(0.2);
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  // Light load: everything from fe1 lands at dc1 (closest).
+  EXPECT_GT(plan.rate[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(plan.rate[0][0][1], 0.0);
+}
+
+TEST(NearestPolicy, IgnoresPrices) {
+  NearestPolicy policy;
+  const Topology topo = small_topology();
+  SlotInput cheap_far = small_input(0.2);
+  cheap_far.price = {0.50, 0.001};  // far DC nearly free
+  const DispatchPlan plan = policy.plan_slot(topo, cheap_far);
+  // Still routes to the close, expensive one.
+  EXPECT_GT(plan.class_dc_rate(0, 0), plan.class_dc_rate(0, 1));
+}
+
+TEST(NearestPolicy, SpillsWhenTheCloseOneFills) {
+  NearestPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input(4.0);
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_GT(plan.class_dc_rate(0, 1) + plan.class_dc_rate(1, 1), 0.0);
+  EXPECT_TRUE(plan.is_valid(topo, input));
+}
+
+TEST(CostMinPolicy, ProducesValidPlan) {
+  CostMinPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_TRUE(plan.is_valid(topo, input));
+  EXPECT_EQ(policy.name(), "CostMin");
+}
+
+TEST(CostMinPolicy, ServesEverythingItCan) {
+  // Volume is lexicographically first: at feasible load, completion is
+  // total even when serving costs money.
+  CostMinPolicy policy;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input(0.8);
+  const SlotMetrics m =
+      evaluate_plan(topo, input, policy.plan_slot(topo, input));
+  EXPECT_NEAR(m.completed_fraction(), 1.0, 1e-9);
+}
+
+TEST(CostMinPolicy, MinimizesCostAmongVolumeMaximalPlans) {
+  // Two identical DCs, one with much cheaper energy: all load must go
+  // to the cheap one.
+  Topology topo = small_topology();
+  topo.classes = {{"c", StepTuf::constant(0.01, 0.1), 0.0}};
+  for (auto& dc : topo.datacenters) {
+    dc.service_rate = {100.0};
+    dc.energy_per_request_kwh = {0.004};
+  }
+  SlotInput input;
+  input.arrival_rate = {{50.0, 50.0}};
+  input.price = {0.02, 0.14};
+  input.slot_seconds = 3600.0;
+  CostMinPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  EXPECT_GT(plan.class_dc_rate(0, 0), 0.0);
+  EXPECT_NEAR(plan.class_dc_rate(0, 1), 0.0, 1e-6);
+}
+
+TEST(CostMinPolicy, BlindToUpperTufBands) {
+  // A two-level class at light load: CostMin plans only for the final
+  // deadline, so its shares sit at the stability minimum while the
+  // optimizer buys the top band. The optimizer must strictly win.
+  OptimizedPolicy optimized;
+  CostMinPolicy costmin;
+  const Topology topo = small_topology();
+  const SlotInput input = small_input(1.0);
+  const double opt =
+      evaluate_plan(topo, input, optimized.plan_slot(topo, input))
+          .net_profit();
+  const double cm =
+      evaluate_plan(topo, input, costmin.plan_slot(topo, input))
+          .net_profit();
+  EXPECT_GT(opt, cm);
+}
+
+TEST(SimplePolicies, StableWhereverTheyRoute) {
+  const Topology topo = small_topology();
+  NearestPolicy nearest;
+  CostMinPolicy costmin;
+  for (double scale : {0.3, 1.0, 5.0, 15.0}) {
+    const SlotInput input = small_input(scale);
+    for (Policy* policy :
+         std::initializer_list<Policy*>{&nearest, &costmin}) {
+      const SlotMetrics m =
+          evaluate_plan(topo, input, policy->plan_slot(topo, input));
+      for (const auto& per_class : m.outcomes) {
+        for (const auto& o : per_class) {
+          if (o.rate > 1e-9) {
+            EXPECT_TRUE(o.stable)
+                << policy->name() << " scale=" << scale;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimplePolicies, ZeroLoadYieldsZeroPlan) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input(0.0);
+  NearestPolicy nearest;
+  CostMinPolicy costmin;
+  for (Policy* policy :
+       std::initializer_list<Policy*>{&nearest, &costmin}) {
+    const DispatchPlan plan = policy->plan_slot(topo, input);
+    EXPECT_DOUBLE_EQ(plan.total_rate(), 0.0) << policy->name();
+  }
+}
+
+}  // namespace
+}  // namespace palb

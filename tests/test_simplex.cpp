@@ -1,0 +1,234 @@
+#include "solver/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+const SimplexSolver solver;
+
+TEST(Simplex, TextbookTwoVariableMax) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum (2, 6) = 36.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 3.0);
+  const int y = lp.add_variable(0, kInfinity, 5.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  lp.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, MinimizationWithGeRows) {
+  // min 2x + 3y  s.t. x + y >= 4, x + 3y >= 6. Optimum at (3, 1) = 9.
+  LinearProgram lp;
+  const int x = lp.add_variable(0, kInfinity, 2.0);
+  const int y = lp.add_variable(0, kInfinity, 3.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 4.0);
+  lp.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::kGe, 6.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 9.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y  s.t. x + y = 3, x <= 1. Optimum (1, 2) = 5.
+  LinearProgram lp;
+  const int x = lp.add_variable(0, 1.0, 1.0);
+  const int y = lp.add_variable(0, kInfinity, 2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 3.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(solver.solve(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsBoundInfeasibility) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 1.0, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 5.0);
+  EXPECT_EQ(solver.solve(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  const int y = lp.add_variable(0, kInfinity, 0.0);
+  lp.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLe, 1.0);
+  EXPECT_EQ(solver.solve(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesVariableUpperBounds) {
+  // max x + y with x <= 2, y <= 3 via bounds only.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  lp.add_variable(0.0, 2.0, 1.0);
+  lp.add_variable(0.0, 3.0, 1.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, HandlesShiftedLowerBounds) {
+  // min x with x >= 2.5 and x + y <= 10, y >= 1 -> x = 2.5.
+  LinearProgram lp;
+  const int x = lp.add_variable(2.5, kInfinity, 1.0);
+  const int y = lp.add_variable(1.0, kInfinity, 0.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 10.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.5, 1e-8);
+}
+
+TEST(Simplex, HandlesNegativeLowerBounds) {
+  // min x + y, x >= -5, y >= -3, x + y >= -6 -> objective -6.
+  LinearProgram lp;
+  const int x = lp.add_variable(-5.0, kInfinity, 1.0);
+  const int y = lp.add_variable(-3.0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, -6.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -6.0, 1e-7);
+}
+
+TEST(Simplex, HandlesFreeVariables) {
+  // min |shape|: free variable pushed negative by the objective but held
+  // by a row: min x s.t. x >= -7 expressed as a row, x free.
+  LinearProgram lp;
+  const int x = lp.add_variable(-kInfinity, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, -7.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], -7.0, 1e-7);
+}
+
+TEST(Simplex, HandlesReflectedVariables) {
+  // max x with x in (-inf, 9].
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  lp.add_variable(-kInfinity, 9.0, 1.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 9.0, 1e-8);
+}
+
+TEST(Simplex, ObjectiveOffsetIncluded) {
+  LinearProgram lp;
+  lp.set_objective_offset(100.0);
+  lp.add_variable(0.0, 1.0, 1.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 100.0, 1e-8);
+}
+
+TEST(Simplex, RedundantRowsAreHarmless) {
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kEq, 4.0);
+  lp.add_constraint({{x, 2.0}}, Relation::kEq, 8.0);  // same hyperplane
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateVerticesTerminate) {
+  // Classic degeneracy: multiple constraints meeting at the optimum.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  const int y = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{y, 1.0}}, Relation::kLe, 1.0);
+  lp.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kLe, 2.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-7);
+}
+
+TEST(Simplex, SolutionSatisfiesModel) {
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int a = lp.add_variable(0.0, 10.0, 4.0);
+  const int b = lp.add_variable(1.0, 8.0, -1.0);
+  const int c = lp.add_variable(0.0, kInfinity, 2.5);
+  lp.add_constraint({{a, 1.0}, {b, 2.0}, {c, 1.0}}, Relation::kLe, 20.0);
+  lp.add_constraint({{a, 1.0}, {c, -1.0}}, Relation::kGe, -2.0);
+  lp.add_constraint({{b, 1.0}, {c, 1.0}}, Relation::kLe, 12.0);
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_TRUE(lp.is_feasible(sol.x, 1e-6));
+  EXPECT_NEAR(lp.objective_value(sol.x), sol.objective, 1e-6);
+}
+
+TEST(ToString, LpStatusNames) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(LpStatus::kIterationLimit), "iteration-limit");
+}
+
+/// Property sweep: random bounded LPs solved by simplex must (a) be
+/// feasible per the model, (b) dominate a cloud of random feasible points
+/// (no random point may beat the "optimum").
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, DominatesRandomFeasiblePoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 2 + static_cast<int>(rng.uniform_index(4));  // 2..5 vars
+  const int m = 1 + static_cast<int>(rng.uniform_index(4));  // 1..4 rows
+
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    lp.add_variable(0.0, rng.uniform(0.5, 4.0), rng.uniform(-1.0, 3.0));
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.emplace_back(j, rng.uniform(0.0, 2.0));
+    }
+    // rhs chosen positive so x = 0 is always feasible -> LP is feasible
+    // and bounded (box above).
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(1.0, 6.0));
+  }
+
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  ASSERT_TRUE(lp.is_feasible(sol.x, 1e-6));
+  EXPECT_NEAR(lp.objective_value(sol.x), sol.objective, 1e-6);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> candidate(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      candidate[static_cast<std::size_t>(j)] =
+          rng.uniform(0.0, lp.upper_bound(j));
+    }
+    if (!lp.is_feasible(candidate, 0.0)) continue;
+    EXPECT_LE(lp.objective_value(candidate), sol.objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace palb

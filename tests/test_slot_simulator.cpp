@@ -1,0 +1,144 @@
+#include "sim/slot_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/optimized_policy.hpp"
+#include "queueing/mm1.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/stats.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+DispatchPlan hand_plan(const Topology& topo) {
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 50.0;
+  plan.rate[1][0][0] = 20.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.6, 0.4};
+  return plan;
+}
+
+TEST(SlotSimulator, EmpiricalDelaysMatchEquationOne) {
+  const Topology topo = small_topology();
+  SlotInput input = small_input();
+  input.slot_seconds = 20000.0;  // long slot for tight statistics
+  const DispatchPlan plan = hand_plan(topo);
+  Rng rng(11);
+  const SimOutcome out = SlotSimulator().simulate(topo, input, plan, rng);
+
+  const SlotMetrics analytic = evaluate_plan(topo, input, plan);
+  for (std::size_t k = 0; k < 2; ++k) {
+    const auto& expected = analytic.outcomes[k][0];
+    if (expected.rate <= 0.0) continue;
+    ASSERT_GT(out.sojourn[k][0].count(), 500u);
+    EXPECT_NEAR(out.sojourn[k][0].mean(), expected.delay,
+                0.12 * expected.delay)
+        << "class " << k;
+  }
+}
+
+TEST(SlotSimulator, LedgerTracksAnalyticAccounting) {
+  const Topology topo = small_topology();
+  SlotInput input = small_input();
+  input.slot_seconds = 20000.0;
+  const DispatchPlan plan = hand_plan(topo);
+  Rng rng(13);
+  const SimOutcome out = SlotSimulator().simulate(topo, input, plan, rng);
+  const SlotMetrics analytic = evaluate_plan(topo, input, plan);
+
+  EXPECT_LT(relative_difference(out.energy_cost, analytic.energy_cost),
+            0.05);
+  EXPECT_LT(relative_difference(out.transfer_cost, analytic.transfer_cost),
+            0.05);
+  EXPECT_LT(relative_difference(out.revenue_mean_delay, analytic.revenue),
+            0.10);
+}
+
+TEST(SlotSimulator, PerRequestRevenueNeverExceedsTopLevelMass) {
+  const Topology topo = small_topology();
+  SlotInput input = small_input();
+  input.slot_seconds = 5000.0;
+  const DispatchPlan plan = hand_plan(topo);
+  Rng rng(17);
+  const SimOutcome out = SlotSimulator().simulate(topo, input, plan, rng);
+  double bound = 0.0;
+  for (std::size_t k = 0; k < topo.num_classes(); ++k) {
+    bound += topo.classes[k].tuf.max_utility() * plan.class_dc_rate(k, 0) *
+             input.slot_seconds;
+  }
+  EXPECT_GT(out.revenue_per_request, 0.0);
+  EXPECT_LE(out.revenue_per_request, bound * 1.1);
+}
+
+TEST(SlotSimulator, DeterministicUnderSameSeed) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  const DispatchPlan plan = hand_plan(topo);
+  Rng a(5), b(5);
+  const SimOutcome ra = SlotSimulator().simulate(topo, input, plan, a);
+  const SimOutcome rb = SlotSimulator().simulate(topo, input, plan, b);
+  EXPECT_EQ(ra.arrivals, rb.arrivals);
+  EXPECT_DOUBLE_EQ(ra.revenue_per_request, rb.revenue_per_request);
+}
+
+TEST(SlotSimulator, ReplicationsTightenWithoutBias) {
+  const Topology topo = small_topology();
+  SlotInput input = small_input();
+  input.slot_seconds = 3000.0;
+  const DispatchPlan plan = hand_plan(topo);
+  SlotSimulator::Options opt;
+  opt.replications = 4;
+  Rng rng(23);
+  const SimOutcome out =
+      SlotSimulator(opt).simulate(topo, input, plan, rng);
+  const SlotMetrics analytic = evaluate_plan(topo, input, plan);
+  EXPECT_LT(relative_difference(out.energy_cost, analytic.energy_cost),
+            0.05);
+}
+
+TEST(SlotSimulator, RejectsPlanRoutingIntoWall) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 5.0;  // no server on at dc1
+  Rng rng(1);
+  EXPECT_THROW(SlotSimulator().simulate(topo, input, plan, rng),
+               InvalidArgument);
+}
+
+TEST(SlotSimulator, EmptyPlanIsQuiet) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  Rng rng(1);
+  const SimOutcome out =
+      SlotSimulator().simulate(topo, input, DispatchPlan::zero(topo), rng);
+  EXPECT_EQ(out.arrivals, 0u);
+  EXPECT_DOUBLE_EQ(out.net_profit_mean_delay(), 0.0);
+}
+
+TEST(SlotSimulator, ValidatesOptimizedPlanEndToEnd) {
+  // The flagship check: the optimizer's planned profit is realized by an
+  // independent stochastic replay (mean-delay accounting, 15% band).
+  const Topology topo = small_topology();
+  SlotInput input = small_input();
+  input.slot_seconds = 20000.0;
+  OptimizedPolicy policy;
+  const DispatchPlan plan = policy.plan_slot(topo, input);
+  const SlotMetrics analytic = evaluate_plan(topo, input, plan);
+  Rng rng(29);
+  SlotSimulator::Options opt;
+  opt.replications = 2;
+  const SimOutcome out = SlotSimulator(opt).simulate(topo, input, plan, rng);
+  EXPECT_LT(relative_difference(out.net_profit_mean_delay(),
+                                analytic.net_profit()),
+            0.15);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,143 @@
+#include "solver/step_tuf_bigm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+StepTufBigM two_level() {
+  return StepTufBigM({20.0, 10.0}, {1.0, 3.0});
+}
+
+StepTufBigM three_level() {
+  return StepTufBigM({30.0, 18.0, 5.0}, {1.0, 2.0, 4.0});
+}
+
+TEST(StepTufBigM, ConstructorValidation) {
+  EXPECT_THROW(StepTufBigM({}, {}), InvalidArgument);
+  EXPECT_THROW(StepTufBigM({10.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(StepTufBigM({10.0, 12.0}, {1.0, 2.0}),
+               InvalidArgument);  // not decreasing
+  EXPECT_THROW(StepTufBigM({10.0, 5.0}, {2.0, 1.0}),
+               InvalidArgument);  // not increasing
+  EXPECT_THROW(StepTufBigM({10.0}, {1.0}, -1.0), InvalidArgument);
+  EXPECT_THROW(StepTufBigM({10.0}, {1.0}, 1e6, 0.0), InvalidArgument);
+}
+
+TEST(StepTufBigM, OneLevelPinsUtility) {
+  StepTufBigM bigm({10.0}, {2.0});
+  EXPECT_EQ(bigm.num_constraints(), 1u);
+  EXPECT_TRUE(bigm.admits(0.5, 10.0));
+  EXPECT_FALSE(bigm.admits(0.5, 9.0));
+  EXPECT_EQ(bigm.admitted_level(1.0), 0);
+}
+
+TEST(StepTufBigM, TwoLevelConstraintCount) {
+  // Eqs. 12 and 13: exactly two constraints.
+  EXPECT_EQ(two_level().num_constraints(), 2u);
+}
+
+TEST(StepTufBigM, ThreeLevelConstraintCount) {
+  // Eqs. 19-22: exactly four constraints.
+  EXPECT_EQ(three_level().num_constraints(), 4u);
+}
+
+TEST(StepTufBigM, TwoLevelBandSelection) {
+  const StepTufBigM bigm = two_level();
+  // Band 1: R <= D_1 admits only U_1 (paper's case analysis, §IV-2).
+  EXPECT_EQ(bigm.admitted_level(0.5), 0);
+  EXPECT_TRUE(bigm.admits(0.5, 20.0));
+  EXPECT_FALSE(bigm.admits(0.5, 10.0));
+  // Band 2: D_1 < R <= D_2 admits only U_2.
+  EXPECT_EQ(bigm.admitted_level(2.0), 1);
+  EXPECT_FALSE(bigm.admits(2.0, 20.0));
+  EXPECT_TRUE(bigm.admits(2.0, 10.0));
+}
+
+TEST(StepTufBigM, ThreeLevelBandSelection) {
+  const StepTufBigM bigm = three_level();
+  EXPECT_EQ(bigm.admitted_level(0.5), 0);
+  EXPECT_EQ(bigm.admitted_level(1.5), 1);
+  EXPECT_EQ(bigm.admitted_level(3.0), 2);
+}
+
+TEST(StepTufBigM, LabelsAreExposed) {
+  const StepTufBigM bigm = three_level();
+  for (std::size_t i = 0; i < bigm.num_constraints(); ++i) {
+    EXPECT_FALSE(bigm.constraint_label(i).empty());
+  }
+  EXPECT_NE(bigm.constraint_label(0).find("D_1"), std::string::npos);
+}
+
+TEST(StepTufBigM, DirectUtilityMatchesDefinition) {
+  const StepTufBigM bigm = three_level();
+  EXPECT_DOUBLE_EQ(bigm.direct_utility(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(bigm.direct_utility(1.0), 30.0);  // inclusive band edge
+  EXPECT_DOUBLE_EQ(bigm.direct_utility(1.5), 18.0);
+  EXPECT_DOUBLE_EQ(bigm.direct_utility(4.0), 5.0);
+  EXPECT_DOUBLE_EQ(bigm.direct_utility(4.5), 0.0);  // past final deadline
+  EXPECT_THROW(bigm.direct_utility(0.0), InvalidArgument);
+}
+
+TEST(StepTufBigM, IndexRangeChecked) {
+  const StepTufBigM bigm = two_level();
+  EXPECT_THROW(bigm.constraint_value(99, 1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(bigm.constraint_label(99), InvalidArgument);
+}
+
+/// THE equivalence property the paper proves (§IV-2/3): over the whole
+/// delay domain (0, D_n], the big-M constraint system admits exactly the
+/// level the step TUF dictates — for arbitrary level geometry and level
+/// counts.
+class BigMEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigMEquivalenceTest, SystemAdmitsExactlyTheDirectBand) {
+  const int case_id = GetParam();
+  const int n = 1 + case_id % 5;  // 1..5 levels
+  Rng rng(static_cast<std::uint64_t>(case_id) * 6151 + 3);
+
+  std::vector<double> utilities, deadlines;
+  double u = rng.uniform(40.0, 90.0);
+  double d = rng.uniform(0.2, 1.0);
+  for (int q = 0; q < n; ++q) {
+    utilities.push_back(u);
+    deadlines.push_back(d);
+    u -= rng.uniform(2.0, 15.0);
+    d += rng.uniform(0.3, 2.0);
+  }
+  const StepTufBigM bigm(utilities, deadlines);
+
+  const double final_deadline = deadlines.back();
+  const double delta = bigm.delta();
+  for (int step = 1; step <= 400; ++step) {
+    // The equivalence domain is (0, D_n] — the final deadline itself is
+    // enforced by Eq. 6, not by the band system — so clamp the grid's
+    // last point, which can land an ulp past D_n.
+    const double delay = std::min(
+        final_deadline, final_deadline * static_cast<double>(step) / 400.0);
+    // Skip the paper's half-open delta window right above each
+    // sub-deadline, where by construction neither band is admitted yet.
+    bool in_delta_gap = false;
+    for (int q = 0; q + 1 < n; ++q) {
+      const double dq = deadlines[static_cast<std::size_t>(q)];
+      if (delay > dq && delay <= dq + delta) in_delta_gap = true;
+    }
+    if (in_delta_gap) continue;
+
+    const double direct = bigm.direct_utility(delay);
+    const int admitted = bigm.admitted_level(delay);
+    ASSERT_GE(admitted, 0) << "no unique level admitted at R=" << delay;
+    EXPECT_DOUBLE_EQ(utilities[static_cast<std::size_t>(admitted)], direct)
+        << "R=" << delay;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BigMEquivalenceTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace palb

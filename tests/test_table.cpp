@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowHelper) {
+  TextTable table({"label", "a", "b"});
+  table.add_row("row", {1.5, 2.25}, 2);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(TextTable, WidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only"}), InvalidArgument);
+  EXPECT_THROW(table.add_row("x", {1.0, 2.0, 3.0}), InvalidArgument);
+}
+
+TEST(RenderSeries, ContainsValuesAndBars) {
+  const std::string out =
+      render_series("demo", {0.0, 1.0, 2.0}, {1.0, 3.0, 2.0}, "hour", "$");
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("3.000"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(RenderSeries, SizeMismatchThrows) {
+  EXPECT_THROW(render_series("x", {0.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(RenderMultiSeries, AlignsSeries) {
+  const std::string out = render_multi_series(
+      "overlay", {0.0, 1.0}, {"opt", "bal"}, {{5.0, 6.0}, {1.0, 2.0}});
+  EXPECT_NE(out.find("opt"), std::string::npos);
+  EXPECT_NE(out.find("bal"), std::string::npos);
+  EXPECT_NE(out.find("6.000"), std::string::npos);
+}
+
+TEST(RenderMultiSeries, Validation) {
+  EXPECT_THROW(
+      render_multi_series("x", {0.0}, {"a"}, {{1.0}, {2.0}}),
+      InvalidArgument);
+  EXPECT_THROW(render_multi_series("x", {0.0}, {"a"}, {{1.0, 2.0}}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,71 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(TraceIo, RateRoundTrip) {
+  const std::vector<RateTrace> traces{
+      RateTrace("alpha", {1.0, 2.5, 3.0}),
+      RateTrace("beta", {0.0, 10.0, 20.0}),
+  };
+  std::ostringstream os;
+  trace_io::write_rates(os, traces);
+  std::istringstream is(os.str());
+  const auto back = trace_io::read_rates(is);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name(), "alpha");
+  EXPECT_EQ(back[1].name(), "beta");
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(back[0].at(s), traces[0].at(s));
+    EXPECT_DOUBLE_EQ(back[1].at(s), traces[1].at(s));
+  }
+}
+
+TEST(TraceIo, PriceRoundTrip) {
+  const std::vector<PriceTrace> traces{
+      PriceTrace("Houston", {0.03, 0.05}),
+      PriceTrace("Atlanta", {0.02, 0.04}),
+  };
+  std::ostringstream os;
+  trace_io::write_prices(os, traces);
+  std::istringstream is(os.str());
+  const auto back = trace_io::read_prices(is);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].location(), "Houston");
+  EXPECT_DOUBLE_EQ(back[1].at(1), 0.04);
+}
+
+TEST(TraceIo, MismatchedLengthsRejected) {
+  const std::vector<RateTrace> traces{
+      RateTrace("a", {1.0, 2.0}),
+      RateTrace("b", {1.0}),
+  };
+  std::ostringstream os;
+  EXPECT_THROW(trace_io::write_rates(os, traces), InvalidArgument);
+}
+
+TEST(TraceIo, EmptySetRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(trace_io::write_rates(os, {}), InvalidArgument);
+}
+
+TEST(TraceIo, ReadRejectsHeaderOnlyOrNarrow) {
+  std::istringstream only_header("slot,a\n");
+  EXPECT_THROW(trace_io::read_rates(only_header), InvalidArgument);
+  std::istringstream narrow("slot\n0\n");
+  EXPECT_THROW(trace_io::read_rates(narrow), InvalidArgument);
+}
+
+TEST(TraceIo, ReadRejectsNonNumeric) {
+  std::istringstream is("slot,a\n0,abc\n");
+  EXPECT_THROW(trace_io::read_rates(is), IoError);
+}
+
+}  // namespace
+}  // namespace palb

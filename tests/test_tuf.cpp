@@ -1,0 +1,100 @@
+#include "cloud/tuf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+TEST(StepTuf, ConstantTuf) {
+  const StepTuf tuf = StepTuf::constant(5.0, 2.0);
+  EXPECT_EQ(tuf.levels(), 1u);
+  EXPECT_DOUBLE_EQ(tuf.utility(0.1), 5.0);
+  EXPECT_DOUBLE_EQ(tuf.utility(2.0), 5.0);  // inclusive edge
+  EXPECT_DOUBLE_EQ(tuf.utility(2.1), 0.0);
+  EXPECT_DOUBLE_EQ(tuf.final_deadline(), 2.0);
+  EXPECT_DOUBLE_EQ(tuf.max_utility(), 5.0);
+}
+
+TEST(StepTuf, TwoLevelBands) {
+  const StepTuf tuf({20.0, 10.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(tuf.utility(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(tuf.utility(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(tuf.utility(1.0001), 10.0);
+  EXPECT_DOUBLE_EQ(tuf.utility(3.0), 10.0);
+  EXPECT_DOUBLE_EQ(tuf.utility(3.5), 0.0);
+  EXPECT_EQ(tuf.level_for_delay(0.5), 0);
+  EXPECT_EQ(tuf.level_for_delay(2.0), 1);
+  EXPECT_EQ(tuf.level_for_delay(9.0), -1);
+}
+
+TEST(StepTuf, AccessorsRangeChecked) {
+  const StepTuf tuf({20.0, 10.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(tuf.utility_at_level(1), 10.0);
+  EXPECT_DOUBLE_EQ(tuf.sub_deadline(0), 1.0);
+  EXPECT_THROW(tuf.utility_at_level(2), InvalidArgument);
+  EXPECT_THROW(tuf.sub_deadline(2), InvalidArgument);
+  EXPECT_THROW(tuf.utility(0.0), InvalidArgument);
+  EXPECT_THROW(tuf.utility(-1.0), InvalidArgument);
+}
+
+TEST(StepTuf, ConstructorValidation) {
+  EXPECT_THROW(StepTuf({}, {}), InvalidArgument);
+  EXPECT_THROW(StepTuf({5.0}, {}), InvalidArgument);
+  EXPECT_THROW(StepTuf({5.0, 6.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(StepTuf({6.0, 5.0}, {2.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(StepTuf({6.0}, {-1.0}), InvalidArgument);
+  EXPECT_THROW(StepTuf({0.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(StepTuf({6.0, 6.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(StepTuf, DecayApproximationEndpoints) {
+  const StepTuf tuf = StepTuf::approximate_decay(10.0, 2.0, 4);
+  EXPECT_EQ(tuf.levels(), 4u);
+  EXPECT_DOUBLE_EQ(tuf.final_deadline(), 2.0);
+  // First band's value is the midpoint of the first segment of the line.
+  EXPECT_NEAR(tuf.utility(0.1), 10.0 * (1.0 - 0.25 / 2.0), 1e-9);
+  // Past the deadline: worthless.
+  EXPECT_DOUBLE_EQ(tuf.utility(2.5), 0.0);
+}
+
+class DecayApproxTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecayApproxTest, StaircaseTracksTheLine) {
+  const int steps = GetParam();
+  const double max_u = 8.0, deadline = 4.0;
+  const StepTuf tuf = StepTuf::approximate_decay(max_u, deadline, steps);
+  // Max absolute gap between staircase and line shrinks as 1/steps.
+  double worst = 0.0;
+  for (int i = 1; i < 200; ++i) {
+    const double delay = deadline * static_cast<double>(i) / 200.0;
+    const double line = max_u * (1.0 - delay / deadline);
+    worst = std::max(worst, std::abs(tuf.utility(delay) - line));
+  }
+  EXPECT_LE(worst, max_u / static_cast<double>(steps) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepCounts, DecayApproxTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(StepTuf, DecayValidation) {
+  EXPECT_THROW(StepTuf::approximate_decay(10.0, 2.0, 0), InvalidArgument);
+  EXPECT_THROW(StepTuf::approximate_decay(0.0, 2.0, 3), InvalidArgument);
+  EXPECT_THROW(StepTuf::approximate_decay(1.0, 0.0, 3), InvalidArgument);
+}
+
+TEST(StepTuf, UtilityIsNonIncreasingInDelay) {
+  const StepTuf tuf({30.0, 18.0, 5.0}, {1.0, 2.0, 4.0});
+  double last = tuf.utility(0.01);
+  for (double delay = 0.05; delay < 5.0; delay += 0.05) {
+    const double u = tuf.utility(delay);
+    EXPECT_LE(u, last);
+    last = u;
+  }
+}
+
+}  // namespace
+}  // namespace palb

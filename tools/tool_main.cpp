@@ -1,0 +1,365 @@
+// palb — command-line driver for the profit-aware load-balancing library.
+//
+//   palb scenarios                         list the built-in scenarios
+//   palb export <scenario> <file.json>     dump a built-in scenario to JSON
+//   palb run <scenario|file.json> [opts]   run policies over a scenario
+//       --slots N        number of control slots (default: trace length)
+//       --first N        first slot index (default 0)
+//       --policy NAME    optimized | balanced | bigm | all (default all)
+//       --csv FILE       also write the per-slot ledger as CSV
+//   palb simulate <scenario|file.json> [--slots N] [--seed S]
+//       plan with Optimized, then stochastically replay each slot and
+//       report analytic-vs-simulated profit
+//   palb forecast <scenario|file.json> [--model M] [--inflation X]
+//       causal operation: plan from forecasts, settle against reality
+//   palb replay <scenario|file.json> <plans.json>
+//       audit stored plans against a scenario
+//
+// Built-in scenario names: basic-low, basic-high, worldcup, google;
+// "random:SEED" generates a deterministic random world.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/accounting.hpp"
+#include "core/balanced_policy.hpp"
+#include "core/bigm_nlp_policy.hpp"
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/plan_json.hpp"
+#include "core/scenario_gen.hpp"
+#include "core/scenario_json.hpp"
+#include "forecast/forecasting_controller.hpp"
+#include "sim/slot_simulator.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  palb scenarios\n"
+               "  palb export <scenario> <file.json>\n"
+               "  palb run <scenario|file.json> [--slots N] [--first N] "
+               "[--policy optimized|balanced|bigm|all] [--csv FILE] [--plans FILE]\n"
+               "  palb simulate <scenario|file.json> [--slots N] [--seed S]\n"
+               "  palb forecast <scenario|file.json> [--model naive|ewma|seasonal|kalman] [--inflation X] [--slots N] [--first N]\n"
+               "  palb replay <scenario|file.json> <plans.json>\n"
+               "built-ins: basic-low basic-high worldcup google; also random:SEED\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Scenario resolve_scenario(const std::string& name) {
+  if (name == "basic-low") {
+    return paper::basic_synthetic(paper::ArrivalSet::kLow);
+  }
+  if (name == "basic-high") {
+    return paper::basic_synthetic(paper::ArrivalSet::kHigh);
+  }
+  if (name == "worldcup") return paper::worldcup_study();
+  if (name == "google") return paper::google_study();
+  if (ends_with(name, ".json")) return scenario_json::load(name);
+  if (name.rfind("random:", 0) == 0) {
+    return scenario_gen::generate(std::stoull(name.substr(7)));
+  }
+  throw InvalidArgument("unknown scenario '" + name +
+                        "' (not a built-in, not random:SEED, not a .json "
+                        "file)");
+}
+
+std::size_t default_slots(const Scenario& sc) {
+  std::size_t slots = sc.arrivals.front().front().slots();
+  for (const auto& row : sc.arrivals) {
+    for (const auto& trace : row) slots = std::min(slots, trace.slots());
+  }
+  return slots;
+}
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) throw InvalidArgument("missing value for " + arg);
+      args.options[arg.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int cmd_scenarios() {
+  TextTable t({"name", "classes", "front-ends", "data centers", "slots"});
+  for (const char* name :
+       {"basic-low", "basic-high", "worldcup", "google"}) {
+    const Scenario sc = resolve_scenario(name);
+    t.add_row({name, std::to_string(sc.topology.num_classes()),
+               std::to_string(sc.topology.num_frontends()),
+               std::to_string(sc.topology.num_datacenters()),
+               std::to_string(default_slots(sc))});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_export(const std::string& name, const std::string& path) {
+  scenario_json::save(resolve_scenario(name), path);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+void write_csv(const std::string& path, const Scenario& sc,
+               const std::map<std::string, RunResult>& runs,
+               std::size_t slots) {
+  CsvTable csv({"slot", "policy", "revenue", "energy_cost", "transfer_cost",
+                "penalty_cost", "net_profit", "servers_on",
+                "completed_fraction"});
+  for (const auto& [policy, run] : runs) {
+    for (std::size_t t = 0; t < slots; ++t) {
+      const SlotMetrics& m = run.slots[t];
+      csv.add_row({std::to_string(t), policy, format_double(m.revenue, 6),
+                   format_double(m.energy_cost, 6),
+                   format_double(m.transfer_cost, 6),
+                   format_double(m.penalty_cost, 6),
+                   format_double(m.net_profit(), 6),
+                   std::to_string(m.servers_on),
+                   format_double(m.completed_fraction(), 6)});
+    }
+  }
+  csv.write_file(path);
+  (void)sc;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const Scenario sc = resolve_scenario(args.positional[0]);
+  const std::size_t slots =
+      args.options.count("slots")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("slots")))
+          : default_slots(sc);
+  const std::size_t first =
+      args.options.count("first")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("first")))
+          : 0;
+  const std::string which = args.options.count("policy")
+                                ? args.options.at("policy")
+                                : std::string("all");
+
+  const SlotController controller(sc);
+  std::map<std::string, RunResult> runs;
+  if (which == "optimized" || which == "all") {
+    OptimizedPolicy policy;
+    runs["Optimized"] = controller.run(policy, slots, first);
+  }
+  if (which == "balanced" || which == "all") {
+    BalancedPolicy policy;
+    runs["Balanced"] = controller.run(policy, slots, first);
+  }
+  if (which == "bigm" || which == "all") {
+    BigMNlpPolicy::Options opt;
+    opt.multistarts = 3;
+    opt.nlp.max_outer = 15;
+    opt.nlp.max_inner = 120;
+    BigMNlpPolicy policy(opt);
+    runs["BigM-NLP"] = controller.run(policy, slots, first);
+  }
+  if (runs.empty()) return usage();
+
+  TextTable t({"policy", "revenue $", "energy $", "transfer $",
+               "net profit $", "completed %"});
+  for (const auto& [name, run] : runs) {
+    t.add_row({name, format_double(run.total.revenue, 2),
+               format_double(run.total.energy_cost, 2),
+               format_double(run.total.transfer_cost, 2),
+               format_double(run.total.net_profit(), 2),
+               format_double(100.0 * run.total.completed_fraction(), 2)});
+  }
+  std::printf("%zu slot(s) starting at %zu\n%s", slots, first,
+              t.render().c_str());
+
+  if (args.options.count("csv")) {
+    write_csv(args.options.at("csv"), sc, runs, slots);
+    std::printf("per-slot ledger written to %s\n",
+                args.options.at("csv").c_str());
+  }
+  if (args.options.count("plans")) {
+    Json doc = Json::object();
+    for (const auto& [name, run] : runs) {
+      doc.set(name, plan_json::run_to_json(run));
+    }
+    std::ofstream os(args.options.at("plans"));
+    if (!os) throw IoError("cannot open " + args.options.at("plans"));
+    os << doc.dump(2) << "\n";
+    std::printf("per-slot plans written to %s\n",
+                args.options.at("plans").c_str());
+  }
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  // Audit stored plans against a scenario: read a --plans export, apply
+  // each slot's plan verbatim, and re-settle the ledger.
+  if (args.positional.size() != 2) return usage();
+  const Scenario sc = resolve_scenario(args.positional[0]);
+  std::ifstream is(args.positional[1]);
+  if (!is) throw IoError("cannot open " + args.positional[1]);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+
+  TextTable t({"policy", "slots", "net profit $", "completed %"});
+  for (const auto& [policy_name, run_doc] : doc.as_object()) {
+    const Json& slots = run_doc.at("slots");
+    double profit = 0.0, offered = 0.0, completed = 0.0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::size_t slot = slots[i].at("slot").as_index();
+      const SlotInput input = sc.slot_input(slot);
+      const DispatchPlan plan =
+          plan_json::from_json(slots[i].at("plan"), sc.topology);
+      const SlotMetrics m = evaluate_plan(sc.topology, input, plan);
+      profit += m.net_profit();
+      offered += m.offered_requests;
+      completed += m.completed_requests;
+    }
+    t.add_row({policy_name, std::to_string(slots.size()),
+               format_double(profit, 2),
+               format_double(100.0 * completed / std::max(1.0, offered),
+                             2)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_forecast(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const Scenario sc = resolve_scenario(args.positional[0]);
+  const std::size_t total = default_slots(sc);
+  const std::size_t first = args.options.count("first")
+                                ? static_cast<std::size_t>(
+                                      std::stoul(args.options.at("first")))
+                                : std::min<std::size_t>(24, total / 2);
+  const std::size_t slots =
+      args.options.count("slots")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("slots")))
+          : total - first;
+  const double inflation =
+      args.options.count("inflation")
+          ? std::stod(args.options.at("inflation"))
+          : 1.15;
+  const std::string model = args.options.count("model")
+                                ? args.options.at("model")
+                                : std::string("kalman");
+
+  std::unique_ptr<Forecaster> proto;
+  if (model == "naive") {
+    proto = std::make_unique<NaiveForecaster>();
+  } else if (model == "ewma") {
+    proto = std::make_unique<EwmaForecaster>(0.4);
+  } else if (model == "seasonal") {
+    proto = std::make_unique<SeasonalNaiveForecaster>(24);
+  } else if (model == "kalman") {
+    proto = std::make_unique<KalmanForecaster>(25.0, 400.0);
+  } else {
+    throw InvalidArgument("unknown forecast model '" + model +
+                          "' (naive|ewma|seasonal|kalman)");
+  }
+
+  ForecastingController::Options opt;
+  opt.forecast_inflation = inflation;
+  opt.warmup_slots = first;
+  ForecastingController controller(sc, *proto, opt);
+  OptimizedPolicy causal;
+  const ForecastRunResult causal_run = controller.run(causal, slots, first);
+
+  OptimizedPolicy oracle_policy;
+  const RunResult oracle =
+      SlotController(sc).run(oracle_policy, slots, first);
+
+  double rmse = 0.0;
+  for (const auto& e : causal_run.errors) rmse += e.rmse();
+  rmse /= static_cast<double>(causal_run.errors.size());
+
+  TextTable t({"operator", "net profit $", "completed %"});
+  t.add_row({"oracle Optimized",
+             format_double(oracle.total.net_profit(), 2),
+             format_double(100.0 * oracle.total.completed_fraction(), 2)});
+  t.add_row({"causal (" + model + " x" + format_double(inflation, 2) + ")",
+             format_double(causal_run.run.total.net_profit(), 2),
+             format_double(
+                 100.0 * causal_run.run.total.completed_fraction(), 2)});
+  std::printf("%zu slot(s) from %zu | forecast RMSE %.1f req/s\n%s", slots,
+              first, rmse, t.render().c_str());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const Scenario sc = resolve_scenario(args.positional[0]);
+  const std::size_t slots =
+      args.options.count("slots")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("slots")))
+          : default_slots(sc);
+  const std::uint64_t seed =
+      args.options.count("seed") ? std::stoull(args.options.at("seed")) : 1;
+
+  const SlotController controller(sc);
+  OptimizedPolicy policy;
+  const RunResult run = controller.run(policy, slots);
+  SlotSimulator sim;
+  Rng rng(seed);
+  double analytic = 0.0, simulated = 0.0;
+  for (std::size_t t = 0; t < slots; ++t) {
+    analytic += run.slots[t].net_profit();
+    simulated += sim.simulate(sc.topology, sc.slot_input(t), run.plans[t],
+                              rng)
+                     .net_profit_mean_delay();
+  }
+  std::printf("analytic net profit:  $%.2f\n", analytic);
+  std::printf("simulated net profit: $%.2f  (gap %.2f%%)\n", simulated,
+              100.0 * relative_difference(analytic, simulated));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "scenarios") return cmd_scenarios();
+    if (cmd == "export") {
+      if (argc != 4) return usage();
+      return cmd_export(argv[2], argv[3]);
+    }
+    if (cmd == "run") return cmd_run(parse_args(argc, argv, 2));
+    if (cmd == "simulate") return cmd_simulate(parse_args(argc, argv, 2));
+    if (cmd == "forecast") return cmd_forecast(parse_args(argc, argv, 2));
+    if (cmd == "replay") return cmd_replay(parse_args(argc, argv, 2));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
