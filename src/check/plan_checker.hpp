@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+
+namespace palb {
+
+/// What a plan violated. Each code maps to one constraint of the paper's
+/// slot optimization (FORMULATION.md / docs/STATIC_ANALYSIS.md):
+///
+///   kFlowConservation   Eq. 7  — dispatched <= arriving per (k, s)
+///   kShareBudget        Eq. 8  — sum_k phi_{k,l} <= 1 per data center
+///   kDeadlineExceeded   Eq. 6  — mean sojourn within the final deadline
+///                                for every loaded (k, l) stream
+///   kUnstableQueue      Eq. 1 domain — rho < 1 for every loaded stream
+///
+/// plus the structural sanity the equations assume implicitly.
+enum class PlanViolationCode {
+  kShapeMismatch,    ///< plan dimensions disagree with the topology
+  kNonFiniteRate,    ///< NaN or +-inf routing rate or share
+  kNegativeRate,     ///< routing rate below zero
+  kFlowConservation, ///< Eq. 7: dispatched exceeds offered at a front-end
+  kShareRange,       ///< phi outside [0, 1]
+  kShareBudget,      ///< Eq. 8: sum of shares exceeds the server's CPU
+  kServerBudget,     ///< servers_on outside [0, M_l]
+  kOrphanLoad,       ///< load routed to a dark DC or a zero-share VM
+  kUnstableQueue,    ///< rho >= 1: the M/M/1 queue diverges
+  kDeadlineExceeded, ///< Eq. 6: mean delay past the class final deadline
+};
+
+/// Stable kebab-case name ("flow-conservation", ...) used by the CLI and
+/// CI greps; never reworded once released.
+const char* to_string(PlanViolationCode code);
+
+/// One violated constraint, with enough structure that callers can react
+/// programmatically (the message is for humans).
+struct PlanViolation {
+  /// Sentinel for an index axis a violation does not involve.
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+  PlanViolationCode code;
+  std::size_t class_index = kNoIndex;     ///< k, when applicable
+  std::size_t frontend_index = kNoIndex;  ///< s, when applicable
+  std::size_t dc_index = kNoIndex;        ///< l, when applicable
+  double observed = 0.0;  ///< the offending value (rate, share sum, delay)
+  double bound = 0.0;     ///< the limit it had to respect
+  std::string message;    ///< one human-readable sentence
+};
+
+/// Outcome of one PlanChecker pass.
+struct PlanCheckReport {
+  std::vector<PlanViolation> violations;
+  /// True when the checker hit Options::max_violations and stopped
+  /// collecting; the plan has more problems than `violations` lists.
+  bool truncated = false;
+
+  bool ok() const { return violations.empty(); }
+  bool has(PlanViolationCode code) const;
+  std::size_t count(PlanViolationCode code) const;
+  /// Up to `max_lines` one-per-line "[code] message" entries (the rest
+  /// summarized as a count); empty string when ok().
+  std::string summary(std::size_t max_lines = 10) const;
+};
+
+/// Audits a DispatchPlan against the paper's constraint system for one
+/// slot: Eq. 6 (delay bound), Eq. 7 (flow conservation), Eq. 8 (CPU-share
+/// budget), M/M/1 stability, and rate/share sanity. Policies are required
+/// to emit plans this checker passes; the controller, the simulators and
+/// the `palb check-plan` CLI all run it behind the plan-check flag (on by
+/// default in debug builds, opt-in via PALB_CHECK_PLANS=1 in release).
+class PlanChecker {
+ public:
+  struct Options {
+    /// Absolute slack on rate/share comparisons, matching the solvers'
+    /// feasibility tolerance.
+    double tol = 1e-6;
+    /// Relative slack on the Eq. 6 deadline comparison (solver plans sit
+    /// exactly on band edges; FP round-trips must not flag them).
+    double deadline_slack = 1e-6;
+    /// Disable to audit baselines that are allowed to plan past-deadline
+    /// (zero-revenue) streams; all hard constraints still apply.
+    bool check_deadline = true;
+    /// Stop collecting after this many violations (a corrupted plan can
+    /// otherwise produce K*S*L lines).
+    std::size_t max_violations = 64;
+  };
+
+  PlanChecker() = default;
+  explicit PlanChecker(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Full audit; never throws on a bad plan (the report carries it).
+  PlanCheckReport check(const Topology& topology, const SlotInput& input,
+                        const DispatchPlan& plan) const;
+
+  /// check() + throw ConstraintViolation naming `context` (a policy or
+  /// call-site label) when the report is not ok().
+  void enforce(const Topology& topology, const SlotInput& input,
+               const DispatchPlan& plan, const std::string& context) const;
+
+ private:
+  Options options_;
+};
+
+namespace check {
+
+/// Whether the guarded call sites (controller, policies, simulators) run
+/// the PlanChecker. Defaults to on in debug (!NDEBUG) builds and off in
+/// release; the PALB_CHECK_PLANS environment variable ("1"/"0") overrides
+/// the default at first query.
+bool plan_checks_enabled();
+
+/// Programmatic override (tests; release callers opting in).
+void set_plan_checks_enabled(bool enabled);
+
+/// Guarded audit used at every plan hand-off point: no-op when checks
+/// are disabled, otherwise enforces with a default-options PlanChecker.
+void maybe_check_plan(const Topology& topology, const SlotInput& input,
+                      const DispatchPlan& plan, const char* context);
+
+}  // namespace check
+}  // namespace palb

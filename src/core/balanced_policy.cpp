@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "util/error.hpp"
 
@@ -92,6 +93,7 @@ DispatchPlan BalancedPolicy::plan_slot(const Topology& topology,
       plan.dc[l].share[k] = servers > 0 ? even_share : 0.0;
     }
   }
+  check::maybe_check_plan(topology, input, plan, "BalancedPolicy");
   return plan;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "solver/step_tuf_bigm.hpp"
 #include "util/error.hpp"
@@ -290,6 +291,7 @@ DispatchPlan BigMNlpPolicy::plan_slot(const Topology& topo,
     }
     if (!still_loaded) plan.dc[l].servers_on = 0;
   }
+  check::maybe_check_plan(topo, input, plan, "BigMNlpPolicy");
   return plan;
 }
 

@@ -1,5 +1,6 @@
 #include "core/controller.hpp"
 
+#include "check/plan_checker.hpp"
 #include "util/error.hpp"
 
 namespace palb {
@@ -69,6 +70,10 @@ RunResult SlotController::run(Policy& policy, std::size_t num_slots,
   for (std::size_t t = 0; t < num_slots; ++t) {
     const SlotInput input = scenario_.slot_input(first_slot + t);
     DispatchPlan plan = policy.plan_slot(scenario_.topology, input);
+    // Policies self-check, but third-party Policy implementations enter
+    // the run loop here — audit at the hand-off too.
+    check::maybe_check_plan(scenario_.topology, input, plan,
+                            "SlotController");
     result.slots.push_back(
         evaluate_plan(scenario_.topology, input, plan));
     result.plans.push_back(std::move(plan));

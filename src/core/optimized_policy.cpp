@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 
+#include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "solver/simplex.hpp"
 #include "util/error.hpp"
@@ -406,6 +407,7 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   if (server_shadow_prices_.empty()) {
     server_shadow_prices_.assign(topo.num_datacenters(), 0.0);
   }
+  check::maybe_check_plan(topo, input, best.plan, "OptimizedPolicy");
   return best.plan;
 }
 

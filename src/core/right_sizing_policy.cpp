@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/plan_checker.hpp"
 #include "util/error.hpp"
 
 namespace palb {
@@ -81,6 +82,7 @@ DispatchPlan RightSizingPolicy::plan_slot(const Topology& topo,
     // shares stay valid and delays can only shrink.
   }
   total_switch_cost_ += last_switch_cost_;
+  check::maybe_check_plan(topo, input, plan, "RightSizingPolicy");
   return plan;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/plan_checker.hpp"
 #include "util/error.hpp"
 
 namespace palb {
@@ -65,6 +66,10 @@ ForecastRunResult ForecastingController::run(Policy& policy,
       }
     }
     DispatchPlan plan = policy.plan_slot(scenario_.topology, forecast);
+    // The plan must be feasible for the *forecast* it was built from;
+    // against reality it may legitimately over- or under-dispatch.
+    check::maybe_check_plan(scenario_.topology, forecast, plan,
+                            "ForecastingController");
 
     // ... settle against reality.
     if (options_.route_actual) {

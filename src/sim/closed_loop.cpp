@@ -4,6 +4,7 @@
 #include <deque>
 #include <queue>
 
+#include "check/plan_checker.hpp"
 #include "util/error.hpp"
 
 namespace palb {
@@ -158,7 +159,11 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
         }
       }
     }
-    return policy.plan_slot(topo, input);
+    // Audit against the rates the policy planned from (under measured-
+    // rate operation the true arrivals may legitimately exceed the plan).
+    DispatchPlan next_plan = policy.plan_slot(topo, input);
+    check::maybe_check_plan(topo, input, next_plan, "ClosedLoopSimulator");
+    return next_plan;
   };
 
   current_input = scenario.slot_input(first_slot);

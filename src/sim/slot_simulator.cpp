@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "util/error.hpp"
 
@@ -55,6 +56,7 @@ SimOutcome SlotSimulator::simulate(const Topology& topology,
                                    Rng& rng) const {
   topology.validate();
   input.validate(topology);
+  check::maybe_check_plan(topology, input, plan, "SlotSimulator");
   PALB_REQUIRE(options_.replications >= 1, "need >= 1 replication");
 
   const std::size_t K = topology.num_classes();

@@ -9,12 +9,20 @@
 #include <thread>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace palb {
 
 /// Fixed-size worker pool. The profit-aware optimizer fans hundreds of
 /// independent LP solves (one per TUF-level profile) across cores; the
 /// benches fan Monte-Carlo replications. A dedicated pool (instead of
 /// std::async) keeps thread counts bounded and deterministic.
+///
+/// Shutdown contract (exercised under TSan by the test suite): once
+/// shutdown() starts, in-flight and already-queued jobs all run to
+/// completion, and any submit() racing or following it either enqueues
+/// the job (it will run) or throws InvalidArgument — a task can never be
+/// accepted and then silently dropped with a forever-pending future.
 class ThreadPool {
  public:
   /// `threads == 0` picks std::thread::hardware_concurrency() (min 1).
@@ -27,6 +35,7 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task; the returned future rethrows any task exception.
+  /// Throws InvalidArgument if the pool has begun shutting down.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -35,11 +44,18 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      PALB_CHECK(!stopping_,
+                 "submit() on a ThreadPool that is shutting down");
       jobs_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
     return fut;
   }
+
+  /// Drains the queue and joins the workers. Every job accepted before
+  /// (or while) this call runs to completion. Idempotent and safe to
+  /// call from several threads concurrently; the destructor calls it.
+  void shutdown();
 
  private:
   void worker_loop();
@@ -48,6 +64,8 @@ class ThreadPool {
   std::queue<std::function<void()>> jobs_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  /// Serializes concurrent shutdown() callers around the joins.
+  std::mutex join_mutex_;
   bool stopping_ = false;
 };
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "cloud/accounting.hpp"
 #include "core/balanced_policy.hpp"
 #include "core/optimized_policy.hpp"
@@ -12,6 +14,19 @@
 
 namespace palb {
 namespace {
+
+/// Base offset added to every fuzz seed. Defaults to 0 so a given test
+/// run is reproducible bit-for-bit (the sanitizer CI pins this); set
+/// PALB_FUZZ_SEED_OFFSET=N to explore a fresh block of random systems
+/// without touching the code.
+std::uint64_t fuzz_seed_offset() {
+  static const std::uint64_t offset = [] {
+    const char* env = std::getenv("PALB_FUZZ_SEED_OFFSET");
+    return env != nullptr ? std::strtoull(env, nullptr, 10)
+                          : std::uint64_t{0};
+  }();
+  return offset;
+}
 
 struct FuzzCase {
   Topology topology;
@@ -83,7 +98,8 @@ FuzzCase make_case(std::uint64_t seed) {
 class PolicyFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(PolicyFuzzTest, InvariantsHoldOnRandomSystems) {
-  const FuzzCase fc = make_case(static_cast<std::uint64_t>(GetParam()));
+  const FuzzCase fc =
+      make_case(static_cast<std::uint64_t>(GetParam()) + fuzz_seed_offset());
   ASSERT_NO_THROW(fc.topology.validate());
   ASSERT_NO_THROW(fc.input.validate(fc.topology));
 
@@ -136,8 +152,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzzTest, ::testing::Range(0, 60));
 class EnumVsSearchFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(EnumVsSearchFuzzTest, LocalSearchStaysNearExhaustive) {
-  const FuzzCase fc =
-      make_case(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const FuzzCase fc = make_case(static_cast<std::uint64_t>(GetParam()) +
+                                5000 + fuzz_seed_offset());
   OptimizedPolicy::Options exhaustive;
   OptimizedPolicy::Options search;
   search.max_enumerated_profiles = 1;  // force hill climbing

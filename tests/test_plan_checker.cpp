@@ -1,0 +1,358 @@
+// The PlanChecker is the mechanical audit of the paper's constraint
+// system (Eq. 6 delay bound, Eq. 7 flow conservation, Eq. 8 CPU budget,
+// M/M/1 stability, rate sanity). Two directions are tested here:
+// positive — every plan the four policies emit on the paper scenarios is
+// violation-free; negative — each deliberate corruption fires its own
+// distinct violation code, with the (k, s, l) indices populated.
+
+#include "check/plan_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/balanced_policy.hpp"
+#include "core/bigm_nlp_policy.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/right_sizing_policy.hpp"
+#include "scenario_fixtures.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+/// Valid hand plan for small_topology/small_input; the corruption tests
+/// each break exactly one thing about it.
+DispatchPlan valid_plan(const Topology& topo) {
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 50.0;  // offered 60
+  plan.rate[1][0][0] = 20.0;  // offered 30
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {0.6, 0.4};
+  return plan;
+}
+
+TEST(PlanChecker, ValidPlanHasNoViolations) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  const PlanCheckReport report =
+      PlanChecker().check(topo, input, valid_plan(topo));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.summary(), "");
+}
+
+TEST(PlanChecker, OverDispatchFiresFlowConservation) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][0] = 70.0;  // offered is 60 — Eq. 7 broken
+  plan.dc[0].share = {0.9, 0.1};  // keep the queue itself healthy
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kFlowConservation))
+      << report.summary();
+  for (const auto& v : report.violations) {
+    if (v.code != PlanViolationCode::kFlowConservation) continue;
+    EXPECT_EQ(v.class_index, 0u);
+    EXPECT_EQ(v.frontend_index, 0u);
+    EXPECT_NEAR(v.observed, 70.0, 1e-9);
+    EXPECT_NEAR(v.bound, 60.0, 1e-9);
+    EXPECT_NE(v.message.find("Eq. 7"), std::string::npos);
+  }
+}
+
+TEST(PlanChecker, ShareSumOverOneFiresShareBudget) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.dc[0].share = {0.7, 0.6};  // each in [0,1], sum 1.3 — Eq. 8 broken
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kShareBudget))
+      << report.summary();
+  EXPECT_FALSE(report.has(PlanViolationCode::kShareRange));
+}
+
+TEST(PlanChecker, StableButLateStreamFiresDeadline) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  // web: per-server lambda 25, share 0.3 -> mu_eff 30: stable (rho 0.83)
+  // but delay 1/(30-25) = 0.2 s > 0.1 s final deadline.
+  plan.dc[0].share = {0.3, 0.4};
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kDeadlineExceeded))
+      << report.summary();
+  EXPECT_FALSE(report.has(PlanViolationCode::kUnstableQueue));
+  for (const auto& v : report.violations) {
+    if (v.code != PlanViolationCode::kDeadlineExceeded) continue;
+    EXPECT_EQ(v.class_index, 0u);
+    EXPECT_EQ(v.dc_index, 0u);
+    EXPECT_NEAR(v.observed, 0.2, 1e-6);
+    EXPECT_NEAR(v.bound, 0.1, 1e-12);
+  }
+
+  // The same plan passes when the Eq. 6 audit is opted out (baselines
+  // that knowingly serve zero-revenue late streams).
+  PlanChecker::Options lax;
+  lax.check_deadline = false;
+  EXPECT_TRUE(PlanChecker(lax).check(topo, input, plan).ok());
+}
+
+TEST(PlanChecker, OverloadedQueueFiresUnstable) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  // web: per-server lambda 25, share 0.2 -> mu_eff 20 < 25: rho > 1.
+  plan.dc[0].share = {0.2, 0.4};
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kUnstableQueue))
+      << report.summary();
+  // An unstable queue has no finite delay; Eq. 6 must not double-report.
+  EXPECT_FALSE(report.has(PlanViolationCode::kDeadlineExceeded));
+}
+
+TEST(PlanChecker, NanRateFiresNonFinite) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][0] = std::numeric_limits<double>::quiet_NaN();
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kNonFiniteRate))
+      << report.summary();
+}
+
+TEST(PlanChecker, NanShareFiresNonFinite) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.dc[0].share[1] = std::numeric_limits<double>::infinity();
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  EXPECT_TRUE(report.has(PlanViolationCode::kNonFiniteRate))
+      << report.summary();
+}
+
+TEST(PlanChecker, NegativeRateFires) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[1][1][1] = -3.0;
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kNegativeRate))
+      << report.summary();
+}
+
+TEST(PlanChecker, ServersBeyondFleetFireServerBudget) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.dc[0].servers_on = 10;  // fleet is 4
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kServerBudget))
+      << report.summary();
+}
+
+TEST(PlanChecker, LoadOnDarkDcFiresOrphanLoad) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][1][1] = 5.0;  // dc2 has no server on
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_TRUE(report.has(PlanViolationCode::kOrphanLoad))
+      << report.summary();
+}
+
+TEST(PlanChecker, ShareOutOfRangeFires) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.dc[0].share = {1.2, 0.0};
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  EXPECT_TRUE(report.has(PlanViolationCode::kShareRange))
+      << report.summary();
+}
+
+TEST(PlanChecker, WrongShapeFiresShapeMismatchOnly) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate.pop_back();
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].code, PlanViolationCode::kShapeMismatch);
+}
+
+TEST(PlanChecker, ViolationCapBoundsTheReport) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  for (auto& per_class : plan.rate) {
+    for (auto& per_frontend : per_class) {
+      for (double& r : per_frontend) r = -1.0;  // violations everywhere
+    }
+  }
+  PlanChecker::Options opt;
+  opt.max_violations = 3;
+  const PlanCheckReport report = PlanChecker(opt).check(topo, input, plan);
+  EXPECT_EQ(report.violations.size(), 3u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_NE(report.summary().find("more"), std::string::npos);
+}
+
+TEST(PlanChecker, EnforceThrowsConstraintViolationWithContext) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][0] = 500.0;
+  try {
+    PlanChecker().enforce(topo, input, plan, "UnitTest");
+    FAIL() << "enforce must throw on a corrupted plan";
+  } catch (const ConstraintViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("UnitTest"), std::string::npos);
+    EXPECT_NE(what.find("flow-conservation"), std::string::npos);
+  }
+}
+
+TEST(PlanCheckerGuard, FlagGatesMaybeCheckPlan) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][0] = 500.0;  // corrupt
+
+  const bool prior = check::plan_checks_enabled();
+  check::set_plan_checks_enabled(false);
+  EXPECT_NO_THROW(check::maybe_check_plan(topo, input, plan, "guard"));
+  check::set_plan_checks_enabled(true);
+  EXPECT_THROW(check::maybe_check_plan(topo, input, plan, "guard"),
+               ConstraintViolation);
+  check::set_plan_checks_enabled(prior);
+}
+
+// ---- positive sweep: every policy on every paper scenario ------------------
+
+struct PolicyCase {
+  const char* scenario;
+  const char* policy;
+};
+
+class PaperScenarioCheckTest
+    : public ::testing::TestWithParam<PolicyCase> {};
+
+Scenario scenario_by_name(const std::string& name) {
+  if (name == "basic-low") {
+    return paper::basic_synthetic(paper::ArrivalSet::kLow);
+  }
+  if (name == "basic-high") {
+    return paper::basic_synthetic(paper::ArrivalSet::kHigh);
+  }
+  if (name == "worldcup") return paper::worldcup_study();
+  return paper::google_study();
+}
+
+std::unique_ptr<Policy> policy_by_name(const std::string& name) {
+  if (name == "balanced") return std::make_unique<BalancedPolicy>();
+  if (name == "optimized") return std::make_unique<OptimizedPolicy>();
+  if (name == "right_sizing") {
+    RightSizingPolicy::Options opt;
+    opt.switch_cost = 0.05;  // exercise the hold path, not just passthrough
+    return std::make_unique<RightSizingPolicy>(opt);
+  }
+  BigMNlpPolicy::Options opt;
+  opt.multistarts = 2;  // keep the NLP tractable in the sweep
+  opt.nlp.max_outer = 12;
+  opt.nlp.max_inner = 100;
+  return std::make_unique<BigMNlpPolicy>(opt);
+}
+
+TEST_P(PaperScenarioCheckTest, PoliciesEmitViolationFreePlans) {
+  const PolicyCase param = GetParam();
+  const Scenario sc = scenario_by_name(param.scenario);
+  std::unique_ptr<Policy> policy = policy_by_name(param.policy);
+  const PlanChecker checker;
+  // First two slots: slot 0 plus one where RightSizing carries state.
+  for (std::size_t t = 0; t < 2; ++t) {
+    const SlotInput input = sc.slot_input(t);
+    const DispatchPlan plan = policy->plan_slot(sc.topology, input);
+    const PlanCheckReport report = checker.check(sc.topology, input, plan);
+    EXPECT_TRUE(report.ok())
+        << param.policy << " on " << param.scenario << " slot " << t
+        << ":\n" << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, PaperScenarioCheckTest,
+    ::testing::Values(
+        PolicyCase{"basic-low", "balanced"},
+        PolicyCase{"basic-low", "optimized"},
+        PolicyCase{"basic-low", "bigm"},
+        PolicyCase{"basic-low", "right_sizing"},
+        PolicyCase{"basic-high", "balanced"},
+        PolicyCase{"basic-high", "optimized"},
+        PolicyCase{"basic-high", "bigm"},
+        PolicyCase{"basic-high", "right_sizing"},
+        PolicyCase{"worldcup", "balanced"},
+        PolicyCase{"worldcup", "optimized"},
+        PolicyCase{"worldcup", "bigm"},
+        PolicyCase{"worldcup", "right_sizing"},
+        PolicyCase{"google", "balanced"},
+        PolicyCase{"google", "optimized"},
+        PolicyCase{"google", "bigm"},
+        PolicyCase{"google", "right_sizing"}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      std::string name = std::string(info.param.scenario) + "_" +
+                         info.param.policy;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- the PALB_CHECK macro family -------------------------------------------
+
+TEST(CheckMacros, CheckCapturesFileAndLine) {
+  try {
+    PALB_CHECK(1 == 2, "math still works");
+    FAIL() << "must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_plan_checker.cpp"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math still works"), std::string::npos);
+  }
+}
+
+TEST(CheckMacros, RequireAliasAlsoCapturesLocation) {
+  try {
+    PALB_REQUIRE(false, "legacy alias");
+    FAIL() << "must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("test_plan_checker.cpp"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckMacros, CheckFiniteRejectsNanAndInf) {
+  EXPECT_NO_THROW(PALB_CHECK_FINITE(1.5, "ok value"));
+  const double nan = std::nan("");
+  EXPECT_THROW(PALB_CHECK_FINITE(nan, "rate"), InvalidArgument);
+  EXPECT_THROW(
+      PALB_CHECK_FINITE(std::numeric_limits<double>::infinity(), "rate"),
+      InvalidArgument);
+}
+
+TEST(CheckMacros, DcheckActiveExactlyInDebug) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(PALB_DCHECK(false, "compiled out"));
+#else
+  EXPECT_THROW(PALB_DCHECK(false, "active in debug"), InvalidArgument);
+#endif
+}
+
+}  // namespace
+}  // namespace palb

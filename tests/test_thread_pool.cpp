@@ -79,5 +79,70 @@ TEST(ThreadPool, DefaultSizeIsHardwareBound) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), InvalidArgument);
+}
+
+TEST(ThreadPool, ShutdownRunsEveryQueuedJob) {
+  // More jobs than workers, then immediate shutdown: the queue must be
+  // drained, not dropped.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&executed] { ++executed; }));
+  }
+  pool.shutdown();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPool, ConcurrentSubmitAndShutdownStress) {
+  // Producers hammer submit() while the main thread shuts the pool down
+  // (and a second thread races the shutdown itself). Every job that
+  // submit() accepted must run; late submits must throw, never hang.
+  // This is the test the tsan preset exists for.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    constexpr int kProducers = 4;
+    std::vector<std::vector<std::future<void>>> futures(kProducers);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 50; ++i) {
+          try {
+            futures[p].push_back(
+                pool.submit([&executed] { ++executed; }));
+            ++accepted;
+          } catch (const InvalidArgument&) {
+            return;  // pool is shutting down; acceptable from here on
+          }
+        }
+      });
+    }
+    std::thread racing_shutdown([&pool] { pool.shutdown(); });
+    pool.shutdown();
+    racing_shutdown.join();
+    for (auto& t : producers) t.join();
+    for (auto& per_producer : futures) {
+      for (auto& f : per_producer) f.get();  // accepted => completed
+    }
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
 }  // namespace
 }  // namespace palb

@@ -14,10 +14,14 @@
 //       causal operation: plan from forecasts, settle against reality
 //   palb replay <scenario|file.json> <plans.json>
 //       audit stored plans against a scenario
+//   palb check-plan <scenario|file.json> <plans.json> [--tol X] [--no-deadline]
+//       verify stored plans against the paper's constraint system
+//       (Eq. 6/7/8, stability, rate sanity); exit 1 on any violation
 //
 // Built-in scenario names: basic-low, basic-high, worldcup, google;
 // "random:SEED" generates a deterministic random world.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "check/plan_checker.hpp"
 #include "cloud/accounting.hpp"
 #include "core/balanced_policy.hpp"
 #include "core/bigm_nlp_policy.hpp"
@@ -56,6 +61,8 @@ int usage() {
                "  palb simulate <scenario|file.json> [--slots N] [--seed S]\n"
                "  palb forecast <scenario|file.json> [--model naive|ewma|seasonal|kalman] [--inflation X] [--slots N] [--first N]\n"
                "  palb replay <scenario|file.json> <plans.json>\n"
+               "  palb check-plan <scenario|file.json> <plans.json> "
+               "[--tol X] [--no-deadline]\n"
                "built-ins: basic-low basic-high worldcup google; also random:SEED\n");
   return 2;
 }
@@ -97,12 +104,20 @@ struct Args {
 };
 
 Args parse_args(int argc, char** argv, int first) {
+  // Valueless switches; everything else starting with "--" takes the
+  // next argument as its value.
+  static const std::vector<std::string> kFlags = {"no-deadline"};
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (std::find(kFlags.begin(), kFlags.end(), key) != kFlags.end()) {
+        args.options[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) throw InvalidArgument("missing value for " + arg);
-      args.options[arg.substr(2)] = argv[++i];
+      args.options[key] = argv[++i];
     } else {
       args.positional.push_back(arg);
     }
@@ -252,6 +267,55 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+int cmd_check_plan(const Args& args) {
+  // Audit stored plans against the paper's constraint system (Eq. 6/7/8,
+  // stability, rate sanity). Reads the same {policy: {slots: [...]}}
+  // document `palb run --plans` writes. Exits 0 iff every plan is clean.
+  if (args.positional.size() != 2) return usage();
+  const Scenario sc = resolve_scenario(args.positional[0]);
+  std::ifstream is(args.positional[1]);
+  if (!is) throw IoError("cannot open " + args.positional[1]);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+
+  PlanChecker::Options opt;
+  if (args.options.count("tol")) opt.tol = std::stod(args.options.at("tol"));
+  if (args.options.count("no-deadline")) opt.check_deadline = false;
+  const PlanChecker checker(opt);
+
+  TextTable t({"policy", "slot", "violations", "first code"});
+  std::size_t total_violations = 0;
+  std::vector<std::string> details;
+  for (const auto& [policy_name, run_doc] : doc.as_object()) {
+    const Json& slots = run_doc.at("slots");
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::size_t slot = slots[i].at("slot").as_index();
+      const SlotInput input = sc.slot_input(slot);
+      const DispatchPlan plan =
+          plan_json::from_json(slots[i].at("plan"), sc.topology);
+      const PlanCheckReport report = checker.check(sc.topology, input, plan);
+      t.add_row({policy_name, std::to_string(slot),
+                 std::to_string(report.violations.size()),
+                 report.ok() ? std::string("-")
+                             : to_string(report.violations.front().code)});
+      if (!report.ok()) {
+        total_violations += report.violations.size();
+        details.push_back(policy_name + " slot " + std::to_string(slot) +
+                          ":\n" + report.summary());
+      }
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  for (const auto& d : details) std::printf("%s\n", d.c_str());
+  if (total_violations == 0) {
+    std::printf("all plans satisfy the constraint system\n");
+    return 0;
+  }
+  std::printf("%zu constraint violation(s) found\n", total_violations);
+  return 1;
+}
+
 int cmd_forecast(const Args& args) {
   if (args.positional.empty()) return usage();
   const Scenario sc = resolve_scenario(args.positional[0]);
@@ -357,6 +421,9 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(parse_args(argc, argv, 2));
     if (cmd == "forecast") return cmd_forecast(parse_args(argc, argv, 2));
     if (cmd == "replay") return cmd_replay(parse_args(argc, argv, 2));
+    if (cmd == "check-plan") {
+      return cmd_check_plan(parse_args(argc, argv, 2));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
