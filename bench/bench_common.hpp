@@ -11,6 +11,7 @@
 #include "core/controller.hpp"
 #include "core/optimized_policy.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace palb::bench {
 
@@ -19,15 +20,37 @@ struct HeadToHead {
   RunResult balanced;
 };
 
+/// Runs the two headline policies over the same slot range. With
+/// `workers > 1` (0 = hardware concurrency) the two runs execute
+/// concurrently AND each run fans its slots across the worker budget via
+/// SlotController::RunOptions — plans stay byte-identical to the serial
+/// run (see SlotController::RunOptions). `workers == 1` is the plain
+/// serial harness the figure benches always supported.
 inline HeadToHead run_head_to_head(const Scenario& scenario,
                                    std::size_t slots,
-                                   std::size_t first_slot = 0) {
+                                   std::size_t first_slot = 0,
+                                   std::size_t workers = 1) {
   const SlotController controller(scenario);
   OptimizedPolicy optimized;
   BalancedPolicy balanced;
   HeadToHead out;
-  out.optimized = controller.run(optimized, slots, first_slot);
-  out.balanced = controller.run(balanced, slots, first_slot);
+  const std::size_t resolved = bounded_workers(workers, 2 * slots);
+  if (resolved <= 1) {
+    out.optimized = controller.run(optimized, slots, first_slot);
+    out.balanced = controller.run(balanced, slots, first_slot);
+    return out;
+  }
+  // Split the budget between the two independent policy runs; each half
+  // further parallelizes across its slots.
+  const SlotController::RunOptions half{(resolved + 1) / 2};
+  ThreadPool pool(2);
+  parallel_for(pool, 2, [&](std::size_t side) {
+    if (side == 0) {
+      out.optimized = controller.run(optimized, slots, first_slot, half);
+    } else {
+      out.balanced = controller.run(balanced, slots, first_slot, half);
+    }
+  });
   return out;
 }
 

@@ -46,6 +46,15 @@ int main() {
   const ClosedLoopResult balanced =
       ClosedLoopSimulator(oracle_opt).run(sc, balanced_policy, slots);
 
+  // Sampling error of the single-path numbers above: independent
+  // replications fanned across every core (one policy clone per path).
+  OptimizedPolicy rep_policy;
+  const std::vector<ClosedLoopResult> reps =
+      ClosedLoopSimulator(oracle_opt).run_replications(sc, rep_policy,
+                                                       slots, 8);
+  RunningStats rep_profit;
+  for (const auto& r : reps) rep_profit.add(r.total_profit());
+
   TextTable t({"accounting / controller", "day profit $", "completions",
                "dropped", "stranded"});
   t.add_row({"analytic per-slot (paper)",
@@ -66,6 +75,9 @@ int main() {
   add("closed loop, measured rates", causal);
   add("closed loop, Balanced", balanced);
   std::printf("%s", t.render().c_str());
+  std::printf(
+      "\noracle profit across %zu replications: $%.2f +/- %.2f (stddev)\n",
+      reps.size(), rep_profit.mean(), rep_profit.stddev());
 
   std::printf(
       "\nper-request vs mean-delay gap: %.1f%% of the analytic ledger\n"

@@ -16,7 +16,9 @@ int main() {
   std::printf("Tables IV-VII — WorldCup study parameters:\n");
   bench::print_topology_tables(sc.topology);
 
-  const bench::HeadToHead duel = bench::run_head_to_head(sc, 24);
+  // workers=0: fan the two policies and their 24 slots across all cores
+  // (plans are byte-identical to the serial harness).
+  const bench::HeadToHead duel = bench::run_head_to_head(sc, 24, 0, 0);
   bench::print_profit_series(
       "Fig. 6 — net profits obtained by two approaches (hourly)", duel);
 

@@ -24,7 +24,7 @@ int main() {
   }
   std::printf("\n");
 
-  const bench::HeadToHead duel = bench::run_head_to_head(sc, 6);
+  const bench::HeadToHead duel = bench::run_head_to_head(sc, 6, 0, 0);
   bench::print_profit_series(
       "Fig. 8 — net profits with two-step TUFs (hourly)", duel);
 

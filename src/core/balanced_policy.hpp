@@ -22,6 +22,9 @@ class BalancedPolicy : public Policy {
   const std::string& name() const override { return name_; }
   DispatchPlan plan_slot(const Topology& topology,
                          const SlotInput& input) override;
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<BalancedPolicy>();
+  }
 
  private:
   std::string name_ = "Balanced";

@@ -1,7 +1,12 @@
 #include "core/controller.hpp"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "check/plan_checker.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace palb {
 
@@ -61,23 +66,79 @@ SlotController::SlotController(Scenario scenario)
   scenario_.validate();
 }
 
-RunResult SlotController::run(Policy& policy, std::size_t num_slots,
-                              std::size_t first_slot) const {
-  PALB_REQUIRE(num_slots > 0, "need at least one slot");
-  RunResult result;
-  result.slots.reserve(num_slots);
-  result.plans.reserve(num_slots);
-  for (std::size_t t = 0; t < num_slots; ++t) {
-    const SlotInput input = scenario_.slot_input(first_slot + t);
+void SlotController::run_block(Policy& policy, std::size_t block_first,
+                               std::size_t count, RunResult& into,
+                               std::size_t offset) const {
+  for (std::size_t t = 0; t < count; ++t) {
+    const SlotInput input = scenario_.slot_input(block_first + t);
     DispatchPlan plan = policy.plan_slot(scenario_.topology, input);
     // Policies self-check, but third-party Policy implementations enter
     // the run loop here — audit at the hand-off too.
     check::maybe_check_plan(scenario_.topology, input, plan,
                             "SlotController");
-    result.slots.push_back(
-        evaluate_plan(scenario_.topology, input, plan));
-    result.plans.push_back(std::move(plan));
+    into.slots[offset + t] = evaluate_plan(scenario_.topology, input, plan);
+    into.plans[offset + t] = std::move(plan);
   }
+}
+
+RunResult SlotController::run(Policy& policy, std::size_t num_slots,
+                              std::size_t first_slot) const {
+  return run(policy, num_slots, first_slot, RunOptions{});
+}
+
+RunResult SlotController::run(Policy& policy, std::size_t num_slots,
+                              std::size_t first_slot,
+                              const RunOptions& options) const {
+  PALB_REQUIRE(num_slots > 0, "need at least one slot");
+  std::size_t workers = bounded_workers(
+      options.workers == 0 ? 0 : options.workers, num_slots);
+
+  // Parallel evaluation needs an independent policy per worker; a policy
+  // that cannot clone itself runs serially (same plans, one core).
+  std::vector<std::unique_ptr<Policy>> clones;
+  if (workers > 1) {
+    clones.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      clones.push_back(policy.clone());
+      if (!clones.back()) {
+        clones.clear();
+        workers = 1;
+        break;
+      }
+    }
+  }
+
+  RunResult result;
+  result.slots.resize(num_slots);
+  result.plans.resize(num_slots);
+
+  if (workers <= 1) {
+    const PolicyStats before = policy.stats();
+    run_block(policy, first_slot, num_slots, result, 0);
+    result.stats = policy.stats() - before;
+  } else {
+    // Contiguous blocks, one per worker: slot order inside a block keeps
+    // each clone's warm-start chain intact, and writing through disjoint
+    // [offset, offset+count) windows keeps collection deterministic.
+    const std::size_t base = num_slots / workers;
+    const std::size_t extra = num_slots % workers;
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;  // offset,count
+    std::size_t offset = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t count = base + (w < extra ? 1 : 0);
+      blocks.emplace_back(offset, count);
+      offset += count;
+    }
+    ThreadPool pool(workers);
+    parallel_for(pool, workers, [&](std::size_t w) {
+      const auto [block_offset, count] = blocks[w];
+      if (count == 0) return;
+      run_block(*clones[w], first_slot + block_offset, count, result,
+                block_offset);
+    });
+    for (const auto& clone : clones) result.stats += clone->stats();
+  }
+
   result.total = accumulate(result.slots);
   return result;
 }

@@ -30,6 +30,10 @@ struct RunResult {
   std::vector<SlotMetrics> slots;
   std::vector<DispatchPlan> plans;
   SlotMetrics total;
+  /// Solver-effort counters spent producing the plans (warm-start cache
+  /// hits/misses, profiles swept, LP pivots) — the delta of the policy's
+  /// cumulative PolicyStats across this run, summed over all workers.
+  PolicyStats stats;
 
   /// Convenience series for the figure benches.
   std::vector<double> net_profit_series() const;
@@ -40,14 +44,35 @@ struct RunResult {
 /// Drives a policy across `num_slots` slots of a scenario.
 class SlotController {
  public:
+  /// How a run fans across cores. Slots are independent optimizations
+  /// (the paper solves Eqs. 6-8 once per hour with no carried state), so
+  /// with `workers > 1` the slot range is split into contiguous blocks,
+  /// one Policy::clone() per worker, each block solved in order so
+  /// warm-start chains stay intact inside it. Results are collected in
+  /// slot order, and every policy's solve is deterministic per
+  /// (topology, input) — plans are byte-identical to the 1-worker run
+  /// (tests/test_parallel_determinism.cpp holds all 16 paper scenarios
+  /// to that under TSan).
+  struct RunOptions {
+    /// 1 = serial on the calling thread (no clone needed); 0 = one
+    /// worker per hardware thread; otherwise capped at num_slots.
+    std::size_t workers = 1;
+  };
+
   explicit SlotController(Scenario scenario);
 
   const Scenario& scenario() const { return scenario_; }
 
   RunResult run(Policy& policy, std::size_t num_slots,
                 std::size_t first_slot = 0) const;
+  RunResult run(Policy& policy, std::size_t num_slots,
+                std::size_t first_slot, const RunOptions& options) const;
 
  private:
+  /// One worker's contiguous block [block_first, block_first + count).
+  void run_block(Policy& policy, std::size_t block_first, std::size_t count,
+                 RunResult& into, std::size_t offset) const;
+
   Scenario scenario_;
 };
 

@@ -1,9 +1,9 @@
 #include "core/optimized_policy.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <mutex>
-#include <optional>
 
 #include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
@@ -23,6 +23,9 @@ using Profile = std::vector<int>;
 struct ProfileOutcome {
   bool feasible = false;
   double objective = 0.0;  // net profit over the slot per the LP model
+  /// Mixed-radix encoding of the profile (see decode_profile); breaks
+  /// exact-objective ties deterministically.
+  std::uint64_t index = 0;
   DispatchPlan plan;
   /// Marginal $ value of one extra server per DC (capacity-row dual x a
   /// server's net capacity under the profile).
@@ -69,37 +72,118 @@ double worst_propagation(const Topology& topo, const SlotInput& input,
   return worst;
 }
 
-/// Solves the LP conditioned on a band profile and realizes the plan
-/// (integer server counts, minimal shares, optional spare distribution).
-ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
-                             const Profile& profile,
-                             const OptimizedPolicy::Options& opt) {
+/// The band-deduced quantities an LP solve and the value bound share.
+struct ProfilePrep {
+  bool feasible = false;
+  /// Per-DC per-server share overhead of the profile's active bands:
+  /// sum_k 1 / (D_eff * C * mu). A DC whose overhead reaches 1 cannot
+  /// run the profile on any server.
+  std::vector<double> overhead;  // [L]
+  std::vector<double> prop;      // worst propagation per (k,l), [K*L]
+};
+
+ProfilePrep prepare_profile(const Topology& topo, const SlotInput& input,
+                            const Profile& profile,
+                            const OptimizedPolicy::Options& opt) {
   const std::size_t K = topo.num_classes();
-  const std::size_t S = topo.num_frontends();
   const std::size_t L = topo.num_datacenters();
-  const double T = input.slot_seconds;
-
-  ProfileOutcome out;
-
-  // Per-DC per-server share overhead of the profile's active bands:
-  // sum_k 1 / (D_eff * C * mu). A DC whose overhead reaches 1 cannot run
-  // the profile on any server.
-  std::vector<double> overhead(L, 0.0);
-  std::vector<double> prop(K * L, 0.0);  // worst propagation per (k,l)
+  ProfilePrep prep;
+  prep.overhead.assign(L, 0.0);
+  prep.prop.assign(K * L, 0.0);
   for (std::size_t l = 0; l < L; ++l) {
     const auto& dc = topo.datacenters[l];
     for (std::size_t k = 0; k < K; ++k) {
       const int level = profile[l * K + k];
       if (level < 0) continue;
-      prop[l * K + k] = worst_propagation(topo, input, k, l);
+      prep.prop[l * K + k] = worst_propagation(topo, input, k, l);
       const double deadline =
-          effective_deadline(topo, k, level, prop[l * K + k], opt);
-      if (deadline <= 0.0) return out;  // band unreachable over the wire
-      overhead[l] +=
+          effective_deadline(topo, k, level, prep.prop[l * K + k], opt);
+      if (deadline <= 0.0) return prep;  // band unreachable over the wire
+      prep.overhead[l] +=
           1.0 / (deadline * dc.server_capacity * dc.service_rate[k]);
     }
-    if (overhead[l] >= 1.0) return out;  // profile physically impossible
+    if (prep.overhead[l] >= 1.0) return prep;  // physically impossible
   }
+  prep.feasible = true;
+  return prep;
+}
+
+/// Net dollars one unit of class-k rate from front-end s earns over the
+/// slot when served by DC l in the profile's band `level`. This is the
+/// LP objective coefficient; profile_value_bound must use the exact same
+/// formula for the incumbent prune to be lossless.
+double value_coefficient(const Topology& topo, const SlotInput& input,
+                         std::size_t k, std::size_t s, std::size_t l,
+                         int level, double overhead_l) {
+  const auto& cls = topo.classes[k];
+  const auto& dc = topo.datacenters[l];
+  const double T = input.slot_seconds;
+  const double utility =
+      cls.tuf.utility_at_level(static_cast<std::size_t>(level));
+  const double energy =
+      dc.energy_per_request_kwh[k] * input.price[l] * dc.pue;
+  // Static-power extension: under the continuous server relaxation,
+  // powered-on servers scale as sum_k X_k/(C mu_k) / (1 - overhead),
+  // so the idle bill is linear in the routed rates and folds exactly
+  // into the objective coefficients. Zero idle power (the paper's
+  // model) leaves the coefficients untouched.
+  const double idle_per_unit_rate =
+      dc.idle_power_kw * input.price[l] * dc.pue * (T / 3600.0) /
+      ((1.0 - overhead_l) * dc.server_capacity * dc.service_rate[k]);
+  const double wire =
+      cls.transfer_cost_per_mile * topo.distance_miles[s][l];
+  // Serving a request both earns its band utility (the queue deadline
+  // was already tightened by the worst routed propagation, so every
+  // origin's total stays in-band) and avoids its drop penalty; the
+  // constant -penalty*offered*T is common to every profile (objectives
+  // are "relative to dropping everything").
+  return (utility + cls.drop_penalty_per_request - energy - wire) * T -
+         idle_per_unit_rate;
+}
+
+/// Cheap upper bound on a profile's LP objective: flow conservation caps
+/// each (k, s) stream at its arrival rate, so routing everything to the
+/// most valuable active destination — or dropping it when every
+/// coefficient is negative — bounds the objective from above. Any
+/// profile whose bound is strictly below a known-achievable objective
+/// can neither win nor tie and is safe to skip un-solved.
+double profile_value_bound(const Topology& topo, const SlotInput& input,
+                           const Profile& profile, const ProfilePrep& prep) {
+  const std::size_t K = topo.num_classes();
+  const std::size_t S = topo.num_frontends();
+  const std::size_t L = topo.num_datacenters();
+  double bound = 0.0;
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      const double arrival = input.arrival_rate[k][s];
+      if (arrival <= 0.0) continue;
+      double best_coeff = 0.0;  // routing nothing is always allowed
+      for (std::size_t l = 0; l < L; ++l) {
+        const int level = profile[l * K + k];
+        if (level < 0) continue;
+        best_coeff = std::max(
+            best_coeff, value_coefficient(topo, input, k, s, l, level,
+                                          prep.overhead[l]));
+      }
+      bound += arrival * best_coeff;
+    }
+  }
+  return bound;
+}
+
+/// Solves the LP conditioned on a band profile and realizes the plan
+/// (integer server counts, minimal shares, optional spare distribution).
+ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
+                             const Profile& profile, const ProfilePrep& prep,
+                             const OptimizedPolicy::Options& opt) {
+  const std::size_t K = topo.num_classes();
+  const std::size_t S = topo.num_frontends();
+  const std::size_t L = topo.num_datacenters();
+
+  ProfileOutcome out;
+  if (!prep.feasible) return out;
+  const std::vector<double>& overhead = prep.overhead;
+  const std::vector<double>& prop = prep.prop;
 
   LinearProgram lp;
   lp.set_objective_sense(Sense::kMaximize);
@@ -107,35 +191,12 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
   // Routing variables for every active (k, s, l).
   std::vector<int> var(K * S * L, -1);
   for (std::size_t k = 0; k < K; ++k) {
-    const auto& cls = topo.classes[k];
     for (std::size_t l = 0; l < L; ++l) {
       const int level = profile[l * K + k];
       if (level < 0) continue;
-      const auto& dc = topo.datacenters[l];
-      const double utility =
-          cls.tuf.utility_at_level(static_cast<std::size_t>(level));
-      const double energy = dc.energy_per_request_kwh[k] * input.price[l] *
-                            dc.pue;
-      // Static-power extension: under the continuous server relaxation,
-      // powered-on servers scale as sum_k X_k/(C mu_k) / (1 - overhead),
-      // so the idle bill is linear in the routed rates and folds exactly
-      // into the objective coefficients. Zero idle power (the paper's
-      // model) leaves the coefficients untouched.
-      const double idle_per_unit_rate =
-          dc.idle_power_kw * input.price[l] * dc.pue * (T / 3600.0) /
-          ((1.0 - overhead[l]) * dc.server_capacity * dc.service_rate[k]);
       for (std::size_t s = 0; s < S; ++s) {
-        const double wire =
-            cls.transfer_cost_per_mile * topo.distance_miles[s][l];
-        // Serving a request both earns its band utility (the queue
-        // deadline was already tightened by the worst routed
-        // propagation, so every origin's total stays in-band) and
-        // avoids its drop penalty; the constant -penalty*offered*T is
-        // common to every profile (objectives are "relative to dropping
-        // everything").
         const double value =
-            (utility + cls.drop_penalty_per_request - energy - wire) * T -
-            idle_per_unit_rate;
+            value_coefficient(topo, input, k, s, l, level, overhead[l]);
         var[(k * S + s) * L + l] = lp.add_variable(
             0.0, input.arrival_rate[k][s], value,
             "x_k" + std::to_string(k) + "_s" + std::to_string(s) + "_l" +
@@ -287,6 +348,37 @@ Profile decode_profile(std::uint64_t index, const Topology& topo) {
   return profile;
 }
 
+/// Inverse of decode_profile (cell 0 is the least-significant digit).
+/// In the local-search regime the true index can exceed 64 bits; the
+/// wrapped value is still a deterministic tie-break key, which is all
+/// that path needs.
+std::uint64_t encode_profile(const Profile& profile, const Topology& topo) {
+  const std::size_t K = topo.num_classes();
+  std::uint64_t index = 0;
+  for (std::size_t cell = profile.size(); cell-- > 0;) {
+    const std::size_t k = cell % K;
+    const auto radix =
+        static_cast<std::uint64_t>(topo.classes[k].tuf.levels()) + 1;
+    index = index * radix + static_cast<std::uint64_t>(profile[cell] + 1);
+  }
+  return index;
+}
+
+/// Per-cell option counts — the shape of profile space. Two topologies
+/// with equal radices have interchangeable profile indices, which is the
+/// invariant the warm cache's signature check needs.
+std::vector<std::uint64_t> profile_radices(const Topology& topo) {
+  const std::size_t K = topo.num_classes();
+  const std::size_t L = topo.num_datacenters();
+  std::vector<std::uint64_t> radices(K * L);
+  for (std::size_t cell = 0; cell < K * L; ++cell) {
+    const std::size_t k = cell % K;
+    radices[cell] =
+        static_cast<std::uint64_t>(topo.classes[k].tuf.levels()) + 1;
+  }
+  return radices;
+}
+
 std::uint64_t profile_space_size(const Topology& topo,
                                  std::uint64_t clamp_at) {
   std::uint64_t total = 1;
@@ -301,43 +393,123 @@ std::uint64_t profile_space_size(const Topology& topo,
   return total;
 }
 
+/// Symmetric relative closeness: |a-b| within tol of the larger
+/// magnitude. Exact zeros only match (near-)zeros.
+bool close_relative(double a, double b, double tol) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= tol * std::max(scale, 1e-12);
+}
+
 }  // namespace
+
+bool OptimizedPolicy::warm_applicable(const Topology& topo,
+                                      const SlotInput& input) const {
+  if (!cache_.valid) return false;
+  if (cache_.radices != profile_radices(topo)) return false;
+  if (cache_.price.size() != input.price.size()) return false;
+  if (cache_.arrival_rate.size() != input.arrival_rate.size()) return false;
+  const double tol = options_.warm_start_tolerance;
+  for (std::size_t l = 0; l < input.price.size(); ++l) {
+    if (!close_relative(cache_.price[l], input.price[l], tol)) return false;
+  }
+  for (std::size_t k = 0; k < input.arrival_rate.size(); ++k) {
+    if (cache_.arrival_rate[k].size() != input.arrival_rate[k].size()) {
+      return false;
+    }
+    for (std::size_t s = 0; s < input.arrival_rate[k].size(); ++s) {
+      if (!close_relative(cache_.arrival_rate[k][s],
+                          input.arrival_rate[k][s], tol)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
                                         const SlotInput& input) {
   topo.validate();
   input.validate(topo);
   profiles_examined_ = 0;
+  profiles_pruned_ = 0;
   lp_iterations_ = 0;
 
   std::mutex best_mutex;
   ProfileOutcome best;
   best.feasible = true;
   best.objective = 0.0;  // the all-off plan is always available
+  best.index = 0;        // ... and is profile 0 by construction
   best.plan = DispatchPlan::zero(topo);
 
   std::atomic<std::uint64_t> examined{0};
+  std::atomic<std::uint64_t> pruned{0};
   std::atomic<std::uint64_t> pivots{0};
 
-  auto consider = [&](const Profile& profile) {
-    ProfileOutcome outcome = solve_profile(topo, input, profile, options_);
+  auto evaluate = [&](const Profile& profile, std::uint64_t index,
+                      const ProfilePrep& prep) {
     examined.fetch_add(1, std::memory_order_relaxed);
+    if (!prep.feasible) return -kInfinity;
+    ProfileOutcome outcome = solve_profile(topo, input, profile, prep,
+                                           options_);
+    outcome.index = index;
     pivots.fetch_add(static_cast<std::uint64_t>(outcome.lp_iterations),
                      std::memory_order_relaxed);
     if (!outcome.feasible) return -kInfinity;
     const double objective = outcome.objective;
     std::lock_guard lock(best_mutex);
-    if (objective > best.objective) best = std::move(outcome);
+    // Lexicographic (objective, lowest index): exact-objective ties would
+    // otherwise resolve by thread schedule in the parallel sweep.
+    if (objective > best.objective ||
+        (objective == best.objective && outcome.index < best.index)) {
+      best = std::move(outcome);
+    }
     return objective;
+  };
+  auto consider = [&](const Profile& profile, std::uint64_t index) {
+    return evaluate(profile, index,
+                    prepare_profile(topo, input, profile, options_));
   };
 
   const std::uint64_t space =
       profile_space_size(topo, options_.max_enumerated_profiles);
+  const bool enumerated = space <= options_.max_enumerated_profiles;
 
-  if (space <= options_.max_enumerated_profiles) {
+  // Warm start (enumerated path only): re-solve the previous slot's
+  // winning profile under *this* slot's inputs, making its objective an
+  // incumbent bound. The sweep then skips profiles whose optimistic
+  // value bound is strictly below it — they can neither win nor tie, so
+  // the chosen plan is bit-identical to a cold solve; only the work
+  // (and the pruned/examined split) shrinks.
+  std::uint64_t warm_index = space;  // sentinel: nothing pre-evaluated
+  double prune_threshold = 0.0;
+  bool warm_hit = false;
+  if (enumerated && options_.warm_start) {
+    if (warm_applicable(topo, input)) {
+      warm_hit = true;
+      warm_index = cache_.winning_index;
+      const double incumbent =
+          consider(decode_profile(warm_index, topo), warm_index);
+      prune_threshold = std::max(0.0, incumbent);
+    }
+    totals_.warm_start_hits += warm_hit ? 1 : 0;
+    totals_.warm_start_misses += warm_hit ? 0 : 1;
+  }
+
+  if (enumerated) {
     // Exhaustive sweep; embarrassingly parallel across profile indices.
     auto body = [&](std::size_t i) {
-      consider(decode_profile(static_cast<std::uint64_t>(i), topo));
+      const auto index = static_cast<std::uint64_t>(i);
+      if (index == warm_index) return;  // incumbent already evaluated
+      const Profile profile = decode_profile(index, topo);
+      const ProfilePrep prep =
+          prepare_profile(topo, input, profile, options_);
+      if (prune_threshold > 0.0 && prep.feasible &&
+          profile_value_bound(topo, input, profile, prep) <
+              prune_threshold) {
+        pruned.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      evaluate(profile, index, prep);
     };
     if (options_.parallel) {
       parallel_for(static_cast<std::size_t>(space), body);
@@ -346,6 +518,11 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
         body(static_cast<std::size_t>(i));
       }
     }
+    cache_.valid = true;
+    cache_.winning_index = best.index;
+    cache_.radices = profile_radices(topo);
+    cache_.arrival_rate = input.arrival_rate;
+    cache_.price = input.price;
   } else {
     // First-improvement local search over profile cells from several
     // deterministic/random starting profiles.
@@ -376,7 +553,7 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
     }
 
     for (Profile current : starts) {
-      double current_value = consider(current);
+      double current_value = consider(current, encode_profile(current, topo));
       bool improved = true;
       while (improved) {
         improved = false;
@@ -388,7 +565,8 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
             if (option == current[cell]) continue;
             Profile neighbor = current;
             neighbor[cell] = option;
-            const double value = consider(neighbor);
+            const double value =
+                consider(neighbor, encode_profile(neighbor, topo));
             if (value > current_value + 1e-9) {
               current = std::move(neighbor);
               current_value = value;
@@ -402,7 +580,11 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   }
 
   profiles_examined_ = examined.load();
+  profiles_pruned_ = pruned.load();
   lp_iterations_ = pivots.load();
+  totals_.profiles_examined += profiles_examined_;
+  totals_.profiles_pruned += profiles_pruned_;
+  totals_.lp_iterations += lp_iterations_;
   server_shadow_prices_ = best.server_shadow_prices;
   if (server_shadow_prices_.empty()) {
     server_shadow_prices_.assign(topo.num_datacenters(), 0.0);

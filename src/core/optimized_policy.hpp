@@ -54,6 +54,17 @@ class OptimizedPolicy : public Policy {
     /// intended utility band. 2% costs almost no capacity (the per-server
     /// rate loss is ~margin/D req/s) and makes plans robust end-to-end.
     double deadline_margin = 0.02;
+    /// Seed each slot from the previous slot's winning band profile when
+    /// every arrival rate and price moved less than warm_start_tolerance
+    /// (relative), and use the incumbent's objective to skip profiles
+    /// whose optimistic LP value bound falls strictly below it. Plans
+    /// are unchanged: a skipped profile can neither win nor tie, and
+    /// exact-objective ties always resolve to the lowest profile index.
+    /// Only the exhaustive-enumeration path consults the cache.
+    bool warm_start = true;
+    /// Maximum relative per-entry drift of arrival rates and prices for
+    /// the previous slot's solution to count as a warm start.
+    double warm_start_tolerance = 0.05;
   };
 
   OptimizedPolicy() = default;
@@ -62,10 +73,22 @@ class OptimizedPolicy : public Policy {
   const std::string& name() const override { return name_; }
   DispatchPlan plan_slot(const Topology& topology,
                          const SlotInput& input) override;
+  /// Fresh copy with the same options; the copy's warm-start cache and
+  /// counters start empty (each parallel worker grows its own chain).
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<OptimizedPolicy>(options_);
+  }
+  /// Cumulative counters since construction, including warm-start cache
+  /// hits/misses and incumbent-bound prunes.
+  PolicyStats stats() const override { return totals_; }
 
-  /// Profiles examined by the most recent plan_slot (observability for
-  /// the computation-time study, Fig. 11).
+  /// Profiles examined (LP-solved or found structurally infeasible) by
+  /// the most recent plan_slot (observability for the computation-time
+  /// study, Fig. 11). Excludes profiles_pruned().
   std::uint64_t profiles_examined() const { return profiles_examined_; }
+  /// Profiles the most recent plan_slot discarded by the warm-start
+  /// incumbent bound without an LP solve.
+  std::uint64_t profiles_pruned() const { return profiles_pruned_; }
   /// LP simplex iterations accumulated by the most recent plan_slot.
   std::uint64_t lp_iterations() const { return lp_iterations_; }
   /// Marginal dollar value, per slot, of adding one server to each data
@@ -78,11 +101,28 @@ class OptimizedPolicy : public Policy {
   }
 
  private:
+  /// Previous enumerated slot's inputs + winning profile index. The
+  /// signature (per-cell radices, input shapes) guards against reuse
+  /// across topologies; correctness never depends on a hit because the
+  /// incumbent is re-solved under the current inputs before it prunes.
+  struct WarmCache {
+    bool valid = false;
+    std::uint64_t winning_index = 0;
+    std::vector<std::uint64_t> radices;  ///< per (k,l) cell, topology sig
+    std::vector<std::vector<double>> arrival_rate;
+    std::vector<double> price;
+  };
+
+  bool warm_applicable(const Topology& topology, const SlotInput& input) const;
+
   std::string name_ = "Optimized";
   Options options_;
   std::uint64_t profiles_examined_ = 0;
+  std::uint64_t profiles_pruned_ = 0;
   std::uint64_t lp_iterations_ = 0;
   std::vector<double> server_shadow_prices_;
+  WarmCache cache_;
+  PolicyStats totals_;
 };
 
 }  // namespace palb

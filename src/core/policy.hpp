@@ -1,11 +1,65 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cloud/model.hpp"
 #include "cloud/plan.hpp"
 
 namespace palb {
+
+/// Cumulative solver-effort counters a policy has spent since it was
+/// constructed (or cloned). The SlotController reads the delta across a
+/// run and surfaces it in RunResult, so week-scale benches can report
+/// LP pivots, profile sweeps and warm-start cache behaviour without
+/// knowing the concrete policy type. Fields a policy does not track
+/// simply stay zero.
+struct PolicyStats {
+  /// Slots whose solve was seeded from the previous slot's solution
+  /// (inputs drifted less than the warm-start tolerance).
+  std::uint64_t warm_start_hits = 0;
+  /// Slots solved cold (no cache, or the inputs moved too much).
+  std::uint64_t warm_start_misses = 0;
+  /// TUF band profiles visited by enumeration / local search.
+  std::uint64_t profiles_examined = 0;
+  /// Profiles discarded by the warm-start incumbent bound without an LP
+  /// solve (a subset of profiles_examined).
+  std::uint64_t profiles_pruned = 0;
+  /// LP simplex pivots across all profile solves.
+  std::uint64_t lp_iterations = 0;
+  /// NLP inner-minimizer iterations (BigM path).
+  std::uint64_t nlp_iterations = 0;
+
+  PolicyStats& operator+=(const PolicyStats& other) {
+    warm_start_hits += other.warm_start_hits;
+    warm_start_misses += other.warm_start_misses;
+    profiles_examined += other.profiles_examined;
+    profiles_pruned += other.profiles_pruned;
+    lp_iterations += other.lp_iterations;
+    nlp_iterations += other.nlp_iterations;
+    return *this;
+  }
+  PolicyStats operator-(const PolicyStats& other) const {
+    PolicyStats d;
+    d.warm_start_hits = warm_start_hits - other.warm_start_hits;
+    d.warm_start_misses = warm_start_misses - other.warm_start_misses;
+    d.profiles_examined = profiles_examined - other.profiles_examined;
+    d.profiles_pruned = profiles_pruned - other.profiles_pruned;
+    d.lp_iterations = lp_iterations - other.lp_iterations;
+    d.nlp_iterations = nlp_iterations - other.nlp_iterations;
+    return d;
+  }
+  /// Fraction of slots served from the warm-start cache (0 when the
+  /// policy never attempted one).
+  double cache_hit_rate() const {
+    const std::uint64_t attempts = warm_start_hits + warm_start_misses;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(warm_start_hits) /
+                     static_cast<double>(attempts);
+  }
+};
 
 /// A request-dispatching and resource-allocation strategy: given the
 /// static topology and one slot's arrivals + prices, produce the slot's
@@ -18,6 +72,16 @@ class Policy {
   virtual const std::string& name() const = 0;
   virtual DispatchPlan plan_slot(const Topology& topology,
                                  const SlotInput& input) = 0;
+
+  /// Independent copy carrying the same configuration (warm-start caches
+  /// and other per-run state start fresh on the copy's own chain). The
+  /// parallel SlotController gives each worker its own clone; a policy
+  /// returning nullptr (the default) opts out of parallel evaluation and
+  /// the controller falls back to the serial path.
+  virtual std::unique_ptr<Policy> clone() const { return nullptr; }
+
+  /// Cumulative effort counters since construction (see PolicyStats).
+  virtual PolicyStats stats() const { return {}; }
 };
 
 }  // namespace palb

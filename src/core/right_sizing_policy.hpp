@@ -39,6 +39,9 @@ class RightSizingPolicy : public Policy {
   const std::string& name() const override { return name_; }
   DispatchPlan plan_slot(const Topology& topology,
                          const SlotInput& input) override;
+  // No clone() override: the hold-window state makes plans depend on the
+  // slot *sequence*, so parallel block evaluation would change them. The
+  // default nullptr keeps SlotController on the serial path.
 
   /// Forget the power state (start of an independent run).
   void reset();

@@ -14,6 +14,9 @@ class NearestPolicy : public Policy {
   const std::string& name() const override { return name_; }
   DispatchPlan plan_slot(const Topology& topology,
                          const SlotInput& input) override;
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<NearestPolicy>();
+  }
 
  private:
   std::string name_ = "Nearest";
@@ -34,6 +37,9 @@ class CostMinPolicy : public Policy {
   const std::string& name() const override { return name_; }
   DispatchPlan plan_slot(const Topology& topology,
                          const SlotInput& input) override;
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<CostMinPolicy>();
+  }
 
  private:
   std::string name_ = "CostMin";

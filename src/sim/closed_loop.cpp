@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <queue>
 
 #include "check/plan_checker.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace palb {
 
@@ -53,7 +55,9 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
   const double T = scenario.slot_seconds;
   const double horizon = T * static_cast<double>(num_slots);
 
-  Rng rng(options_.seed);
+  // Per-slot substreams (see header): the master never draws directly.
+  const Rng master(options_.seed);
+  Rng rng = master.substream(static_cast<std::uint64_t>(first_slot));
 
   ClosedLoopResult result;
   result.slots.resize(num_slots);
@@ -222,6 +226,9 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
         previous_measured = measured;
         std::fill(measured.begin(), measured.end(), 0.0);
         slot_index = ev.a;
+        // Fresh substream for the new slot (see header contract).
+        rng = master.substream(
+            static_cast<std::uint64_t>(first_slot + slot_index));
         current_input = scenario.slot_input(first_slot + slot_index);
         apply_plan(plan_for_slot(slot_index), ev.time,
                    result.slots[slot_index]);
@@ -314,6 +321,49 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
     }
   }
   return result;
+}
+
+std::vector<ClosedLoopResult> ClosedLoopSimulator::run_replications(
+    const Scenario& scenario, Policy& policy, std::size_t num_slots,
+    std::size_t replications, std::size_t workers, std::size_t first_slot) {
+  PALB_REQUIRE(replications > 0, "need at least one replication");
+
+  // Mix (seed, r) into one independent seed per replication up front —
+  // the same seeds whatever the worker count or execution order.
+  std::vector<std::uint64_t> seeds(replications);
+  SplitMix64 mix(options_.seed);
+  for (auto& s : seeds) s = mix.next();
+
+  std::vector<ClosedLoopResult> results(replications);
+  const auto run_one = [&](std::size_t r, Policy& p) {
+    Options opts = options_;
+    opts.seed = seeds[r];
+    ClosedLoopSimulator sim(opts);
+    results[r] = sim.run(scenario, p, num_slots, first_slot);
+  };
+
+  const std::size_t resolved =
+      bounded_workers(workers == 0 ? 0 : workers, replications);
+  std::vector<std::unique_ptr<Policy>> clones;
+  if (resolved > 1) {
+    clones.reserve(replications);
+    for (std::size_t r = 0; r < replications; ++r) {
+      clones.push_back(policy.clone());
+      if (!clones.back()) {
+        clones.clear();  // cannot clone: fall back to the serial path
+        break;
+      }
+    }
+  }
+
+  if (clones.empty()) {
+    for (std::size_t r = 0; r < replications; ++r) run_one(r, policy);
+  } else {
+    ThreadPool pool(resolved);
+    parallel_for(pool, replications,
+                 [&](std::size_t r) { run_one(r, *clones[r]); });
+  }
+  return results;
 }
 
 }  // namespace palb

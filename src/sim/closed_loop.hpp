@@ -73,8 +73,26 @@ class ClosedLoopSimulator {
   ClosedLoopSimulator() = default;
   explicit ClosedLoopSimulator(Options options) : options_(options) {}
 
+  /// Randomness is split per slot: slot t draws from substream
+  /// (seed, first_slot + t), so a slot's sample path does not depend on
+  /// how many events earlier slots consumed and any slot range replays
+  /// bit-identically.
   ClosedLoopResult run(const Scenario& scenario, Policy& policy,
                        std::size_t num_slots, std::size_t first_slot = 0);
+
+  /// Runs `replications` statistically independent simulations of the
+  /// same horizon, fanned across `workers` threads (0 = one per hardware
+  /// thread, capped at the replication count). Replication r simulates
+  /// with a SplitMix64-mixed seed derived from (Options::seed, r) and
+  /// its own Policy::clone(), so results are identical for every worker
+  /// count. A policy that cannot clone (nullptr) runs every replication
+  /// serially on the caller's instance instead.
+  std::vector<ClosedLoopResult> run_replications(const Scenario& scenario,
+                                                 Policy& policy,
+                                                 std::size_t num_slots,
+                                                 std::size_t replications,
+                                                 std::size_t workers = 0,
+                                                 std::size_t first_slot = 0);
 
  private:
   Options options_;

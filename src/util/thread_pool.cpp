@@ -77,8 +77,24 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  ThreadPool pool;
+  if (n == 0) return;
+  // Never spawn more workers than iterations (a 1-slot fan-out used to
+  // build a hardware-sized pool that sat idle).
+  const std::size_t workers = bounded_workers(0, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
   parallel_for(pool, n, fn);
+}
+
+std::size_t bounded_workers(std::size_t requested, std::size_t jobs) {
+  if (requested == 0) {
+    requested =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, std::min(requested, jobs));
 }
 
 }  // namespace palb

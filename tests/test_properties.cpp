@@ -1,0 +1,362 @@
+// Property tests over the paper's analytic primitives — not example
+// checks but invariants swept over parameter grids and random instances:
+//
+//   1. M/M/1 (Eq. 1): the mean sojourn R = 1/(phi*C*mu - lambda) is
+//      strictly increasing in the arrival rate and strictly decreasing
+//      in the effective service rate phi*C*mu, and the closed-form
+//      inversions (required_share, max_rate) round-trip through it.
+//   2. Step TUFs (Eqs. 9/10/16): utility is monotone non-increasing in
+//      delay, the level bands tile (0, D_n], and every constructor
+//      (explicit, constant, approximate_decay) preserves the ordering
+//      invariants.
+//   3. Rebalancing: a PlanChecker-clean plan never loses profit when a
+//      data center's load is spread over one more identical idle
+//      server — delays can only drop, the per-request energy bill is
+//      unchanged, and with the paper's free idle capacity the ledger
+//      is monotone in servers_on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "check/plan_checker.hpp"
+#include "cloud/accounting.hpp"
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+#include "cloud/tuf.hpp"
+#include "queueing/mm1.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace palb {
+namespace {
+
+// ---------------------------------------------------------------------
+// 1. M/M/1 monotonicity and round-trips.
+
+TEST(Mm1Property, DelayStrictlyIncreasesInArrivalRate) {
+  for (double share : {0.3, 0.55, 1.0}) {
+    for (double capacity : {0.8, 1.0, 1.4}) {
+      for (double mu : {50.0, 120.0}) {
+        const double service = mm1::effective_rate(share, capacity, mu);
+        double previous = 0.0;
+        bool first = true;
+        // Sweep lambda from near-idle to just below the stability edge.
+        for (double frac = 0.05; frac < 0.999; frac += 0.05) {
+          const double lambda = frac * service;
+          ASSERT_TRUE(mm1::is_stable(share, capacity, mu, lambda));
+          const double delay =
+              mm1::expected_delay(share, capacity, mu, lambda);
+          ASSERT_TRUE(std::isfinite(delay));
+          ASSERT_GT(delay, 0.0);
+          if (!first) {
+            EXPECT_GT(delay, previous)
+                << "delay must strictly increase in lambda (share=" << share
+                << " C=" << capacity << " mu=" << mu << ")";
+          }
+          previous = delay;
+          first = false;
+        }
+      }
+    }
+  }
+}
+
+TEST(Mm1Property, DelayStrictlyDecreasesInEffectiveServiceRate) {
+  // phi*C*mu enters Eq. 1 only as a product, so growing any one factor
+  // while the others are fixed must strictly shrink the delay.
+  const double lambda = 40.0;
+  for (double share = 0.45; share <= 1.0; share += 0.05) {
+    const double lo = mm1::expected_delay(share, 1.0, 100.0, lambda);
+    const double hi = mm1::expected_delay(share + 0.04, 1.0, 100.0, lambda);
+    EXPECT_LT(hi, lo) << "larger share must mean smaller delay";
+  }
+  for (double capacity = 0.5; capacity <= 2.0; capacity += 0.1) {
+    const double lo = mm1::expected_delay(0.9, capacity, 100.0, lambda);
+    const double hi =
+        mm1::expected_delay(0.9, capacity + 0.08, 100.0, lambda);
+    EXPECT_LT(hi, lo) << "larger capacity must mean smaller delay";
+  }
+  for (double mu = 50.0; mu <= 200.0; mu += 10.0) {
+    const double lo = mm1::expected_delay(0.9, 1.0, mu, lambda);
+    const double hi = mm1::expected_delay(0.9, 1.0, mu + 8.0, lambda);
+    EXPECT_LT(hi, lo) << "faster service must mean smaller delay";
+  }
+}
+
+TEST(Mm1Property, RequiredShareRoundTripsThroughExpectedDelay) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double capacity = rng.uniform(0.5, 2.0);
+    const double mu = rng.uniform(40.0, 250.0);
+    const double lambda = rng.uniform(1.0, 300.0);
+    const double deadline = rng.uniform(0.02, 0.5);
+    const double share = mm1::required_share(lambda, capacity, mu, deadline);
+    ASSERT_GT(share, 0.0);
+    if (share > 1.0) {
+      // required_share may exceed 1 — exactly when even a whole server
+      // cannot meet the deadline. Verify that claim, then skip the
+      // round-trip (expected_delay rejects shares outside [0,1]).
+      EXPECT_GT(lambda + 1.0 / deadline,
+                mm1::effective_rate(1.0, capacity, mu));
+      continue;
+    }
+    const double delay = mm1::expected_delay(share, capacity, mu, lambda);
+    EXPECT_NEAR(delay, deadline, 1e-9 * std::max(1.0, deadline));
+    // Any smaller share must blow the deadline (or the queue entirely).
+    const double shaved = share * (1.0 - 1e-3);
+    if (mm1::is_stable(shaved, capacity, mu, lambda)) {
+      EXPECT_GT(mm1::expected_delay(shaved, capacity, mu, lambda), deadline);
+    }
+  }
+}
+
+TEST(Mm1Property, MaxRateRoundTripsAndSaturatesDeadline) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double share = rng.uniform(0.1, 1.0);
+    const double capacity = rng.uniform(0.5, 2.0);
+    const double mu = rng.uniform(40.0, 250.0);
+    const double deadline = rng.uniform(0.02, 0.5);
+    const double lambda = mm1::max_rate(share, capacity, mu, deadline);
+    ASSERT_GE(lambda, 0.0);
+    if (lambda == 0.0) continue;  // deadline unmeetable even when idle
+    EXPECT_NEAR(mm1::expected_delay(share, capacity, mu, lambda), deadline,
+                1e-9 * std::max(1.0, deadline));
+    // One more request per second than the maximum breaks the deadline.
+    const double bumped = lambda * (1.0 + 1e-3);
+    if (mm1::is_stable(share, capacity, mu, bumped)) {
+      EXPECT_GT(mm1::expected_delay(share, capacity, mu, bumped), deadline);
+    }
+  }
+}
+
+TEST(Mm1Property, LittlesLawAndUtilizationConsistent) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double share = rng.uniform(0.2, 1.0);
+    const double capacity = rng.uniform(0.5, 2.0);
+    const double mu = rng.uniform(40.0, 250.0);
+    const double lambda =
+        rng.uniform(0.05, 0.95) * mm1::effective_rate(share, capacity, mu);
+    const double delay = mm1::expected_delay(share, capacity, mu, lambda);
+    EXPECT_NEAR(mm1::mean_in_system(share, capacity, mu, lambda),
+                lambda * delay, 1e-9);
+    const double rho = mm1::utilization(share, capacity, mu, lambda);
+    EXPECT_GT(rho, 0.0);
+    EXPECT_LT(rho, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// 2. Step-TUF ordering and monotonicity.
+
+std::vector<StepTuf> representative_tufs() {
+  std::vector<StepTuf> tufs;
+  tufs.push_back(StepTuf::constant(0.01, 0.1));
+  tufs.push_back(StepTuf({0.02, 0.01}, {0.05, 0.15}));
+  tufs.push_back(StepTuf({0.05, 0.03, 0.011, 0.002},
+                         {0.02, 0.06, 0.1, 0.25}));
+  tufs.push_back(StepTuf::approximate_decay(0.04, 0.2, 8));
+  tufs.push_back(StepTuf::approximate_decay(1.0, 1.0, 32));
+  return tufs;
+}
+
+TEST(TufProperty, UtilityMonotoneNonIncreasingInDelay) {
+  for (const StepTuf& tuf : representative_tufs()) {
+    const double horizon = tuf.final_deadline() * 1.5;
+    double previous = tuf.max_utility() + 1.0;
+    for (double delay = horizon / 2000.0; delay <= horizon;
+         delay += horizon / 2000.0) {
+      const double u = tuf.utility(delay);
+      EXPECT_LE(u, previous) << "utility rose at delay " << delay;
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, tuf.max_utility());
+      previous = u;
+    }
+    EXPECT_EQ(tuf.utility(tuf.final_deadline() * 1.0001), 0.0);
+  }
+}
+
+TEST(TufProperty, LevelOrderingStrictAcrossDeadlines) {
+  // The paper's definition: U_1 > ... > U_n paired with D_1 < ... < D_n.
+  // Every constructor must preserve it — stepping down a deadline level
+  // never increases utility, always strictly decreases it.
+  for (const StepTuf& tuf : representative_tufs()) {
+    ASSERT_GE(tuf.levels(), 1u);
+    for (std::size_t q = 1; q < tuf.levels(); ++q) {
+      EXPECT_LT(tuf.utility_at_level(q), tuf.utility_at_level(q - 1))
+          << "utilities must strictly decrease across levels";
+      EXPECT_GT(tuf.sub_deadline(q), tuf.sub_deadline(q - 1))
+          << "sub-deadlines must strictly increase across levels";
+    }
+    EXPECT_DOUBLE_EQ(tuf.max_utility(), tuf.utility_at_level(0));
+    EXPECT_DOUBLE_EQ(tuf.final_deadline(),
+                     tuf.sub_deadline(tuf.levels() - 1));
+  }
+}
+
+TEST(TufProperty, BandInteriorsMatchLevelValues) {
+  for (const StepTuf& tuf : representative_tufs()) {
+    double band_start = 0.0;
+    for (std::size_t q = 0; q < tuf.levels(); ++q) {
+      const double band_end = tuf.sub_deadline(q);
+      const double mid = 0.5 * (band_start + band_end);
+      EXPECT_EQ(tuf.level_for_delay(mid), static_cast<int>(q));
+      EXPECT_DOUBLE_EQ(tuf.utility(mid), tuf.utility_at_level(q));
+      // The band is right-closed: U(D_q) = U_q (paper Eq. 10).
+      EXPECT_DOUBLE_EQ(tuf.utility(band_end), tuf.utility_at_level(q));
+      band_start = band_end;
+    }
+    EXPECT_EQ(tuf.level_for_delay(tuf.final_deadline() * 2.0), -1);
+  }
+}
+
+TEST(TufProperty, ApproximateDecayBracketsTheLine) {
+  // The staircase approximation of a linear decay must stay a staircase
+  // *under* the value at delay 0 and sandwich the line within one step.
+  const double max_u = 0.06;
+  const double deadline = 0.3;
+  for (std::size_t steps : {2u, 5u, 16u, 64u}) {
+    const StepTuf tuf = StepTuf::approximate_decay(max_u, deadline, steps);
+    EXPECT_EQ(tuf.levels(), steps);
+    const double step_height = max_u / static_cast<double>(steps);
+    for (double delay = deadline / 500.0; delay < deadline;
+         delay += deadline / 500.0) {
+      const double line = max_u * (1.0 - delay / deadline);
+      EXPECT_LE(std::abs(tuf.utility(delay) - line), step_height + 1e-12)
+          << "staircase strayed more than one step from the decay line";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// 3. Rebalancing a clean plan onto an extra idle server never loses
+//    profit.
+
+/// Routes every class of `input` to dc 0 of the fixture topology and
+/// grants shares generous enough to meet every final deadline once at
+/// least `min_servers` servers are on.
+DispatchPlan all_to_dc0_plan(const Topology& topo, const SlotInput& input,
+                             int servers_on) {
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  for (std::size_t k = 0; k < topo.num_classes(); ++k) {
+    for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
+      plan.rate[k][s][0] = input.arrival_rate[k][s];
+    }
+  }
+  plan.dc[0].servers_on = servers_on;
+  plan.dc[0].share = {0.5, 0.45};
+  return plan;
+}
+
+TEST(RebalanceProperty, ExtraIdleServerNeverLosesProfit) {
+  const Topology topo = testing_fixtures::small_topology();
+  const SlotInput input = testing_fixtures::small_input();
+  const PlanChecker checker;
+
+  // Three servers already meet every deadline: web sees 100/3 req/s per
+  // server against an effective rate of 0.5*100, api 80/3 against
+  // 0.45*90. Spreading over the fourth (identical, idle) server only
+  // shortens queues.
+  double previous_profit = 0.0;
+  bool first = true;
+  for (int servers_on = 3; servers_on <= topo.datacenters[0].num_servers;
+       ++servers_on) {
+    const DispatchPlan plan = all_to_dc0_plan(topo, input, servers_on);
+    const PlanCheckReport report = checker.check(topo, input, plan);
+    ASSERT_TRUE(report.ok()) << report.summary();
+    const SlotMetrics metrics = evaluate_plan(topo, input, plan);
+    if (!first) {
+      EXPECT_GE(metrics.net_profit(), previous_profit)
+          << "adding an idle twin server lost money at servers_on="
+          << servers_on;
+    }
+    previous_profit = metrics.net_profit();
+    first = false;
+  }
+}
+
+TEST(RebalanceProperty, ExtraServerTightensEveryDelay) {
+  // The mechanism behind the profit monotonicity: per-server load drops,
+  // so every loaded (class, DC) delay strictly decreases and no TUF
+  // level can get worse.
+  const Topology topo = testing_fixtures::small_topology();
+  const SlotInput input = testing_fixtures::small_input();
+  const SlotMetrics tight =
+      evaluate_plan(topo, input, all_to_dc0_plan(topo, input, 3));
+  const SlotMetrics spread =
+      evaluate_plan(topo, input, all_to_dc0_plan(topo, input, 4));
+  for (std::size_t k = 0; k < topo.num_classes(); ++k) {
+    const ClassDcOutcome& before = tight.outcomes[k][0];
+    const ClassDcOutcome& after = spread.outcomes[k][0];
+    ASSERT_GT(before.rate, 0.0);
+    EXPECT_LT(after.delay, before.delay);
+    EXPECT_GE(after.utility_per_request, before.utility_per_request);
+    EXPECT_LE(after.tuf_level, before.tuf_level);
+  }
+  // Per-request energy and wire bills do not depend on the spread.
+  EXPECT_DOUBLE_EQ(tight.energy_cost, spread.energy_cost);
+  EXPECT_DOUBLE_EQ(tight.transfer_cost, spread.transfer_cost);
+  EXPECT_GE(spread.revenue, tight.revenue);
+}
+
+TEST(RebalanceProperty, RandomCleanPlansStayMonotone) {
+  // Randomized sweep: random demand scales and share splits; whenever
+  // both the n-server and the (n+1)-server spread pass the checker, the
+  // wider spread must earn at least as much.
+  const Topology topo = testing_fixtures::small_topology();
+  const PlanChecker checker;
+  Rng rng(424242);
+  int verified_pairs = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const SlotInput input =
+        testing_fixtures::small_input(rng.uniform(0.4, 1.3));
+    DispatchPlan plan = DispatchPlan::zero(topo);
+    for (std::size_t k = 0; k < topo.num_classes(); ++k) {
+      for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
+        plan.rate[k][s][0] = input.arrival_rate[k][s];
+      }
+    }
+    const double web_share = rng.uniform(0.4, 0.6);
+    plan.dc[0].share = {web_share, rng.uniform(0.35, 1.0 - web_share)};
+    const int n = 2 + static_cast<int>(rng.uniform_index(2));  // 2 or 3
+    plan.dc[0].servers_on = n;
+    const PlanCheckReport narrow = checker.check(topo, input, plan);
+    if (!narrow.ok()) continue;  // undersized draw; property needs clean
+    const double narrow_profit =
+        evaluate_plan(topo, input, plan).net_profit();
+    plan.dc[0].servers_on = n + 1;
+    ASSERT_TRUE(checker.check(topo, input, plan).ok())
+        << "spreading a clean plan over an idle twin broke a constraint";
+    const double wide_profit =
+        evaluate_plan(topo, input, plan).net_profit();
+    EXPECT_GE(wide_profit, narrow_profit) << "trial " << trial;
+    ++verified_pairs;
+  }
+  // The draw ranges are tuned so most trials produce a clean narrow
+  // plan; guard against the sweep silently verifying nothing.
+  EXPECT_GE(verified_pairs, 40);
+}
+
+TEST(RebalanceProperty, IdlePowerBreaksFreeSpreading) {
+  // Contrast case documenting the property's boundary: under the
+  // idle-power EXTENSION a powered-on twin is no longer free, so the
+  // monotonicity claim is specific to the paper's model. Demand is
+  // scaled down so both spreads land in the same TUF bands — revenue is
+  // then equal and the extra server is pure static-power loss.
+  Topology topo = testing_fixtures::small_topology();
+  topo.datacenters[0].idle_power_kw = 5.0;
+  const SlotInput input = testing_fixtures::small_input(0.6);
+  const SlotMetrics narrow =
+      evaluate_plan(topo, input, all_to_dc0_plan(topo, input, 3));
+  const SlotMetrics wide =
+      evaluate_plan(topo, input, all_to_dc0_plan(topo, input, 4));
+  EXPECT_DOUBLE_EQ(wide.revenue, narrow.revenue);
+  EXPECT_LT(wide.net_profit(), narrow.net_profit());
+}
+
+}  // namespace
+}  // namespace palb

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -141,6 +143,57 @@ TEST(ThreadPool, ConcurrentSubmitAndShutdownStress) {
       for (auto& f : per_producer) f.get();  // accepted => completed
     }
     EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
+TEST(BoundedWorkers, NeverExceedsJobs) {
+  EXPECT_EQ(bounded_workers(8, 3), 3u);
+  EXPECT_EQ(bounded_workers(2, 100), 2u);
+  EXPECT_EQ(bounded_workers(5, 5), 5u);
+}
+
+TEST(BoundedWorkers, AtLeastOne) {
+  EXPECT_EQ(bounded_workers(4, 0), 1u);
+  EXPECT_EQ(bounded_workers(1, 1), 1u);
+}
+
+TEST(BoundedWorkers, ZeroRequestsHardwareConcurrency) {
+  const std::size_t resolved = bounded_workers(0, 1000);
+  EXPECT_GE(resolved, 1u);
+  EXPECT_LE(resolved,
+            std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+}
+
+TEST(ParallelCollect, ResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<int> out = parallel_collect<int>(
+      pool, 100, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelCollect, TransientMatchesSerialAndSingleWorker) {
+  const auto fn = [](std::size_t i) {
+    return static_cast<double>(i) * 0.5 - 3.0;
+  };
+  const std::vector<double> one = parallel_collect<double>(1, 64, fn);
+  const std::vector<double> many = parallel_collect<double>(4, 64, fn);
+  EXPECT_EQ(one, many);
+}
+
+TEST(ParallelCollect, ZeroItemsGivesEmpty) {
+  EXPECT_TRUE(parallel_collect<int>(3, 0, [](std::size_t) { return 1; })
+                  .empty());
+}
+
+TEST(ParallelCollect, MovableNonTrivialResults) {
+  ThreadPool pool(3);
+  const std::vector<std::string> out = parallel_collect<std::string>(
+      pool, 9, [](std::size_t i) { return std::string(i, 'x'); });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].size(), i);
   }
 }
 

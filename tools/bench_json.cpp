@@ -1,0 +1,63 @@
+#include "bench_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb::benchjson {
+
+Json to_json(const WorkloadResult& w) {
+  Json solver = Json::object();
+  solver.set("profiles_examined", Json(w.solver.profiles_examined));
+  solver.set("profiles_pruned", Json(w.solver.profiles_pruned));
+  solver.set("lp_iterations", Json(w.solver.lp_iterations));
+  solver.set("nlp_iterations", Json(w.solver.nlp_iterations));
+  solver.set("warm_start_hits", Json(w.solver.warm_start_hits));
+  solver.set("warm_start_misses", Json(w.solver.warm_start_misses));
+  solver.set("cache_hit_rate", Json(w.solver.cache_hit_rate()));
+
+  Json doc = Json::object();
+  doc.set("name", Json(w.name));
+  doc.set("scenario", Json(w.scenario));
+  doc.set("slots", Json(w.slots));
+  doc.set("workers", Json(w.workers));
+  doc.set("serial_ms", Json(w.serial_ms));
+  doc.set("parallel_ms", Json(w.parallel_ms));
+  doc.set("slots_per_sec", Json(w.slots_per_sec()));
+  doc.set("speedup", Json(w.speedup()));
+  doc.set("plans_identical", Json(w.plans_identical));
+  doc.set("solver", std::move(solver));
+  return doc;
+}
+
+Json document(std::size_t hardware_concurrency, std::size_t workers,
+              bool smoke, const std::vector<WorkloadResult>& workloads) {
+  Json list = Json::array();
+  for (const auto& w : workloads) list.push_back(to_json(w));
+  Json doc = Json::object();
+  doc.set("schema", Json(kSchema));
+  doc.set("hardware_concurrency", Json(hardware_concurrency));
+  doc.set("workers", Json(workers));
+  doc.set("smoke", Json(smoke));
+  doc.set("workloads", std::move(list));
+  return doc;
+}
+
+void write_file(const std::string& path, const Json& doc) {
+  {
+    std::ofstream os(path);
+    if (!os) throw IoError("cannot open " + path);
+    os << doc.dump(2) << "\n";
+    if (!os) throw IoError("failed writing " + path);
+  }
+  std::ifstream is(path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const Json reread = Json::parse(buffer.str());
+  if (!(reread == doc)) {
+    throw IoError("bench report round-trip mismatch for " + path);
+  }
+}
+
+}  // namespace palb::benchjson

@@ -1,0 +1,83 @@
+#pragma once
+
+// Machine-readable benchmark report (schema "palb-bench-v1") for the
+// `palb bench` subcommand. One document per invocation:
+//
+//   {
+//     "schema": "palb-bench-v1",
+//     "hardware_concurrency": 4,
+//     "workers": 4,                 // resolved worker budget
+//     "smoke": false,
+//     "workloads": [
+//       {
+//         "name": "fig06_worldcup",
+//         "scenario": "worldcup",
+//         "slots": 24,
+//         "workers": 4,
+//         "serial_ms": 812.4,       // 1 worker, sequential profile sweep
+//         "parallel_ms": 231.9,     // N workers via SlotController
+//         "slots_per_sec": 103.5,   // parallel arm
+//         "speedup": 3.50,          // serial_ms / parallel_ms
+//         "plans_identical": true,  // byte-identical plan JSON
+//         "solver": {
+//           "profiles_examined": 1536,
+//           "profiles_pruned": 410,
+//           "lp_iterations": 9021,
+//           "warm_start_hits": 20,
+//           "warm_start_misses": 4,
+//           "cache_hit_rate": 0.8333
+//         }                          // parallel arm's counters
+//       }, ...
+//     ]
+//   }
+//
+// CI consumes this file (see .github/workflows/ci.yml bench-smoke and
+// docs/BENCHMARKING.md); keep the schema additive — consumers pin
+// "schema" and ignore unknown keys.
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "util/json.hpp"
+
+namespace palb::benchjson {
+
+inline constexpr const char* kSchema = "palb-bench-v1";
+
+/// One workload's head-to-head timing: the same slot range planned by
+/// the same policy configuration, once with 1 worker and once with the
+/// full worker budget.
+struct WorkloadResult {
+  std::string name;      ///< stable key CI thresholds refer to
+  std::string scenario;  ///< resolve_scenario() name it ran on
+  std::size_t slots = 0;
+  std::size_t workers = 0;  ///< worker budget of the parallel arm
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool plans_identical = false;
+  /// Solver-effort counters of the parallel arm (RunResult::stats).
+  PolicyStats solver;
+
+  double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+  double slots_per_sec() const {
+    return parallel_ms > 0.0
+               ? 1000.0 * static_cast<double>(slots) / parallel_ms
+               : 0.0;
+  }
+};
+
+Json to_json(const WorkloadResult& w);
+
+/// Assembles the whole palb-bench-v1 document.
+Json document(std::size_t hardware_concurrency, std::size_t workers,
+              bool smoke, const std::vector<WorkloadResult>& workloads);
+
+/// Serializes `doc` to `path` (pretty-printed, trailing newline), then
+/// re-parses the written bytes as a self-check so a malformed report can
+/// never reach CI silently. Throws IoError on failure.
+void write_file(const std::string& path, const Json& doc);
+
+}  // namespace palb::benchjson

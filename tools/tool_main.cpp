@@ -17,11 +17,17 @@
 //   palb check-plan <scenario|file.json> <plans.json> [--tol X] [--no-deadline]
 //       verify stored plans against the paper's constraint system
 //       (Eq. 6/7/8, stability, rate sanity); exit 1 on any violation
+//   palb bench [--smoke] [--out FILE] [--workers N] [--min-speedup X]
+//       time the parallel slot pipeline against the 1-worker baseline
+//       and write a machine-readable palb-bench-v1 report
+//       (BENCH_palb.json by default); exit 1 if any workload's plans
+//       diverge or the fig06 workload misses --min-speedup
 //
 // Built-in scenario names: basic-low, basic-high, worldcup, google;
 // "random:SEED" generates a deterministic random world.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,8 +35,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "check/plan_checker.hpp"
 #include "cloud/accounting.hpp"
 #include "core/balanced_policy.hpp"
@@ -63,6 +71,8 @@ int usage() {
                "  palb replay <scenario|file.json> <plans.json>\n"
                "  palb check-plan <scenario|file.json> <plans.json> "
                "[--tol X] [--no-deadline]\n"
+               "  palb bench [--smoke] [--out FILE] [--workers N] "
+               "[--min-speedup X]\n"
                "built-ins: basic-low basic-high worldcup google; also random:SEED\n");
   return 2;
 }
@@ -106,7 +116,7 @@ struct Args {
 Args parse_args(int argc, char** argv, int first) {
   // Valueless switches; everything else starting with "--" takes the
   // next argument as its value.
-  static const std::vector<std::string> kFlags = {"no-deadline"};
+  static const std::vector<std::string> kFlags = {"no-deadline", "smoke"};
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -378,6 +388,131 @@ int cmd_forecast(const Args& args) {
   return 0;
 }
 
+// ---- palb bench -----------------------------------------------------------
+
+struct BenchWorkload {
+  std::string name;      ///< stable key (CI thresholds refer to it)
+  std::string scenario;  ///< resolve_scenario() input
+  std::size_t slots;
+};
+
+benchjson::WorkloadResult run_bench_workload(const BenchWorkload& wl,
+                                             std::size_t workers) {
+  const Scenario sc = resolve_scenario(wl.scenario);
+  const SlotController controller(sc);
+  // Both arms disable the in-policy profile-sweep threads so the
+  // comparison isolates slot-level fan-out — otherwise the "serial"
+  // baseline already saturates the machine from inside each slot and
+  // the measured speedup would be meaningless.
+  OptimizedPolicy::Options popt;
+  popt.parallel = false;
+
+  benchjson::WorkloadResult out;
+  out.name = wl.name;
+  out.scenario = wl.scenario;
+  out.slots = wl.slots;
+  out.workers = workers;
+
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ms = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+  };
+
+  OptimizedPolicy serial_policy(popt);
+  auto t0 = Clock::now();
+  const RunResult serial =
+      controller.run(serial_policy, wl.slots, 0, {.workers = 1});
+  out.serial_ms = elapsed_ms(t0);
+
+  OptimizedPolicy parallel_policy(popt);
+  t0 = Clock::now();
+  const RunResult parallel =
+      controller.run(parallel_policy, wl.slots, 0, {.workers = workers});
+  out.parallel_ms = elapsed_ms(t0);
+
+  out.plans_identical = plan_json::run_to_json(serial).dump() ==
+                        plan_json::run_to_json(parallel).dump();
+  out.solver = parallel.stats;
+  return out;
+}
+
+int cmd_bench(const Args& args) {
+  const bool smoke = args.options.count("smoke") > 0;
+  const std::string out_path = args.options.count("out")
+                                   ? args.options.at("out")
+                                   : std::string("BENCH_palb.json");
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      args.options.count("workers")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("workers")))
+          : hardware;
+
+  std::vector<BenchWorkload> workloads = {
+      {"micro_basic", "basic-low", 4},
+      {"fig06_worldcup", "worldcup", 24},
+  };
+  if (!smoke) {
+    workloads.push_back({"fig08_google", "google", 6});
+    // Week-scale horizon: the 24-slot traces wrap modulo their length.
+    workloads.push_back({"week_worldcup", "worldcup", 168});
+  }
+
+  std::vector<benchjson::WorkloadResult> results;
+  results.reserve(workloads.size());
+  for (const auto& wl : workloads) {
+    std::fprintf(stderr, "bench: %s (%zu slots, %zu workers)...\n",
+                 wl.name.c_str(), wl.slots, workers);
+    results.push_back(run_bench_workload(wl, workers));
+  }
+
+  benchjson::write_file(out_path,
+                        benchjson::document(hardware, workers, smoke,
+                                            results));
+
+  TextTable t({"workload", "slots", "serial ms", "parallel ms", "speedup",
+               "slots/s", "pruned", "cache hit %", "plans identical"});
+  for (const auto& r : results) {
+    t.add_row({r.name, std::to_string(r.slots),
+               format_double(r.serial_ms, 1),
+               format_double(r.parallel_ms, 1),
+               format_double(r.speedup(), 2),
+               format_double(r.slots_per_sec(), 1),
+               std::to_string(r.solver.profiles_pruned),
+               format_double(100.0 * r.solver.cache_hit_rate(), 1),
+               r.plans_identical ? "yes" : "NO"});
+  }
+  std::printf("%swrote %s\n", t.render().c_str(), out_path.c_str());
+
+  int rc = 0;
+  for (const auto& r : results) {
+    if (!r.plans_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s parallel plans diverge from the 1-worker "
+                   "baseline\n",
+                   r.name.c_str());
+      rc = 1;
+    }
+  }
+  if (args.options.count("min-speedup")) {
+    // The gate reads the fig06 workload: large enough to parallelize,
+    // small enough for CI. Sub-threshold runs on single-core machines
+    // are expected — CI supplies the flag only on multi-core runners.
+    const double min_speedup = std::stod(args.options.at("min-speedup"));
+    for (const auto& r : results) {
+      if (r.name == "fig06_worldcup" && r.speedup() < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: fig06_worldcup speedup %.2fx below the "
+                     "--min-speedup %.2fx gate\n",
+                     r.speedup(), min_speedup);
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
 int cmd_simulate(const Args& args) {
   if (args.positional.empty()) return usage();
   const Scenario sc = resolve_scenario(args.positional[0]);
@@ -424,6 +559,7 @@ int main(int argc, char** argv) {
     if (cmd == "check-plan") {
       return cmd_check_plan(parse_args(argc, argv, 2));
     }
+    if (cmd == "bench") return cmd_bench(parse_args(argc, argv, 2));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
