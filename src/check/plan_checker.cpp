@@ -204,6 +204,8 @@ PlanCheckReport PlanChecker::check(const Topology& topology,
   }
 
   // --- Loaded streams: routing sanity, rho < 1, Eq. 6 delay bound. ----------
+  // From here the Eq. 1 algebra runs on typed quantities: mu and lambda
+  // are role-tagged req/s, delays and deadlines are Seconds.
   for (std::size_t k = 0; k < K; ++k) {
     const auto& cls = topology.classes[k];
     for (std::size_t l = 0; l < L; ++l) {
@@ -225,34 +227,48 @@ PlanCheckReport PlanChecker::check(const Topology& topology,
                                             : " with zero CPU share")});
         continue;
       }
-      const double lambda = load / static_cast<double>(alloc.servers_on);
+      const units::ServiceRate mu = center.service_rate_of(k);
+      if (!std::isfinite(mu.value()) || mu.value() <= 0.0 ||
+          center.server_capacity <= 0.0) {
+        // A degenerate topology (mu == 0, zero capacity) makes any load
+        // unstable by definition; report it instead of tripping the
+        // queueing layer's domain checks.
+        out.add({PlanViolationCode::kUnstableQueue, k,
+                 PlanViolation::kNoIndex, l,
+                 load / static_cast<double>(alloc.servers_on), 0.0,
+                 "unstable queue for class " + cls.name + " at " +
+                     center.name + ": service rate " + fmt(mu.value()) +
+                     " req/s x capacity " + fmt(center.server_capacity) +
+                     " cannot serve any load"});
+        continue;
+      }
+      const units::ArrivalRate lambda{
+          load / static_cast<double>(alloc.servers_on)};
       // mm1 asserts share in [0, 1]; an out-of-range phi was already
       // reported as kShareRange, so evaluate the queue at the clamped
       // (most lenient) share instead of tripping that assertion.
-      const double phi_eff = std::min(phi, 1.0);
-      if (!mm1::is_stable(phi_eff, center.server_capacity,
-                          center.service_rate[k], lambda)) {
+      const units::CpuShare phi_eff{std::min(phi, 1.0)};
+      if (!mm1::is_stable(phi_eff, center.server_capacity, mu, lambda)) {
+        const units::ServiceRate mu_eff =
+            mm1::effective_rate(phi_eff, center.server_capacity, mu);
         out.add({PlanViolationCode::kUnstableQueue, k,
-                 PlanViolation::kNoIndex, l, lambda,
-                 mm1::effective_rate(phi_eff, center.server_capacity,
-                                     center.service_rate[k]),
+                 PlanViolation::kNoIndex, l, lambda.value(), mu_eff.value(),
                  "unstable queue (rho >= 1) for class " + cls.name + " at " +
-                     center.name + ": per-server arrival " + fmt(lambda) +
-                     " req/s vs effective service " +
-                     fmt(mm1::effective_rate(phi_eff, center.server_capacity,
-                                             center.service_rate[k])) +
-                     " req/s"});
+                     center.name + ": per-server arrival " +
+                     fmt(lambda.value()) + " req/s vs effective service " +
+                     fmt(mu_eff.value()) + " req/s"});
         continue;
       }
       if (options_.check_deadline) {
-        const double delay = mm1::expected_delay(
-            phi_eff, center.server_capacity, center.service_rate[k], lambda);
-        const double deadline = cls.tuf.final_deadline();
+        const units::Seconds delay = mm1::expected_delay(
+            phi_eff, center.server_capacity, mu, lambda);
+        const units::Seconds deadline = cls.tuf.deadline();
         if (delay > deadline * (1.0 + options_.deadline_slack)) {
           out.add({PlanViolationCode::kDeadlineExceeded, k,
-                   PlanViolation::kNoIndex, l, delay, deadline,
-                   "Eq. 6: mean delay " + fmt(delay) +
-                       " s past the final deadline " + fmt(deadline) +
+                   PlanViolation::kNoIndex, l, delay.value(),
+                   deadline.value(),
+                   "Eq. 6: mean delay " + fmt(delay.value()) +
+                       " s past the final deadline " + fmt(deadline.value()) +
                        " s for class " + cls.name + " at " + center.name});
         }
       }

@@ -3,9 +3,20 @@
 #include <algorithm>
 
 #include "queueing/mm1.hpp"
+#include "units/units.hpp"
 #include "util/error.hpp"
 
 namespace palb {
+
+using units::ArrivalRate;
+using units::CpuShare;
+using units::Dollars;
+using units::DollarsPerReq;
+using units::DollarsPerSec;
+using units::Kwh;
+using units::ReqPerSec;
+using units::Requests;
+using units::Seconds;
 
 SlotMetrics evaluate_plan(const Topology& topology, const SlotInput& input,
                           const DispatchPlan& plan) {
@@ -14,45 +25,53 @@ SlotMetrics evaluate_plan(const Topology& topology, const SlotInput& input,
   const std::size_t K = topology.num_classes();
   const std::size_t S = topology.num_frontends();
   const std::size_t L = topology.num_datacenters();
-  const double T = input.slot_seconds;
+  const Seconds slot = input.slot_duration();
 
   SlotMetrics m;
   m.outcomes.assign(K, std::vector<ClassDcOutcome>(L));
 
   for (std::size_t k = 0; k < K; ++k) {
-    m.offered_requests += input.total_offered(k) * T;
+    m.offered_requests +=
+        (ReqPerSec{input.total_offered(k)} * slot).value();
   }
   for (std::size_t l = 0; l < L; ++l) {
     m.servers_on += plan.dc[l].servers_on;
     // Idle (static) power of powered-on servers — zero under the paper's
-    // pure per-request energy model.
+    // pure per-request energy model. The kW x slot-hours product is
+    // assembled raw (audited seam) to keep the op order bit-identical to
+    // the pre-units ledger; the price multiplication is typed.
     const auto& center = topology.datacenters[l];
-    m.energy_cost += static_cast<double>(plan.dc[l].servers_on) *
-                     center.idle_power_kw * (T / 3600.0) * input.price[l] *
-                     center.pue;
+    const Kwh idle_energy{static_cast<double>(plan.dc[l].servers_on) *
+                          center.idle_power_kw *
+                          (slot.value() / 3600.0)};
+    m.energy_cost += (idle_energy * input.price_at(l)).value() * center.pue;
   }
 
   for (std::size_t k = 0; k < K; ++k) {
     const auto& cls = topology.classes[k];
-    double class_valuable = 0.0;  // requests of class k that earned > $0
+    Requests class_valuable{};  // requests of class k that earned > $0
     for (std::size_t l = 0; l < L; ++l) {
       const auto& center = topology.datacenters[l];
       ClassDcOutcome& out = m.outcomes[k][l];
       out.rate = plan.class_dc_rate(k, l);
       if (out.rate <= 0.0) continue;
+      const ReqPerSec rate{out.rate};
 
-      m.dispatched_requests += out.rate * T;
+      m.dispatched_requests += (rate * slot).value();
 
       // Energy is paid for every processed request (Eq. 2), whatever its
       // timeliness; PUE covers cooling/peripheral overhead (extension).
-      m.energy_cost += center.energy_per_request_kwh[k] * out.rate *
-                       input.price[l] * center.pue * T;
+      // kWh/req * req/s -> kW, * $/kWh -> $/s, * T -> $.
+      m.energy_cost +=
+          (center.energy_per_request(k) * rate * input.price_at(l)).value() *
+          center.pue * slot.value();
 
-      // Wire cost per Eq. 3, split per originating front-end.
+      // Wire cost per Eq. 3, split per originating front-end:
+      // $/req-mile * miles * req/s * s -> $.
       for (std::size_t s = 0; s < S; ++s) {
-        m.transfer_cost += cls.transfer_cost_per_mile *
-                           topology.distance_miles[s][l] *
-                           plan.rate[k][s][l] * T;
+        m.transfer_cost += (cls.transfer_cost() * topology.distance(s, l) *
+                            ReqPerSec{plan.rate[k][s][l]} * slot)
+                               .value();
       }
 
       const int servers = plan.dc[l].servers_on;
@@ -62,43 +81,51 @@ SlotMetrics evaluate_plan(const Topology& topology, const SlotInput& input,
         out.stable = false;
         continue;  // routed into a wall: no service, no revenue
       }
-      const double per_server = out.rate / static_cast<double>(servers);
+      const ArrivalRate per_server{out.rate / static_cast<double>(servers)};
+      // The plan is untrusted input here: validate through the raw core,
+      // which throws InvalidArgument on a domain error (a typed CpuShare
+      // would debug-assert instead of reporting).
       out.stable = mm1::is_stable(share, center.server_capacity,
-                                  center.service_rate[k], per_server);
+                                  center.service_rate[k], per_server.value());
       if (!out.stable) continue;
 
-      m.completed_requests += out.rate * T;
-      out.delay = mm1::expected_delay(share, center.server_capacity,
-                                      center.service_rate[k], per_server);
+      m.completed_requests += (rate * slot).value();
+      // Share and rates were validated just above; from here the Eq. 1
+      // algebra is fully typed.
+      const Seconds delay =
+          mm1::expected_delay(CpuShare{share}, center.server_capacity,
+                              center.service_rate_of(k), per_server);
+      out.delay = delay.value();
       // tuf_level reports the *queue* delay band (Eq. 1's quantity);
       // revenue additionally charges each origin's network propagation
       // (zero under the paper's model, where wires cost dollars but not
       // time).
-      out.tuf_level = cls.tuf.level_for_delay(out.delay);
-      double value_rate = 0.0;     // $ earned per second
-      double valuable_rate = 0.0;  // req/s earning > 0
+      out.tuf_level = cls.tuf.level_for_delay(delay);
+      DollarsPerSec value_rate{};   // $ earned per second
+      ReqPerSec valuable_rate{};    // req/s earning > 0
       for (std::size_t s = 0; s < S; ++s) {
-        const double flow = plan.rate[k][s][l];
-        if (flow <= 0.0) continue;
-        const double u = cls.tuf.utility(
-            out.delay + topology.propagation_delay(s, l));
-        if (u > 0.0) {
+        const ReqPerSec flow{plan.rate[k][s][l]};
+        if (flow <= ReqPerSec{0.0}) continue;
+        const DollarsPerReq u =
+            cls.tuf.utility(delay + topology.propagation(s, l));
+        if (u > DollarsPerReq{0.0}) {
           value_rate += u * flow;
           valuable_rate += flow;
         }
       }
-      out.utility_per_request = value_rate / out.rate;
-      if (value_rate > 0.0) {
-        class_valuable += valuable_rate * T;
-        m.valuable_requests += valuable_rate * T;
-        m.revenue += value_rate * T;
+      out.utility_per_request = (value_rate / rate).value();
+      if (value_rate > DollarsPerSec{0.0}) {
+        class_valuable += valuable_rate * slot;
+        m.valuable_requests += (valuable_rate * slot).value();
+        m.revenue += (value_rate * slot).value();
       }
     }
     // SLA violation fees on everything that earned nothing (extension;
     // zero under the paper's model).
-    const double worthless =
-        std::max(0.0, input.total_offered(k) * T - class_valuable);
-    m.penalty_cost += cls.drop_penalty_per_request * worthless;
+    const Requests worthless =
+        std::max(Requests{0.0}, ReqPerSec{input.total_offered(k)} * slot -
+                                    class_valuable);
+    m.penalty_cost += (cls.drop_penalty() * worthless).value();
   }
   return m;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cloud/tuf.hpp"
+#include "units/units.hpp"
 
 namespace palb {
 
@@ -23,6 +24,14 @@ struct RequestClass {
   /// deadline. Zero (default) reproduces the paper, where ignoring
   /// traffic is free; positive values model SLA violation fees.
   double drop_penalty_per_request = 0.0;
+
+  /// Typed views (the raw fields above stay the storage/JSON format).
+  units::DollarsPerReqMile transfer_cost() const {
+    return units::DollarsPerReqMile{transfer_cost_per_mile};
+  }
+  units::DollarsPerReq drop_penalty() const {
+    return units::DollarsPerReq{drop_penalty_per_request};
+  }
 };
 
 /// One data center (the paper's l index): M_l homogeneous servers.
@@ -46,6 +55,16 @@ struct DataCenter {
   /// where idle capacity is free; positive values make server
   /// right-sizing a real economic decision.
   double idle_power_kw = 0.0;
+
+  /// Typed views. `service_rate_of` tags mu with its role so it can
+  /// never be passed where an arrival rate belongs.
+  units::ServiceRate service_rate_of(std::size_t k) const {
+    return units::ServiceRate{service_rate[k]};
+  }
+  units::KwhPerReq energy_per_request(std::size_t k) const {
+    return units::KwhPerReq{energy_per_request_kwh[k]};
+  }
+  units::Kw idle_power() const { return units::kilowatts(idle_power_kw); }
 };
 
 /// A front-end collector (the paper's s index). Arrival rates live in
@@ -72,6 +91,14 @@ struct Topology {
   /// Round-trip propagation delay between front-end s and DC l.
   double propagation_delay(std::size_t s, std::size_t l) const;
 
+  /// Typed views of the distance matrix and the wire delay.
+  units::Miles distance(std::size_t s, std::size_t l) const {
+    return units::Miles{distance_miles[s][l]};
+  }
+  units::Seconds propagation(std::size_t s, std::size_t l) const {
+    return units::Seconds{propagation_delay(s, l)};
+  }
+
   std::size_t num_classes() const { return classes.size(); }
   std::size_t num_frontends() const { return frontends.size(); }
   std::size_t num_datacenters() const { return datacenters.size(); }
@@ -97,6 +124,18 @@ struct SlotInput {
 
   void validate(const Topology& topology) const;
   double total_offered(std::size_t k) const;
+
+  /// Typed views: lambda_{k,s} is role-tagged, the price carries its
+  /// $/kWh dimension, and T is Seconds.
+  units::ArrivalRate offered(std::size_t k, std::size_t s) const {
+    return units::ArrivalRate{arrival_rate[k][s]};
+  }
+  units::DollarsPerKwh price_at(std::size_t l) const {
+    return units::DollarsPerKwh{price[l]};
+  }
+  units::Seconds slot_duration() const {
+    return units::Seconds{slot_seconds};
+  }
 };
 
 }  // namespace palb

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "units/units.hpp"
+
 namespace palb {
 
 /// Multi-level step-downward time-utility function (paper §III-B1,
@@ -46,6 +48,23 @@ class StepTuf {
   /// Level index (0-based) whose band contains `delay`, or -1 past the
   /// final deadline.
   int level_for_delay(double delay) const;
+
+  // ---- Typed views: delays in, dollars-per-request out. -------------------
+  units::DollarsPerReq utility(units::Seconds delay) const {
+    return units::DollarsPerReq{utility(delay.value())};
+  }
+  int level_for_delay(units::Seconds delay) const {
+    return level_for_delay(delay.value());
+  }
+  units::DollarsPerReq utility_at(std::size_t level) const {
+    return units::DollarsPerReq{utility_at_level(level)};
+  }
+  units::Seconds deadline_at(std::size_t level) const {
+    return units::Seconds{sub_deadline(level)};
+  }
+  units::Seconds deadline() const {
+    return units::Seconds{final_deadline()};
+  }
 
  private:
   std::vector<double> utilities_;

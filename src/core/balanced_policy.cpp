@@ -7,6 +7,7 @@
 
 #include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
+#include "units/units.hpp"
 #include "util/error.hpp"
 
 namespace palb {
@@ -18,7 +19,7 @@ DispatchPlan BalancedPolicy::plan_slot(const Topology& topology,
   const std::size_t K = topology.num_classes();
   const std::size_t S = topology.num_frontends();
   const std::size_t L = topology.num_datacenters();
-  const double even_share = 1.0 / static_cast<double>(K);
+  const units::CpuShare even_share{1.0 / static_cast<double>(K)};
 
   DispatchPlan plan = DispatchPlan::zero(topology);
 
@@ -30,12 +31,14 @@ DispatchPlan BalancedPolicy::plan_slot(const Topology& topology,
   for (std::size_t k = 0; k < K; ++k) {
     // Tiny relative margin keeps a fully-loaded queue's delay strictly
     // inside the deadline band despite floating-point round-trips.
-    const double deadline =
-        topology.classes[k].tuf.final_deadline() * (1.0 - 1e-6);
+    const units::Seconds deadline =
+        topology.classes[k].tuf.deadline() * (1.0 - 1e-6);
     for (std::size_t l = 0; l < L; ++l) {
       const auto& dc = topology.datacenters[l];
-      per_server_cap[k][l] = mm1::max_rate(even_share, dc.server_capacity,
-                                           dc.service_rate[k], deadline);
+      per_server_cap[k][l] =
+          mm1::max_rate(even_share, dc.server_capacity,
+                        dc.service_rate_of(k), deadline)
+              .value();
     }
   }
 
@@ -90,7 +93,7 @@ DispatchPlan BalancedPolicy::plan_slot(const Topology& topology,
     servers = std::min(servers, dc.num_servers);
     plan.dc[l].servers_on = servers;
     for (std::size_t k = 0; k < K; ++k) {
-      plan.dc[l].share[k] = servers > 0 ? even_share : 0.0;
+      plan.dc[l].share[k] = servers > 0 ? even_share.value() : 0.0;
     }
   }
   check::maybe_check_plan(topology, input, plan, "BalancedPolicy");

@@ -6,6 +6,7 @@
 #include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "solver/step_tuf_bigm.hpp"
+#include "units/units.hpp"
 #include "util/error.hpp"
 
 namespace palb {
@@ -152,18 +153,21 @@ DispatchPlan BigMNlpPolicy::plan_slot(const Topology& topo,
       const auto& cls = topo.classes[k];
       for (std::size_t l = 0; l < L; ++l) {
         const auto& dc = topo.datacenters[l];
-        const double energy =
-            dc.energy_per_request_kwh[k] * input.price[l] * dc.pue;
+        // kWh/req * $/kWh -> $/req; the wire term is $/req-mile * miles.
+        // .value() feeds the raw NLP decision vector (solver seam).
+        const units::DollarsPerReq energy =
+            dc.energy_per_request(k) * input.price_at(l) * dc.pue;
         const double u = v[lay.u(k, l)];
         for (std::size_t s = 0; s < S; ++s) {
-          const double wire =
-              cls.transfer_cost_per_mile * topo.distance_miles[s][l];
+          const units::DollarsPerReq wire =
+              cls.transfer_cost() * topo.distance(s, l);
           double flow = 0.0;
           for (int i = 0; i < dc.num_servers; ++i) {
             flow += v[lay.x(k, s, lay.server(l, static_cast<std::size_t>(i)))];
           }
           // Served flow earns its utility and avoids its drop penalty.
-          profit += (u + cls.drop_penalty_per_request - energy - wire) *
+          profit += (u + cls.drop_penalty_per_request - energy.value() -
+                     wire.value()) *
                     flow;
         }
       }
@@ -321,9 +325,13 @@ DispatchPlan BigMNlpPolicy::plan_slot(const Topology& topo,
         for (std::size_t s = 0; s < S; ++s) plan.rate[k][s][l] = 0.0;
         continue;
       }
-      const double max_ok = mm1::max_rate(
-          plan.dc[l].share[k], dc.server_capacity, dc.service_rate[k],
-          topo.classes[k].tuf.final_deadline() * (1.0 - 1e-9));
+      // Shares were clamped/renormalized into [0, 1] above, so the typed
+      // queue inversion applies.
+      const double max_ok =
+          mm1::max_rate(units::CpuShare{plan.dc[l].share[k]},
+                        dc.server_capacity, dc.service_rate_of(k),
+                        topo.classes[k].tuf.deadline() * (1.0 - 1e-9))
+              .value();
       const double budget = max_ok * static_cast<double>(dc.num_servers);
       if (load > budget) {
         const double scale = budget > 0.0 ? budget / load : 0.0;

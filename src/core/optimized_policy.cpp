@@ -8,6 +8,7 @@
 #include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "solver/simplex.hpp"
+#include "units/units.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -40,13 +41,13 @@ struct ProfileOutcome {
 /// exponential sojourn tail P(T > t) = e^{-t/R} meets P(T <= D) >= p
 /// exactly when the mean R <= D / ln(1/(1-p)). Returns <= 0 when the
 /// propagation alone exhausts the band's budget (band unreachable).
-double effective_deadline(const Topology& topo, std::size_t k, int level,
-                          double prop_offset,
-                          const OptimizedPolicy::Options& opt) {
-  double deadline =
-      topo.classes[k].tuf.sub_deadline(static_cast<std::size_t>(level)) -
+units::Seconds effective_deadline(const Topology& topo, std::size_t k,
+                                  int level, units::Seconds prop_offset,
+                                  const OptimizedPolicy::Options& opt) {
+  units::Seconds deadline =
+      topo.classes[k].tuf.deadline_at(static_cast<std::size_t>(level)) -
       prop_offset;
-  if (deadline <= 0.0) return 0.0;
+  if (deadline <= units::Seconds{0.0}) return units::Seconds{0.0};
   deadline *= (1.0 - opt.deadline_margin);
   if (opt.delay_metric == OptimizedPolicy::DelayMetric::kTailPercentile) {
     PALB_REQUIRE(opt.tail_percentile > 0.0 && opt.tail_percentile < 1.0,
@@ -61,12 +62,12 @@ double effective_deadline(const Topology& topo, std::size_t k, int level,
 /// is the LP's decision, so this is conservative — a far trickle
 /// tightens the whole (k, l) budget; splitting the DC per origin group
 /// (hetero::split_datacenter-style) recovers the finer optimum.
-double worst_propagation(const Topology& topo, const SlotInput& input,
-                         std::size_t k, std::size_t l) {
-  double worst = 0.0;
+units::Seconds worst_propagation(const Topology& topo, const SlotInput& input,
+                                 std::size_t k, std::size_t l) {
+  units::Seconds worst{0.0};
   for (std::size_t s = 0; s < topo.num_frontends(); ++s) {
     if (input.arrival_rate[k][s] > 0.0) {
-      worst = std::max(worst, topo.propagation_delay(s, l));
+      worst = std::max(worst, topo.propagation(s, l));
     }
   }
   return worst;
@@ -79,7 +80,8 @@ struct ProfilePrep {
   /// sum_k 1 / (D_eff * C * mu). A DC whose overhead reaches 1 cannot
   /// run the profile on any server.
   std::vector<double> overhead;  // [L]
-  std::vector<double> prop;      // worst propagation per (k,l), [K*L]
+  /// Worst propagation per (k,l), [K*L].
+  std::vector<units::Seconds> prop;
 };
 
 ProfilePrep prepare_profile(const Topology& topo, const SlotInput& input,
@@ -89,18 +91,23 @@ ProfilePrep prepare_profile(const Topology& topo, const SlotInput& input,
   const std::size_t L = topo.num_datacenters();
   ProfilePrep prep;
   prep.overhead.assign(L, 0.0);
-  prep.prop.assign(K * L, 0.0);
+  prep.prop.assign(K * L, units::Seconds{0.0});
   for (std::size_t l = 0; l < L; ++l) {
     const auto& dc = topo.datacenters[l];
     for (std::size_t k = 0; k < K; ++k) {
       const int level = profile[l * K + k];
       if (level < 0) continue;
       prep.prop[l * K + k] = worst_propagation(topo, input, k, l);
-      const double deadline =
+      const units::Seconds deadline =
           effective_deadline(topo, k, level, prep.prop[l * K + k], opt);
-      if (deadline <= 0.0) return prep;  // band unreachable over the wire
-      prep.overhead[l] +=
-          1.0 / (deadline * dc.server_capacity * dc.service_rate[k]);
+      if (deadline <= units::Seconds{0.0}) {
+        return prep;  // band unreachable over the wire
+      }
+      // 1req / (D * C * mu) is the per-server share the band costs —
+      // dimensionless, so the typed quotient collapses to a double.
+      prep.overhead[l] += units::kOneRequest /
+                          (deadline * dc.server_capacity *
+                           dc.service_rate_of(k));
     }
     if (prep.overhead[l] >= 1.0) return prep;  // physically impossible
   }
@@ -117,28 +124,35 @@ double value_coefficient(const Topology& topo, const SlotInput& input,
                          int level, double overhead_l) {
   const auto& cls = topo.classes[k];
   const auto& dc = topo.datacenters[l];
-  const double T = input.slot_seconds;
-  const double utility =
-      cls.tuf.utility_at_level(static_cast<std::size_t>(level));
-  const double energy =
-      dc.energy_per_request_kwh[k] * input.price[l] * dc.pue;
+  const units::Seconds T = input.slot_duration();
+  const units::DollarsPerReq utility =
+      cls.tuf.utility_at(static_cast<std::size_t>(level));
+  // kWh/req * $/kWh -> $/req; PUE is a dimensionless multiplier.
+  const units::DollarsPerReq energy =
+      dc.energy_per_request(k) * input.price_at(l) * dc.pue;
   // Static-power extension: under the continuous server relaxation,
   // powered-on servers scale as sum_k X_k/(C mu_k) / (1 - overhead),
   // so the idle bill is linear in the routed rates and folds exactly
   // into the objective coefficients. Zero idle power (the paper's
-  // model) leaves the coefficients untouched.
-  const double idle_per_unit_rate =
-      dc.idle_power_kw * input.price[l] * dc.pue * (T / 3600.0) /
-      ((1.0 - overhead_l) * dc.server_capacity * dc.service_rate[k]);
-  const double wire =
-      cls.transfer_cost_per_mile * topo.distance_miles[s][l];
+  // model) leaves the coefficients untouched. Assembled raw (audited
+  // seam): the kW x hours rescaling must stay `kW * (T/3600)` for the
+  // coefficients to be bit-identical to the pre-units ledger.
+  const units::DollarsPerRate idle_per_unit_rate{
+      dc.idle_power_kw * input.price[l] * dc.pue * (T.value() / 3600.0) /
+      ((1.0 - overhead_l) * dc.server_capacity * dc.service_rate[k])};
+  // $/req-mile * miles -> $/req.
+  const units::DollarsPerReq wire =
+      cls.transfer_cost() * topo.distance(s, l);
   // Serving a request both earns its band utility (the queue deadline
   // was already tightened by the worst routed propagation, so every
   // origin's total stays in-band) and avoids its drop penalty; the
   // constant -penalty*offered*T is common to every profile (objectives
-  // are "relative to dropping everything").
-  return (utility + cls.drop_penalty_per_request - energy - wire) * T -
-         idle_per_unit_rate;
+  // are "relative to dropping everything"). $/req * s -> $.s/req, the
+  // LP's dollars-per-unit-rate coefficient; .value() is the solver seam.
+  const units::DollarsPerRate coeff =
+      (utility + cls.drop_penalty() - energy - wire) * T -
+      idle_per_unit_rate;
+  return coeff.value();
 }
 
 /// Cheap upper bound on a profile's LP objective: flow conservation caps
@@ -183,7 +197,7 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
   ProfileOutcome out;
   if (!prep.feasible) return out;
   const std::vector<double>& overhead = prep.overhead;
-  const std::vector<double>& prop = prep.prop;
+  const std::vector<units::Seconds>& prop = prep.prop;
 
   LinearProgram lp;
   lp.set_objective_sense(Sense::kMaximize);
@@ -285,10 +299,11 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
       const double x = plan.class_dc_rate(k, l);
       if (x <= 1e-12) continue;
       const int level = profile[l * K + k];
-      const double deadline =
+      const units::Seconds deadline =
           effective_deadline(topo, k, level, prop[l * K + k], opt);
-      active_overhead +=
-          1.0 / (deadline * dc.server_capacity * dc.service_rate[k]);
+      active_overhead += units::kOneRequest /
+                         (deadline * dc.server_capacity *
+                          dc.service_rate_of(k));
       load_sum += x / (dc.server_capacity * dc.service_rate[k]);
     }
     if (load_sum <= 0.0) {
@@ -306,11 +321,15 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
       const double x = plan.class_dc_rate(k, l);
       if (x <= 1e-12) continue;
       const int level = profile[l * K + k];
-      const double deadline =
+      const units::Seconds deadline =
           effective_deadline(topo, k, level, prop[l * K + k], opt);
       const double per_server = x / static_cast<double>(servers);
-      plan.dc[l].share[k] = mm1::required_share(
-          per_server, dc.server_capacity, dc.service_rate[k], deadline);
+      // Raw-core seam: required_share may legitimately exceed 1 by an
+      // ulp at a binding capacity row (renormalized just below), which
+      // a typed CpuShare would refuse to hold.
+      plan.dc[l].share[k] =
+          mm1::required_share(per_server, dc.server_capacity,
+                              dc.service_rate[k], deadline.value());
       share_sum += plan.dc[l].share[k];
     }
     if (share_sum > 1.0) {

@@ -1,5 +1,7 @@
 #include "core/plan_json.hpp"
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace palb::plan_json {
@@ -57,8 +59,14 @@ DispatchPlan from_json(const Json& doc, const Topology& topology) {
   PALB_REQUIRE(dcs.size() == topology.num_datacenters(),
                "plan JSON allocation dimension mismatch");
   for (std::size_t l = 0; l < topology.num_datacenters(); ++l) {
-    plan.dc[l].servers_on =
-        static_cast<int>(dcs[l].at("servers_on").as_index());
+    // as_index() already rejects negatives and fractions; bound the
+    // size_t -> int narrowing too so an absurd count from a hand-edited
+    // file fails loudly instead of wrapping negative.
+    const std::size_t servers_on = dcs[l].at("servers_on").as_index();
+    PALB_REQUIRE(servers_on <= static_cast<std::size_t>(
+                                   std::numeric_limits<int>::max()),
+                 "plan JSON servers_on exceeds the int range");
+    plan.dc[l].servers_on = static_cast<int>(servers_on);
     const Json& share = dcs[l].at("share");
     PALB_REQUIRE(share.size() == topology.num_classes(),
                  "plan JSON share dimension mismatch");

@@ -51,7 +51,9 @@ DispatchPlan RightSizingPolicy::plan_slot(const Topology& topo,
     } else if (hold_remaining_[l] == 0) {
       // Fresh idle event: size the break-even window. Keeping one idle
       // server costs idle_power * price * (T/3600) per slot; dropping it
-      // and re-powering later costs 2 * switch_cost.
+      // and re-powering later costs 2 * switch_cost. Assembled raw
+      // (audited seam): the kW x hours rescaling must stay
+      // `kW * (T/3600)` to match the accounting ledger bit for bit.
       const double idle_cost_per_slot = dc.idle_power_kw * input.price[l] *
                                         dc.pue *
                                         (input.slot_seconds / 3600.0);

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "units/units.hpp"
+
 namespace palb {
 
 /// Hourly electricity price series for one location, in $/kWh. The
@@ -20,6 +22,10 @@ class PriceTrace {
 
   /// Price for slot `t` (wraps).
   double at(std::size_t t) const;
+  /// Typed price for slot `t` — what the controller feeds SlotInput.
+  units::DollarsPerKwh price(std::size_t t) const {
+    return units::DollarsPerKwh{at(t)};
+  }
   const std::vector<double>& values() const { return prices_; }
 
   double min_price() const;

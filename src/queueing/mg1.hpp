@@ -1,5 +1,7 @@
 #pragma once
 
+#include "units/units.hpp"
+
 namespace palb {
 
 /// Beyond-M/M/1 queueing analytics.
@@ -33,6 +35,26 @@ double expected_wait_fcfs(double mu, double lambda, double scv);
 /// value 1/(mu - lambda) for every service distribution.
 double expected_sojourn_ps(double mu, double lambda);
 
+// ---- Typed API: rates are role-tagged req/s, sojourns are Seconds. --------
+
+inline units::Seconds expected_sojourn_fcfs(units::ServiceRate mu,
+                                            units::ArrivalRate lambda,
+                                            double scv) {
+  return units::Seconds{expected_sojourn_fcfs(mu.value(), lambda.value(),
+                                              scv)};
+}
+
+inline units::Seconds expected_wait_fcfs(units::ServiceRate mu,
+                                         units::ArrivalRate lambda,
+                                         double scv) {
+  return units::Seconds{expected_wait_fcfs(mu.value(), lambda.value(), scv)};
+}
+
+inline units::Seconds expected_sojourn_ps(units::ServiceRate mu,
+                                          units::ArrivalRate lambda) {
+  return units::Seconds{expected_sojourn_ps(mu.value(), lambda.value())};
+}
+
 }  // namespace mg1
 
 namespace mmm {
@@ -50,6 +72,26 @@ double expected_sojourn(int servers, double mu, double lambda);
 /// arguments or an unreachable deadline < 1/mu).
 int servers_for_deadline(double mu, double lambda, double deadline,
                          int max_servers = 100000);
+
+// ---- Typed API. -----------------------------------------------------------
+
+inline double erlang_c(int servers, units::ServiceRate mu,
+                       units::ArrivalRate lambda) {
+  return erlang_c(servers, mu.value(), lambda.value());
+}
+
+inline units::Seconds expected_sojourn(int servers, units::ServiceRate mu,
+                                       units::ArrivalRate lambda) {
+  return units::Seconds{expected_sojourn(servers, mu.value(), lambda.value())};
+}
+
+inline int servers_for_deadline(units::ServiceRate mu,
+                                units::ArrivalRate lambda,
+                                units::Seconds deadline,
+                                int max_servers = 100000) {
+  return servers_for_deadline(mu.value(), lambda.value(), deadline.value(),
+                              max_servers);
+}
 
 }  // namespace mmm
 }  // namespace palb

@@ -1,5 +1,7 @@
 #pragma once
 
+#include "units/units.hpp"
+
 namespace palb {
 
 /// M/M/1 sojourn-time algebra behind the paper's Eq. 1:
@@ -10,7 +12,15 @@ namespace palb {
 /// type-k requests at full-capacity rate `mu_k` behaves as an M/M/1 queue
 /// with effective service rate `phi*C*mu_k`. All helpers below are pure
 /// inversions of that formula; every one validates stability and domain.
+///
+/// The *typed* signatures are the primary API: `mu` and `lambda` are both
+/// req/s but carry distinct role tags, so a swapped pair is a compile
+/// error; delays and deadlines are `Seconds`, never bare doubles. The raw
+/// double overloads below them are the solver-facing core (solvers hand
+/// us untyped matrix entries); typed code must not call them directly.
 namespace mm1 {
+
+// ---- Raw core (solver seams and the typed wrappers only). -----------------
 
 /// Effective service rate of the VM.
 double effective_rate(double share, double capacity, double mu);
@@ -44,6 +54,64 @@ double utilization(double share, double capacity, double mu, double lambda);
 /// simulator cross-checks and the percentile reporting extension.
 double delay_tail_probability(double share, double capacity, double mu,
                               double lambda, double t);
+
+// ---- Typed API (Eq. 1 with its dimensions enforced). ----------------------
+// `capacity` stays a plain double: it is the paper's dimensionless C_l
+// scale factor (normalized to 1), and `CpuShare` is already a distinct
+// type, so the two cannot be swapped for each other or for a rate.
+
+inline units::ServiceRate effective_rate(units::CpuShare share,
+                                         double capacity,
+                                         units::ServiceRate mu) {
+  return units::ServiceRate{
+      effective_rate(share.value(), capacity, mu.value())};
+}
+
+inline bool is_stable(units::CpuShare share, double capacity,
+                      units::ServiceRate mu, units::ArrivalRate lambda) {
+  return is_stable(share.value(), capacity, mu.value(), lambda.value());
+}
+
+inline units::Seconds expected_delay(units::CpuShare share, double capacity,
+                                     units::ServiceRate mu,
+                                     units::ArrivalRate lambda) {
+  return units::Seconds{
+      expected_delay(share.value(), capacity, mu.value(), lambda.value())};
+}
+
+inline units::CpuShare required_share(units::ArrivalRate lambda,
+                                      double capacity, units::ServiceRate mu,
+                                      units::Seconds deadline) {
+  return units::CpuShare{
+      required_share(lambda.value(), capacity, mu.value(), deadline.value())};
+}
+
+inline units::ReqPerSec max_rate(units::CpuShare share, double capacity,
+                                 units::ServiceRate mu,
+                                 units::Seconds deadline) {
+  return units::ReqPerSec{
+      max_rate(share.value(), capacity, mu.value(), deadline.value())};
+}
+
+inline units::Requests mean_in_system(units::CpuShare share, double capacity,
+                                      units::ServiceRate mu,
+                                      units::ArrivalRate lambda) {
+  return units::Requests{
+      mean_in_system(share.value(), capacity, mu.value(), lambda.value())};
+}
+
+inline double utilization(units::CpuShare share, double capacity,
+                          units::ServiceRate mu, units::ArrivalRate lambda) {
+  return utilization(share.value(), capacity, mu.value(), lambda.value());
+}
+
+inline double delay_tail_probability(units::CpuShare share, double capacity,
+                                     units::ServiceRate mu,
+                                     units::ArrivalRate lambda,
+                                     units::Seconds t) {
+  return delay_tail_probability(share.value(), capacity, mu.value(),
+                                lambda.value(), t.value());
+}
 
 }  // namespace mm1
 }  // namespace palb

@@ -1,0 +1,289 @@
+#pragma once
+
+#include <cassert>
+#include <type_traits>
+
+/// Compile-time dimensional analysis over the paper's quantities.
+///
+/// The profit objective (Eqs. 4-5) mixes five incompatible dimensions in
+/// one expression: SLA utility ($/request), energy price ($/kWh) times
+/// per-request energy (kWh/request), transfer cost ($/request/mile) times
+/// distance (miles), arrival and service rates (requests/s), and M/M/1
+/// sojourns (s) under CPU-share fractions. Every quantity here carries its
+/// dimension vector in the type, so a swapped `mu`/`lambda` argument, a
+/// $/kWh-vs-$/req slip, or a forgotten slot-length factor is a *compile
+/// error*, not a silently wrong number the runtime PlanChecker may or may
+/// not catch.
+///
+/// Design rules (see docs/UNITS.md for the full table):
+///  * `Quantity<Dim>` wraps exactly one double — `sizeof(Quantity) ==
+///    sizeof(double)`, trivially copyable, zero overhead.
+///  * `+`/`-`/comparisons require identical dimensions; `*`/`/` compose
+///    dimension vectors; a product whose dimensions cancel collapses back
+///    to a plain `double`.
+///  * Construction from `double` and `.value()` back to `double` are both
+///    explicit — `.value()` is the ONLY escape hatch, reserved for the
+///    audited solver seams.
+///  * Same-dimension quantities can additionally carry a role *tag*
+///    (`ServiceRate` vs `ArrivalRate`, both req/s): tags must match for
+///    `+`/`-`/assignment but compare freely (`lambda < mu_eff` is the
+///    stability test) and wash out under `*`/`/` (a rate times a time is
+///    just requests, whatever the rate's role was).
+namespace palb::units {
+
+/// Dimension vector: exponents over the five base quantities
+/// (seconds, requests, dollars, kilowatt-hours, miles).
+template <int TimeE, int ReqE, int UsdE, int KwhE, int MileE>
+struct Dim {
+  static constexpr int time = TimeE;
+  static constexpr int req = ReqE;
+  static constexpr int usd = UsdE;
+  static constexpr int kwh = KwhE;
+  static constexpr int mile = MileE;
+};
+
+template <class A, class B>
+using DimProduct = Dim<A::time + B::time, A::req + B::req, A::usd + B::usd,
+                       A::kwh + B::kwh, A::mile + B::mile>;
+
+template <class A, class B>
+using DimQuotient = Dim<A::time - B::time, A::req - B::req, A::usd - B::usd,
+                        A::kwh - B::kwh, A::mile - B::mile>;
+
+template <class A, class B>
+inline constexpr bool kSameDim =
+    A::time == B::time && A::req == B::req && A::usd == B::usd &&
+    A::kwh == B::kwh && A::mile == B::mile;
+
+template <class D>
+inline constexpr bool kDimensionless = kSameDim<D, Dim<0, 0, 0, 0, 0>>;
+
+template <class D, class Rep, class Tag>
+class Quantity;
+
+namespace detail {
+/// A fully cancelled product/quotient is just a number — collapse it so
+/// dimensionless ratios (utilization, fractions of budgets) flow straight
+/// back into ordinary arithmetic instead of needing `.value()`.
+template <class D, class Rep>
+constexpr auto make_result(Rep v) {
+  if constexpr (kDimensionless<D>) {
+    return v;
+  } else {
+    return Quantity<D, Rep, void>(v);
+  }
+}
+}  // namespace detail
+
+/// One value of dimension `D`. `Tag` distinguishes same-dimension roles
+/// (service vs arrival rate); `void` means untagged.
+template <class D, class Rep = double, class Tag = void>
+class Quantity {
+ public:
+  using dimension = D;
+  using rep = Rep;
+  using tag = Tag;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep value) : value_(value) {}
+
+  /// Re-tagging (e.g. `ReqPerSec` -> `ServiceRate`) is explicit: the
+  /// caller asserts the role, the dimensions still must match.
+  template <class OtherTag>
+  constexpr explicit Quantity(Quantity<D, Rep, OtherTag> other)
+      : value_(other.value()) {}
+
+  /// The only way back to a raw `double`. Call it at an audited seam
+  /// (solver matrices, JSON, logging), never mid-formula.
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  // -- Same-dimension, same-tag linear algebra. -----------------------------
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+
+  // -- Dimensionless scaling preserves dimension and tag. -------------------
+  friend constexpr Quantity operator*(Quantity a, Rep s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(Rep s, Quantity a) {
+    return Quantity(s * a.value_);
+  }
+  friend constexpr Quantity operator/(Quantity a, Rep s) {
+    return Quantity(a.value_ / s);
+  }
+  constexpr Quantity& operator*=(Rep s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep s) {
+    value_ /= s;
+    return *this;
+  }
+
+ private:
+  Rep value_{};
+};
+
+// -- Dimension-composing algebra. -------------------------------------------
+// Tags wash out: the product of a (tagged) service rate and a time is an
+// untagged request count.
+template <class D1, class D2, class Rep, class T1, class T2>
+constexpr auto operator*(Quantity<D1, Rep, T1> a, Quantity<D2, Rep, T2> b) {
+  return detail::make_result<DimProduct<D1, D2>, Rep>(a.value() * b.value());
+}
+
+template <class D1, class D2, class Rep, class T1, class T2>
+constexpr auto operator/(Quantity<D1, Rep, T1> a, Quantity<D2, Rep, T2> b) {
+  return detail::make_result<DimQuotient<D1, D2>, Rep>(a.value() / b.value());
+}
+
+/// `scalar / quantity` inverts the dimension (e.g. 1.0 / Seconds -> Hz).
+template <class D, class Rep, class T>
+constexpr auto operator/(Rep s, Quantity<D, Rep, T> q) {
+  return detail::make_result<DimQuotient<Dim<0, 0, 0, 0, 0>, D>, Rep>(
+      s / q.value());
+}
+
+// -- Comparisons: same dimension required, tags compare freely. -------------
+template <class D, class Rep, class T1, class T2>
+constexpr bool operator==(Quantity<D, Rep, T1> a, Quantity<D, Rep, T2> b) {
+  return a.value() == b.value();
+}
+template <class D, class Rep, class T1, class T2>
+constexpr bool operator!=(Quantity<D, Rep, T1> a, Quantity<D, Rep, T2> b) {
+  return a.value() != b.value();
+}
+template <class D, class Rep, class T1, class T2>
+constexpr bool operator<(Quantity<D, Rep, T1> a, Quantity<D, Rep, T2> b) {
+  return a.value() < b.value();
+}
+template <class D, class Rep, class T1, class T2>
+constexpr bool operator<=(Quantity<D, Rep, T1> a, Quantity<D, Rep, T2> b) {
+  return a.value() <= b.value();
+}
+template <class D, class Rep, class T1, class T2>
+constexpr bool operator>(Quantity<D, Rep, T1> a, Quantity<D, Rep, T2> b) {
+  return a.value() > b.value();
+}
+template <class D, class Rep, class T1, class T2>
+constexpr bool operator>=(Quantity<D, Rep, T1> a, Quantity<D, Rep, T2> b) {
+  return a.value() >= b.value();
+}
+
+// -- The paper's dimensions. -------------------------------------------------
+using TimeDim = Dim<1, 0, 0, 0, 0>;      ///< R, D_q, T (seconds)
+using RequestDim = Dim<0, 1, 0, 0, 0>;   ///< request counts
+using RateDim = Dim<-1, 1, 0, 0, 0>;     ///< lambda, mu (req/s)
+using UsdDim = Dim<0, 0, 1, 0, 0>;       ///< the objective (dollars)
+using EnergyDim = Dim<0, 0, 0, 1, 0>;    ///< kWh
+using DistanceDim = Dim<0, 0, 0, 0, 1>;  ///< d_{s,l} (miles)
+
+using Seconds = Quantity<TimeDim>;
+using Requests = Quantity<RequestDim>;
+using ReqPerSec = Quantity<RateDim>;
+using Dollars = Quantity<UsdDim>;
+using Kwh = Quantity<EnergyDim>;
+using Miles = Quantity<DistanceDim>;
+
+/// p_l(t) of Eq. 2: the spot electricity price.
+using DollarsPerKwh = Quantity<Dim<0, 0, 1, -1, 0>>;
+/// P_{k,l} of Eq. 2: energy to process one request.
+using KwhPerReq = Quantity<Dim<0, -1, 0, 1, 0>>;
+/// U_q of Eqs. 9/10: TUF utility earned per completed request; also the
+/// drop-penalty extension.
+using DollarsPerReq = Quantity<Dim<0, -1, 1, 0, 0>>;
+/// TranCost_k of Eq. 3: dollars per request-mile moved.
+using DollarsPerReqMile = Quantity<Dim<0, -1, 1, 0, -1>>;
+/// Revenue/cost *rates* before integrating over the slot length T.
+using DollarsPerSec = Quantity<Dim<-1, 0, 1, 0, 0>>;
+/// An LP objective coefficient: dollars earned per unit of routed rate
+/// ($ / (req/s) = $.s/req).
+using DollarsPerRate = Quantity<Dim<1, -1, 1, 0, 0>>;
+/// Electrical power. Canonical representation is kWh *per second*; build
+/// values with `kilowatts()` so the hour->second rescaling can never be
+/// forgotten or applied twice.
+using Kw = Quantity<Dim<-1, 0, 0, 1, 0>>;
+
+/// Roles for the two same-dimension rates of Eq. 1. The M/M/1 helpers
+/// take `ServiceRate mu, ArrivalRate lambda`; a swapped call no longer
+/// compiles even though both are req/s.
+struct ServiceTag {};
+struct ArrivalTag {};
+using ServiceRate = Quantity<RateDim, double, ServiceTag>;
+using ArrivalRate = Quantity<RateDim, double, ArrivalTag>;
+
+/// The implicit "one request" in the M/M/1 algebra, made explicit:
+/// R = 1req / (phi*C*mu - lambda) is Requests / (req/s) = Seconds, and
+/// the deadline-overhead term 1req/(D*C*mu) of required_share() becomes
+/// dimensionless as the paper intends. Without it, `1.0 / rate` would
+/// type as seconds-per-request — dimensionally honest but not what
+/// Eq. 1 writes.
+inline constexpr Requests kOneRequest{1.0};
+
+// -- Scaled-unit factories. --------------------------------------------------
+// Brace-construction (`Seconds{3.0}`) always takes the canonical unit of
+// the dimension. Anything scaled goes through a named factory.
+constexpr Seconds seconds(double s) { return Seconds{s}; }
+constexpr Seconds hours(double h) { return Seconds{h * 3600.0}; }
+constexpr Kw kilowatts(double kw) { return Kw{kw / 3600.0}; }
+/// Reads a power back in kW (display/JSON seams only).
+constexpr double as_kilowatts(Kw power) { return power.value() * 3600.0; }
+
+/// A dimensionless fraction, debug-asserted into [0, 1] (with an
+/// ulp-scale slack for renormalized CPU shares). `CpuShare` is the
+/// phi_{k,l} of Eqs. 1/8.
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+  constexpr explicit Fraction(double v) : value_(v) {
+    assert(value_ >= -kSlack && value_ <= 1.0 + kSlack &&
+           "Fraction outside [0, 1]");
+  }
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr bool operator==(Fraction a, Fraction b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator<(Fraction a, Fraction b) {
+    return a.value_ < b.value_;
+  }
+  /// Taking a fraction *of* a quantity preserves its dimension and tag.
+  template <class D, class Rep, class T>
+  friend constexpr Quantity<D, Rep, T> operator*(Fraction f,
+                                                 Quantity<D, Rep, T> q) {
+    return Quantity<D, Rep, T>(f.value_ * q.value());
+  }
+  template <class D, class Rep, class T>
+  friend constexpr Quantity<D, Rep, T> operator*(Quantity<D, Rep, T> q,
+                                                 Fraction f) {
+    return Quantity<D, Rep, T>(q.value() * f.value_);
+  }
+
+ private:
+  static constexpr double kSlack = 1e-9;
+  double value_ = 0.0;
+};
+
+using CpuShare = Fraction;
+
+// -- Zero-overhead guarantees (the fig06 bench gate relies on these). --------
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(ServiceRate) == sizeof(double));
+static_assert(sizeof(Fraction) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<Fraction>);
+
+}  // namespace palb::units

@@ -1,0 +1,3 @@
+// Adding quantities of different dimensions (a time plus a count).
+#include "units/units.hpp"
+auto bad() { return palb::units::Seconds{1.0} + palb::units::Requests{1.0}; }

@@ -1,0 +1,6 @@
+// Adding a service rate to an arrival rate: both are req/s, but their
+// role tags differ — mu + lambda is never a meaningful sum in Eq. 1.
+#include "units/units.hpp"
+auto bad() {
+  return palb::units::ServiceRate{10.0} + palb::units::ArrivalRate{3.0};
+}

@@ -1,0 +1,3 @@
+// Initializing one dimension from another.
+#include "units/units.hpp"
+palb::units::Seconds bad{palb::units::Requests{1.0}};

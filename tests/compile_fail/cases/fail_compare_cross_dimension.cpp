@@ -1,0 +1,3 @@
+// Ordering a time against a rate.
+#include "units/units.hpp"
+bool bad() { return palb::units::Seconds{1.0} < palb::units::ReqPerSec{2.0}; }

@@ -1,0 +1,4 @@
+// Copy-initializing a quantity from a bare double (the constructor is
+// explicit: a raw number has no dimension).
+#include "units/units.hpp"
+palb::units::Seconds bad = 3.0;

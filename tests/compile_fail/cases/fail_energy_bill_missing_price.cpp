@@ -1,0 +1,4 @@
+// Booking raw energy as dollars — the $/kWh price factor is missing
+// (Eq. 2 without p_l(t)).
+#include "units/units.hpp"
+palb::units::Dollars bad{palb::units::Kwh{2.0} * 1.5};

@@ -1,0 +1,3 @@
+// Re-tagging an arrival rate as a service rate without an explicit cast.
+#include "units/units.hpp"
+palb::units::ServiceRate bad = palb::units::ArrivalRate{3.0};

@@ -1,0 +1,3 @@
+// Letting a quantity decay to a bare double without .value().
+#include "units/units.hpp"
+double bad = palb::units::Seconds{3.0};

@@ -1,0 +1,7 @@
+// Passing a bare-double deadline into the typed queue inversion: mixing
+// typed and raw arguments matches neither overload.
+#include "queueing/mm1.hpp"
+auto bad() {
+  return palb::mm1::max_rate(palb::units::CpuShare{0.5}, 1.0,
+                             palb::units::ServiceRate{10.0}, 0.25);
+}

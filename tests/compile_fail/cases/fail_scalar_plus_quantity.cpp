@@ -1,0 +1,3 @@
+// Adding a dimensionless scalar to a dimensioned quantity.
+#include "units/units.hpp"
+auto bad() { return palb::units::Seconds{1.0} + 1.0; }

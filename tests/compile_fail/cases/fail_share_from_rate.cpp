@@ -1,0 +1,4 @@
+// Constructing a CPU share from a rate (phi is dimensionless; a req/s
+// value can only become a share through the Eq. 1 inversion).
+#include "units/units.hpp"
+palb::units::CpuShare bad{palb::units::ReqPerSec{0.5}};

@@ -1,0 +1,6 @@
+// A CPU share of a CPU share has no meaning in Eq. 8; Fraction only
+// scales dimensioned quantities.
+#include "units/units.hpp"
+auto bad() {
+  return palb::units::CpuShare{0.5} * palb::units::CpuShare{0.5};
+}

@@ -1,0 +1,3 @@
+// Subtracting an energy from a dollar amount.
+#include "units/units.hpp"
+auto bad() { return palb::units::Dollars{5.0} - palb::units::Kwh{1.0}; }

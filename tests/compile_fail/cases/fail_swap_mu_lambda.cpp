@@ -1,0 +1,8 @@
+// The classic Eq. 1 bug: mu and lambda swapped in the delay call. Both
+// are req/s, so only the role tags catch it.
+#include "queueing/mm1.hpp"
+palb::units::Seconds bad() {
+  return palb::mm1::expected_delay(palb::units::CpuShare{0.5}, 1.0,
+                                   palb::units::ArrivalRate{3.0},
+                                   palb::units::ServiceRate{10.0});
+}

@@ -1,0 +1,6 @@
+// Adding a per-request utility to a per-kWh price: both are "dollars
+// per something", but the somethings differ.
+#include "units/units.hpp"
+auto bad() {
+  return palb::units::DollarsPerReq{0.1} + palb::units::DollarsPerKwh{0.05};
+}

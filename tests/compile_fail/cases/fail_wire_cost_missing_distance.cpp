@@ -1,0 +1,4 @@
+// Treating a transfer-cost coefficient ($/req-mile) as a finished
+// per-request cost — the miles factor of Eq. 3 is missing.
+#include "units/units.hpp"
+palb::units::DollarsPerReq bad{palb::units::DollarsPerReqMile{0.02}};

@@ -1,0 +1,48 @@
+// EXPECT-COMPILES control: the legitimate algebra of Eqs. 1-8. If this
+// case fails, the harness setup (include path, C++ standard) is broken
+// and every fail_* verdict above it is meaningless.
+#include "queueing/mm1.hpp"
+#include "units/units.hpp"
+
+namespace u = palb::units;
+
+// Eq. 1: requests / (req/s) -> seconds; tags compare freely.
+u::Seconds sojourn(u::ServiceRate mu_eff, u::ArrivalRate lambda) {
+  return u::kOneRequest / (mu_eff - u::ServiceRate{lambda.value()});
+}
+bool stable(u::ServiceRate mu_eff, u::ArrivalRate lambda) {
+  return lambda < mu_eff;
+}
+
+// Eq. 2: kWh/req * req/s * $/kWh * s -> dollars (PUE is a scalar).
+u::Dollars energy_bill(u::KwhPerReq per_req, u::ReqPerSec rate,
+                       u::DollarsPerKwh price, u::Seconds slot, double pue) {
+  return per_req * rate * price * slot * pue;
+}
+
+// Idle power: kW * hours * $/kWh -> dollars.
+u::Dollars idle_bill() {
+  return u::kilowatts(2.0) * u::hours(3.0) * u::DollarsPerKwh{0.1};
+}
+
+// Eq. 3: $/req-mile * miles * req/s * s -> dollars.
+u::Dollars wire_bill(u::DollarsPerReqMile c, u::Miles d, u::ReqPerSec r,
+                     u::Seconds slot) {
+  return c * d * r * slot;
+}
+
+// A share of an effective rate keeps the rate's dimension and tag.
+u::ServiceRate vm_rate(u::CpuShare phi, u::ServiceRate mu) {
+  return phi * mu;
+}
+
+// Fully cancelled products collapse to double.
+double overhead(u::Seconds deadline, double capacity, u::ServiceRate mu) {
+  return u::kOneRequest / (deadline * capacity * mu);
+}
+
+// The typed M/M/1 wrappers accept exactly these argument types.
+u::Seconds typed_delay(u::CpuShare phi, u::ServiceRate mu,
+                       u::ArrivalRate lambda) {
+  return palb::mm1::expected_delay(phi, 1.0, mu, lambda);
+}

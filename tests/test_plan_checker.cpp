@@ -184,6 +184,80 @@ TEST(PlanChecker, WrongShapeFiresShapeMismatchOnly) {
   EXPECT_EQ(report.violations[0].code, PlanViolationCode::kShapeMismatch);
 }
 
+// ---- Degenerate-input edge cases. ------------------------------------------
+
+TEST(PlanChecker, EmptyTopologyPassesVacuously) {
+  // No classes, front-ends or data centers: every constraint loop is
+  // empty and the zero-shaped plan is trivially violation-free.
+  const Topology topo;
+  const SlotInput input;
+  const DispatchPlan plan = DispatchPlan::zero(topo);
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(PlanChecker, DatacenterWithoutServersFiresOrphanLoad) {
+  Topology topo = small_topology();
+  topo.datacenters[1].num_servers = 0;  // dc2 exists but is empty
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][1][1] = 10.0;  // routed into the empty data center
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  EXPECT_TRUE(report.has(PlanViolationCode::kOrphanLoad))
+      << report.summary();
+}
+
+TEST(PlanChecker, ZeroServiceRateReportsUnstableInsteadOfThrowing) {
+  // A degenerate mu == 0 must surface as a violation report, not as an
+  // InvalidArgument escaping from the queueing layer's domain checks.
+  Topology topo = small_topology();
+  topo.datacenters[0].service_rate[0] = 0.0;
+  const SlotInput input = small_input();
+  const DispatchPlan plan = valid_plan(topo);
+  PlanCheckReport report;
+  EXPECT_NO_THROW(report = PlanChecker().check(topo, input, plan));
+  EXPECT_TRUE(report.has(PlanViolationCode::kUnstableQueue))
+      << report.summary();
+}
+
+TEST(PlanChecker, ZeroCapacityReportsUnstableInsteadOfThrowing) {
+  Topology topo = small_topology();
+  topo.datacenters[0].server_capacity = 0.0;
+  const SlotInput input = small_input();
+  const DispatchPlan plan = valid_plan(topo);
+  PlanCheckReport report;
+  EXPECT_NO_THROW(report = PlanChecker().check(topo, input, plan));
+  EXPECT_TRUE(report.has(PlanViolationCode::kUnstableQueue))
+      << report.summary();
+}
+
+TEST(PlanChecker, ShareSumExactlyOneIsWithinBudget) {
+  // Eq. 8 at the exact float boundary: 0.5 + 0.5 sums to 1.0 bit-for-bit
+  // and must not trip the budget, and the queues are then evaluated at
+  // those shares rather than skipped.
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.dc[0].share = {0.5, 0.5};
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  EXPECT_FALSE(report.has(PlanViolationCode::kShareBudget))
+      << report.summary();
+  EXPECT_FALSE(report.has(PlanViolationCode::kShareRange));
+}
+
+TEST(PlanChecker, FullShareToOneClassEvaluatesAtExactlyOne) {
+  // phi == 1.0 exactly is the upper boundary the typed CpuShare permits;
+  // the delay evaluation must run (and pass) there.
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate[0][0][0] = 50.0;
+  plan.dc[0].servers_on = 2;
+  plan.dc[0].share = {1.0, 0.0};
+  const PlanCheckReport report = PlanChecker().check(topo, input, plan);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 TEST(PlanChecker, ViolationCapBoundsTheReport) {
   const Topology topo = small_topology();
   const SlotInput input = small_input();

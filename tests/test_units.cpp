@@ -1,0 +1,181 @@
+#include "units/units.hpp"
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "cloud/model.hpp"
+#include "queueing/mm1.hpp"
+
+namespace palb {
+namespace {
+
+namespace u = units;
+
+// ---- Compile-time algebra: the dimension arithmetic itself. ----------------
+// These static_asserts are the positive half of the suite; the negative
+// half (expressions that must NOT compile) lives in tests/compile_fail/.
+
+// Rate * time -> requests; requests / time -> rate; requests / rate -> time.
+static_assert(
+    std::is_same_v<decltype(u::ReqPerSec{1.0} * u::Seconds{1.0}),
+                   u::Requests>);
+static_assert(
+    std::is_same_v<decltype(u::Requests{1.0} / u::Seconds{1.0}),
+                   u::ReqPerSec>);
+static_assert(
+    std::is_same_v<decltype(u::Requests{1.0} / u::ReqPerSec{1.0}),
+                   u::Seconds>);
+
+// Eq. 2 chain: kWh/req * req/s -> kW; kW * s -> kWh; kWh * $/kWh -> $.
+static_assert(std::is_same_v<
+              decltype(u::KwhPerReq{1.0} * u::ReqPerSec{1.0}), u::Kw>);
+static_assert(std::is_same_v<decltype(u::Kw{1.0} * u::Seconds{1.0}), u::Kwh>);
+static_assert(std::is_same_v<
+              decltype(u::Kwh{1.0} * u::DollarsPerKwh{1.0}), u::Dollars>);
+
+// Eq. 3 chain: $/req-mile * miles -> $/req; * req/s -> $/s; * s -> $.
+static_assert(std::is_same_v<
+              decltype(u::DollarsPerReqMile{1.0} * u::Miles{1.0}),
+              u::DollarsPerReq>);
+static_assert(std::is_same_v<
+              decltype(u::DollarsPerReq{1.0} * u::ReqPerSec{1.0}),
+              u::DollarsPerSec>);
+static_assert(std::is_same_v<
+              decltype(u::DollarsPerSec{1.0} * u::Seconds{1.0}), u::Dollars>);
+
+// The LP coefficient: $/req * s -> $.s/req, and back out via a rate.
+static_assert(std::is_same_v<
+              decltype(u::DollarsPerReq{1.0} * u::Seconds{1.0}),
+              u::DollarsPerRate>);
+static_assert(std::is_same_v<
+              decltype(u::DollarsPerRate{1.0} * u::ReqPerSec{1.0}),
+              u::Dollars>);
+
+// Fully cancelled quotients collapse to plain double.
+static_assert(std::is_same_v<
+              decltype(u::Seconds{1.0} / u::Seconds{2.0}), double>);
+static_assert(std::is_same_v<
+              decltype(u::kOneRequest /
+                       (u::Seconds{1.0} * 1.0 * u::ServiceRate{2.0})),
+              double>);
+
+// Tags wash out under dimension-composing algebra...
+static_assert(std::is_same_v<
+              decltype(u::ServiceRate{1.0} * u::Seconds{1.0}), u::Requests>);
+// ... are preserved by scalar and Fraction scaling ...
+static_assert(std::is_same_v<decltype(u::ServiceRate{1.0} * 2.0),
+                             u::ServiceRate>);
+static_assert(std::is_same_v<
+              decltype(u::CpuShare{0.5} * u::ServiceRate{1.0}),
+              u::ServiceRate>);
+// ... and same-dimension different-tag values still compare.
+static_assert(u::ArrivalRate{1.0} < u::ServiceRate{2.0});
+
+// Scalar / quantity inverts the dimension.
+static_assert(std::is_same_v<
+              decltype(1.0 / u::Seconds{2.0}),
+              u::Quantity<u::Dim<-1, 0, 0, 0, 0>>>);
+
+// Zero-overhead representation (the fig06 bench gate relies on this).
+static_assert(sizeof(u::Quantity<u::TimeDim>) == sizeof(double));
+static_assert(sizeof(u::ServiceRate) == sizeof(double));
+static_assert(sizeof(u::Fraction) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<u::Dollars>);
+
+// Scaled-unit factories are constexpr-correct: 3600 kW for 2 h at
+// $0.25/kWh is exactly $1800 (all values exactly representable, so the
+// equality is safe to assert at compile time).
+static_assert(u::kilowatts(3600.0) * u::hours(2.0) *
+                  u::DollarsPerKwh{0.25} ==
+              u::Dollars{1800.0});
+static_assert(u::as_kilowatts(u::kilowatts(7.5)) == 7.5);
+static_assert(u::hours(0.5) == u::seconds(1800.0));
+
+TEST(Units, ArithmeticMatchesRawDoubles) {
+  const u::ReqPerSec rate{12.5};
+  const u::Seconds slot{3600.0};
+  EXPECT_EQ((rate * slot).value(), 12.5 * 3600.0);
+  EXPECT_EQ((rate * slot / slot).value(), 12.5 * 3600.0 / 3600.0);
+  EXPECT_EQ((u::kOneRequest / rate).value(), 1.0 / 12.5);
+}
+
+TEST(Units, AccumulationOperators) {
+  u::DollarsPerSec total{};
+  total += u::DollarsPerReq{0.1} * u::ReqPerSec{10.0};
+  total += u::DollarsPerReq{0.2} * u::ReqPerSec{5.0};
+  EXPECT_DOUBLE_EQ(total.value(), 0.1 * 10.0 + 0.2 * 5.0);
+  total -= u::DollarsPerSec{1.0};
+  EXPECT_DOUBLE_EQ(total.value(), 0.1 * 10.0 + 0.2 * 5.0 - 1.0);
+}
+
+TEST(Units, ExplicitRetagIsAllowed) {
+  const u::ArrivalRate lambda{4.0};
+  const u::ServiceRate as_mu{lambda};  // explicit role assertion
+  EXPECT_EQ(as_mu.value(), 4.0);
+  const u::ReqPerSec untagged{u::ServiceRate{9.0}};
+  EXPECT_EQ(untagged.value(), 9.0);
+}
+
+TEST(Units, FractionScalesQuantities) {
+  const u::CpuShare phi{0.25};
+  const u::ServiceRate mu{40.0};
+  const u::ServiceRate vm = phi * mu;
+  EXPECT_EQ(vm.value(), 0.25 * 40.0);
+  EXPECT_EQ((mu * phi).value(), 40.0 * 0.25);
+}
+
+TEST(Units, FractionAcceptsRenormalizationSlack) {
+  // Renormalized share sums can land an ulp above 1; the debug assert
+  // must tolerate that (and exact bounds, obviously).
+  EXPECT_EQ(u::CpuShare{1.0}.value(), 1.0);
+  EXPECT_EQ(u::CpuShare{0.0}.value(), 0.0);
+  const double just_above = 1.0 + 1e-12;
+  EXPECT_EQ(u::CpuShare{just_above}.value(), just_above);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(UnitsDeathTest, FractionRejectsOutOfRange) {
+  EXPECT_DEATH(u::CpuShare{1.5}, "Fraction");
+  EXPECT_DEATH(u::CpuShare{-0.5}, "Fraction");
+}
+#endif
+
+TEST(Units, TypedMm1AgreesWithRawCore) {
+  const u::CpuShare phi{0.5};
+  const double capacity = 2.0;
+  const u::ServiceRate mu{30.0};
+  const u::ArrivalRate lambda{10.0};
+  EXPECT_EQ(mm1::effective_rate(phi, capacity, mu).value(),
+            mm1::effective_rate(0.5, 2.0, 30.0));
+  EXPECT_EQ(mm1::expected_delay(phi, capacity, mu, lambda).value(),
+            mm1::expected_delay(0.5, 2.0, 30.0, 10.0));
+  EXPECT_EQ(mm1::required_share(lambda, capacity, mu, u::Seconds{0.25})
+                .value(),
+            mm1::required_share(10.0, 2.0, 30.0, 0.25));
+  EXPECT_EQ(mm1::max_rate(phi, capacity, mu, u::Seconds{0.25}).value(),
+            mm1::max_rate(0.5, 2.0, 30.0, 0.25));
+  EXPECT_EQ(mm1::is_stable(phi, capacity, mu, lambda),
+            mm1::is_stable(0.5, 2.0, 30.0, 10.0));
+}
+
+TEST(Units, ModelAccessorsWrapRawFields) {
+  DataCenter dc;
+  dc.service_rate = {20.0};
+  dc.energy_per_request_kwh = {3e-4};
+  dc.idle_power_kw = 1.2;
+  EXPECT_EQ(dc.service_rate_of(0).value(), 20.0);
+  EXPECT_EQ(dc.energy_per_request(0).value(), 3e-4);
+  EXPECT_DOUBLE_EQ(u::as_kilowatts(dc.idle_power()), 1.2);
+
+  SlotInput input;
+  input.arrival_rate = {{5.0}};
+  input.price = {0.08};
+  input.slot_seconds = 3600.0;
+  EXPECT_EQ(input.offered(0, 0).value(), 5.0);
+  EXPECT_EQ(input.price_at(0).value(), 0.08);
+  EXPECT_EQ(input.slot_duration().value(), 3600.0);
+}
+
+}  // namespace
+}  // namespace palb

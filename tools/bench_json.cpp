@@ -1,5 +1,6 @@
 #include "bench_json.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -7,14 +8,27 @@
 
 namespace palb::benchjson {
 
+namespace {
+/// Solver counters are uint64 but JSON numbers are doubles. On LP64 the
+/// implicit route happens to hit the size_t constructor; spell the cast
+/// out and refuse counts past 2^53, where a double silently drops bits.
+Json counter(std::uint64_t n) {
+  constexpr std::uint64_t kMaxExactDouble = 1ull << 53;
+  PALB_REQUIRE(n <= kMaxExactDouble,
+               "solver counter exceeds the exactly-representable "
+               "double range");
+  return Json(static_cast<double>(n));
+}
+}  // namespace
+
 Json to_json(const WorkloadResult& w) {
   Json solver = Json::object();
-  solver.set("profiles_examined", Json(w.solver.profiles_examined));
-  solver.set("profiles_pruned", Json(w.solver.profiles_pruned));
-  solver.set("lp_iterations", Json(w.solver.lp_iterations));
-  solver.set("nlp_iterations", Json(w.solver.nlp_iterations));
-  solver.set("warm_start_hits", Json(w.solver.warm_start_hits));
-  solver.set("warm_start_misses", Json(w.solver.warm_start_misses));
+  solver.set("profiles_examined", counter(w.solver.profiles_examined));
+  solver.set("profiles_pruned", counter(w.solver.profiles_pruned));
+  solver.set("lp_iterations", counter(w.solver.lp_iterations));
+  solver.set("nlp_iterations", counter(w.solver.nlp_iterations));
+  solver.set("warm_start_hits", counter(w.solver.warm_start_hits));
+  solver.set("warm_start_misses", counter(w.solver.warm_start_misses));
   solver.set("cache_hit_rate", Json(w.solver.cache_hit_rate()));
 
   Json doc = Json::object();

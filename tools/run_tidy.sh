@@ -9,8 +9,10 @@
 #
 # Behavior mirrors the PALB_CLANG_TIDY CMake option: if no clang-tidy is
 # installed the script *skips* (exit 0) instead of failing, so the tier-1
-# flow works on gcc-only boxes; CI installs clang-tidy and therefore gets
-# the real check. Warnings are errors: a clean run prints nothing.
+# flow works on gcc-only boxes. Set PALB_TIDY_REQUIRED=1 to turn a
+# missing binary into a hard failure — CI sets it, so the tidy job can
+# never green out by silently not running. Warnings are errors: a clean
+# run prints nothing.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,6 +28,11 @@ if [ -z "$TIDY" ]; then
   done
 fi
 if [ -z "$TIDY" ]; then
+  if [ "${PALB_TIDY_REQUIRED:-0}" = "1" ]; then
+    echo "run_tidy: no clang-tidy binary found and PALB_TIDY_REQUIRED=1;" \
+         "failing" >&2
+    exit 1
+  fi
   echo "run_tidy: no clang-tidy binary found; skipping (install clang-tidy" \
        "or set CLANG_TIDY=/path/to/clang-tidy)" >&2
   exit 0
