@@ -2,13 +2,35 @@
 // simplex throughput vs problem size, MILP branch-and-bound on
 // knapsacks, augmented-Lagrangian NLP convergence cost, and the big-M
 // constraint-system evaluation hot path.
+//
+// Besides the benchmark registry this binary carries the CI pivot
+// regression gate (custom main, see below):
+//
+//   micro_solver --check-pivots tools/fixtures/pivot_baseline.json
+//   micro_solver --write-pivots tools/fixtures/pivot_baseline.json
+//
+// The check mode plans the deterministic fig06 (worldcup) scenario
+// serially, compares the total simplex pivot count against the
+// checked-in baseline (>10% growth fails), and micro-asserts that dense
+// LP *construction* stays sub-dominant to solving (the add_term path
+// regressing to quadratic once cost more than the solves it fed).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/controller.hpp"
+#include "core/optimized_policy.hpp"
+#include "core/paper_scenarios.hpp"
 #include "solver/milp.hpp"
 #include "solver/nlp.hpp"
 #include "solver/simplex.hpp"
 #include "solver/step_tuf_bigm.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -93,4 +115,148 @@ void BM_BigMConstraintEval(benchmark::State& state) {
 }
 BENCHMARK(BM_BigMConstraintEval)->Arg(2)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------------
+// Pivot regression gate (CI bench-smoke job; not part of the benchmark
+// registry and deliberately not a ctest — timings and counters belong in
+// the perf lane, not the correctness lane).
+
+constexpr const char* kPivotSchema = "palb-pivot-baseline-v1";
+constexpr double kPivotHeadroom = 0.10;  // fail past +10% vs baseline
+
+struct PivotCounts {
+  std::uint64_t simplex_pivots = 0;
+  std::uint64_t phase1_skips = 0;
+  std::uint64_t basis_warm_hits = 0;
+  std::uint64_t profiles_examined = 0;
+};
+
+// Plans the fig06 worldcup study (24 slots) serially with the default
+// OptimizedPolicy and returns the run's solver counters. Every count is
+// deterministic: the pivot path of each LP depends only on (topology,
+// input, profile) — see SimplexSolver and OptimizedPolicy docs — so the
+// baseline can be an exact machine-independent number and the headroom
+// exists only to absorb deliberate algorithm tweaks.
+PivotCounts measure_fig06_pivots() {
+  const Scenario scenario = paper::worldcup_study();
+  SlotController controller(scenario);
+  OptimizedPolicy policy;
+  const RunResult run = controller.run(policy, 24);
+  PivotCounts c;
+  c.simplex_pivots = run.stats.lp_iterations;
+  c.phase1_skips = run.stats.phase1_skips;
+  c.basis_warm_hits = run.stats.basis_warm_hits;
+  c.profiles_examined = run.stats.profiles_examined;
+  return c;
+}
+
+// Dense-model construction must stay sub-dominant to solving. The bound
+// is generous (the O(n^2) add_term this guards against took seconds
+// here), so it holds on slow CI runners without going flaky.
+bool model_build_stays_subdominant() {
+  using clock = std::chrono::steady_clock;
+  constexpr int kTerms = 20000;
+  const auto start = clock::now();
+  LinearProgram lp;
+  for (int j = 0; j < kTerms; ++j) lp.add_variable(0.0, 1.0, 1.0);
+  const int row = lp.add_constraint(Relation::kLe, 1.0);
+  for (int j = 0; j < kTerms; ++j) lp.add_term(row, j, 1.0);
+  const double ms =
+      std::chrono::duration<double, std::milli>(clock::now() - start)
+          .count();
+  const bool ok = ms < 250.0;
+  std::printf("%s: %d-term dense row built in %.1f ms (budget 250 ms)\n",
+              ok ? "ok" : "FAIL", kTerms, ms);
+  return ok;
+}
+
+int write_pivot_baseline(const std::string& path) {
+  const PivotCounts c = measure_fig06_pivots();
+  Json doc = Json::object();
+  doc.set("schema", Json(std::string(kPivotSchema)));
+  doc.set("scenario", Json(std::string("worldcup")));
+  doc.set("slots", Json(24.0));
+  doc.set("simplex_pivots", Json(static_cast<double>(c.simplex_pivots)));
+  doc.set("phase1_skips", Json(static_cast<double>(c.phase1_skips)));
+  doc.set("basis_warm_hits", Json(static_cast<double>(c.basis_warm_hits)));
+  doc.set("profiles_examined",
+          Json(static_cast<double>(c.profiles_examined)));
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  os << doc.dump(2) << "\n";
+  std::printf("wrote %s (simplex_pivots=%llu)\n", path.c_str(),
+              static_cast<unsigned long long>(c.simplex_pivots));
+  return os ? 0 : 2;
+}
+
+int check_pivot_baseline(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const Json doc = Json::parse(buf.str());
+  if (doc.at("schema").as_string() != kPivotSchema) {
+    std::fprintf(stderr, "unexpected schema in %s\n", path.c_str());
+    return 2;
+  }
+  const auto baseline =
+      static_cast<std::uint64_t>(doc.at("simplex_pivots").as_number());
+  const PivotCounts c = measure_fig06_pivots();
+  const double limit =
+      static_cast<double>(baseline) * (1.0 + kPivotHeadroom);
+  std::printf(
+      "fig06 pivots: measured=%llu baseline=%llu limit=%.0f "
+      "(phase1_skips=%llu basis_warm_hits=%llu profiles=%llu)\n",
+      static_cast<unsigned long long>(c.simplex_pivots),
+      static_cast<unsigned long long>(baseline), limit,
+      static_cast<unsigned long long>(c.phase1_skips),
+      static_cast<unsigned long long>(c.basis_warm_hits),
+      static_cast<unsigned long long>(c.profiles_examined));
+  bool ok = true;
+  if (static_cast<double>(c.simplex_pivots) > limit) {
+    std::fprintf(stderr,
+                 "FAIL: simplex pivot count regressed more than %.0f%% "
+                 "over the checked-in baseline; if intentional, refresh "
+                 "with --write-pivots\n",
+                 100.0 * kPivotHeadroom);
+    ok = false;
+  } else if (static_cast<double>(c.simplex_pivots) <
+             static_cast<double>(baseline) * (1.0 - kPivotHeadroom)) {
+    std::printf(
+        "note: pivots improved more than %.0f%%; consider refreshing "
+        "the baseline with --write-pivots\n",
+        100.0 * kPivotHeadroom);
+  }
+  if (!model_build_stays_subdominant()) ok = false;
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
+
+// Custom main instead of benchmark_main: peel off the pivot-gate flags,
+// then hand everything else to google-benchmark unchanged.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-pivots" || arg == "--write-pivots") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a baseline path\n", arg.c_str());
+        return 2;
+      }
+      const std::string path = argv[i + 1];
+      return arg == "--check-pivots" ? check_pivot_baseline(path)
+                                     : write_pivot_baseline(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

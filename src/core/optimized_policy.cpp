@@ -21,6 +21,21 @@ namespace {
 /// TUF level the mean delay must land in.
 using Profile = std::vector<int>;
 
+/// A simplex basis lifted out of one profile's LP into profile-
+/// independent (K, S, L) coordinates, so it can seed the LP of a
+/// *different* profile. Neighboring profiles share most of their
+/// columns; entries whose variable/row does not exist in the target LP
+/// are dropped on import (the solver tolerates partial bases), and the
+/// solver discards any import that lands out of bounds — so carrying a
+/// basis across profiles can change pivot counts but never solutions.
+struct GlobalBasis {
+  /// (is_variable, token). Variable token: routing var (k*S + s)*L + l.
+  /// Row token: flow row k*S + s, capacity row K*S + l.
+  std::vector<std::pair<bool, std::size_t>> basic;
+  std::vector<std::size_t> at_upper;  ///< routing-variable tokens
+  bool empty() const { return basic.empty() && at_upper.empty(); }
+};
+
 struct ProfileOutcome {
   bool feasible = false;
   double objective = 0.0;  // net profit over the slot per the LP model
@@ -32,6 +47,10 @@ struct ProfileOutcome {
   /// server's net capacity under the profile).
   std::vector<double> server_shadow_prices;
   int lp_iterations = 0;
+  bool phase1_skipped = false;
+  bool basis_warm_used = false;
+  /// Final LP basis in global coordinates (filled only on request).
+  GlobalBasis basis;
 };
 
 /// Effective (margin-tightened) *queue* sub-deadline for class k at
@@ -187,9 +206,13 @@ double profile_value_bound(const Topology& topo, const SlotInput& input,
 
 /// Solves the LP conditioned on a band profile and realizes the plan
 /// (integer server counts, minimal shares, optional spare distribution).
+/// `warm` (optional) seeds the simplex from another profile's basis;
+/// `want_basis` asks for the final basis back in global coordinates.
 ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
                              const Profile& profile, const ProfilePrep& prep,
-                             const OptimizedPolicy::Options& opt) {
+                             const OptimizedPolicy::Options& opt,
+                             const GlobalBasis* warm = nullptr,
+                             bool want_basis = false) {
   const std::size_t K = topo.num_classes();
   const std::size_t S = topo.num_frontends();
   const std::size_t L = topo.num_datacenters();
@@ -202,8 +225,10 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
   LinearProgram lp;
   lp.set_objective_sense(Sense::kMaximize);
 
-  // Routing variables for every active (k, s, l).
+  // Routing variables for every active (k, s, l). var[] maps global
+  // tokens to LP indices; var_token is the inverse (for basis export).
   std::vector<int> var(K * S * L, -1);
+  std::vector<std::size_t> var_token;
   for (std::size_t k = 0; k < K; ++k) {
     for (std::size_t l = 0; l < L; ++l) {
       const int level = profile[l * K + k];
@@ -215,6 +240,7 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
             0.0, input.arrival_rate[k][s], value,
             "x_k" + std::to_string(k) + "_s" + std::to_string(s) + "_l" +
                 std::to_string(l));
+        var_token.push_back((k * S + s) * L + l);
       }
     }
   }
@@ -226,7 +252,10 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
     return out;
   }
 
-  // Flow conservation (Eq. 7): per (class, front-end).
+  // Flow conservation (Eq. 7): per (class, front-end). flow_row maps the
+  // (k, s) token to the LP row (or -1), row_token is the inverse.
+  std::vector<int> flow_row(K * S, -1);
+  std::vector<std::size_t> row_token;
   for (std::size_t k = 0; k < K; ++k) {
     for (std::size_t s = 0; s < S; ++s) {
       std::vector<std::pair<int, double>> terms;
@@ -235,7 +264,9 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
         if (v >= 0) terms.emplace_back(v, 1.0);
       }
       if (terms.size() > 1) {
-        lp.add_constraint(terms, Relation::kLe, input.arrival_rate[k][s]);
+        flow_row[k * S + s] = lp.add_constraint(
+            terms, Relation::kLe, input.arrival_rate[k][s]);
+        row_token.push_back(k * S + s);
       }
       // With a single destination the variable's upper bound suffices.
     }
@@ -260,13 +291,57 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
       capacity_row[l] = lp.add_constraint(
           terms, Relation::kLe,
           static_cast<double>(dc.num_servers) * (1.0 - overhead[l]));
+      row_token.push_back(K * S + l);
     }
   }
 
+  // Translate the caller's global basis into this LP's indices; entries
+  // for columns/rows this profile does not have are simply dropped.
+  SimplexBasis warm_basis;
+  const SimplexBasis* warm_ptr = nullptr;
+  if (warm && !warm->empty()) {
+    for (const auto& [is_var, token] : warm->basic) {
+      if (is_var) {
+        const int v = var[token];
+        if (v >= 0) {
+          warm_basis.basic.push_back({SimplexBasis::Kind::kVariable, v});
+        }
+      } else {
+        const int row = token < K * S
+                            ? flow_row[token]
+                            : capacity_row[token - K * S];
+        if (row >= 0) {
+          warm_basis.basic.push_back({SimplexBasis::Kind::kSlack, row});
+        }
+      }
+    }
+    for (const std::size_t token : warm->at_upper) {
+      if (var[token] >= 0) warm_basis.at_upper.push_back(var[token]);
+    }
+    if (!warm_basis.empty()) warm_ptr = &warm_basis;
+  }
+
   const SimplexSolver solver;
-  const LpSolution sol = solver.solve(lp);
+  const LpSolution sol = solver.solve(lp, warm_ptr);
   out.lp_iterations = sol.iterations;
+  out.phase1_skipped = sol.phase1_skipped;
+  out.basis_warm_used = sol.warm_start_used;
   if (sol.status != LpStatus::kOptimal) return out;
+  if (want_basis) {
+    out.basis.basic.reserve(sol.basis.basic.size());
+    for (const auto& e : sol.basis.basic) {
+      if (e.kind == SimplexBasis::Kind::kVariable) {
+        out.basis.basic.emplace_back(
+            true, var_token[static_cast<std::size_t>(e.index)]);
+      } else {
+        out.basis.basic.emplace_back(
+            false, row_token[static_cast<std::size_t>(e.index)]);
+      }
+    }
+    for (const int v : sol.basis.at_upper) {
+      out.basis.at_upper.push_back(var_token[static_cast<std::size_t>(v)]);
+    }
+  }
 
   // A server added to DC l raises the capacity rhs by (1 - overhead_l);
   // the row dual prices that change in dollars per slot.
@@ -452,6 +527,8 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   profiles_examined_ = 0;
   profiles_pruned_ = 0;
   lp_iterations_ = 0;
+  phase1_skips_ = 0;
+  basis_warm_hits_ = 0;
 
   std::mutex best_mutex;
   ProfileOutcome best;
@@ -463,17 +540,28 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   std::atomic<std::uint64_t> examined{0};
   std::atomic<std::uint64_t> pruned{0};
   std::atomic<std::uint64_t> pivots{0};
+  std::atomic<std::uint64_t> p1_skips{0};
+  std::atomic<std::uint64_t> basis_hits{0};
 
   auto evaluate = [&](const Profile& profile, std::uint64_t index,
-                      const ProfilePrep& prep) {
+                      const ProfilePrep& prep, const GlobalBasis* warm_basis,
+                      GlobalBasis* capture) {
     examined.fetch_add(1, std::memory_order_relaxed);
     if (!prep.feasible) return -kInfinity;
-    ProfileOutcome outcome = solve_profile(topo, input, profile, prep,
-                                           options_);
+    ProfileOutcome outcome =
+        solve_profile(topo, input, profile, prep, options_, warm_basis,
+                      capture != nullptr);
     outcome.index = index;
     pivots.fetch_add(static_cast<std::uint64_t>(outcome.lp_iterations),
                      std::memory_order_relaxed);
+    if (outcome.phase1_skipped) {
+      p1_skips.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (outcome.basis_warm_used) {
+      basis_hits.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!outcome.feasible) return -kInfinity;
+    if (capture) *capture = std::move(outcome.basis);
     const double objective = outcome.objective;
     std::lock_guard lock(best_mutex);
     // Lexicographic (objective, lowest index): exact-objective ties would
@@ -484,14 +572,42 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
     }
     return objective;
   };
-  auto consider = [&](const Profile& profile, std::uint64_t index) {
+  auto consider = [&](const Profile& profile, std::uint64_t index,
+                      const GlobalBasis* warm_basis, GlobalBasis* capture) {
     return evaluate(profile, index,
-                    prepare_profile(topo, input, profile, options_));
+                    prepare_profile(topo, input, profile, options_),
+                    warm_basis, capture);
   };
 
   const std::uint64_t space =
       profile_space_size(topo, options_.max_enumerated_profiles);
   const bool enumerated = space <= options_.max_enumerated_profiles;
+  double prune_threshold = 0.0;
+
+  // Basis anchor (enumerated path): solve the all-last-band profile cold
+  // and warm-start every other profile from its basis. The anchor is a
+  // function of (topology, input) alone — never of cache state or worker
+  // partition — so each profile's pivot path, and therefore the plan,
+  // stays byte-identical across worker counts and cache histories. Its
+  // objective also seeds the incumbent prune bound (plan-preserving: a
+  // pruned profile can neither win nor tie).
+  GlobalBasis anchor_basis;
+  std::uint64_t anchor_index = space;  // sentinel: no anchor evaluated
+  if (enumerated && options_.warm_start_bases) {
+    const std::size_t K = topo.num_classes();
+    const std::size_t L = topo.num_datacenters();
+    Profile anchor(K * L);
+    for (std::size_t cell = 0; cell < K * L; ++cell) {
+      anchor[cell] =
+          static_cast<int>(topo.classes[cell % K].tuf.levels()) - 1;
+    }
+    anchor_index = encode_profile(anchor, topo);
+    prune_threshold = std::max(
+        prune_threshold, consider(anchor, anchor_index, nullptr,
+                                  &anchor_basis));
+  }
+  const GlobalBasis* sweep_warm =
+      anchor_basis.empty() ? nullptr : &anchor_basis;
 
   // Warm start (enumerated path only): re-solve the previous slot's
   // winning profile under *this* slot's inputs, making its objective an
@@ -500,15 +616,17 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   // the chosen plan is bit-identical to a cold solve; only the work
   // (and the pruned/examined split) shrinks.
   std::uint64_t warm_index = space;  // sentinel: nothing pre-evaluated
-  double prune_threshold = 0.0;
   bool warm_hit = false;
   if (enumerated && options_.warm_start) {
     if (warm_applicable(topo, input)) {
       warm_hit = true;
       warm_index = cache_.winning_index;
-      const double incumbent =
-          consider(decode_profile(warm_index, topo), warm_index);
-      prune_threshold = std::max(0.0, incumbent);
+      if (warm_index != anchor_index) {  // anchor is already evaluated
+        prune_threshold = std::max(
+            prune_threshold,
+            consider(decode_profile(warm_index, topo), warm_index,
+                     sweep_warm, nullptr));
+      }
     }
     totals_.warm_start_hits += warm_hit ? 1 : 0;
     totals_.warm_start_misses += warm_hit ? 0 : 1;
@@ -518,7 +636,9 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
     // Exhaustive sweep; embarrassingly parallel across profile indices.
     auto body = [&](std::size_t i) {
       const auto index = static_cast<std::uint64_t>(i);
-      if (index == warm_index) return;  // incumbent already evaluated
+      if (index == warm_index || index == anchor_index) {
+        return;  // already evaluated up front
+      }
       const Profile profile = decode_profile(index, topo);
       const ProfilePrep prep =
           prepare_profile(topo, input, profile, options_);
@@ -528,7 +648,7 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
         pruned.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      evaluate(profile, index, prep);
+      evaluate(profile, index, prep, sweep_warm, nullptr);
     };
     if (options_.parallel) {
       parallel_for(static_cast<std::size_t>(space), body);
@@ -572,7 +692,13 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
     }
 
     for (Profile current : starts) {
-      double current_value = consider(current, encode_profile(current, topo));
+      // Chain bases down the search path: the accepted profile's basis
+      // warm-starts each neighbor (they differ in one (k, l) band). The
+      // walk is serial and first-improvement, so the chain — like the
+      // search itself — is fully deterministic.
+      GlobalBasis chain;
+      double current_value = consider(current, encode_profile(current, topo),
+                                      nullptr, &chain);
       bool improved = true;
       while (improved) {
         improved = false;
@@ -584,11 +710,16 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
             if (option == current[cell]) continue;
             Profile neighbor = current;
             neighbor[cell] = option;
-            const double value =
-                consider(neighbor, encode_profile(neighbor, topo));
+            GlobalBasis neighbor_basis;
+            const double value = consider(
+                neighbor, encode_profile(neighbor, topo),
+                options_.warm_start_bases && !chain.empty() ? &chain
+                                                            : nullptr,
+                &neighbor_basis);
             if (value > current_value + 1e-9) {
               current = std::move(neighbor);
               current_value = value;
+              chain = std::move(neighbor_basis);
               improved = true;
               break;
             }
@@ -601,9 +732,13 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   profiles_examined_ = examined.load();
   profiles_pruned_ = pruned.load();
   lp_iterations_ = pivots.load();
+  phase1_skips_ = p1_skips.load();
+  basis_warm_hits_ = basis_hits.load();
   totals_.profiles_examined += profiles_examined_;
   totals_.profiles_pruned += profiles_pruned_;
   totals_.lp_iterations += lp_iterations_;
+  totals_.phase1_skips += phase1_skips_;
+  totals_.basis_warm_hits += basis_warm_hits_;
   server_shadow_prices_ = best.server_shadow_prices;
   if (server_shadow_prices_.empty()) {
     server_shadow_prices_.assign(topo.num_datacenters(), 0.0);

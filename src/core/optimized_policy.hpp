@@ -65,6 +65,19 @@ class OptimizedPolicy : public Policy {
     /// Maximum relative per-entry drift of arrival rates and prices for
     /// the previous slot's solution to count as a warm start.
     double warm_start_tolerance = 0.05;
+    /// Reuse simplex bases across the profile search (basis-level warm
+    /// starts, independent of the profile-level `warm_start` cache). The
+    /// enumerated sweep solves one deterministic *anchor* profile (every
+    /// cell at its last TUF band — the profile whose LP contains every
+    /// other profile's columns) cold, then warm-starts every other
+    /// profile from the anchor's optimal basis; each LP's pivot path
+    /// thus depends only on (topology, input, profile), never on worker
+    /// partition or cache state, so plans stay byte-identical across
+    /// worker counts. The local-search path chains each accepted
+    /// profile's basis into its neighbors instead (serial, equally
+    /// deterministic). The solver discards any basis that lands
+    /// out-of-bounds, so this can change pivot counts but never plans.
+    bool warm_start_bases = true;
   };
 
   OptimizedPolicy() = default;
@@ -91,6 +104,10 @@ class OptimizedPolicy : public Policy {
   std::uint64_t profiles_pruned() const { return profiles_pruned_; }
   /// LP simplex iterations accumulated by the most recent plan_slot.
   std::uint64_t lp_iterations() const { return lp_iterations_; }
+  /// LP solves of the most recent plan_slot that needed no phase-1 work.
+  std::uint64_t phase1_skips() const { return phase1_skips_; }
+  /// LP solves of the most recent plan_slot that accepted a warm basis.
+  std::uint64_t basis_warm_hits() const { return basis_warm_hits_; }
   /// Marginal dollar value, per slot, of adding one server to each data
   /// center — the dual of the winning profile's capacity row scaled by a
   /// server's net capacity contribution. Zero where capacity is slack.
@@ -120,6 +137,8 @@ class OptimizedPolicy : public Policy {
   std::uint64_t profiles_examined_ = 0;
   std::uint64_t profiles_pruned_ = 0;
   std::uint64_t lp_iterations_ = 0;
+  std::uint64_t phase1_skips_ = 0;
+  std::uint64_t basis_warm_hits_ = 0;
   std::vector<double> server_shadow_prices_;
   WarmCache cache_;
   PolicyStats totals_;

@@ -30,6 +30,13 @@ struct PolicyStats {
   std::uint64_t lp_iterations = 0;
   /// NLP inner-minimizer iterations (BigM path).
   std::uint64_t nlp_iterations = 0;
+  /// LP solves that needed no phase-1 work (structurally feasible cold
+  /// start, or a warm basis that landed in-bounds).
+  std::uint64_t phase1_skips = 0;
+  /// LP solves that accepted a caller-supplied starting basis (the
+  /// basis-level warm start, distinct from the profile-level cache
+  /// behind warm_start_hits).
+  std::uint64_t basis_warm_hits = 0;
 
   PolicyStats& operator+=(const PolicyStats& other) {
     warm_start_hits += other.warm_start_hits;
@@ -38,6 +45,8 @@ struct PolicyStats {
     profiles_pruned += other.profiles_pruned;
     lp_iterations += other.lp_iterations;
     nlp_iterations += other.nlp_iterations;
+    phase1_skips += other.phase1_skips;
+    basis_warm_hits += other.basis_warm_hits;
     return *this;
   }
   PolicyStats operator-(const PolicyStats& other) const {
@@ -48,6 +57,8 @@ struct PolicyStats {
     d.profiles_pruned = profiles_pruned - other.profiles_pruned;
     d.lp_iterations = lp_iterations - other.lp_iterations;
     d.nlp_iterations = nlp_iterations - other.nlp_iterations;
+    d.phase1_skips = phase1_skips - other.phase1_skips;
+    d.basis_warm_hits = basis_warm_hits - other.basis_warm_hits;
     return d;
   }
   /// Fraction of slots served from the warm-start cache (0 when the

@@ -1,5 +1,6 @@
 #include "solver/linear_program.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -31,32 +32,63 @@ int LinearProgram::add_constraint(
     const std::vector<std::pair<int, double>>& terms, Relation rel,
     double rhs, std::string name) {
   const int row = add_constraint(rel, rhs, std::move(name));
-  for (const auto& [var, coef] : terms) add_term(row, var, coef);
+  // Bulk path: sort once and merge duplicates in one sweep instead of
+  // scanning the growing row per term (which made dense-row construction
+  // quadratic). stable_sort keeps equal variables in encounter order, so
+  // duplicate coefficients still sum in the order the caller wrote them.
+  auto& dst = rows_[row];
+  dst = terms;
+  for (const auto& [var, coef] : dst) {
+    (void)coef;
+    check_var(var);
+  }
+  std::stable_sort(dst.begin(), dst.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (w > 0 && dst[w - 1].first == dst[i].first) {
+      dst[w - 1].second += dst[i].second;
+    } else {
+      dst[w++] = dst[i];
+    }
+  }
+  dst.resize(w);
   return row;
+}
+
+std::vector<std::pair<int, double>>::iterator LinearProgram::find_term(
+    int row, int var) {
+  // Rows are kept sorted by variable index (the class invariant), so a
+  // single coefficient is a binary search away.
+  auto& terms = rows_[row];
+  return std::lower_bound(terms.begin(), terms.end(), var,
+                          [](const std::pair<int, double>& t, int v) {
+                            return t.first < v;
+                          });
 }
 
 void LinearProgram::set_coefficient(int row, int var, double value) {
   check_row(row);
   check_var(var);
-  for (auto& [v, c] : rows_[row]) {
-    if (v == var) {
-      c = value;
-      return;
-    }
+  auto it = find_term(row, var);
+  if (it != rows_[row].end() && it->first == var) {
+    it->second = value;
+    return;
   }
-  rows_[row].emplace_back(var, value);
+  rows_[row].insert(it, {var, value});
 }
 
 void LinearProgram::add_term(int row, int var, double value) {
   check_row(row);
   check_var(var);
-  for (auto& [v, c] : rows_[row]) {
-    if (v == var) {
-      c += value;
-      return;
-    }
+  auto it = find_term(row, var);
+  if (it != rows_[row].end() && it->first == var) {
+    it->second += value;
+    return;
   }
-  rows_[row].emplace_back(var, value);
+  rows_[row].insert(it, {var, value});
 }
 
 void LinearProgram::set_cost(int var, double cost) {

@@ -35,12 +35,19 @@ class LinearProgram {
   int add_constraint(Relation rel, double rhs, std::string name = {});
 
   /// Adds a fully-formed constraint from (variable, coefficient) terms.
+  /// Duplicate variables are merged (coefficients sum in encounter
+  /// order). This is the preferred way to build dense rows: one sort
+  /// instead of a per-term row scan.
   int add_constraint(const std::vector<std::pair<int, double>>& terms,
                      Relation rel, double rhs, std::string name = {});
 
   /// Sets (overwrites) one coefficient in a row.
   void set_coefficient(int row, int var, double value);
   /// Adds to an existing coefficient (creates it at `value` if absent).
+  /// Rows are kept sorted by variable index, so the lookup is a binary
+  /// search; inserting out-of-order still shifts the row's tail, so
+  /// builders producing many terms should prefer the bulk
+  /// add_constraint overload.
   void add_term(int row, int var, double value);
 
   void set_cost(int var, double cost);
@@ -58,6 +65,7 @@ class LinearProgram {
   double upper_bound(int var) const;
   Relation relation(int row) const;
   double rhs(int row) const;
+  /// Terms of a row, sorted by variable index.
   const std::vector<std::pair<int, double>>& row_terms(int row) const;
   const std::string& variable_name(int var) const;
   const std::string& constraint_name(int row) const;
@@ -72,6 +80,7 @@ class LinearProgram {
  private:
   void check_var(int var) const;
   void check_row(int row) const;
+  std::vector<std::pair<int, double>>::iterator find_term(int row, int var);
 
   Sense sense_ = Sense::kMinimize;
   double offset_ = 0.0;

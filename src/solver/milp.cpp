@@ -26,6 +26,11 @@ namespace {
 struct Node {
   // Tightened bounds for the integer variables along this branch.
   std::vector<std::pair<int, std::pair<double, double>>> bounds;
+  // Optimal basis of the parent relaxation. Children differ from the
+  // parent only in one variable's bounds, so the parent basis is usually
+  // one dual step from their optimum; the simplex falls back to a cold
+  // start whenever the tightened bound makes it infeasible.
+  SimplexBasis warm;
 };
 }  // namespace
 
@@ -72,7 +77,10 @@ MilpSolution MilpSolver::solve(const LinearProgram& model,
     }
     if (!bounds_consistent) continue;
 
-    const LpSolution rel = lp_solver.solve(relaxed);
+    const LpSolution rel = lp_solver.solve(
+        relaxed, node.warm.empty() ? nullptr : &node.warm);
+    best.lp_iterations += rel.iterations;
+    if (rel.warm_start_used) ++best.lp_basis_warm_hits;
     if (rel.status == LpStatus::kInfeasible) continue;
     if (rel.status == LpStatus::kUnbounded) {
       // Unbounded relaxation at the root means the MILP itself is
@@ -124,8 +132,10 @@ MilpSolution MilpSolver::solve(const LinearProgram& model,
     const double floor_x = std::floor(x);
     Node down = node;
     down.bounds.push_back({branch_var, {-kInfinity, floor_x}});
+    down.warm = rel.basis;
     Node up = node;
     up.bounds.push_back({branch_var, {floor_x + 1.0, kInfinity}});
+    up.warm = rel.basis;
     // Explore the side nearest the fractional value first.
     if (x - floor_x > 0.5) {
       open.push(std::move(down));

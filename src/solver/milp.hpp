@@ -16,6 +16,10 @@ struct MilpSolution {
   double objective = 0.0;
   std::vector<double> x;
   int nodes_explored = 0;
+  /// Simplex pivots summed over every node relaxation.
+  int lp_iterations = 0;
+  /// Node relaxations that accepted the parent's basis as a warm start.
+  int lp_basis_warm_hits = 0;
 };
 
 /// Branch-and-bound mixed-integer solver over the dense simplex.

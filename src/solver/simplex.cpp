@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -23,7 +26,14 @@ const char* to_string(LpStatus status) {
 
 namespace {
 
-/// How an original model variable maps onto the >=0 internal variables.
+/// Feasibility tolerance for basic values against their bounds; matches
+/// LinearProgram::is_feasible so an accepted start is a feasible point.
+constexpr double kFeasTol = 1e-7;
+
+/// How an original model variable maps onto the internal columns. Every
+/// internal column has lower bound 0 after the transform; a kShifted
+/// variable with finite ub keeps it as an *implicit* column bound
+/// ub - lb — upper bounds never materialize as rows.
 struct VarMap {
   enum class Kind { kShifted, kReflected, kFree } kind = Kind::kShifted;
   int primary = -1;    // internal column
@@ -31,123 +41,230 @@ struct VarMap {
   double shift = 0.0;  // lb for kShifted, ub for kReflected
 };
 
-struct Tableau {
-  int rows = 0;  // constraint rows (cost row stored separately)
-  int cols = 0;  // columns excluding rhs
-  /// Columns at or beyond this index may never *enter* the basis
-  /// (phase 2 sets it to exclude the artificials — a one-time
-  /// reduced-cost overwrite is not enough, since later pivots can drive
-  /// an artificial's reduced cost negative again).
-  int enter_limit = 0;
-  std::vector<std::vector<double>> a;  // rows x cols
-  std::vector<double> b;               // rhs, kept >= 0
-  std::vector<double> cost;            // reduced-cost row
-  double cost_rhs = 0.0;               // negative of current objective
-  std::vector<int> basis;              // basic column per row
+enum class ColStatus : std::uint8_t { kAtLower, kAtUpper, kBasic };
 
-  void pivot(int row, int col) {
-    const double p = a[row][col];
-    const double inv = 1.0 / p;
-    for (double& v : a[row]) v *= inv;
-    b[row] *= inv;
-    a[row][col] = 1.0;  // kill rounding residue on the pivot itself
-    for (int r = 0; r < rows; ++r) {
-      if (r == row) continue;
-      const double f = a[r][col];
-      if (f == 0.0) continue;
-      for (int c = 0; c < cols; ++c) a[r][c] -= f * a[row][c];
-      a[r][col] = 0.0;
-      b[r] -= f * b[row];
+/// Bounded-variable tableau. The matrix lives in one contiguous
+/// row-major arena (`stride` doubles as the physical row width, sized
+/// up-front to fit the phase-1 artificials); `cols` is the *active*
+/// column count — phase 2 retires the artificial block by shrinking it.
+/// Basic values are tracked per row in `xb` (updated incrementally on
+/// each step) rather than as a transformed rhs column; every nonbasic
+/// column sits at the finite bound named by its status.
+struct Tableau {
+  int rows = 0;
+  int cols = 0;
+  int stride = 0;
+  std::vector<double> arena;      // rows x stride
+  std::vector<double> xb;         // value of each row's basic variable
+  std::vector<int> basis;         // basic column per row
+  std::vector<double> lo, up;     // per-column bounds (internal space)
+  std::vector<ColStatus> status;  // per-column status
+
+  double* row(int r) {
+    return arena.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(stride);
+  }
+  const double* row(int r) const {
+    return arena.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(stride);
+  }
+
+  double nonbasic_value(int c) const {
+    return status[c] == ColStatus::kAtUpper ? up[c] : lo[c];
+  }
+
+  /// Removes a (redundant) row, compacting the arena in place.
+  void drop_row(int r) {
+    const auto w = static_cast<std::size_t>(stride);
+    if (r + 1 < rows) {
+      std::memmove(arena.data() + static_cast<std::size_t>(r) * w,
+                   arena.data() + static_cast<std::size_t>(r + 1) * w,
+                   static_cast<std::size_t>(rows - 1 - r) * w *
+                       sizeof(double));
     }
-    const double f = cost[col];
-    if (f != 0.0) {
-      for (int c = 0; c < cols; ++c) cost[c] -= f * a[row][c];
-      cost[col] = 0.0;
-      cost_rhs -= f * b[row];
-    }
-    basis[row] = col;
+    xb.erase(xb.begin() + r);
+    basis.erase(basis.begin() + r);
+    --rows;
   }
 };
 
-/// Solves the dense square system M y = rhs by Gaussian elimination with
-/// partial pivoting. Returns false when M is (numerically) singular —
-/// degenerate optima can have non-unique duals; callers then skip them.
-bool solve_linear_system(std::vector<std::vector<double>> m,
-                         std::vector<double> rhs, std::vector<double>& y) {
-  const std::size_t n = m.size();
-  for (std::size_t col = 0; col < n; ++col) {
-    std::size_t pivot = col;
-    for (std::size_t r = col + 1; r < n; ++r) {
-      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
-    }
-    if (std::abs(m[pivot][col]) < 1e-11) return false;
-    std::swap(m[col], m[pivot]);
-    std::swap(rhs[col], rhs[pivot]);
-    const double inv = 1.0 / m[col][col];
-    for (std::size_t r = col + 1; r < n; ++r) {
-      const double f = m[r][col] * inv;
-      if (f == 0.0) continue;
-      for (std::size_t c = col; c < n; ++c) m[r][c] -= f * m[col][c];
-      rhs[r] -= f * rhs[col];
+/// Gauss-Jordan pivot on (prow, pcol): normalizes the pivot row and
+/// eliminates the column elsewhere. `d` (reduced costs) and `rhs` are
+/// transformed alongside when supplied; basis/status/xb bookkeeping is
+/// the caller's job.
+void pivot_on(Tableau& t, int prow, int pcol, std::vector<double>* d,
+              std::vector<double>* rhs) {
+  double* pr = t.row(prow);
+  const double inv = 1.0 / pr[pcol];
+  for (int c = 0; c < t.cols; ++c) pr[c] *= inv;
+  pr[pcol] = 1.0;  // kill rounding residue on the pivot itself
+  if (rhs) (*rhs)[prow] *= inv;
+  for (int r = 0; r < t.rows; ++r) {
+    if (r == prow) continue;
+    double* rr = t.row(r);
+    const double f = rr[pcol];
+    if (f == 0.0) continue;
+    for (int c = 0; c < t.cols; ++c) rr[c] -= f * pr[c];
+    rr[pcol] = 0.0;
+    if (rhs) (*rhs)[r] -= f * (*rhs)[prow];
+  }
+  if (d) {
+    const double f = (*d)[pcol];
+    if (f != 0.0) {
+      for (int c = 0; c < t.cols; ++c) (*d)[c] -= f * pr[c];
+      (*d)[pcol] = 0.0;
     }
   }
-  y.assign(n, 0.0);
-  for (std::size_t r = n; r-- > 0;) {
-    double acc = rhs[r];
-    for (std::size_t c = r + 1; c < n; ++c) acc -= m[r][c] * y[c];
-    y[r] = acc / m[r][r];
-  }
-  return true;
 }
 
-/// One simplex phase: iterate until no negative reduced cost. Returns
-/// kOptimal, kUnbounded or kIterationLimit; iteration counter accumulates.
-LpStatus run_phase(Tableau& t, const SimplexSolver::Options& opt,
-                   int& iterations) {
+/// One simplex phase over the bounded tableau: iterate until no nonbasic
+/// column prices attractively. Entering columns come from a candidate
+/// list refreshed by full Dantzig scans (score ties and refill order are
+/// index-ascending, so the pivot sequence is deterministic); after
+/// `stall_threshold` non-improving steps the phase falls back to Bland's
+/// rule (lowest eligible index) which cannot cycle. A step is either a
+/// basis change or a bound flip — the entering column runs to its
+/// opposite bound before any basic variable hits one of its own.
+LpStatus run_bounded(Tableau& t, std::vector<double>& d,
+                     const SimplexSolver::Options& opt, int& iterations,
+                     std::vector<std::pair<int, int>>* log) {
+  const double tol = opt.tolerance;
+  // Attractiveness of a nonbasic column: positive magnitude of its
+  // reduced cost when moving off its bound improves the objective.
+  auto price = [&](int c) -> double {
+    if (t.status[c] == ColStatus::kBasic) return 0.0;
+    if (t.lo[c] == t.up[c]) return 0.0;  // fixed (incl. retired slacks)
+    const double dc = d[c];
+    if (t.status[c] == ColStatus::kAtLower) return dc < -tol ? -dc : 0.0;
+    return dc > tol ? dc : 0.0;
+  };
+
+  std::vector<int> cands;
+  std::vector<std::pair<double, int>> scored;  // refill scratch
+  cands.reserve(static_cast<std::size_t>(opt.candidate_list_size));
+
   int stalled = 0;
-  double last_obj = t.cost_rhs;
+  double obj = 0.0;       // objective delta accumulated this phase
+  double last_obj = 0.0;  // (absolute value is irrelevant for stalling)
   while (iterations < opt.max_iterations) {
-    // Entering column: Dantzig rule normally, Bland once stalled.
+    // --- Entering column. ------------------------------------------------
     int enter = -1;
-    if (stalled < opt.stall_threshold) {
-      double best = -opt.tolerance;
-      for (int c = 0; c < t.enter_limit; ++c) {
-        if (t.cost[c] < best) {
-          best = t.cost[c];
+    if (stalled >= opt.stall_threshold) {
+      // Bland: lowest eligible index, immune to cycling.
+      for (int c = 0; c < t.cols; ++c) {
+        if (price(c) > 0.0) {
           enter = c;
+          break;
         }
       }
     } else {
-      for (int c = 0; c < t.enter_limit; ++c) {
-        if (t.cost[c] < -opt.tolerance) {
+      double best = 0.0;
+      // `cands` is kept index-ascending, so strict > breaks score ties
+      // toward the lowest column index.
+      for (const int c : cands) {
+        const double s = price(c);
+        if (s > best) {
+          best = s;
           enter = c;
-          break;
+        }
+      }
+      if (enter < 0) {
+        // Refill: one full Dantzig scan, keep the top-K columns by
+        // (score desc, index asc).
+        scored.clear();
+        for (int c = 0; c < t.cols; ++c) {
+          const double s = price(c);
+          if (s > 0.0) scored.emplace_back(-s, c);
+        }
+        const auto k = std::min(
+            scored.size(),
+            static_cast<std::size_t>(std::max(1, opt.candidate_list_size)));
+        std::partial_sort(scored.begin(),
+                          scored.begin() + static_cast<std::ptrdiff_t>(k),
+                          scored.end());
+        cands.clear();
+        for (std::size_t i = 0; i < k; ++i) cands.push_back(scored[i].second);
+        std::sort(cands.begin(), cands.end());
+        best = 0.0;
+        for (const int c : cands) {
+          const double s = price(c);
+          if (s > best) {
+            best = s;
+            enter = c;
+          }
         }
       }
     }
     if (enter < 0) return LpStatus::kOptimal;
 
-    // Ratio test; ties broken by smallest basis index (anti-cycling aid).
+    // --- Ratio test. -----------------------------------------------------
+    // The entering column moves off its bound by `step` in direction
+    // `dir`; each basic value changes by -T[r][enter] * dir * step. The
+    // binding limit is the first basic variable to hit a bound, unless
+    // the entering column reaches its own opposite bound first (a bound
+    // flip — no basis change at all). Near-ties go to the smallest basic
+    // column index, an anti-cycling aid carried over from the dense
+    // solver.
+    const double dir = t.status[enter] == ColStatus::kAtLower ? 1.0 : -1.0;
     int leave = -1;
-    double best_ratio = 0.0;
+    bool leave_at_upper = false;
+    double limit = kInfinity;
     for (int r = 0; r < t.rows; ++r) {
-      const double col_val = t.a[r][enter];
-      if (col_val <= opt.tolerance) continue;
-      const double ratio = t.b[r] / col_val;
-      if (leave < 0 || ratio < best_ratio - opt.tolerance ||
-          (ratio < best_ratio + opt.tolerance &&
-           t.basis[r] < t.basis[leave])) {
+      const double e = dir * t.row(r)[enter];
+      double ratio;
+      bool to_upper;
+      if (e > tol) {  // basic value decreases toward its lower bound
+        const double blo = t.lo[t.basis[r]];
+        if (!std::isfinite(blo)) continue;
+        ratio = (t.xb[r] - blo) / e;
+        to_upper = false;
+      } else if (e < -tol) {  // basic value increases toward its upper
+        const double bup = t.up[t.basis[r]];
+        if (!std::isfinite(bup)) continue;
+        ratio = (bup - t.xb[r]) / (-e);
+        to_upper = true;
+      } else {
+        continue;
+      }
+      if (ratio < 0.0) ratio = 0.0;  // degeneracy drift guard
+      if (leave < 0 || ratio < limit - tol ||
+          (ratio < limit + tol && t.basis[r] < t.basis[leave])) {
         leave = r;
-        best_ratio = ratio;
+        limit = ratio;
+        leave_at_upper = to_upper;
       }
     }
-    if (leave < 0) return LpStatus::kUnbounded;
 
-    t.pivot(leave, enter);
-    ++iterations;
-    if (t.cost_rhs < last_obj - opt.tolerance) {
+    const double span = t.up[enter] - t.lo[enter];  // inf unless boxed
+    if (std::isfinite(span) && span <= limit) {
+      // Bound flip: the entering column swaps bounds; basis unchanged.
+      const double delta = dir * span;
+      for (int r = 0; r < t.rows; ++r) t.xb[r] -= t.row(r)[enter] * delta;
+      t.status[enter] = dir > 0.0 ? ColStatus::kAtUpper : ColStatus::kAtLower;
+      obj += d[enter] * delta;
+      ++iterations;
+      if (log) log->emplace_back(enter, -1);
+    } else if (leave < 0) {
+      return LpStatus::kUnbounded;
+    } else {
+      const double delta = dir * limit;
+      const double d_enter = d[enter];
+      const double enter_val = t.nonbasic_value(enter) + delta;
+      for (int r = 0; r < t.rows; ++r) t.xb[r] -= t.row(r)[enter] * delta;
+      const int lcol = t.basis[leave];
+      t.status[lcol] =
+          leave_at_upper ? ColStatus::kAtUpper : ColStatus::kAtLower;
+      pivot_on(t, leave, enter, &d, nullptr);
+      t.basis[leave] = enter;
+      t.status[enter] = ColStatus::kBasic;
+      t.xb[leave] = enter_val;
+      obj += d_enter * delta;
+      ++iterations;
+      if (log) log->emplace_back(enter, lcol);
+    }
+    if (obj < last_obj - tol) {
       stalled = 0;
-      last_obj = t.cost_rhs;
+      last_obj = obj;
     } else {
       ++stalled;
     }
@@ -157,251 +274,375 @@ LpStatus run_phase(Tableau& t, const SimplexSolver::Options& opt,
 
 }  // namespace
 
-LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
+LpSolution SimplexSolver::solve(const LinearProgram& lp,
+                                const SimplexBasis* warm) const {
   const double tol = options_.tolerance;
   const int n_orig = lp.num_variables();
+  const int m = lp.num_constraints();
 
-  // --- 1. Map original variables onto internal >= 0 columns. -------------
+  // --- 1. Map original variables onto internal columns. -------------------
   std::vector<VarMap> vmap(static_cast<std::size_t>(n_orig));
   int n_internal = 0;
-  // Upper-bound rows for internal columns: (column, bound).
-  std::vector<std::pair<int, double>> ub_rows;
   for (int j = 0; j < n_orig; ++j) {
     const double lb = lp.lower_bound(j);
     const double ub = lp.upper_bound(j);
-    VarMap& m = vmap[static_cast<std::size_t>(j)];
+    VarMap& vm = vmap[static_cast<std::size_t>(j)];
     if (std::isfinite(lb)) {
-      m.kind = VarMap::Kind::kShifted;  // x = lb + y
-      m.shift = lb;
-      m.primary = n_internal++;
-      if (std::isfinite(ub)) ub_rows.emplace_back(m.primary, ub - lb);
+      vm.kind = VarMap::Kind::kShifted;  // x = lb + y,  y in [0, ub - lb]
+      vm.shift = lb;
+      vm.primary = n_internal++;
     } else if (std::isfinite(ub)) {
-      m.kind = VarMap::Kind::kReflected;  // x = ub - y
-      m.shift = ub;
-      m.primary = n_internal++;
+      vm.kind = VarMap::Kind::kReflected;  // x = ub - y,  y in [0, inf)
+      vm.shift = ub;
+      vm.primary = n_internal++;
     } else {
-      m.kind = VarMap::Kind::kFree;  // x = y+ - y-
-      m.primary = n_internal++;
-      m.secondary = n_internal++;
+      vm.kind = VarMap::Kind::kFree;  // x = y+ - y-
+      vm.primary = n_internal++;
+      vm.secondary = n_internal++;
     }
   }
+
+  // Column layout: [0, n_internal) structural, then one slack per model
+  // row (slack of row r lives at n_internal + r — this fixed address is
+  // what makes both the dual readout and the basis export trivial), then
+  // one artificial per row for the cold start.
+  const int art_base = n_internal + m;
+  const int full_cols = art_base + m;
 
   // Internal objective: minimize. Flip sign for maximization.
   const double sense_mul =
       lp.objective_sense() == Sense::kMaximize ? -1.0 : 1.0;
   std::vector<double> int_cost(static_cast<std::size_t>(n_internal), 0.0);
-  double obj_const = 0.0;  // objective contribution of the shifts
   for (int j = 0; j < n_orig; ++j) {
-    const VarMap& m = vmap[static_cast<std::size_t>(j)];
+    const VarMap& vm = vmap[static_cast<std::size_t>(j)];
     const double c = sense_mul * lp.cost(j);
-    switch (m.kind) {
+    switch (vm.kind) {
       case VarMap::Kind::kShifted:
-        int_cost[m.primary] += c;
-        obj_const += c * m.shift;
+        int_cost[vm.primary] += c;
         break;
       case VarMap::Kind::kReflected:
-        int_cost[m.primary] -= c;
-        obj_const += c * m.shift;
+        int_cost[vm.primary] -= c;
         break;
       case VarMap::Kind::kFree:
-        int_cost[m.primary] += c;
-        int_cost[m.secondary] -= c;
+        int_cost[vm.primary] += c;
+        int_cost[vm.secondary] -= c;
         break;
     }
   }
 
-  // --- 2. Build dense rows (model rows + upper-bound rows). --------------
-  const int m_model = lp.num_constraints();
-  const int m_total = m_model + static_cast<int>(ub_rows.size());
-  std::vector<std::vector<double>> dense(
-      static_cast<std::size_t>(m_total),
-      std::vector<double>(static_cast<std::size_t>(n_internal), 0.0));
-  std::vector<double> rhs(static_cast<std::size_t>(m_total), 0.0);
-  std::vector<Relation> rel(static_cast<std::size_t>(m_total));
-
-  for (int r = 0; r < m_model; ++r) {
-    rel[r] = lp.relation(r);
+  // --- 2. Dense rows + shifted rhs, built once. ---------------------------
+  std::vector<double> dense(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n_internal),
+      0.0);
+  std::vector<double> rhs0(static_cast<std::size_t>(m), 0.0);
+  for (int r = 0; r < m; ++r) {
+    double* dr = dense.data() +
+                 static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(n_internal);
     double b = lp.rhs(r);
     for (const auto& [var, coef] : lp.row_terms(r)) {
-      const VarMap& m = vmap[static_cast<std::size_t>(var)];
-      switch (m.kind) {
+      const VarMap& vm = vmap[static_cast<std::size_t>(var)];
+      switch (vm.kind) {
         case VarMap::Kind::kShifted:
-          dense[r][m.primary] += coef;
-          b -= coef * m.shift;
+          dr[vm.primary] += coef;
+          b -= coef * vm.shift;
           break;
         case VarMap::Kind::kReflected:
-          dense[r][m.primary] -= coef;
-          b -= coef * m.shift;
+          dr[vm.primary] -= coef;
+          b -= coef * vm.shift;
           break;
         case VarMap::Kind::kFree:
-          dense[r][m.primary] += coef;
-          dense[r][m.secondary] -= coef;
+          dr[vm.primary] += coef;
+          dr[vm.secondary] -= coef;
           break;
       }
     }
-    rhs[r] = b;
-  }
-  for (std::size_t u = 0; u < ub_rows.size(); ++u) {
-    const int r = m_model + static_cast<int>(u);
-    dense[r][ub_rows[u].first] = 1.0;
-    rhs[r] = ub_rows[u].second;
-    rel[r] = Relation::kLe;
+    rhs0[r] = b;
   }
 
-  // Normalize to b >= 0, remembering flips and row provenance so duals
-  // can be mapped back to the user's rows at the end.
-  std::vector<double> row_sign(static_cast<std::size_t>(m_total), 1.0);
-  std::vector<int> row_source(static_cast<std::size_t>(m_total), -1);
-  for (int r = 0; r < m_model; ++r) row_source[r] = r;
-  for (int r = 0; r < m_total; ++r) {
-    if (rhs[r] < 0.0) {
-      for (double& v : dense[r]) v = -v;
-      rhs[r] = -rhs[r];
-      row_sign[r] = -1.0;
-      if (rel[r] == Relation::kLe) {
-        rel[r] = Relation::kGe;
-      } else if (rel[r] == Relation::kGe) {
-        rel[r] = Relation::kLe;
+  // --- 3. Column bounds. --------------------------------------------------
+  Tableau t;
+  t.stride = full_cols;
+  t.lo.assign(static_cast<std::size_t>(full_cols), 0.0);
+  t.up.assign(static_cast<std::size_t>(full_cols), kInfinity);
+  for (int j = 0; j < n_orig; ++j) {
+    const VarMap& vm = vmap[static_cast<std::size_t>(j)];
+    if (vm.kind == VarMap::Kind::kShifted) {
+      t.up[vm.primary] = lp.upper_bound(j) - vm.shift;  // may be inf
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    const int sc = n_internal + r;
+    switch (lp.relation(r)) {
+      case Relation::kLe:  // a'y + s = b, s >= 0
+        break;
+      case Relation::kGe:  // s <= 0
+        t.lo[sc] = -kInfinity;
+        t.up[sc] = 0.0;
+        break;
+      case Relation::kEq:  // s == 0
+        t.up[sc] = 0.0;
+        break;
+    }
+  }
+  // Artificials: [0, inf), only ever basic on a cold start.
+
+  // Fills the arena with the raw (un-pivoted) matrix: structural
+  // coefficients, slack identity, artificial block zeroed.
+  auto build_raw = [&](int active_cols) {
+    t.rows = m;
+    t.cols = active_cols;
+    t.arena.assign(
+        static_cast<std::size_t>(m) * static_cast<std::size_t>(t.stride),
+        0.0);
+    for (int r = 0; r < m; ++r) {
+      double* tr = t.row(r);
+      std::memcpy(tr,
+                  dense.data() + static_cast<std::size_t>(r) *
+                                     static_cast<std::size_t>(n_internal),
+                  static_cast<std::size_t>(n_internal) * sizeof(double));
+      tr[n_internal + r] = 1.0;
+    }
+    t.basis.assign(static_cast<std::size_t>(m), -1);
+    t.xb.assign(static_cast<std::size_t>(m), 0.0);
+  };
+
+  // Default statuses: every structural column at its lower bound, slacks
+  // at the bound that makes a'y + s = b hold with y = 0 when feasible.
+  auto default_status = [&] {
+    t.status.assign(static_cast<std::size_t>(full_cols),
+                    ColStatus::kAtLower);
+    for (int r = 0; r < m; ++r) {
+      if (lp.relation(r) == Relation::kGe) {
+        t.status[n_internal + r] = ColStatus::kAtUpper;  // at 0
       }
     }
-  }
-
-  // --- 3. Assemble the tableau with slack / surplus / artificials. -------
-  int n_slack = 0, n_art = 0;
-  for (int r = 0; r < m_total; ++r) {
-    if (rel[r] != Relation::kEq) ++n_slack;
-    if (rel[r] != Relation::kLe) ++n_art;
-  }
-  Tableau t;
-  t.rows = m_total;
-  t.cols = n_internal + n_slack + n_art;
-  t.enter_limit = t.cols;  // phase 1: everything may move
-  t.a.assign(static_cast<std::size_t>(t.rows),
-             std::vector<double>(static_cast<std::size_t>(t.cols), 0.0));
-  t.b = rhs;
-  t.basis.assign(static_cast<std::size_t>(t.rows), -1);
-  int next_slack = n_internal;
-  const int art_base = n_internal + n_slack;
-  int next_art = art_base;
-  for (int r = 0; r < m_total; ++r) {
-    for (int c = 0; c < n_internal; ++c) t.a[r][c] = dense[r][c];
-    switch (rel[r]) {
-      case Relation::kLe:
-        t.a[r][next_slack] = 1.0;
-        t.basis[r] = next_slack++;
-        break;
-      case Relation::kGe:
-        t.a[r][next_slack++] = -1.0;
-        t.a[r][next_art] = 1.0;
-        t.basis[r] = next_art++;
-        break;
-      case Relation::kEq:
-        t.a[r][next_art] = 1.0;
-        t.basis[r] = next_art++;
-        break;
-    }
-  }
+  };
 
   LpSolution out;
   out.x.assign(static_cast<std::size_t>(n_orig), 0.0);
+  std::vector<std::pair<int, int>>* log = nullptr;
+  if (options_.record_pivots) log = &out.pivot_log;
 
-  // Pristine copy of the constraint matrix: pivoting rewrites t.a in
-  // place, but the dual system B^T y = c_B needs the *original* basic
-  // columns at the end. Rows erased as redundant are erased here too so
-  // indices stay aligned.
-  std::vector<std::vector<double>> original_a = t.a;
-
-  // --- 4. Phase 1: drive artificials to zero. -----------------------------
-  if (n_art > 0) {
-    t.cost.assign(static_cast<std::size_t>(t.cols), 0.0);
-    for (int c = art_base; c < t.cols; ++c) t.cost[c] = 1.0;
-    t.cost_rhs = 0.0;
-    // Price out the basic artificials.
-    for (int r = 0; r < t.rows; ++r) {
-      if (t.basis[r] >= art_base) {
-        for (int c = 0; c < t.cols; ++c) t.cost[c] -= t.a[r][c];
-        t.cost_rhs -= t.b[r];
+  // --- 4. Warm start: install the caller's basis if it lands feasible. ----
+  bool warm_ok = false;
+  if (warm && !warm->empty()) {
+    build_raw(art_base);
+    default_status();
+    // Nonbasic-at-upper statuses, translated through the variable map
+    // (a reflected variable at its model upper bound is the internal
+    // column at its *lower* bound, which is already the default).
+    for (const int v : warm->at_upper) {
+      if (v < 0 || v >= n_orig) continue;
+      const VarMap& vm = vmap[static_cast<std::size_t>(v)];
+      if (vm.kind == VarMap::Kind::kShifted && std::isfinite(t.up[vm.primary])) {
+        t.status[vm.primary] = ColStatus::kAtUpper;
       }
     }
-    const LpStatus st = run_phase(t, options_, out.iterations);
-    if (st == LpStatus::kIterationLimit) {
-      out.status = st;
-      return out;
+    std::vector<double> rhs = rhs0;
+    std::vector<char> claimed(static_cast<std::size_t>(m), 0);
+    // Pass 1: slack entries sit in their own row — the column is still
+    // the identity there, so installation is bookkeeping only.
+    for (const auto& e : warm->basic) {
+      if (e.kind != SimplexBasis::Kind::kSlack) continue;
+      if (e.index < 0 || e.index >= m) continue;
+      if (claimed[static_cast<std::size_t>(e.index)]) continue;
+      const int sc = n_internal + e.index;
+      claimed[static_cast<std::size_t>(e.index)] = 1;
+      t.basis[e.index] = sc;
+      t.status[sc] = ColStatus::kBasic;
     }
-    // Residual infeasibility: -cost_rhs is the phase-1 objective value.
-    if (-t.cost_rhs > 1e-7) {
-      out.status = LpStatus::kInfeasible;
-      return out;
-    }
-    // Pivot remaining (degenerate) artificials out of the basis; rows with
-    // no real nonzero left are redundant (0 = 0) and are dropped so a
-    // basic artificial can never drift away from zero later.
-    for (int r = 0; r < t.rows;) {
-      if (t.basis[r] < art_base) {
-        ++r;
-        continue;
-      }
-      int col = -1;
-      for (int c = 0; c < art_base; ++c) {
-        if (std::abs(t.a[r][c]) > 1e-7) {
-          col = c;
-          break;
+    // Pass 2: variable entries — pivot each into the unclaimed row where
+    // its column is largest (ties to the lowest row index).
+    for (const auto& e : warm->basic) {
+      if (e.kind != SimplexBasis::Kind::kVariable) continue;
+      if (e.index < 0 || e.index >= n_orig) continue;
+      const int col = vmap[static_cast<std::size_t>(e.index)].primary;
+      if (t.status[col] == ColStatus::kBasic) continue;  // duplicate
+      int prow = -1;
+      double best = kFeasTol;  // refuse numerically dependent columns
+      for (int r = 0; r < m; ++r) {
+        if (claimed[static_cast<std::size_t>(r)]) continue;
+        const double a = std::abs(t.row(r)[col]);
+        if (a > best) {
+          best = a;
+          prow = r;
         }
       }
-      if (col >= 0) {
-        t.pivot(r, col);
-        ++r;
-      } else {
-        t.a.erase(t.a.begin() + r);
-        t.b.erase(t.b.begin() + r);
-        t.basis.erase(t.basis.begin() + r);
-        row_sign.erase(row_sign.begin() + r);
-        row_source.erase(row_source.begin() + r);
-        original_a.erase(original_a.begin() + r);
-        --t.rows;
+      if (prow < 0) continue;
+      pivot_on(t, prow, col, nullptr, &rhs);
+      claimed[static_cast<std::size_t>(prow)] = 1;
+      t.basis[prow] = col;
+      t.status[col] = ColStatus::kBasic;
+    }
+    // Pass 3: rows the basis left unclaimed fall back to their own
+    // slack, whose column an unclaimed row still holds untouched.
+    for (int r = 0; r < m; ++r) {
+      if (claimed[static_cast<std::size_t>(r)]) continue;
+      const int sc = n_internal + r;
+      t.basis[r] = sc;
+      t.status[sc] = ColStatus::kBasic;
+    }
+    // Basic values: rhs is B^-1 b; subtract the nonbasic columns that
+    // sit at a nonzero bound.
+    for (int r = 0; r < m; ++r) t.xb[r] = rhs[r];
+    for (int c = 0; c < art_base; ++c) {
+      if (t.status[c] == ColStatus::kBasic) continue;
+      const double v = t.nonbasic_value(c);
+      if (v == 0.0) continue;
+      for (int r = 0; r < m; ++r) t.xb[r] -= t.row(r)[c] * v;
+    }
+    warm_ok = true;
+    for (int r = 0; r < m; ++r) {
+      const int bc = t.basis[r];
+      if (t.xb[r] < t.lo[bc] - kFeasTol || t.xb[r] > t.up[bc] + kFeasTol ||
+          !std::isfinite(t.xb[r])) {
+        warm_ok = false;  // out of bounds: discard, cold-start below
+        break;
       }
     }
   }
+  out.warm_start_used = warm_ok;
 
-  // --- 5. Phase 2 with the real objective. --------------------------------
-  t.cost.assign(static_cast<std::size_t>(t.cols), 0.0);
-  for (int c = 0; c < n_internal; ++c) t.cost[c] = int_cost[c];
-  t.cost_rhs = 0.0;
+  // --- 5. Cold start + phase 1 when the warm basis was absent/rejected. ---
+  int n_art = 0;
+  if (!warm_ok) {
+    build_raw(art_base);
+    default_status();
+    for (int r = 0; r < m; ++r) {
+      const int sc = n_internal + r;
+      const double b = rhs0[r];
+      if (b >= t.lo[sc] - tol && b <= t.up[sc] + tol) {
+        // The row's own slack can carry the residual: basic at b.
+        t.basis[r] = sc;
+        t.status[sc] = ColStatus::kBasic;
+        t.xb[r] = b;
+      } else {
+        // Artificial basic at the residual. The coefficient stays +1 so
+        // the starting basis is an exact identity; instead the
+        // artificial's *domain* takes the residual's sign — [0, inf)
+        // for b > 0, (-inf, 0] for b < 0 — and phase 1 minimizes
+        // sign(b) * art = |art|.
+        const int ac = art_base + r;
+        t.row(r)[ac] = 1.0;
+        if (b < 0.0) {
+          t.lo[ac] = -kInfinity;
+          t.up[ac] = 0.0;
+        }
+        t.basis[r] = ac;
+        t.status[ac] = ColStatus::kBasic;
+        t.xb[r] = b;
+        ++n_art;
+      }
+    }
+    if (n_art > 0) {
+      t.cols = full_cols;
+      // Phase-1 objective: minimize the total artificial magnitude
+      // (cost +1 on nonnegative artificials, -1 on nonpositive ones).
+      std::vector<double> d(static_cast<std::size_t>(full_cols), 0.0);
+      for (int c = art_base; c < full_cols; ++c) {
+        d[c] = t.up[c] == 0.0 ? -1.0 : 1.0;
+      }
+      for (int r = 0; r < m; ++r) {
+        if (t.basis[r] < art_base) continue;
+        const double cb = t.up[t.basis[r]] == 0.0 ? -1.0 : 1.0;
+        const double* tr = t.row(r);
+        for (int c = 0; c < full_cols; ++c) d[c] -= cb * tr[c];
+      }
+      for (int r = 0; r < m; ++r) d[t.basis[r]] = 0.0;
+      const LpStatus st =
+          run_bounded(t, d, options_, out.iterations, log);
+      if (st == LpStatus::kIterationLimit || st == LpStatus::kUnbounded) {
+        // A bounded-below phase 1 cannot be unbounded; if numerics say
+        // otherwise, refuse to certify anything.
+        out.status = LpStatus::kIterationLimit;
+        return out;
+      }
+      double infeas = 0.0;
+      for (int r = 0; r < t.rows; ++r) {
+        if (t.basis[r] >= art_base) infeas += std::abs(t.xb[r]);
+      }
+      if (infeas > kFeasTol) {
+        out.status = LpStatus::kInfeasible;
+        return out;
+      }
+      // Pivot remaining (degenerate) artificials out of the basis; rows
+      // with no real nonzero left are redundant (0 = 0) and are dropped
+      // so a basic artificial can never drift away from zero later.
+      for (int r = 0; r < t.rows;) {
+        if (t.basis[r] < art_base) {
+          ++r;
+          continue;
+        }
+        int col = -1;
+        const double* tr = t.row(r);
+        for (int c = 0; c < art_base; ++c) {
+          if (t.status[c] != ColStatus::kBasic && std::abs(tr[c]) > kFeasTol) {
+            col = c;
+            break;
+          }
+        }
+        // A retiring artificial parks at its zero bound (lower for the
+        // nonnegative domain, upper for the nonpositive one).
+        if (col >= 0) {
+          const int acol = t.basis[r];
+          pivot_on(t, r, col, nullptr, nullptr);
+          t.basis[r] = col;
+          t.status[acol] = t.up[acol] == 0.0 ? ColStatus::kAtUpper
+                                             : ColStatus::kAtLower;
+          t.status[col] = ColStatus::kBasic;
+          t.xb[r] = t.nonbasic_value(col);  // zero-length step
+          ++r;
+        } else {
+          const int acol = t.basis[r];
+          t.status[acol] = t.up[acol] == 0.0 ? ColStatus::kAtUpper
+                                             : ColStatus::kAtLower;
+          t.drop_row(r);
+        }
+      }
+    }
+    // Retire the artificial block: phase 2 never scans past art_base, so
+    // the (now nonbasic, worthless) artificials can never re-enter.
+    t.cols = art_base;
+  }
+  out.phase1_skipped = warm_ok || n_art == 0;
+
+  // --- 6. Phase 2 with the real objective. --------------------------------
+  std::vector<double> d(static_cast<std::size_t>(full_cols), 0.0);
+  for (int c = 0; c < n_internal; ++c) d[c] = int_cost[c];
   for (int r = 0; r < t.rows; ++r) {
     const int bc = t.basis[r];
-    const double cb = t.cost[bc];
-    if (cb != 0.0) {
-      for (int c = 0; c < t.cols; ++c) t.cost[c] -= cb * t.a[r][c];
-      t.cost[bc] = 0.0;
-      t.cost_rhs -= cb * t.b[r];
-    }
+    const double cb = bc < n_internal ? int_cost[bc] : 0.0;
+    if (cb == 0.0) continue;
+    const double* tr = t.row(r);
+    for (int c = 0; c < t.cols; ++c) d[c] -= cb * tr[c];
   }
-  // Structurally forbid the (now nonbasic) artificial columns from ever
-  // re-entering — their reduced costs keep evolving under pivots, so a
-  // cost overwrite alone would not be safe.
-  t.enter_limit = art_base;
-  const LpStatus st = run_phase(t, options_, out.iterations);
+  for (int r = 0; r < t.rows; ++r) d[t.basis[r]] = 0.0;
+  const LpStatus st = run_bounded(t, d, options_, out.iterations, log);
   if (st != LpStatus::kOptimal) {
     out.status = st;
     return out;
   }
 
-  // --- 6. Extract the solution back into the original space. --------------
+  // --- 7. Extract the solution back into the original space. --------------
   std::vector<double> y(static_cast<std::size_t>(n_internal), 0.0);
+  for (int c = 0; c < n_internal; ++c) {
+    if (t.status[c] != ColStatus::kBasic) y[c] = t.nonbasic_value(c);
+  }
   for (int r = 0; r < t.rows; ++r) {
-    if (t.basis[r] < n_internal) y[t.basis[r]] = t.b[r];
+    if (t.basis[r] < n_internal) y[t.basis[r]] = t.xb[r];
   }
   for (int j = 0; j < n_orig; ++j) {
-    const VarMap& m = vmap[static_cast<std::size_t>(j)];
-    switch (m.kind) {
+    const VarMap& vm = vmap[static_cast<std::size_t>(j)];
+    switch (vm.kind) {
       case VarMap::Kind::kShifted:
-        out.x[j] = m.shift + y[m.primary];
+        out.x[j] = vm.shift + y[vm.primary];
         break;
       case VarMap::Kind::kReflected:
-        out.x[j] = m.shift - y[m.primary];
+        out.x[j] = vm.shift - y[vm.primary];
         break;
       case VarMap::Kind::kFree:
-        out.x[j] = y[m.primary] - y[m.secondary];
+        out.x[j] = y[vm.primary] - y[vm.secondary];
         break;
     }
     // Snap tiny numerical residue onto the bounds.
@@ -409,34 +650,47 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
     if (std::abs(out.x[j]) < tol) out.x[j] = 0.0;
   }
   out.status = LpStatus::kOptimal;
-  // Internal objective is minimize(sense_mul * c'x) with shift constant.
-  const double internal_obj = -t.cost_rhs + obj_const;
-  out.objective = sense_mul * internal_obj + lp.objective_offset();
+  out.objective = lp.objective_value(out.x);
 
-  // --- 7. Duals: solve B^T y = c_B from the original basic columns. -----
-  out.duals.assign(static_cast<std::size_t>(m_model), 0.0);
-  {
-    const auto m = static_cast<std::size_t>(t.rows);
-    std::vector<std::vector<double>> bt(m, std::vector<double>(m, 0.0));
-    std::vector<double> cb(m, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      const int col = t.basis[static_cast<int>(i)];
-      for (std::size_t r = 0; r < m; ++r) bt[i][r] = original_a[r][col];
-      cb[i] = col < n_internal ? int_cost[col] : 0.0;
+  // --- 8. Duals, read off the slack reduced costs. ------------------------
+  // Row r's slack has internal cost 0 and original column e_r, so its
+  // phase-2 reduced cost is -y_r of the internal (minimize) problem; the
+  // user wants d(user objective)/d(user rhs), which undoes the
+  // minimize/maximize flip. A dropped (redundant) row's slack column
+  // never picks up a reduced cost — its dual stays the conventional 0.
+  out.duals.assign(static_cast<std::size_t>(m), 0.0);
+  for (int r = 0; r < m; ++r) {
+    out.duals[static_cast<std::size_t>(r)] = -sense_mul * d[n_internal + r];
+  }
+
+  // --- 9. Export the final basis in model space. --------------------------
+  std::vector<int> col_owner(static_cast<std::size_t>(n_internal), -1);
+  for (int j = 0; j < n_orig; ++j) {
+    col_owner[vmap[static_cast<std::size_t>(j)].primary] = j;
+    if (vmap[static_cast<std::size_t>(j)].secondary >= 0) {
+      col_owner[vmap[static_cast<std::size_t>(j)].secondary] = j;
     }
-    std::vector<double> y;
-    if (solve_linear_system(std::move(bt), std::move(cb), y)) {
-      for (std::size_t r = 0; r < m; ++r) {
-        const int source = row_source[r];
-        if (source < 0) continue;  // internal bound row
-        // Undo the b >= 0 flip and the minimize/maximize flip: the user
-        // wants d(user objective)/d(user rhs).
-        out.duals[static_cast<std::size_t>(source)] =
-            sense_mul * row_sign[r] * y[r];
-      }
+  }
+  out.basis.basic.reserve(static_cast<std::size_t>(t.rows));
+  for (int r = 0; r < t.rows; ++r) {
+    const int bc = t.basis[r];
+    if (bc < n_internal) {
+      out.basis.basic.push_back(
+          {SimplexBasis::Kind::kVariable, col_owner[bc]});
+    } else {
+      out.basis.basic.push_back(
+          {SimplexBasis::Kind::kSlack, bc - n_internal});
     }
-    // Singular basis (heavily degenerate optimum): duals stay zero —
-    // they are not unique there anyway.
+  }
+  for (int j = 0; j < n_orig; ++j) {
+    const VarMap& vm = vmap[static_cast<std::size_t>(j)];
+    if (t.status[vm.primary] == ColStatus::kBasic) continue;
+    const bool x_at_upper =
+        (vm.kind == VarMap::Kind::kShifted &&
+         t.status[vm.primary] == ColStatus::kAtUpper) ||
+        (vm.kind == VarMap::Kind::kReflected &&
+         t.status[vm.primary] == ColStatus::kAtLower);
+    if (x_at_upper) out.basis.at_upper.push_back(j);
   }
   return out;
 }

@@ -174,6 +174,76 @@ TEST_P(ComplementarySlacknessTest, DualTimesSlackVanishes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ComplementarySlacknessTest,
                          ::testing::Range(0, 20));
 
+TEST(Duals, GoldenValuesMatchFiniteDifferences) {
+  // The textbook duals (0, 3/2, 1) verified two independent ways: the
+  // solver's reduced-cost read-out and a central finite difference on
+  // each rhs. This ties the extraction path (phase-2 reduced costs of
+  // the slack columns) to the defining sensitivity d(obj)/d(rhs), so a
+  // sign or indexing slip in either cannot pass.
+  const double golden[3] = {0.0, 1.5, 1.0};
+  auto build = [](double bump0, double bump1, double bump2) {
+    LinearProgram lp;
+    lp.set_objective_sense(Sense::kMaximize);
+    const int x = lp.add_variable(0, kInfinity, 3.0);
+    const int y = lp.add_variable(0, kInfinity, 5.0);
+    lp.add_constraint({{x, 1.0}}, Relation::kLe, 4.0 + bump0);
+    lp.add_constraint({{y, 2.0}}, Relation::kLe, 12.0 + bump1);
+    lp.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0 + bump2);
+    return lp;
+  };
+  const LpSolution base = solver.solve(build(0, 0, 0));
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  const double eps = 1e-5;
+  for (int r = 0; r < 3; ++r) {
+    const LpSolution up = solver.solve(
+        build(r == 0 ? eps : 0, r == 1 ? eps : 0, r == 2 ? eps : 0));
+    const LpSolution down = solver.solve(
+        build(r == 0 ? -eps : 0, r == 1 ? -eps : 0, r == 2 ? -eps : 0));
+    ASSERT_EQ(up.status, LpStatus::kOptimal);
+    ASSERT_EQ(down.status, LpStatus::kOptimal);
+    const double fd = (up.objective - down.objective) / (2.0 * eps);
+    EXPECT_NEAR(base.duals[r], golden[r], 1e-9) << "row " << r;
+    EXPECT_NEAR(fd, golden[r], 1e-6) << "row " << r;
+  }
+}
+
+TEST(Duals, DegenerateOptimumSatisfiesComplementarySlackness) {
+  // max x + y s.t. x <= 2, y <= 2, x + y <= 4, x <= 10. The optimal
+  // vertex (2, 2) is primal-degenerate: three rows bind where two would
+  // do, so the optimal dual is a whole family (1-t, 1-t, t, 0) and
+  // finite differences are one-sided. Exact golden values would pin an
+  // arbitrary member of that family — assert instead only what EVERY
+  // optimal dual must satisfy: sign feasibility, complementary
+  // slackness, dual feasibility of the structural columns, and strong
+  // duality.
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  const int x = lp.add_variable(0, kInfinity, 1.0);
+  const int y = lp.add_variable(0, kInfinity, 1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 2.0);
+  lp.add_constraint({{y, 1.0}}, Relation::kLe, 2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 10.0);  // strictly slack
+  const LpSolution sol = solver.solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+  ASSERT_EQ(sol.duals.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GE(sol.duals[r], -1e-9) << "row " << r;
+    const double slack = lp.rhs(r) - lp.row_activity(r, sol.x);
+    EXPECT_NEAR(sol.duals[r] * slack, 0.0, 1e-7) << "row " << r;
+  }
+  // Dual feasibility: both structural columns are basic at the optimum,
+  // so their dual constraints hold with equality: y0 + y2 + y3 = 1 and
+  // y1 + y2 = 1.
+  EXPECT_NEAR(sol.duals[0] + sol.duals[2] + sol.duals[3], 1.0, 1e-9);
+  EXPECT_NEAR(sol.duals[1] + sol.duals[2], 1.0, 1e-9);
+  // Strong duality holds for every member of the dual family.
+  const double dual_value = sol.duals[0] * 2.0 + sol.duals[1] * 2.0 +
+                            sol.duals[2] * 4.0 + sol.duals[3] * 10.0;
+  EXPECT_NEAR(dual_value, sol.objective, 1e-9);
+}
+
 TEST(Duals, RedundantRowGetsZero) {
   LinearProgram lp;
   lp.set_objective_sense(Sense::kMaximize);

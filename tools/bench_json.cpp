@@ -26,6 +26,11 @@ Json to_json(const WorkloadResult& w) {
   solver.set("profiles_examined", counter(w.solver.profiles_examined));
   solver.set("profiles_pruned", counter(w.solver.profiles_pruned));
   solver.set("lp_iterations", counter(w.solver.lp_iterations));
+  // Alias of lp_iterations under the name regression tooling keys on:
+  // every LP iteration is one simplex pivot (bound flips included).
+  solver.set("simplex_pivots", counter(w.solver.lp_iterations));
+  solver.set("phase1_skips", counter(w.solver.phase1_skips));
+  solver.set("basis_warm_hits", counter(w.solver.basis_warm_hits));
   solver.set("nlp_iterations", counter(w.solver.nlp_iterations));
   solver.set("warm_start_hits", counter(w.solver.warm_start_hits));
   solver.set("warm_start_misses", counter(w.solver.warm_start_misses));

@@ -23,6 +23,9 @@
 //           "profiles_examined": 1536,
 //           "profiles_pruned": 410,
 //           "lp_iterations": 9021,
+//           "simplex_pivots": 9021,   // alias of lp_iterations
+//           "phase1_skips": 1490,     // solves that needed no phase 1
+//           "basis_warm_hits": 1433,  // solves that accepted a warm basis
 //           "warm_start_hits": 20,
 //           "warm_start_misses": 4,
 //           "cache_hit_rate": 0.8333
