@@ -277,6 +277,157 @@ PlanCheckReport PlanChecker::check(const Topology& topology,
   return report;
 }
 
+PlanRepairReport PlanChecker::repair(const Topology& topology,
+                                     const SlotInput& input,
+                                     DispatchPlan plan) const {
+  PlanRepairReport report;
+  const double tol = options_.tol;
+  const std::size_t K = topology.num_classes();
+  const std::size_t S = topology.num_frontends();
+  const std::size_t L = topology.num_datacenters();
+
+  // 1. Shape: without matching dimensions nothing below can index the
+  // plan, so the only safe projection is the zero plan.
+  bool shape_ok = plan.rate.size() == K && plan.dc.size() == L;
+  for (std::size_t k = 0; shape_ok && k < K; ++k) {
+    shape_ok = plan.rate[k].size() == S;
+    for (std::size_t s = 0; shape_ok && s < S; ++s) {
+      shape_ok = plan.rate[k][s].size() == L;
+    }
+  }
+  for (std::size_t l = 0; shape_ok && l < L; ++l) {
+    shape_ok = plan.dc[l].share.size() == K;
+  }
+  if (!shape_ok) {
+    report.plan = DispatchPlan::zero(topology);
+    report.reshaped = 1;
+    return report;
+  }
+
+  // 2. Element sanity. Thresholds mirror check() exactly (strictly
+  // outside the tolerance band), so an already-clean plan is untouched.
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t l = 0; l < L; ++l) {
+        double& r = plan.rate[k][s][l];
+        if (!std::isfinite(r) || r < -tol) {
+          r = 0.0;
+          ++report.rates_zeroed;
+        }
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    auto& alloc = plan.dc[l];
+    const auto& center = topology.datacenters[l];
+    if (alloc.servers_on < 0 || alloc.servers_on > center.num_servers) {
+      alloc.servers_on =
+          std::min(std::max(alloc.servers_on, 0), center.num_servers);
+      ++report.servers_clamped;
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      double& phi = alloc.share[k];
+      if (!std::isfinite(phi)) {
+        phi = 0.0;
+        ++report.shares_clamped;
+      } else if (phi < -tol || phi > 1.0 + tol) {
+        phi = std::min(std::max(phi, 0.0), 1.0);
+        ++report.shares_clamped;
+      }
+    }
+  }
+
+  // 3. Eq. 7 flow conservation: scale over-dispatching rows down to the
+  // offered rate. A non-finite offered rate imposes no constraint in
+  // check() (the comparison is vacuous), so it is left alone here too.
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      const double offered = input.arrival_rate[k][s];
+      if (!std::isfinite(offered)) continue;
+      double dispatched = 0.0;
+      for (std::size_t l = 0; l < L; ++l) dispatched += plan.rate[k][s][l];
+      if (dispatched > offered + tol && dispatched > 0.0) {
+        const double scale = std::max(offered, 0.0) / dispatched;
+        for (std::size_t l = 0; l < L; ++l) plan.rate[k][s][l] *= scale;
+        ++report.rows_scaled;
+      }
+    }
+  }
+
+  // 4. Eq. 8 share budget: renormalize so the sum lands exactly on 1.
+  for (std::size_t l = 0; l < L; ++l) {
+    auto& alloc = plan.dc[l];
+    double share_sum = 0.0;
+    for (std::size_t k = 0; k < K; ++k) share_sum += alloc.share[k];
+    if (share_sum > 1.0 + tol) {
+      for (std::size_t k = 0; k < K; ++k) alloc.share[k] /= share_sum;
+      ++report.budgets_renormalized;
+    }
+  }
+
+  // 5. Loaded (k, l) streams: shed orphan load; scale unstable or
+  // past-deadline streams down to the largest Eq. 6-feasible load,
+  // servers_on * max_rate(phi, C, mu, D) = servers_on * (phi*C*mu - 1/D).
+  // Shedding only lowers per-row dispatch and leaves shares untouched,
+  // so steps 3 and 4 stay satisfied.
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& cls = topology.classes[k];
+    for (std::size_t l = 0; l < L; ++l) {
+      double load = 0.0;
+      for (std::size_t s = 0; s < S; ++s) load += plan.rate[k][s][l];
+      if (load <= tol) continue;
+      const auto& alloc = plan.dc[l];
+      const auto& center = topology.datacenters[l];
+      const double phi = alloc.share[k];
+      const auto cut = [&] {
+        for (std::size_t s = 0; s < S; ++s) plan.rate[k][s][l] = 0.0;
+        ++report.flows_shed;
+      };
+      if (alloc.servers_on <= 0 || phi <= tol) {
+        cut();  // orphan: no server on / no CPU share
+        continue;
+      }
+      const double mu = center.service_rate[k];
+      const double capacity = center.server_capacity;
+      if (!std::isfinite(mu) || mu <= 0.0 || capacity <= 0.0) {
+        cut();  // degenerate topology: any load is unstable
+        continue;
+      }
+      const double phi_eff = std::min(phi, 1.0);
+      const double servers = static_cast<double>(alloc.servers_on);
+      const double lambda = load / servers;
+      bool violated = !mm1::is_stable(phi_eff, capacity, mu, lambda);
+      double allowed_per_server;
+      if (options_.check_deadline) {
+        const double deadline = cls.tuf.deadline().value();
+        if (!violated) {
+          violated = mm1::expected_delay(phi_eff, capacity, mu, lambda) >
+                     deadline * (1.0 + options_.deadline_slack);
+        }
+        // Delay at max_rate is exactly the deadline, strictly inside the
+        // deadline_slack band check() allows.
+        allowed_per_server = mm1::max_rate(phi_eff, capacity, mu, deadline);
+      } else {
+        // Stability alone: stay a hair below the effective service rate.
+        allowed_per_server =
+            mm1::effective_rate(phi_eff, capacity, mu) * (1.0 - 1e-9);
+      }
+      if (!violated) continue;
+      const double allowed = allowed_per_server * servers;
+      if (allowed <= tol) {
+        cut();
+        continue;
+      }
+      const double scale = allowed / load;
+      for (std::size_t s = 0; s < S; ++s) plan.rate[k][s][l] *= scale;
+      ++report.flows_shed;
+    }
+  }
+
+  report.plan = std::move(plan);
+  return report;
+}
+
 void PlanChecker::enforce(const Topology& topology, const SlotInput& input,
                           const DispatchPlan& plan,
                           const std::string& context) const {

@@ -67,6 +67,33 @@ struct PlanCheckReport {
   std::string summary(std::size_t max_lines = 10) const;
 };
 
+/// Outcome of one PlanChecker::repair() pass: the repaired plan plus a
+/// count of every adjustment category. repair() is deterministic and
+/// idempotent, and — provided the SlotInput itself is valid (finite,
+/// non-negative) — its output always passes check() under the same
+/// Options (tests/test_fuzz.cpp holds both properties on randomized
+/// corrupted plans).
+struct PlanRepairReport {
+  DispatchPlan plan;
+  /// Plan dimensions disagreed with the topology; rebuilt as the zero
+  /// plan (nothing salvageable without a shape to index through).
+  std::size_t reshaped = 0;
+  std::size_t rates_zeroed = 0;      ///< NaN/inf/negative routing rates
+  std::size_t shares_clamped = 0;    ///< non-finite or out-of-[0,1] shares
+  std::size_t servers_clamped = 0;   ///< servers_on outside [0, M_l]
+  std::size_t rows_scaled = 0;       ///< Eq. 7 over-dispatch scaled down
+  std::size_t budgets_renormalized = 0;  ///< Eq. 8 share sums renormalized
+  std::size_t flows_shed = 0;  ///< orphan/unstable/past-deadline streams cut
+
+  /// Total adjustments across all categories; 0 means the plan came back
+  /// byte-identical (it already passed check()).
+  std::size_t adjustments() const {
+    return reshaped + rates_zeroed + shares_clamped + servers_clamped +
+           rows_scaled + budgets_renormalized + flows_shed;
+  }
+  bool touched() const { return adjustments() > 0; }
+};
+
 /// Audits a DispatchPlan against the paper's constraint system for one
 /// slot: Eq. 6 (delay bound), Eq. 7 (flow conservation), Eq. 8 (CPU-share
 /// budget), M/M/1 stability, and rate/share sanity. Policies are required
@@ -103,6 +130,24 @@ class PlanChecker {
   /// call-site label) when the report is not ok().
   void enforce(const Topology& topology, const SlotInput& input,
                const DispatchPlan& plan, const std::string& context) const;
+
+  /// Minimal deterministic projection of `plan` back into the feasible
+  /// region (docs/RESILIENCE.md "repair math"):
+  ///
+  ///   1. wrong shape         -> zero plan (reshaped);
+  ///   2. NaN/inf/negative rates zeroed; shares clamped into [0, 1];
+  ///      servers_on clamped into [0, M_l];
+  ///   3. Eq. 7 over-dispatch  -> the (k, s) row scaled by offered/sum;
+  ///   4. Eq. 8 over-budget    -> the DC's shares scaled by 1/sum;
+  ///   5. loaded streams that are orphaned, unstable or past-deadline
+  ///      -> scaled down to servers_on * (phi*C*mu - 1/D) (the largest
+  ///      Eq. 6-feasible load, mm1::max_rate), or cut entirely.
+  ///
+  /// Every trigger mirrors a check() violation under the same Options,
+  /// so a plan that already passes check() comes back byte-identical,
+  /// and repair(repair(p)) == repair(p). Never throws.
+  PlanRepairReport repair(const Topology& topology, const SlotInput& input,
+                          DispatchPlan plan) const;
 
  private:
   Options options_;

@@ -1,5 +1,8 @@
 #include "cloud/model.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "queueing/mm1.hpp"
 #include "util/error.hpp"
 
@@ -69,17 +72,26 @@ double Topology::dedicated_capacity(std::size_t k) const {
 void SlotInput::validate(const Topology& topology) const {
   PALB_REQUIRE(arrival_rate.size() == topology.num_classes(),
                "one arrival row per class required");
-  for (const auto& row : arrival_rate) {
+  for (std::size_t k = 0; k < arrival_rate.size(); ++k) {
+    const auto& row = arrival_rate[k];
     PALB_REQUIRE(row.size() == topology.num_frontends(),
-                 "one arrival per front-end required");
-    for (double r : row) {
-      PALB_REQUIRE(r >= 0.0, "arrival rates must be >= 0");
+                 "one arrival per front-end required (class " +
+                     std::to_string(k) + ")");
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      PALB_REQUIRE(std::isfinite(row[s]) && row[s] >= 0.0,
+                   "arrival rate (class " + std::to_string(k) +
+                       ", front-end " + std::to_string(s) +
+                       ") is not a finite non-negative rate: " +
+                       std::to_string(row[s]));
     }
   }
   PALB_REQUIRE(price.size() == topology.num_datacenters(),
                "one price per data center required");
-  for (double p : price) {
-    PALB_REQUIRE(p == p, "prices must not be NaN");
+  for (std::size_t l = 0; l < price.size(); ++l) {
+    PALB_REQUIRE(std::isfinite(price[l]) && price[l] >= 0.0,
+                 "price (data center " + std::to_string(l) +
+                     ") is not a finite non-negative price: " +
+                     std::to_string(price[l]));
   }
   PALB_REQUIRE(slot_seconds > 0.0, "slot length must be > 0");
 }

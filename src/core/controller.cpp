@@ -1,6 +1,8 @@
 #include "core/controller.hpp"
 
+#include <cmath>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,20 +13,61 @@
 namespace palb {
 
 void Scenario::validate() const {
+  PALB_REQUIRE(!topology.classes.empty() && !topology.frontends.empty() &&
+                   !topology.datacenters.empty(),
+               "scenario topology must have at least one class, front-end "
+               "and data center");
   topology.validate();
   PALB_REQUIRE(arrivals.size() == topology.num_classes(),
                "one arrival-trace row per class required");
-  for (const auto& row : arrivals) {
+  // All arrival traces must agree on the horizon: a short trace would
+  // otherwise silently wrap (RateTrace::at is modular) out of phase with
+  // the others. Prices likewise, though the two horizons may differ
+  // (e.g. 24 price slots under a week of arrivals).
+  std::size_t arrival_slots = 0;
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    const auto& row = arrivals[k];
     PALB_REQUIRE(row.size() == topology.num_frontends(),
                  "one arrival trace per front-end required");
-    for (const auto& trace : row) {
-      PALB_REQUIRE(!trace.empty(), "arrival traces must not be empty");
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      const auto& trace = row[s];
+      const std::string where = "arrival trace (class " + std::to_string(k) +
+                                ", front-end " + std::to_string(s) + ")";
+      PALB_REQUIRE(!trace.empty(), where + " must not be empty");
+      if (arrival_slots == 0) arrival_slots = trace.slots();
+      PALB_REQUIRE(trace.slots() == arrival_slots,
+                   where + " has " + std::to_string(trace.slots()) +
+                       " slots; other traces have " +
+                       std::to_string(arrival_slots));
+      for (std::size_t t = 0; t < trace.slots(); ++t) {
+        const double r = trace.at(t);
+        PALB_REQUIRE(std::isfinite(r) && r >= 0.0,
+                     where + " slot " + std::to_string(t) +
+                         " is not a finite non-negative rate: " +
+                         std::to_string(r));
+      }
     }
   }
   PALB_REQUIRE(prices.size() == topology.num_datacenters(),
                "one price trace per data center required");
-  for (const auto& trace : prices) {
-    PALB_REQUIRE(!trace.empty(), "price traces must not be empty");
+  std::size_t price_slots = 0;
+  for (std::size_t l = 0; l < prices.size(); ++l) {
+    const auto& trace = prices[l];
+    const std::string where =
+        "price trace (data center " + std::to_string(l) + ")";
+    PALB_REQUIRE(!trace.empty(), where + " must not be empty");
+    if (price_slots == 0) price_slots = trace.size();
+    PALB_REQUIRE(trace.size() == price_slots,
+                 where + " has " + std::to_string(trace.size()) +
+                     " slots; other price traces have " +
+                     std::to_string(price_slots));
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+      const double p = trace.at(t);
+      PALB_REQUIRE(std::isfinite(p) && p >= 0.0,
+                   where + " slot " + std::to_string(t) +
+                       " is not a finite non-negative price: " +
+                       std::to_string(p));
+    }
   }
   PALB_REQUIRE(slot_seconds > 0.0, "slot length must be > 0");
 }
@@ -36,14 +79,33 @@ SlotInput Scenario::slot_input(std::size_t t) const {
                             std::vector<double>(topology.num_frontends()));
   for (std::size_t k = 0; k < topology.num_classes(); ++k) {
     for (std::size_t s = 0; s < topology.num_frontends(); ++s) {
-      input.arrival_rate[k][s] = arrivals[k][s].at(t);
+      const double r = arrivals[k][s].at(t);
+      PALB_REQUIRE(std::isfinite(r) && r >= 0.0,
+                   "arrival rate (class " + std::to_string(k) +
+                       ", front-end " + std::to_string(s) + ", slot " +
+                       std::to_string(t) +
+                       ") is not a finite non-negative rate: " +
+                       std::to_string(r));
+      input.arrival_rate[k][s] = r;
     }
   }
   input.price.resize(topology.num_datacenters());
   for (std::size_t l = 0; l < topology.num_datacenters(); ++l) {
-    input.price[l] = prices[l].at(t);
+    const double p = prices[l].at(t);
+    PALB_REQUIRE(std::isfinite(p) && p >= 0.0,
+                 "price (data center " + std::to_string(l) + ", slot " +
+                     std::to_string(t) +
+                     ") is not a finite non-negative price: " +
+                     std::to_string(p));
+    input.price[l] = p;
   }
   return input;
+}
+
+std::size_t RunResult::total_repairs() const {
+  std::size_t n = 0;
+  for (const std::size_t a : repair_adjustments) n += a;
+  return n;
 }
 
 std::vector<double> RunResult::net_profit_series() const {

@@ -35,6 +35,18 @@ struct RunResult {
   /// cumulative PolicyStats across this run, summed over all workers.
   PolicyStats stats;
 
+  /// Resilience telemetry, filled by the ResilientController (empty /
+  /// zero on plain SlotController runs). fallback_rungs[t] is the ladder
+  /// rung that produced slot t's applied plan (1 = full solve ... 5 =
+  /// shed-all; see docs/RESILIENCE.md), repair_adjustments[t] the number
+  /// of PlanChecker::repair() fixes applied on top of it.
+  std::vector<int> fallback_rungs;
+  std::vector<std::size_t> repair_adjustments;
+  std::size_t faulted_slots = 0;
+
+  /// Total repair() adjustments across the run.
+  std::size_t total_repairs() const;
+
   /// Convenience series for the figure benches.
   std::vector<double> net_profit_series() const;
   std::vector<double> class_dc_rate_series(std::size_t k,

@@ -321,7 +321,11 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
     if (!warm_basis.empty()) warm_ptr = &warm_basis;
   }
 
-  const SimplexSolver solver;
+  SimplexSolver::Options solver_opt;
+  if (opt.lp_max_iterations > 0) {
+    solver_opt.max_iterations = static_cast<int>(opt.lp_max_iterations);
+  }
+  const SimplexSolver solver(solver_opt);
   const LpSolution sol = solver.solve(lp, warm_ptr);
   out.lp_iterations = sol.iterations;
   out.phase1_skipped = sol.phase1_skipped;
@@ -745,6 +749,21 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   }
   check::maybe_check_plan(topo, input, best.plan, "OptimizedPolicy");
   return best.plan;
+}
+
+std::unique_ptr<Policy> OptimizedPolicy::degraded() const {
+  Options opt = options_;
+  opt.parallel = false;
+  opt.warm_start = false;
+  opt.warm_start_bases = false;
+  // A small enumeration budget keeps the local-search path (restart
+  // count 1) in play for large profile spaces, and the pivot budget
+  // bounds every individual LP; budget-exhausted profiles fall back to
+  // the always-feasible all-off plan instead of throwing.
+  opt.max_enumerated_profiles = 1u << 10;
+  opt.local_search_restarts = 1;
+  opt.lp_max_iterations = 2000;
+  return std::make_unique<OptimizedPolicy>(opt);
 }
 
 }  // namespace palb

@@ -78,6 +78,13 @@ class OptimizedPolicy : public Policy {
     /// deterministic). The solver discards any basis that lands
     /// out-of-bounds, so this can change pivot counts but never plans.
     bool warm_start_bases = true;
+    /// Per-LP simplex pivot budget (0 = the solver's default). A profile
+    /// whose LP exhausts the budget is treated as infeasible and skipped
+    /// — the all-off zero plan is always available, so plan_slot still
+    /// returns. degraded() uses a small budget as a per-slot deadline;
+    /// fault schedules can also force-exhaust it to model solver
+    /// failures.
+    std::uint64_t lp_max_iterations = 0;
   };
 
   OptimizedPolicy() = default;
@@ -91,6 +98,11 @@ class OptimizedPolicy : public Policy {
   std::unique_ptr<Policy> clone() const override {
     return std::make_unique<OptimizedPolicy>(options_);
   }
+  /// Rung-2 variant: serial, no warm-start state, a small profile space
+  /// and a tight per-LP pivot budget, so one slot's re-solve is cheap
+  /// and bounded. Plans remain deterministic in (topology, input) alone
+  /// — the ResilientController builds a fresh instance per failed slot.
+  std::unique_ptr<Policy> degraded() const override;
   /// Cumulative counters since construction, including warm-start cache
   /// hits/misses and incumbent-bound prunes.
   PolicyStats stats() const override { return totals_; }

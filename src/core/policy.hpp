@@ -91,6 +91,14 @@ class Policy {
   /// the controller falls back to the serial path.
   virtual std::unique_ptr<Policy> clone() const { return nullptr; }
 
+  /// Reduced-effort variant for the ResilientController's rung-2
+  /// re-solve after the full solve fails: same objective, but bounded
+  /// work per slot (e.g. a small pivot budget, no warm-start state) so
+  /// it terminates quickly and deterministically. nullptr (the default)
+  /// means the policy has no cheaper mode and the ladder skips straight
+  /// to rung 3.
+  virtual std::unique_ptr<Policy> degraded() const { return nullptr; }
+
   /// Cumulative effort counters since construction (see PolicyStats).
   virtual PolicyStats stats() const { return {}; }
 };

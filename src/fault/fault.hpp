@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace palb {
+
+/// What a FaultEvent disturbs (docs/RESILIENCE.md "fault taxonomy").
+/// Every kind maps onto a disturbance the paper's multi-electricity-
+/// market setting actually exhibits but its hourly loop (§III) assumes
+/// away: clean inputs, live data centers, a solver that always returns.
+enum class FaultKind {
+  /// Data center `dc` loses floor(M_l * magnitude) servers for the
+  /// window (magnitude 1.0 = full outage: the DC goes dark).
+  kDcOutage,
+  /// Electricity price at `dc` multiplies by `magnitude` (spike).
+  kPriceSpike,
+  /// Telemetry gap: the rate reading for (klass, frontend) — kNoIndex =
+  /// all classes / all front-ends — is NaN for the window. The resilient
+  /// path imputes it from the most recent clean slot.
+  kTraceGap,
+  /// The frontend<->dc link is unusable: plans must not route over it
+  /// and in-flight dispatch over it is dropped. kNoIndex on either side
+  /// cuts the whole row/column.
+  kLinkCut,
+  /// The primary policy is forced to fail this slot (models a solver
+  /// crash or a per-slot pivot budget acting as a deadline), pushing the
+  /// resilient controller onto its fallback ladder.
+  kSolverFailure,
+};
+
+/// Stable kebab-case name ("dc-outage", ...) used by the JSON schema and
+/// the CLI table; never reworded once released.
+const char* to_string(FaultKind kind);
+
+/// One disturbance over an inclusive slot window [first_slot, last_slot].
+struct FaultEvent {
+  /// Sentinel for an index axis the event does not pin (= "all").
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+  FaultKind kind = FaultKind::kDcOutage;
+  std::size_t first_slot = 0;
+  std::size_t last_slot = 0;  ///< inclusive
+  std::size_t dc = kNoIndex;        ///< kDcOutage, kPriceSpike, kLinkCut
+  std::size_t frontend = kNoIndex;  ///< kTraceGap, kLinkCut
+  std::size_t klass = kNoIndex;     ///< kTraceGap (kNoIndex = all classes)
+  /// kDcOutage: fraction of servers lost; kPriceSpike: price multiplier.
+  double magnitude = 1.0;
+
+  bool active(std::size_t t) const {
+    return t >= first_slot && t <= last_slot;
+  }
+};
+
+/// The effective world of one slot after the schedule is applied — what
+/// the resilient control path plans against and settles on.
+struct FaultedSlot {
+  /// Surviving topology: outage-reduced server counts, otherwise the
+  /// scenario's topology verbatim.
+  Topology topology;
+  /// Sanitized planning input: spiked prices applied, trace gaps imputed
+  /// from the most recent clean slot (finite and non-negative, so any
+  /// Policy can plan from it).
+  SlotInput input;
+  /// The input as telemetry observed it: gapped rates are NaN. An
+  /// unwrapped policy fed this throws; the resilient path never uses it
+  /// for planning.
+  SlotInput raw_input;
+  /// blocked[s * num_datacenters + l] != 0 when the s->l link is cut.
+  std::vector<std::uint8_t> link_blocked;
+  bool solver_failure = false;  ///< rung 1 is forced to fail this slot
+  bool faulted = false;         ///< any event active this slot
+  bool has_blocked_link = false;
+
+  bool blocked(std::size_t s, std::size_t l) const {
+    return !link_blocked.empty() &&
+           link_blocked[s * topology.num_datacenters() + l] != 0;
+  }
+};
+
+/// A deterministic list of fault events. materialize() is a pure
+/// function of (scenario, schedule, slot) — never of plans, policy state
+/// or worker partition — which is what keeps fault-injected runs
+/// byte-identical across worker counts (the PR 2 guarantee).
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events)
+      : events_(std::move(events)) {}
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Any event active at slot t?
+  bool faulted(std::size_t t) const;
+  /// Faulted slots within [first_slot, first_slot + num_slots).
+  std::size_t count_faulted(std::size_t num_slots,
+                            std::size_t first_slot = 0) const;
+
+  /// Throws InvalidArgument when an event's indices fall outside the
+  /// topology, a window is inverted, or a magnitude is out of domain.
+  void validate(const Topology& topology) const;
+
+  /// Applies every event active at slot t to the scenario's slot-t
+  /// world. Trace-gap imputation walks back to the most recent earlier
+  /// slot whose reading for that stream is clean (0 if none exists), so
+  /// the sanitized input depends only on (scenario, schedule, t).
+  FaultedSlot materialize(const Scenario& scenario, std::size_t t) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Seeded random fault-schedule generator, scenario_gen's sibling: the
+/// fuzz suites and the fig_resilience bench dial `fault_rate` instead of
+/// hand-writing event lists. Deterministic in (scenario shape, seed,
+/// options).
+namespace fault_gen {
+
+struct Options {
+  std::size_t slots = 24;
+  /// Per-slot probability that a new fault window starts. Each started
+  /// window draws its kind uniformly from the enabled kinds below.
+  double fault_rate = 0.15;
+  std::size_t min_duration = 1, max_duration = 4;
+  bool dc_outages = true;
+  bool price_spikes = true;
+  bool trace_gaps = true;
+  bool link_cuts = true;
+  bool solver_failures = true;
+  /// Outage severity range (fraction of the fleet lost).
+  double min_outage = 0.5, max_outage = 1.0;
+  /// Price-spike multiplier range.
+  double min_spike = 2.0, max_spike = 10.0;
+};
+
+FaultSchedule generate(const Topology& topology, std::uint64_t seed,
+                       const Options& options);
+FaultSchedule generate(const Topology& topology, std::uint64_t seed);
+
+/// The canned 24-slot acceptance schedule (docs/RESILIENCE.md): data
+/// center 0 dark for slots 8-11, rate telemetry of front-end 0 gapped at
+/// slots 3 and 15, and one forced solver failure at slot 19. The CLI
+/// spells it "canned"; CI's resilience-smoke job replays it.
+FaultSchedule canned_acceptance();
+
+}  // namespace fault_gen
+}  // namespace palb

@@ -1,0 +1,79 @@
+#include "fault/fault_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace palb::fault_json {
+
+namespace {
+
+FaultKind kind_from_string(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kDcOutage, FaultKind::kPriceSpike, FaultKind::kTraceGap,
+        FaultKind::kLinkCut, FaultKind::kSolverFailure}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw IoError("unknown fault kind: '" + name + "'");
+}
+
+}  // namespace
+
+Json to_json(const FaultSchedule& schedule) {
+  Json doc = Json::object();
+  doc.set("schema", Json(kSchema));
+  Json events = Json::array();
+  for (const FaultEvent& e : schedule.events()) {
+    Json ev = Json::object();
+    ev.set("kind", Json(to_string(e.kind)));
+    ev.set("first_slot", Json(e.first_slot));
+    ev.set("last_slot", Json(e.last_slot));
+    if (e.dc != FaultEvent::kNoIndex) ev.set("dc", Json(e.dc));
+    if (e.frontend != FaultEvent::kNoIndex) {
+      ev.set("frontend", Json(e.frontend));
+    }
+    if (e.klass != FaultEvent::kNoIndex) ev.set("class", Json(e.klass));
+    if (e.magnitude != 1.0) ev.set("magnitude", Json(e.magnitude));
+    events.push_back(std::move(ev));
+  }
+  doc.set("events", std::move(events));
+  return doc;
+}
+
+FaultSchedule from_json(const Json& doc) {
+  const std::string schema = doc.get("schema", std::string(kSchema));
+  if (schema != kSchema) {
+    throw IoError("unsupported fault schedule schema: '" + schema +
+                  "' (expected '" + kSchema + "')");
+  }
+  std::vector<FaultEvent> events;
+  for (const Json& ev : doc.at("events").as_array()) {
+    FaultEvent e;
+    e.kind = kind_from_string(ev.at("kind").as_string());
+    e.first_slot = ev.at("first_slot").as_index();
+    e.last_slot = ev.at("last_slot").as_index();
+    if (ev.contains("dc")) e.dc = ev.at("dc").as_index();
+    if (ev.contains("frontend")) e.frontend = ev.at("frontend").as_index();
+    if (ev.contains("class")) e.klass = ev.at("class").as_index();
+    e.magnitude = ev.get("magnitude", 1.0);
+    events.push_back(e);
+  }
+  return FaultSchedule(std::move(events));
+}
+
+void save(const FaultSchedule& schedule, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for write: " + path);
+  os << to_json(schedule).dump(2) << "\n";
+}
+
+FaultSchedule load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return from_json(Json::parse(buffer.str()));
+}
+
+}  // namespace palb::fault_json

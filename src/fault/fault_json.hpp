@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "fault/fault.hpp"
+#include "util/json.hpp"
+
+namespace palb {
+
+/// FaultSchedule <-> JSON, so canned disturbance runs (CI's
+/// resilience-smoke, the acceptance schedule) live in one reviewable
+/// file that `palb inject` can replay.
+///
+/// Schema:
+///
+/// {
+///   "schema": "palb-fault-v1",
+///   "events": [
+///     { "kind": "dc-outage", "first_slot": 8, "last_slot": 11,
+///       "dc": 0, "magnitude": 1.0 },
+///     { "kind": "trace-gap", "first_slot": 3, "last_slot": 3,
+///       "frontend": 0 },
+///     { "kind": "solver-failure", "first_slot": 19, "last_slot": 19 } ]
+/// }
+///
+/// `kind` uses the stable to_string(FaultKind) names. Index axes the
+/// event does not pin (FaultEvent::kNoIndex = "all") are omitted on
+/// write and default to kNoIndex on read. `magnitude` defaults to 1.
+namespace fault_json {
+
+inline constexpr const char* kSchema = "palb-fault-v1";
+
+Json to_json(const FaultSchedule& schedule);
+FaultSchedule from_json(const Json& doc);
+
+/// File helpers (pretty-printed on write).
+void save(const FaultSchedule& schedule, const std::string& path);
+FaultSchedule load(const std::string& path);
+
+}  // namespace fault_json
+}  // namespace palb

@@ -1,0 +1,224 @@
+#include "fault/resilient_controller.hpp"
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cloud/accounting.hpp"
+#include "core/balanced_policy.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace palb {
+
+const char* to_string(FallbackRung rung) {
+  switch (rung) {
+    case FallbackRung::kFullSolve:
+      return "full-solve";
+    case FallbackRung::kReducedResolve:
+      return "reduced-resolve";
+    case FallbackRung::kPreviousPlan:
+      return "previous-plan";
+    case FallbackRung::kHeuristic:
+      return "heuristic";
+    case FallbackRung::kShedAll:
+      return "shed-all";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-slot output of the parallel candidate phase. Everything the
+/// serial ladder needs, computed from (scenario, schedule, slot) and the
+/// worker clone alone.
+struct SlotCandidates {
+  FaultedSlot world;
+  std::optional<DispatchPlan> full;      ///< rung 1, absent if it failed
+  std::optional<DispatchPlan> degraded;  ///< rung 2, only tried after 1
+  PolicyStats degraded_stats;
+};
+
+/// Zeroes every flow routed over a cut front-end<->DC link. The only
+/// fault repair() cannot see on its own: a blocked link is feasible by
+/// the plan constraints, just unusable this slot.
+void project_off_cut_links(const FaultedSlot& world, DispatchPlan& plan) {
+  if (!world.has_blocked_link) return;
+  const std::size_t K = world.topology.num_classes();
+  const std::size_t S = world.topology.num_frontends();
+  const std::size_t L = world.topology.num_datacenters();
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t l = 0; l < L; ++l) {
+        if (world.blocked(s, l)) plan.rate[k][s][l] = 0.0;
+      }
+    }
+  }
+}
+
+SlotCandidates solve_candidates(const Scenario& scenario,
+                                const FaultSchedule& schedule,
+                                std::size_t slot, Policy& policy) {
+  SlotCandidates out;
+  out.world = schedule.materialize(scenario, slot);
+  // Rung 1: the wrapped policy at full effort, fed the *sanitized*
+  // input. A forced solver failure skips it outright.
+  if (!out.world.solver_failure) {
+    try {
+      out.full = policy.plan_slot(out.world.topology, out.world.input);
+    } catch (const std::exception&) {
+      // Fall through to the ladder.
+    }
+  }
+  if (!out.full) {
+    // Rung 2: bounded re-solve on a *fresh* degraded instance, so the
+    // candidate depends only on (topology, input) — never on which
+    // other slots in this worker's block failed.
+    if (std::unique_ptr<Policy> cheap = policy.degraded()) {
+      try {
+        out.degraded = cheap->plan_slot(out.world.topology, out.world.input);
+      } catch (const std::exception&) {
+        // Fall through to the serial rungs.
+      }
+      out.degraded_stats = cheap->stats();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilientController::ResilientController(Scenario scenario,
+                                         FaultSchedule schedule)
+    : scenario_(std::move(scenario)), schedule_(std::move(schedule)) {
+  scenario_.validate();
+  schedule_.validate(scenario_.topology);
+}
+
+RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
+                                   std::size_t first_slot) const {
+  return run(policy, num_slots, first_slot, Options{});
+}
+
+RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
+                                   std::size_t first_slot,
+                                   const Options& options) const {
+  PALB_REQUIRE(num_slots > 0, "need at least one slot");
+  std::size_t workers = bounded_workers(
+      options.workers == 0 ? 0 : options.workers, num_slots);
+
+  // ---- Phase A: candidate solves, SlotController's exact block layout
+  // (contiguous slot blocks, one clone per worker, serial inside a block
+  // so warm-start chains stay intact).
+  std::vector<SlotCandidates> slots(num_slots);
+  std::vector<std::unique_ptr<Policy>> clones;
+  if (workers > 1) {
+    clones.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      clones.push_back(policy.clone());
+      if (!clones.back()) {
+        clones.clear();
+        workers = 1;
+        break;
+      }
+    }
+  }
+
+  RunResult result;
+  if (workers <= 1) {
+    const PolicyStats before = policy.stats();
+    for (std::size_t t = 0; t < num_slots; ++t) {
+      slots[t] = solve_candidates(scenario_, schedule_, first_slot + t,
+                                  policy);
+    }
+    result.stats = policy.stats() - before;
+  } else {
+    const std::size_t base = num_slots / workers;
+    const std::size_t extra = num_slots % workers;
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;  // offset,count
+    std::size_t offset = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t count = base + (w < extra ? 1 : 0);
+      blocks.emplace_back(offset, count);
+      offset += count;
+    }
+    ThreadPool pool(workers);
+    parallel_for(pool, workers, [&](std::size_t w) {
+      const auto [block_offset, count] = blocks[w];
+      for (std::size_t t = 0; t < count; ++t) {
+        const std::size_t index = block_offset + t;
+        slots[index] = solve_candidates(scenario_, schedule_,
+                                        first_slot + index, *clones[w]);
+      }
+    });
+    for (const auto& clone : clones) result.stats += clone->stats();
+  }
+  for (const auto& slot : slots) result.stats += slot.degraded_stats;
+
+  // ---- Phase B: the ladder, serial in slot order (rung 3 consumes the
+  // previous slot's *applied* plan, so order is semantic here).
+  const PlanChecker checker(options.checker);
+  BalancedPolicy balanced;
+  Policy& heuristic =
+      options.heuristic != nullptr ? *options.heuristic : balanced;
+
+  result.slots.resize(num_slots);
+  result.plans.resize(num_slots);
+  result.fallback_rungs.assign(num_slots, 0);
+  result.repair_adjustments.assign(num_slots, 0);
+  result.faulted_slots = schedule_.count_faulted(num_slots, first_slot);
+
+  const DispatchPlan* previous = nullptr;
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    SlotCandidates& slot = slots[t];
+    const FaultedSlot& world = slot.world;
+
+    // Accepts `candidate` if its projected + repaired form audits clean;
+    // fills the slot's record and returns true.
+    const auto try_rung = [&](FallbackRung rung, DispatchPlan candidate) {
+      project_off_cut_links(world, candidate);
+      PlanRepairReport repaired =
+          checker.repair(world.topology, world.input, std::move(candidate));
+      if (!checker.check(world.topology, world.input, repaired.plan).ok()) {
+        return false;
+      }
+      result.fallback_rungs[t] = static_cast<int>(rung);
+      result.repair_adjustments[t] = repaired.adjustments();
+      result.slots[t] =
+          evaluate_plan(world.topology, world.input, repaired.plan);
+      result.plans[t] = std::move(repaired.plan);
+      return true;
+    };
+
+    bool applied = false;
+    if (slot.full) {
+      applied = try_rung(FallbackRung::kFullSolve, std::move(*slot.full));
+    }
+    if (!applied && slot.degraded) {
+      applied =
+          try_rung(FallbackRung::kReducedResolve, std::move(*slot.degraded));
+    }
+    if (!applied && previous != nullptr) {
+      applied = try_rung(FallbackRung::kPreviousPlan, *previous);
+    }
+    if (!applied) {
+      try {
+        applied = try_rung(FallbackRung::kHeuristic,
+                           heuristic.plan_slot(world.topology, world.input));
+      } catch (const std::exception&) {
+        // The safe plan below cannot fail.
+      }
+    }
+    if (!applied) {
+      try_rung(FallbackRung::kShedAll, DispatchPlan::zero(world.topology));
+    }
+    previous = &result.plans[t];
+  }
+
+  result.total = accumulate(result.slots);
+  return result;
+}
+
+}  // namespace palb

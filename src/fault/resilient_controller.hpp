@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "check/plan_checker.hpp"
+#include "core/controller.hpp"
+#include "fault/fault.hpp"
+
+namespace palb {
+
+/// Which rung of the ResilientController's fallback ladder produced a
+/// slot's applied plan (docs/RESILIENCE.md "ladder semantics"). Lower is
+/// better; the ladder never runs past kShedAll because the zero plan is
+/// feasible by construction.
+enum class FallbackRung : int {
+  kFullSolve = 1,       ///< the wrapped policy, at full effort
+  kReducedResolve = 2,  ///< Policy::degraded() re-solve, bounded pivots
+  kPreviousPlan = 3,    ///< previous slot's applied plan, projected
+  kHeuristic = 4,       ///< BalancedPolicy (or Options::heuristic)
+  kShedAll = 5,         ///< zero plan: drop everything, power down
+};
+
+/// Stable kebab-case name ("full-solve", ...) for the CLI table and the
+/// bench JSON; never reworded once released.
+const char* to_string(FallbackRung rung);
+
+/// SlotController's fault-tolerant sibling: drives a policy across a
+/// scenario perturbed by a FaultSchedule, and guarantees every slot an
+/// applied plan that passes PlanChecker::check() against the slot's
+/// *surviving* world — even when inputs are corrupted, data centers go
+/// dark, or the solver itself fails. Each slot walks the fallback
+/// ladder (FallbackRung); every rung's candidate is projected off cut
+/// links and pushed through PlanChecker::repair() before the first one
+/// that audits clean is applied. RunResult::fallback_rungs /
+/// repair_adjustments / faulted_slots record what happened.
+///
+/// Determinism: candidate solves fan across workers in the exact
+/// SlotController block layout (one Policy::clone() per worker,
+/// contiguous slot blocks), rung-2 re-solves use a fresh
+/// Policy::degraded() instance per failed slot, and the ladder itself
+/// runs serially in slot order — so fault-injected runs stay
+/// byte-identical across worker counts (the PR 2 guarantee;
+/// tests/test_parallel_determinism.cpp holds it under faults too).
+class ResilientController {
+ public:
+  struct Options {
+    /// Worker fan-out for the candidate-solve phase; same semantics as
+    /// SlotController::RunOptions::workers.
+    std::size_t workers = 1;
+    /// Constraint tolerances for both repair() and the acceptance
+    /// check() — the two must share Options or repair's fixed point
+    /// could still fail the audit.
+    PlanChecker::Options checker;
+    /// Rung-4 heuristic override (not owned; must outlive the
+    /// controller). nullptr = an internal BalancedPolicy.
+    Policy* heuristic = nullptr;
+  };
+
+  ResilientController(Scenario scenario, FaultSchedule schedule);
+
+  const Scenario& scenario() const { return scenario_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Never throws on faults: every slot gets an applied, audited plan.
+  /// (Configuration errors — an invalid scenario or num_slots == 0 —
+  /// still throw InvalidArgument up front.)
+  RunResult run(Policy& policy, std::size_t num_slots,
+                std::size_t first_slot = 0) const;
+  RunResult run(Policy& policy, std::size_t num_slots,
+                std::size_t first_slot, const Options& options) const;
+
+ private:
+  Scenario scenario_;
+  FaultSchedule schedule_;
+};
+
+}  // namespace palb

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "check/plan_checker.hpp"
+#include "fault/resilient_controller.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -48,6 +49,8 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
                                           std::size_t first_slot) {
   scenario.validate();
   PALB_REQUIRE(num_slots > 0, "need at least one slot");
+  const FaultSchedule& faults = options_.faults;
+  if (!faults.empty()) faults.validate(scenario.topology);
   const Topology& topo = scenario.topology;
   const std::size_t K = topo.num_classes();
   const std::size_t S = topo.num_frontends();
@@ -61,6 +64,9 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
 
   ClosedLoopResult result;
   result.slots.resize(num_slots);
+  result.fallback_rungs.assign(num_slots, 0);
+  result.repair_adjustments.assign(num_slots, 0);
+  result.faulted_slots = faults.count_faulted(num_slots, first_slot);
 
   // ---- mutable world state -------------------------------------------------
   // Queue id layout: (l, k, server i) -> flat index; servers per (l)
@@ -152,8 +158,14 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
   };
 
   // ---- prime slot 0 ----------------------------------------------------------
+  // The slot's faulted world: surviving topology, sanitized planning
+  // input, cut links. With an empty schedule this is just the scenario's
+  // slot verbatim and the fault paths below all no-op.
+  FaultedSlot world;
+  const PlanChecker repair_checker;
+
   const auto plan_for_slot = [&](std::size_t t) {
-    SlotInput input = scenario.slot_input(first_slot + t);
+    SlotInput input = world.input;  // sanitized: gaps imputed, spikes in
     if (options_.planning_input ==
             Options::PlanningInput::kMeasuredPreviousSlot &&
         t > 0) {
@@ -163,14 +175,61 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
         }
       }
     }
-    // Audit against the rates the policy planned from (under measured-
-    // rate operation the true arrivals may legitimately exceed the plan).
-    DispatchPlan next_plan = policy.plan_slot(topo, input);
-    check::maybe_check_plan(topo, input, next_plan, "ClosedLoopSimulator");
-    return next_plan;
+    if (faults.empty()) {
+      // Fault-free fast path, exactly the pre-fault behaviour: audit
+      // against the rates the policy planned from (under measured-rate
+      // operation the true arrivals may legitimately exceed the plan).
+      DispatchPlan next_plan = policy.plan_slot(topo, input);
+      check::maybe_check_plan(topo, input, next_plan, "ClosedLoopSimulator");
+      result.fallback_rungs[t] = 1;
+      return next_plan;
+    }
+    // In-loop fallback ladder {1 policy, 3 previous plan, 5 shed-all}:
+    // every candidate is projected off cut links and repaired, and the
+    // first one that audits clean against the surviving world is used.
+    DispatchPlan next = DispatchPlan::zero(world.topology);
+    int rung = static_cast<int>(FallbackRung::kShedAll);
+    std::size_t repairs = 0;
+    const auto accept = [&](DispatchPlan cand, FallbackRung r) {
+      if (world.has_blocked_link) {
+        for (std::size_t k = 0; k < K; ++k) {
+          for (std::size_t s = 0; s < S; ++s) {
+            for (std::size_t l = 0; l < L; ++l) {
+              if (world.blocked(s, l)) cand.rate[k][s][l] = 0.0;
+            }
+          }
+        }
+      }
+      PlanRepairReport rep =
+          repair_checker.repair(world.topology, input, std::move(cand));
+      if (!repair_checker.check(world.topology, input, rep.plan).ok()) {
+        return false;
+      }
+      next = std::move(rep.plan);
+      rung = static_cast<int>(r);
+      repairs = rep.adjustments();
+      return true;
+    };
+    bool applied = false;
+    if (!world.solver_failure) {
+      try {
+        applied = accept(policy.plan_slot(world.topology, input),
+                         FallbackRung::kFullSolve);
+      } catch (const std::exception&) {
+        // Walk down the ladder.
+      }
+    }
+    if (!applied && t > 0) applied = accept(plan, FallbackRung::kPreviousPlan);
+    if (!applied) accept(DispatchPlan::zero(world.topology),
+                         FallbackRung::kShedAll);
+    result.fallback_rungs[t] = rung;
+    result.repair_adjustments[t] = repairs;
+    return next;
   };
 
+  world = faults.materialize(scenario, first_slot);
   current_input = scenario.slot_input(first_slot);
+  current_input.price = world.input.price;  // price spikes bill for real
   apply_plan(plan_for_slot(0), 0.0, result.slots[0]);
 
   // Arrival streams: one pending event each, regenerated at every slot
@@ -229,7 +288,9 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
         // Fresh substream for the new slot (see header contract).
         rng = master.substream(
             static_cast<std::uint64_t>(first_slot + slot_index));
+        world = faults.materialize(scenario, first_slot + slot_index);
         current_input = scenario.slot_input(first_slot + slot_index);
+        current_input.price = world.input.price;  // spikes bill for real
         apply_plan(plan_for_slot(slot_index), ev.time,
                    result.slots[slot_index]);
         arm_streams(ev.time);
@@ -253,8 +314,11 @@ ClosedLoopResult ClosedLoopSimulator::run(const Scenario& scenario,
             break;
           }
         }
-        if (dest < 0 || plan.dc[static_cast<std::size_t>(dest)].servers_on ==
-                            0) {
+        if (dest < 0 ||
+            plan.dc[static_cast<std::size_t>(dest)].servers_on == 0 ||
+            world.blocked(s, static_cast<std::size_t>(dest))) {
+          // No destination, a dark DC, or a cut front-end<->DC link:
+          // the request is lost and penalized.
           ++stats.dropped;
           charge_worthless(k, stats);
         } else {

@@ -5,6 +5,7 @@
 
 #include "core/controller.hpp"
 #include "core/policy.hpp"
+#include "fault/fault.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -53,6 +54,16 @@ struct ClosedLoopResult {
   std::vector<ClosedLoopSlotStats> slots;
   /// Jobs still in queues when the horizon ends (abandoned, penalized).
   std::uint64_t stranded = 0;
+
+  /// Resilience telemetry, mirroring RunResult's: which ladder rung
+  /// produced slot t's applied plan (the in-loop ladder is {1 policy,
+  /// 3 previous plan, 5 shed-all}; see docs/RESILIENCE.md) and how many
+  /// PlanChecker::repair() fixes it needed. All rung 1 / zero repairs
+  /// when Options::faults is empty.
+  std::vector<int> fallback_rungs;
+  std::vector<std::size_t> repair_adjustments;
+  std::size_t faulted_slots = 0;
+
   double total_profit() const {
     double p = 0.0;
     for (const auto& s : slots) p += s.net_profit();
@@ -68,6 +79,15 @@ class ClosedLoopSimulator {
     /// (the paper's assumption) or the previous slot's measured rates.
     enum class PlanningInput { kOracleRates, kMeasuredPreviousSlot };
     PlanningInput planning_input = PlanningInput::kOracleRates;
+    /// Mid-slot disturbances, applied at each boundary: an outage clamps
+    /// the plan onto the surviving fleet (the existing backlog-migration
+    /// path absorbs the dark servers), a cut link drops the requests
+    /// routed over it, spiked prices bill every completion, and the
+    /// policy plans from the sanitized (gap-imputed) input behind an
+    /// in-loop {policy, previous-plan, shed-all} ladder. Empty (the
+    /// default) leaves the sample path bit-identical to a fault-free
+    /// build of this simulator.
+    FaultSchedule faults;
   };
 
   ClosedLoopSimulator() = default;

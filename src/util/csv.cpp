@@ -18,6 +18,18 @@ void CsvTable::add_row(std::vector<std::string> row) {
   PALB_REQUIRE(row.size() == header_.size(),
                "CSV row width must match header");
   rows_.push_back(std::move(row));
+  row_lines_.push_back(0);
+}
+
+std::size_t CsvTable::row_line(std::size_t i) const {
+  PALB_REQUIRE(i < rows_.size(), "CSV row index out of range");
+  return row_lines_[i];
+}
+
+std::string CsvTable::location(std::size_t row) const {
+  const std::size_t line = row < row_lines_.size() ? row_lines_[row] : 0;
+  if (line == 0) return source_;
+  return source_ + ":" + std::to_string(line);
 }
 
 const std::vector<std::string>& CsvTable::row(std::size_t i) const {
@@ -46,7 +58,8 @@ double CsvTable::cell_as_double(std::size_t row, std::size_t col) const {
     if (used != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw IoError("CSV cell is not numeric: '" + s + "'");
+    throw IoError(location(row) + ": CSV cell '" + header_[col] +
+                  "' is not numeric: '" + s + "'");
   }
 }
 
@@ -114,19 +127,37 @@ void CsvTable::write_file(const std::string& path) const {
   write(os);
 }
 
-CsvTable CsvTable::read(std::istream& is) {
+CsvTable CsvTable::read(std::istream& is, const std::string& source_name) {
   std::string line;
-  if (!std::getline(is, line)) throw IoError("CSV stream has no header");
+  std::size_t line_number = 1;
+  if (!std::getline(is, line)) {
+    throw IoError(source_name + ": CSV stream has no header");
+  }
   if (!line.empty() && line.back() == '\r') line.pop_back();
+  // An embedded NUL is never valid text CSV; it means a binary file (or
+  // a truncated/overwritten trace) is being fed in by mistake.
+  if (line.find('\0') != std::string::npos) {
+    throw IoError(source_name + ":1: CSV header contains a NUL byte");
+  }
   CsvTable table(csv_split(line));
+  table.source_ = source_name;
   while (std::getline(is, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    const std::string where =
+        source_name + ":" + std::to_string(line_number);
+    if (line.find('\0') != std::string::npos) {
+      throw IoError(where + ": CSV row contains a NUL byte");
+    }
     auto fields = csv_split(line);
     if (fields.size() != table.header_.size()) {
-      throw IoError("CSV row width mismatch");
+      throw IoError(where + ": CSV row width mismatch: got " +
+                    std::to_string(fields.size()) + " fields, expected " +
+                    std::to_string(table.header_.size()));
     }
     table.rows_.push_back(std::move(fields));
+    table.row_lines_.push_back(line_number);
   }
   return table;
 }
@@ -134,7 +165,7 @@ CsvTable CsvTable::read(std::istream& is) {
 CsvTable CsvTable::read_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw IoError("cannot open for read: " + path);
-  return read(is);
+  return read(is, path);
 }
 
 }  // namespace palb

@@ -8,6 +8,11 @@ namespace palb {
 
 /// Minimal CSV table: a header row plus string cells. Understands quoted
 /// fields with embedded commas/quotes; enough for trace import/export.
+///
+/// Malformed input (wrong column count, embedded NUL byte, later a
+/// non-numeric cell) raises IoError naming the source and the 1-based
+/// line number — read() records where every row came from precisely so
+/// a corrupted trace points at the offending line, not just "a row".
 class CsvTable {
  public:
   CsvTable() = default;
@@ -17,6 +22,11 @@ class CsvTable {
   std::size_t rows() const { return rows_.size(); }
   std::size_t cols() const { return header_.size(); }
 
+  /// Where this table was read from ("<memory>" for built tables).
+  const std::string& source() const { return source_; }
+  /// 1-based source line of row i; 0 for rows added programmatically.
+  std::size_t row_line(std::size_t i) const;
+
   /// Appends a row; must match header width.
   void add_row(std::vector<std::string> row);
   const std::vector<std::string>& row(std::size_t i) const;
@@ -24,17 +34,25 @@ class CsvTable {
   /// Column index by header name; throws InvalidArgument if absent.
   std::size_t column(const std::string& name) const;
 
-  /// Numeric accessors (throw IoError on non-numeric cells).
+  /// Numeric accessors; a non-numeric cell throws IoError naming the
+  /// source, line and column.
   double cell_as_double(std::size_t row, std::size_t col) const;
 
   void write(std::ostream& os) const;
   void write_file(const std::string& path) const;
-  static CsvTable read(std::istream& is);
+  /// `source_name` labels the stream in error messages.
+  static CsvTable read(std::istream& is,
+                       const std::string& source_name = "<stream>");
   static CsvTable read_file(const std::string& path);
 
  private:
+  /// "source:line" (or just "source" when the row has no line).
+  std::string location(std::size_t row) const;
+
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> row_lines_;
+  std::string source_ = "<memory>";
 };
 
 /// Escapes a single CSV field (quotes when needed).

@@ -54,7 +54,12 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   // Chunk so tiny iterations don't drown in queue overhead.
   const std::size_t chunks = std::min(n, pool.size() * 4);
   std::atomic<std::size_t> next{0};
+  // A throwing iteration never aborts the others: every worker drains
+  // its share of [0, n) regardless, and the caller sees the exception of
+  // the *lowest-index* failing iteration — deterministic no matter which
+  // worker hit its failure first.
   std::exception_ptr first_error = nullptr;
+  std::size_t first_error_index = 0;
   std::mutex error_mutex;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -67,7 +72,10 @@ void parallel_for(ThreadPool& pool, std::size_t n,
           fn(i);
         } catch (...) {
           std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error || i < first_error_index) {
+            first_error = std::current_exception();
+            first_error_index = i;
+          }
         }
       }
     }));

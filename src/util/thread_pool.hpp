@@ -70,7 +70,12 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) across the pool, blocking until all finish.
-/// Exceptions from any iteration are rethrown (first one wins).
+/// Fault contract (exercised under TSan by the test suite): a throwing
+/// iteration aborts nothing — every worker still drains its share of
+/// [0, n), all futures are collected, and only then is the exception of
+/// the lowest-index failing iteration rethrown on the caller. No
+/// std::terminate, no deadlock, and the same exception no matter how
+/// the race to fail went.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
@@ -88,8 +93,9 @@ std::size_t bounded_workers(std::size_t requested, std::size_t jobs);
 /// Deterministic-ordering bulk collector: runs fn(i) for i in [0, n)
 /// across the pool and returns {fn(0), fn(1), ..., fn(n-1)} in *index*
 /// order regardless of completion order — the parallel result is
-/// byte-identical to the serial loop's. Exceptions rethrow (first by
-/// iteration order of discovery wins). R must be default-constructible.
+/// byte-identical to the serial loop's. Exceptions follow parallel_for's
+/// fault contract (all workers drain, then the lowest-index failure
+/// rethrows). R must be default-constructible.
 template <typename R>
 std::vector<R> parallel_collect(ThreadPool& pool, std::size_t n,
                                 const std::function<R(std::size_t)>& fn) {

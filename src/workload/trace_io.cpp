@@ -1,5 +1,6 @@
 #include "workload/trace_io.hpp"
 
+#include <cmath>
 #include <string>
 
 #include "util/csv.hpp"
@@ -46,6 +47,23 @@ struct PriceView {
   double at(std::size_t s) const { return t.at(s); }
 };
 
+/// One numeric cell, additionally required to be a finite non-negative
+/// rate/price (a NaN smuggled through a trace file must fail at import,
+/// with the file and line, not deep inside a solve).
+double read_value(const CsvTable& table, std::size_t row, std::size_t col,
+                  const std::string& what) {
+  const double v = table.cell_as_double(row, col);
+  if (!std::isfinite(v) || v < 0.0) {
+    const std::size_t line = table.row_line(row);
+    throw IoError(table.source() +
+                  (line > 0 ? ":" + std::to_string(line) : "") + ": " +
+                  what + " column '" + table.header()[col] +
+                  "' is not a finite non-negative value: " +
+                  table.cell(row, col));
+  }
+  return v;
+}
+
 }  // namespace
 
 void write_rates(std::ostream& os, const std::vector<RateTrace>& traces) {
@@ -55,8 +73,9 @@ void write_rates(std::ostream& os, const std::vector<RateTrace>& traces) {
   write_generic(os, views, "rate");
 }
 
-std::vector<RateTrace> read_rates(std::istream& is) {
-  const CsvTable table = CsvTable::read(is);
+std::vector<RateTrace> read_rates(std::istream& is,
+                                  const std::string& source_name) {
+  const CsvTable table = CsvTable::read(is, source_name);
   PALB_REQUIRE(table.cols() >= 2, "rate CSV needs slot + 1 trace column");
   PALB_REQUIRE(table.rows() > 0, "rate CSV has no rows");
   std::vector<RateTrace> out;
@@ -64,7 +83,8 @@ std::vector<RateTrace> read_rates(std::istream& is) {
     std::vector<double> values;
     values.reserve(table.rows());
     for (std::size_t r = 0; r < table.rows(); ++r) {
-      values.push_back(table.cell_as_double(r, c));
+      const double v = read_value(table, r, c, "rate");
+      values.push_back(v);
     }
     out.emplace_back(table.header()[c], std::move(values));
   }
@@ -78,8 +98,9 @@ void write_prices(std::ostream& os, const std::vector<PriceTrace>& traces) {
   write_generic(os, views, "price");
 }
 
-std::vector<PriceTrace> read_prices(std::istream& is) {
-  const CsvTable table = CsvTable::read(is);
+std::vector<PriceTrace> read_prices(std::istream& is,
+                                    const std::string& source_name) {
+  const CsvTable table = CsvTable::read(is, source_name);
   PALB_REQUIRE(table.cols() >= 2, "price CSV needs slot + 1 trace column");
   PALB_REQUIRE(table.rows() > 0, "price CSV has no rows");
   std::vector<PriceTrace> out;
@@ -87,7 +108,8 @@ std::vector<PriceTrace> read_prices(std::istream& is) {
     std::vector<double> values;
     values.reserve(table.rows());
     for (std::size_t r = 0; r < table.rows(); ++r) {
-      values.push_back(table.cell_as_double(r, c));
+      const double v = read_value(table, r, c, "price");
+      values.push_back(v);
     }
     out.emplace_back(table.header()[c], std::move(values));
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "market/price_trace.hpp"
@@ -12,13 +13,20 @@ namespace palb {
 /// measured workloads / market data into the benches.
 ///
 /// Format: first column "slot", one column per trace named by the trace.
+///
+/// Readers reject malformed files — a non-numeric field, a wrong column
+/// count, an embedded NUL, a NaN/infinite or negative value — with an
+/// IoError naming the source and the 1-based line number. `source_name`
+/// labels the stream in those messages (pass the file path).
 namespace trace_io {
 
 void write_rates(std::ostream& os, const std::vector<RateTrace>& traces);
-std::vector<RateTrace> read_rates(std::istream& is);
+std::vector<RateTrace> read_rates(std::istream& is,
+                                  const std::string& source_name = "<stream>");
 
 void write_prices(std::ostream& os, const std::vector<PriceTrace>& traces);
-std::vector<PriceTrace> read_prices(std::istream& is);
+std::vector<PriceTrace> read_prices(
+    std::istream& is, const std::string& source_name = "<stream>");
 
 }  // namespace trace_io
 }  // namespace palb

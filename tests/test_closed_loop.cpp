@@ -6,6 +6,7 @@
 #include "core/balanced_policy.hpp"
 #include "core/optimized_policy.hpp"
 #include "core/paper_scenarios.hpp"
+#include "fault/resilient_controller.hpp"
 #include "market/price_library.hpp"
 #include "scenario_fixtures.hpp"
 #include "util/error.hpp"
@@ -150,6 +151,98 @@ TEST(ClosedLoop, RejectsZeroSlots) {
   OptimizedPolicy policy;
   ClosedLoopSimulator sim;
   EXPECT_THROW(sim.run(sc, policy, 0), InvalidArgument);
+}
+
+TEST(ClosedLoop, EmptyFaultScheduleLeavesTheSamplePathBitIdentical) {
+  const Scenario sc = small_scenario();
+  ClosedLoopSimulator::Options plain;
+  plain.seed = 7;
+  ClosedLoopSimulator::Options with_empty_schedule = plain;
+  with_empty_schedule.faults = FaultSchedule();
+  OptimizedPolicy p1, p2;
+  const ClosedLoopResult a = ClosedLoopSimulator(plain).run(sc, p1, 4);
+  const ClosedLoopResult b =
+      ClosedLoopSimulator(with_empty_schedule).run(sc, p2, 4);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t t = 0; t < a.slots.size(); ++t) {
+    EXPECT_EQ(a.slots[t].arrivals, b.slots[t].arrivals);
+    EXPECT_EQ(a.slots[t].completions, b.slots[t].completions);
+    EXPECT_DOUBLE_EQ(a.slots[t].net_profit(), b.slots[t].net_profit());
+    EXPECT_EQ(b.fallback_rungs[t],
+              static_cast<int>(FallbackRung::kFullSolve));
+  }
+  EXPECT_EQ(b.faulted_slots, 0u);
+}
+
+TEST(ClosedLoop, ConsumesFaultScheduleMidRunWithoutThrowing) {
+  const Scenario sc = small_scenario();
+  FaultEvent outage;
+  outage.kind = FaultKind::kDcOutage;
+  outage.first_slot = 1;
+  outage.last_slot = 2;
+  outage.dc = 0;
+  FaultEvent gap;
+  gap.kind = FaultKind::kTraceGap;
+  gap.first_slot = 1;
+  gap.last_slot = 1;
+  FaultEvent crash;
+  crash.kind = FaultKind::kSolverFailure;
+  crash.first_slot = 2;
+  crash.last_slot = 2;
+  ClosedLoopSimulator::Options opt;
+  opt.faults = FaultSchedule({outage, gap, crash});
+  OptimizedPolicy policy;
+  ClosedLoopResult r;
+  ASSERT_NO_THROW(r = ClosedLoopSimulator(opt).run(sc, policy, 4));
+  ASSERT_EQ(r.fallback_rungs.size(), 4u);
+  // Slots 1 and 2 are each faulted (overlapping events count once).
+  EXPECT_EQ(r.faulted_slots, 2u);
+  // The in-loop ladder is {1 policy, 3 previous plan, 5 shed-all}: the
+  // forced solver failure at slot 2 falls back to the previous plan.
+  EXPECT_EQ(r.fallback_rungs[0],
+            static_cast<int>(FallbackRung::kFullSolve));
+  EXPECT_EQ(r.fallback_rungs[2],
+            static_cast<int>(FallbackRung::kPreviousPlan));
+  // The run still serves traffic around the disturbance.
+  EXPECT_GT(r.total_profit(), 0.0);
+  std::uint64_t arrivals = 0, dispatched = 0;
+  for (const auto& s : r.slots) {
+    arrivals += s.arrivals;
+    dispatched += s.dispatched;
+  }
+  EXPECT_LE(dispatched, arrivals);
+  EXPECT_GT(dispatched, 0u);
+}
+
+TEST(ClosedLoop, LinkCutDropsTrafficRoutedOverIt) {
+  // Cut every link into dc1 (the stronger DC for class 0 traffic) for
+  // the middle slots; the loop must keep running and the cut slots must
+  // not route anything over the dark links.
+  const Scenario sc = small_scenario();
+  FaultEvent cut;
+  cut.kind = FaultKind::kLinkCut;
+  cut.first_slot = 1;
+  cut.last_slot = 2;
+  cut.dc = 1;
+  ClosedLoopSimulator::Options opt;
+  opt.faults = FaultSchedule({cut});
+  OptimizedPolicy policy;
+  ClosedLoopResult r;
+  ASSERT_NO_THROW(r = ClosedLoopSimulator(opt).run(sc, policy, 4));
+  EXPECT_EQ(r.faulted_slots, 2u);
+  EXPECT_GT(r.total_profit(), 0.0);
+}
+
+TEST(ClosedLoop, FaultScheduleValidatedUpFront) {
+  const Scenario sc = small_scenario();
+  FaultEvent bad;
+  bad.kind = FaultKind::kDcOutage;
+  bad.dc = 42;
+  ClosedLoopSimulator::Options opt;
+  opt.faults = FaultSchedule({bad});
+  OptimizedPolicy policy;
+  EXPECT_THROW(ClosedLoopSimulator(opt).run(sc, policy, 2),
+               InvalidArgument);
 }
 
 }  // namespace

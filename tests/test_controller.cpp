@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "util/error.hpp"
 
 #include "core/balanced_policy.hpp"
@@ -42,6 +45,74 @@ TEST(Scenario, CatchesShapeErrors) {
   sc = small_scenario();
   sc.slot_seconds = 0.0;
   EXPECT_THROW(sc.validate(), InvalidArgument);
+}
+
+TEST(Scenario, RejectsBadPricesNamingTheCoordinate) {
+  // RateTrace's constructor already refuses NaN and negative rates, so
+  // the deep re-check in validate() is a second layer there; PriceTrace
+  // deliberately admits negative and infinite market prints, making the
+  // scenario-level audit the one that has to name the coordinate.
+  const auto message_of = [](const Scenario& sc) {
+    try {
+      sc.validate();
+    } catch (const std::exception& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  Scenario sc = small_scenario();
+  sc.prices[1] = PriceTrace(
+      "dc2", {0.08, 0.08, std::numeric_limits<double>::infinity(), 0.08});
+  std::string what = message_of(sc);
+  EXPECT_NE(what.find("data center 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("slot 2"), std::string::npos) << what;
+
+  sc = small_scenario();
+  sc.prices[0] = PriceTrace("dc1", {0.04, -0.02, 0.04, 0.04});
+  what = message_of(sc);
+  EXPECT_NE(what.find("data center 0"), std::string::npos) << what;
+  EXPECT_NE(what.find("slot 1"), std::string::npos) << what;
+}
+
+TEST(RateTraceGuard, ConstructorRefusesNaNAndNegativeRates) {
+  EXPECT_THROW(
+      RateTrace("a", {1.0, std::numeric_limits<double>::quiet_NaN()}),
+      InvalidArgument);
+  EXPECT_THROW(RateTrace("a", {1.0, -0.5}), InvalidArgument);
+}
+
+TEST(Scenario, RejectsMismatchedTraceLengthsAndEmptyTopology) {
+  // RateTrace::at wraps modulo its length, so a short trace would
+  // silently phase-shift instead of failing — validate() must catch the
+  // mismatch up front.
+  Scenario sc = small_scenario();
+  sc.arrivals[1][1] = RateTrace("short", {30.0, 50.0});
+  EXPECT_THROW(sc.validate(), InvalidArgument);
+
+  sc = small_scenario();
+  sc.prices[0] = prices::flat("dc1", 0.04, 2);
+  EXPECT_THROW(sc.validate(), InvalidArgument);
+
+  Scenario empty;
+  EXPECT_THROW(empty.validate(), InvalidArgument);
+}
+
+TEST(Scenario, SlotInputRevalidatesMaterializedValues) {
+  Scenario sc = small_scenario();
+  sc.prices[1] = PriceTrace(
+      "dc2", {0.08, std::numeric_limits<double>::infinity(), 0.08, 0.08});
+  // Clean slots still materialize...
+  EXPECT_NO_THROW((void)sc.slot_input(0));
+  // ...the corrupted one fails, naming (data center, slot).
+  try {
+    (void)sc.slot_input(1);
+    FAIL() << "slot_input must reject the non-finite price";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("data center 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("slot 1"), std::string::npos) << what;
+  }
 }
 
 TEST(Scenario, SlotInputMaterialization) {

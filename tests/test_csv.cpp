@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -102,6 +104,82 @@ TEST(CsvTable, CellRangeChecked) {
   EXPECT_THROW(table.cell(1, 0), InvalidArgument);
   EXPECT_THROW(table.cell(0, 1), InvalidArgument);
   EXPECT_THROW(table.row(5), InvalidArgument);
+}
+
+// ---- malformed-input diagnostics: errors must carry the source name
+// and the 1-based line number so a bad row in a 100k-line trace file is
+// findable without a bisect.
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(CsvTable, ReadRecordsSourceAndLineNumbers) {
+  std::istringstream is("slot,a\n0,1.5\n\n1,2.5\n");
+  const CsvTable table = CsvTable::read(is, "trace.csv");
+  EXPECT_EQ(table.source(), "trace.csv");
+  // Line numbers survive blank-line skipping: the header is line 1.
+  EXPECT_EQ(table.row_line(0), 2u);
+  EXPECT_EQ(table.row_line(1), 4u);
+  // Programmatic rows have no provenance.
+  CsvTable built({"x"});
+  built.add_row({"1"});
+  EXPECT_EQ(built.source(), "<memory>");
+  EXPECT_EQ(built.row_line(0), 0u);
+}
+
+TEST(CsvTable, NonNumericCellNamesSourceLineAndColumn) {
+  std::istringstream is("slot,rate\n0,12\n1,banana\n");
+  const CsvTable table = CsvTable::read(is, "rates.csv");
+  const std::string what =
+      error_message([&] { (void)table.cell_as_double(1, 1); });
+  EXPECT_NE(what.find("rates.csv:3"), std::string::npos) << what;
+  EXPECT_NE(what.find("'rate'"), std::string::npos) << what;
+  EXPECT_NE(what.find("banana"), std::string::npos) << what;
+}
+
+TEST(CsvTable, WidthMismatchNamesSourceAndLine) {
+  std::istringstream is("a,b\n1,2\n3\n");
+  const std::string what = error_message(
+      [&] { (void)CsvTable::read(is, "wide.csv"); });
+  EXPECT_NE(what.find("wide.csv:3"), std::string::npos) << what;
+  EXPECT_NE(what.find("got 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected 2"), std::string::npos) << what;
+}
+
+TEST(CsvTable, EmbeddedNulRejectedWithLocation) {
+  const std::string header_nul =
+      std::string("a,b") + '\0' + "c\n1,2\n";
+  std::istringstream h(header_nul);
+  EXPECT_NE(error_message([&] { (void)CsvTable::read(h, "nul.csv"); })
+                .find("nul.csv:1"),
+            std::string::npos);
+
+  const std::string row_nul =
+      std::string("a,b\n1,2") + '\0' + "\n";
+  std::istringstream r(row_nul);
+  EXPECT_NE(error_message([&] { (void)CsvTable::read(r, "nul.csv"); })
+                .find("nul.csv:2"),
+            std::string::npos);
+}
+
+TEST(CsvTable, RoundTripPreservesValuesAfterRead) {
+  CsvTable table({"slot", "v"});
+  table.add_row({"0", "1.25"});
+  table.add_row({"1", "2.75"});
+  std::ostringstream os;
+  table.write(os);
+  std::istringstream is(os.str());
+  const CsvTable back = CsvTable::read(is, "round.csv");
+  ASSERT_EQ(back.rows(), 2u);
+  EXPECT_DOUBLE_EQ(back.cell_as_double(0, 1), 1.25);
+  EXPECT_DOUBLE_EQ(back.cell_as_double(1, 1), 2.75);
+  EXPECT_EQ(back.row_line(1), 3u);
 }
 
 }  // namespace

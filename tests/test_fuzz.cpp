@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 
+#include "check/plan_checker.hpp"
 #include "cloud/accounting.hpp"
 #include "core/balanced_policy.hpp"
 #include "core/optimized_policy.hpp"
@@ -179,6 +181,92 @@ TEST_P(EnumVsSearchFuzzTest, LocalSearchStaysNearExhaustive) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EnumVsSearchFuzzTest,
                          ::testing::Range(0, 20));
+
+/// Exact (bitwise) plan equality — repair() promises idempotence at
+/// this strength, not within a tolerance.
+bool plans_identical(const DispatchPlan& a, const DispatchPlan& b) {
+  if (a.rate != b.rate || a.dc.size() != b.dc.size()) return false;
+  for (std::size_t l = 0; l < a.dc.size(); ++l) {
+    if (a.dc[l].servers_on != b.dc[l].servers_on ||
+        a.dc[l].share != b.dc[l].share) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class RepairFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairFuzzTest, RepairIsIdempotentAndItsOutputPassesCheck) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(GetParam()) + 9000 + fuzz_seed_offset();
+  const FuzzCase fc = make_case(seed);
+  BalancedPolicy policy;
+  const DispatchPlan valid = policy.plan_slot(fc.topology, fc.input);
+  const PlanChecker checker;
+
+  // A check-clean plan must come back byte-identical and untouched.
+  {
+    const PlanRepairReport report =
+        checker.repair(fc.topology, fc.input, valid);
+    EXPECT_FALSE(report.touched());
+    EXPECT_EQ(report.adjustments(), 0u);
+    EXPECT_TRUE(plans_identical(report.plan, valid));
+  }
+
+  // Corrupt the plan every way the fault taxonomy can: negative and
+  // non-finite rates, over-dispatch, share blowups, server budgets.
+  Rng rng(seed * 97 + 13);
+  DispatchPlan corrupted = valid;
+  for (auto& per_class : corrupted.rate) {
+    for (auto& row : per_class) {
+      for (double& r : row) {
+        const double dice = rng.uniform(0.0, 1.0);
+        if (dice < 0.15) {
+          r = -rng.uniform(0.1, 50.0);
+        } else if (dice < 0.25) {
+          r = std::numeric_limits<double>::quiet_NaN();
+        } else if (dice < 0.35) {
+          r = std::numeric_limits<double>::infinity();
+        } else if (dice < 0.5) {
+          r = (r + 1.0) * rng.uniform(2.0, 20.0);  // over-dispatch
+        }
+      }
+    }
+  }
+  for (auto& dc : corrupted.dc) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.3) {
+      dc.servers_on += 1 + static_cast<int>(rng.uniform_index(100));
+    } else if (dice < 0.5) {
+      dc.servers_on = -dc.servers_on - 1;
+    }
+    for (double& phi : dc.share) {
+      const double d2 = rng.uniform(0.0, 1.0);
+      if (d2 < 0.2) {
+        phi = rng.uniform(1.5, 10.0);
+      } else if (d2 < 0.3) {
+        phi = -rng.uniform(0.1, 2.0);
+      } else if (d2 < 0.4) {
+        phi = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+
+  const PlanRepairReport first =
+      checker.repair(fc.topology, fc.input, corrupted);
+  EXPECT_TRUE(checker.check(fc.topology, fc.input, first.plan).ok())
+      << checker.check(fc.topology, fc.input, first.plan).summary();
+
+  // repair o repair = repair: the second pass finds nothing.
+  const PlanRepairReport second =
+      checker.repair(fc.topology, fc.input, first.plan);
+  EXPECT_EQ(second.adjustments(), 0u);
+  EXPECT_FALSE(second.touched());
+  EXPECT_TRUE(plans_identical(second.plan, first.plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairFuzzTest, ::testing::Range(0, 40));
 
 }  // namespace
 }  // namespace palb

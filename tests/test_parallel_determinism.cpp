@@ -18,6 +18,8 @@
 #include "core/right_sizing_policy.hpp"
 #include "core/scenario_gen.hpp"
 #include "core/simple_policies.hpp"
+#include "fault/fault.hpp"
+#include "fault/resilient_controller.hpp"
 
 namespace palb {
 namespace {
@@ -167,6 +169,63 @@ TEST(ParallelDeterminism, StatsAggregateAcrossWorkers) {
   EXPECT_GT(serial.stats.profiles_examined, 0u);
   EXPECT_EQ(serial.stats.profiles_examined, wide.stats.profiles_examined);
   EXPECT_EQ(serial.stats.lp_iterations, wide.stats.lp_iterations);
+}
+
+TEST(ParallelDeterminism, FaultInjectedRunsMatchAcrossWorkerCounts) {
+  // The resilient path inherits the contract: materialize() is a pure
+  // function of (scenario, schedule, slot) and the ladder's serial
+  // phase B sees identical candidates whatever the phase-A partition,
+  // so a fault-injected run is byte-identical for workers in {1, N} —
+  // rungs and repair counters included.
+  for (const Case& c : sixteen_scenarios()) {
+    fault_gen::Options gopt;
+    gopt.slots = c.slots;
+    gopt.fault_rate = 0.4;
+    const FaultSchedule schedule =
+        fault_gen::generate(c.scenario.topology, 21, gopt);
+    const ResilientController controller(c.scenario, schedule);
+
+    OptimizedPolicy::Options popt;
+    popt.parallel = false;
+    ResilientController::Options serial_opt;
+    serial_opt.workers = 1;
+    OptimizedPolicy serial_policy(popt);
+    const RunResult serial =
+        controller.run(serial_policy, c.slots, 0, serial_opt);
+
+    for (const std::size_t workers : {std::size_t{4}, std::size_t{0}}) {
+      ResilientController::Options wide_opt;
+      wide_opt.workers = workers;
+      OptimizedPolicy wide_policy(popt);
+      const RunResult wide =
+          controller.run(wide_policy, c.slots, 0, wide_opt);
+      EXPECT_EQ(plans_fingerprint(serial), plans_fingerprint(wide))
+          << c.name << " diverged at " << workers << " workers";
+      EXPECT_EQ(serial.fallback_rungs, wide.fallback_rungs) << c.name;
+      EXPECT_EQ(serial.repair_adjustments, wide.repair_adjustments)
+          << c.name;
+      EXPECT_EQ(serial.faulted_slots, wide.faulted_slots) << c.name;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CannedScheduleMatchesAcrossWorkerCounts) {
+  const Scenario sc = paper::basic_synthetic(paper::ArrivalSet::kLow);
+  const ResilientController controller(sc,
+                                       fault_gen::canned_acceptance());
+  OptimizedPolicy::Options popt;
+  popt.parallel = false;
+  ResilientController::Options serial_opt;
+  serial_opt.workers = 1;
+  OptimizedPolicy serial_policy(popt);
+  const RunResult serial = controller.run(serial_policy, 24, 0, serial_opt);
+  ResilientController::Options wide_opt;
+  wide_opt.workers = 4;
+  OptimizedPolicy wide_policy(popt);
+  const RunResult wide = controller.run(wide_policy, 24, 0, wide_opt);
+  EXPECT_EQ(plans_fingerprint(serial), plans_fingerprint(wide));
+  EXPECT_EQ(serial.fallback_rungs, wide.fallback_rungs);
+  EXPECT_EQ(serial.repair_adjustments, wide.repair_adjustments);
 }
 
 }  // namespace

@@ -290,6 +290,109 @@ TEST(PlanChecker, EnforceThrowsConstraintViolationWithContext) {
   }
 }
 
+// ---- repair(): the projection the ResilientController runs every rung
+// through (docs/RESILIENCE.md "repair math"). Directed cases; the
+// idempotence + always-passes-check() properties are fuzzed in
+// tests/test_fuzz.cpp (RepairFuzzTest).
+
+TEST(PlanRepair, CleanPlanComesBackUntouched) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  const DispatchPlan plan = valid_plan(topo);
+  const PlanRepairReport report = PlanChecker().repair(topo, input, plan);
+  EXPECT_FALSE(report.touched());
+  EXPECT_EQ(report.adjustments(), 0u);
+  EXPECT_EQ(report.plan.rate, plan.rate);
+}
+
+TEST(PlanRepair, RenormalizesShareBudget) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.dc[0].share = {0.9, 0.6};  // Eq. 8: sum 1.5
+  const PlanRepairReport report = PlanChecker().repair(topo, input, plan);
+  EXPECT_EQ(report.budgets_renormalized, 1u);
+  EXPECT_NEAR(report.plan.dc[0].share[0] + report.plan.dc[0].share[1], 1.0,
+              1e-12);
+  // Renormalization keeps the mix: 0.9/0.6 stays 3:2.
+  EXPECT_NEAR(report.plan.dc[0].share[0] / report.plan.dc[0].share[1],
+              1.5, 1e-9);
+  EXPECT_TRUE(PlanChecker().check(topo, input, report.plan).ok());
+}
+
+TEST(PlanRepair, ScalesOverDispatchDownToOffered) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();  // offered (0,0) = 60
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][0] = 50.0;
+  plan.rate[0][0][1] = 40.0;  // 90 dispatched of 60 offered — Eq. 7
+  plan.dc[0].share = {0.9, 0.1};
+  plan.dc[1].servers_on = 2;
+  plan.dc[1].share = {0.9, 0.0};
+  const PlanRepairReport report = PlanChecker().repair(topo, input, plan);
+  EXPECT_EQ(report.rows_scaled, 1u);
+  EXPECT_NEAR(report.plan.rate[0][0][0] + report.plan.rate[0][0][1], 60.0,
+              1e-9);
+  // Proportional scale-down: the 5:4 split survives.
+  EXPECT_NEAR(report.plan.rate[0][0][0] / report.plan.rate[0][0][1],
+              50.0 / 40.0, 1e-9);
+  EXPECT_TRUE(PlanChecker().check(topo, input, report.plan).ok())
+      << PlanChecker().check(topo, input, report.plan).summary();
+}
+
+TEST(PlanRepair, ShedsOrphanAndUnstableLoad) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][1] = 10.0;  // dc2 is dark: orphan load
+  const PlanRepairReport orphan = PlanChecker().repair(topo, input, plan);
+  EXPECT_GE(orphan.flows_shed, 1u);
+  EXPECT_DOUBLE_EQ(orphan.plan.rate[0][0][1], 0.0);
+
+  // An overload no share can save: all 90 offered req/s of class 0 on
+  // dc1's two servers with a thin share — unstable, must be shed or
+  // scaled to the deadline-feasible rate.
+  DispatchPlan hot = valid_plan(topo);
+  hot.rate[0][0][0] = 60.0;
+  hot.rate[0][1][0] = 40.0;
+  hot.dc[0].share = {0.01, 0.4};
+  const PlanRepairReport cooled = PlanChecker().repair(topo, input, hot);
+  EXPECT_TRUE(cooled.touched());
+  EXPECT_TRUE(PlanChecker().check(topo, input, cooled.plan).ok())
+      << PlanChecker().check(topo, input, cooled.plan).summary();
+}
+
+TEST(PlanRepair, ZeroesNonFiniteAndNegativeEntries) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate[0][0][0] = std::numeric_limits<double>::quiet_NaN();
+  plan.rate[1][0][0] = -5.0;
+  plan.dc[0].share[1] = std::numeric_limits<double>::infinity();
+  plan.dc[1].servers_on = -3;
+  const PlanRepairReport report = PlanChecker().repair(topo, input, plan);
+  EXPECT_EQ(report.rates_zeroed, 2u);
+  EXPECT_GE(report.shares_clamped, 1u);
+  EXPECT_EQ(report.servers_clamped, 1u);
+  EXPECT_DOUBLE_EQ(report.plan.rate[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(report.plan.rate[1][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(report.plan.dc[0].share[1], 0.0);
+  EXPECT_EQ(report.plan.dc[1].servers_on, 0);
+  EXPECT_TRUE(PlanChecker().check(topo, input, report.plan).ok());
+}
+
+TEST(PlanRepair, WrongShapeProjectsToTheZeroPlan) {
+  const Topology topo = small_topology();
+  const SlotInput input = small_input();
+  DispatchPlan plan = valid_plan(topo);
+  plan.rate.pop_back();
+  const PlanRepairReport report = PlanChecker().repair(topo, input, plan);
+  EXPECT_EQ(report.reshaped, 1u);
+  EXPECT_EQ(report.plan.rate.size(), topo.num_classes());
+  EXPECT_TRUE(PlanChecker().check(topo, input, report.plan).ok());
+  EXPECT_DOUBLE_EQ(report.plan.rate[0][0][0], 0.0);
+}
+
 TEST(PlanCheckerGuard, FlagGatesMaybeCheckPlan) {
   const Topology topo = small_topology();
   const SlotInput input = small_input();

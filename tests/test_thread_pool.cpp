@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -194,6 +195,64 @@ TEST(ParallelCollect, MovableNonTrivialResults) {
       pool, 9, [](std::size_t i) { return std::string(i, 'x'); });
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].size(), i);
+  }
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically) {
+  ThreadPool pool(8);
+  // Several iterations throw; whichever thread finishes first, the
+  // caller must always see the lowest-index failure.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      parallel_for(pool, 64, [](std::size_t i) {
+        if (i == 11 || i == 40 || i == 63) {
+          throw InvalidArgument("i==" + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("i==11"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ParallelCollect, RandomThrowingSubsetDrainsAndRethrows) {
+  // The ISSUE's ThreadPool fault path, run under the tsan preset: a
+  // random subset of tasks throwing must never terminate() or deadlock,
+  // every non-throwing task must still have executed (workers drain),
+  // and the caller gets the first (lowest-index) exception.
+  std::mt19937_64 rng(1234);
+  ThreadPool pool(8);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 80;
+    std::vector<std::uint8_t> throws(n, 0);
+    std::size_t first_thrower = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng() % 5 == 0) {
+        throws[i] = 1;
+        first_thrower = std::min(first_thrower, i);
+      }
+    }
+    std::atomic<std::size_t> executed{0};
+    try {
+      (void)parallel_collect<int>(pool, n, [&](std::size_t i) -> int {
+        ++executed;
+        if (throws[i]) {
+          throw NumericalError("task " + std::to_string(i));
+        }
+        return static_cast<int>(i);
+      });
+      EXPECT_EQ(first_thrower, n) << "round " << round;
+    } catch (const NumericalError& e) {
+      ASSERT_LT(first_thrower, n) << "round " << round;
+      EXPECT_NE(std::string(e.what())
+                    .find("task " + std::to_string(first_thrower)),
+                std::string::npos)
+          << e.what();
+    }
+    // No worker bailed early: every iteration ran exactly once.
+    EXPECT_EQ(executed.load(), n) << "round " << round;
   }
 }
 

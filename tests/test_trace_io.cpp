@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -65,6 +67,80 @@ TEST(TraceIo, ReadRejectsHeaderOnlyOrNarrow) {
 TEST(TraceIo, ReadRejectsNonNumeric) {
   std::istringstream is("slot,a\n0,abc\n");
   EXPECT_THROW(trace_io::read_rates(is), IoError);
+}
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(TraceIo, NonNumericErrorNamesSourceAndLine) {
+  std::istringstream is("slot,web\n0,35\n1,oops\n");
+  const std::string what = error_message(
+      [&] { (void)trace_io::read_rates(is, "workload.csv"); });
+  EXPECT_NE(what.find("workload.csv:3"), std::string::npos) << what;
+  EXPECT_NE(what.find("'web'"), std::string::npos) << what;
+  EXPECT_NE(what.find("oops"), std::string::npos) << what;
+}
+
+TEST(TraceIo, RejectsNonFiniteAndNegativeValues) {
+  // JSON-ish junk a corrupted export can carry: strtod parses "nan",
+  // "inf" and "1e999" to non-finite doubles — the reader must refuse
+  // them, naming the offending line.
+  for (const char* bad : {"nan", "inf", "1e999", "-3.5"}) {
+    std::istringstream rates(std::string("slot,a\n0,") + bad + "\n");
+    const std::string what = error_message(
+        [&] { (void)trace_io::read_rates(rates, "bad.csv"); });
+    EXPECT_NE(what.find("bad.csv:2"), std::string::npos)
+        << bad << " -> " << what;
+
+    std::istringstream prices(std::string("slot,dc\n0,") + bad + "\n");
+    EXPECT_THROW((void)trace_io::read_prices(prices, "bad.csv"), IoError)
+        << bad;
+  }
+}
+
+TEST(TraceIo, RejectsWrongColumnCountWithLocation) {
+  std::istringstream is("slot,a,b\n0,1,2\n1,3\n");
+  const std::string what = error_message(
+      [&] { (void)trace_io::read_rates(is, "ragged.csv"); });
+  EXPECT_NE(what.find("ragged.csv:3"), std::string::npos) << what;
+}
+
+TEST(TraceIo, RejectsEmbeddedNul) {
+  const std::string payload = std::string("slot,a\n0,1") + '\0' + "\n";
+  std::istringstream is(payload);
+  const std::string what = error_message(
+      [&] { (void)trace_io::read_rates(is, "nul.csv"); });
+  EXPECT_NE(what.find("nul.csv:2"), std::string::npos) << what;
+  EXPECT_NE(what.find("NUL"), std::string::npos) << what;
+}
+
+TEST(TraceIo, CorruptedFixtureRoundTripsAfterCleaning) {
+  // Round-trip through the writer then corrupt one cell on the wire:
+  // the clean bytes parse, the corrupted bytes fail with the exact
+  // line, and re-writing the parsed traces reproduces the clean bytes.
+  const std::vector<RateTrace> traces{RateTrace("alpha", {1.0, 2.5})};
+  std::ostringstream os;
+  trace_io::write_rates(os, traces);
+  const std::string clean = os.str();
+
+  std::istringstream ok(clean);
+  const auto parsed = trace_io::read_rates(ok, "clean.csv");
+  std::ostringstream rewritten;
+  trace_io::write_rates(rewritten, parsed);
+  EXPECT_EQ(rewritten.str(), clean);
+
+  std::string corrupted = clean;
+  corrupted.replace(corrupted.find("2.5"), 3, "x.y");
+  std::istringstream bad(corrupted);
+  const std::string what = error_message(
+      [&] { (void)trace_io::read_rates(bad, "dirty.csv"); });
+  EXPECT_NE(what.find("dirty.csv:3"), std::string::npos) << what;
 }
 
 }  // namespace

@@ -46,6 +46,11 @@ Json to_json(const WorkloadResult& w) {
   doc.set("slots_per_sec", Json(w.slots_per_sec()));
   doc.set("speedup", Json(w.speedup()));
   doc.set("plans_identical", Json(w.plans_identical));
+  doc.set("faulted_slots", Json(w.faulted_slots));
+  doc.set("repairs", Json(w.repairs));
+  Json rungs = Json::array();
+  for (const int r : w.fallback_rungs) rungs.push_back(Json(r));
+  doc.set("fallback_rungs", std::move(rungs));
   doc.set("solver", std::move(solver));
   return doc;
 }

@@ -19,6 +19,9 @@
 //         "slots_per_sec": 103.5,   // parallel arm
 //         "speedup": 3.50,          // serial_ms / parallel_ms
 //         "plans_identical": true,  // byte-identical plan JSON
+//         "faulted_slots": 0,       // slots a fault schedule touched
+//         "repairs": 0,             // PlanChecker::repair() adjustments
+//         "fallback_rungs": [1, 1], // per-slot ladder rung (1..5)
 //         "solver": {
 //           "profiles_examined": 1536,
 //           "profiles_pruned": 410,
@@ -61,6 +64,13 @@ struct WorkloadResult {
   bool plans_identical = false;
   /// Solver-effort counters of the parallel arm (RunResult::stats).
   PolicyStats solver;
+  /// Resilience telemetry of the parallel arm (zero / empty on plain
+  /// workloads): slots the fault schedule touched, total
+  /// PlanChecker::repair() adjustments, and the per-slot ladder rung
+  /// (1 = full solve ... 5 = shed-all; docs/RESILIENCE.md).
+  std::size_t faulted_slots = 0;
+  std::size_t repairs = 0;
+  std::vector<int> fallback_rungs;
 
   double speedup() const {
     return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;

@@ -17,6 +17,12 @@
 //   palb check-plan <scenario|file.json> <plans.json> [--tol X] [--no-deadline]
 //       verify stored plans against the paper's constraint system
 //       (Eq. 6/7/8, stability, rate sanity); exit 1 on any violation
+//   palb inject <scenario|file.json> <canned|random:SEED|faults.json>
+//       [--slots N] [--policy optimized|balanced] [--workers N]
+//       drive the policy through the fault schedule behind the
+//       ResilientController and print the per-slot rung/profit table
+//       (docs/RESILIENCE.md), plus the shed-all baseline and what the
+//       *unwrapped* policy would have done with the same faults
 //   palb bench [--smoke] [--out FILE] [--workers N] [--min-speedup X]
 //       time the parallel slot pipeline against the 1-worker baseline
 //       and write a machine-readable palb-bench-v1 report
@@ -49,6 +55,9 @@
 #include "core/plan_json.hpp"
 #include "core/scenario_gen.hpp"
 #include "core/scenario_json.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_json.hpp"
+#include "fault/resilient_controller.hpp"
 #include "forecast/forecasting_controller.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/csv.hpp"
@@ -71,6 +80,9 @@ int usage() {
                "  palb replay <scenario|file.json> <plans.json>\n"
                "  palb check-plan <scenario|file.json> <plans.json> "
                "[--tol X] [--no-deadline]\n"
+               "  palb inject <scenario|file.json> "
+               "<canned|random:SEED|faults.json> [--slots N] "
+               "[--policy optimized|balanced] [--workers N]\n"
                "  palb bench [--smoke] [--out FILE] [--workers N] "
                "[--min-speedup X]\n"
                "built-ins: basic-low basic-high worldcup google; also random:SEED\n");
@@ -326,6 +338,107 @@ int cmd_check_plan(const Args& args) {
   return 1;
 }
 
+FaultSchedule resolve_schedule(const std::string& name, const Scenario& sc,
+                               std::size_t slots) {
+  if (name == "canned") return fault_gen::canned_acceptance();
+  if (ends_with(name, ".json")) return fault_json::load(name);
+  if (name.rfind("random:", 0) == 0) {
+    fault_gen::Options opt;
+    opt.slots = slots;
+    return fault_gen::generate(sc.topology, std::stoull(name.substr(7)),
+                               opt);
+  }
+  throw InvalidArgument("unknown fault schedule '" + name +
+                        "' (not \"canned\", not random:SEED, not a .json "
+                        "file)");
+}
+
+int cmd_inject(const Args& args) {
+  // Run schedule x policy behind the ResilientController and print the
+  // rung/profit table; then show what the *unwrapped* policy would have
+  // done facing the same raw telemetry.
+  if (args.positional.size() != 2) return usage();
+  const Scenario sc = resolve_scenario(args.positional[0]);
+  const std::size_t slots =
+      args.options.count("slots")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("slots")))
+          : std::min<std::size_t>(24, default_slots(sc));
+  const FaultSchedule schedule =
+      resolve_schedule(args.positional[1], sc, slots);
+  const std::string which = args.options.count("policy")
+                                ? args.options.at("policy")
+                                : std::string("optimized");
+
+  std::unique_ptr<Policy> policy;
+  if (which == "optimized") {
+    policy = std::make_unique<OptimizedPolicy>();
+  } else if (which == "balanced") {
+    policy = std::make_unique<BalancedPolicy>();
+  } else {
+    throw InvalidArgument("unknown policy '" + which +
+                          "' (optimized|balanced)");
+  }
+
+  ResilientController controller(sc, schedule);
+  ResilientController::Options ropt;
+  if (args.options.count("workers")) {
+    ropt.workers =
+        static_cast<std::size_t>(std::stoul(args.options.at("workers")));
+  }
+  const RunResult run = controller.run(*policy, slots, 0, ropt);
+
+  TextTable t({"slot", "faulted", "rung", "repairs", "net profit $"});
+  for (std::size_t i = 0; i < slots; ++i) {
+    t.add_row({std::to_string(i),
+               schedule.faulted(i) ? std::string("yes") : std::string("-"),
+               to_string(static_cast<FallbackRung>(run.fallback_rungs[i])),
+               std::to_string(run.repair_adjustments[i]),
+               format_double(run.slots[i].net_profit(), 2)});
+  }
+  std::printf("%zu slot(s), %zu faulted | policy %s\n%s", slots,
+              run.faulted_slots, which.c_str(), t.render().c_str());
+
+  // Shed-all baseline: the zero plan applied to every faulted world —
+  // the profit floor the ladder must beat to be worth having.
+  double shed_profit = 0.0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const FaultedSlot world = schedule.materialize(sc, i);
+    shed_profit +=
+        evaluate_plan(world.topology, world.input,
+                      DispatchPlan::zero(world.topology))
+            .net_profit();
+  }
+  std::printf(
+      "resilient net profit $%s | shed-all baseline $%s | repairs %zu\n",
+      format_double(run.total.net_profit(), 2).c_str(),
+      format_double(shed_profit, 2).c_str(), run.total_repairs());
+
+  // The same faults without the ladder: feed the raw telemetry (NaN
+  // gaps and all) straight to a fresh policy instance.
+  std::unique_ptr<Policy> naked = policy->clone();
+  Policy& unwrapped = naked ? *naked : *policy;
+  bool failed = false;
+  for (std::size_t i = 0; i < slots && !failed; ++i) {
+    const FaultedSlot world = schedule.materialize(sc, i);
+    try {
+      if (world.solver_failure) {
+        throw NumericalError("injected solver failure");
+      }
+      (void)unwrapped.plan_slot(world.topology, world.raw_input);
+    } catch (const std::exception& e) {
+      std::printf("unwrapped %s fails at slot %zu: %s\n", which.c_str(), i,
+                  e.what());
+      failed = true;
+    }
+  }
+  if (!failed) {
+    std::printf("unwrapped %s survived this schedule (no corrupt inputs "
+                "or solver failures hit it)\n",
+                which.c_str());
+  }
+  return 0;
+}
+
 int cmd_forecast(const Args& args) {
   if (args.positional.empty()) return usage();
   const Scenario sc = resolve_scenario(args.positional[0]);
@@ -437,6 +550,55 @@ benchjson::WorkloadResult run_bench_workload(const BenchWorkload& wl,
   return out;
 }
 
+/// The fault-injected arm of the bench: the canned acceptance schedule
+/// (DC 0 dark 8-11, trace gaps at 3 and 15, a forced solver failure at
+/// 19) driven through the ResilientController, serial vs parallel, so
+/// the report tracks both the ladder's overhead and its determinism.
+benchjson::WorkloadResult run_resilience_workload(std::size_t workers) {
+  const Scenario sc = resolve_scenario("basic-low");
+  const FaultSchedule schedule = fault_gen::canned_acceptance();
+  const ResilientController controller(sc, schedule);
+  OptimizedPolicy::Options popt;
+  popt.parallel = false;
+
+  benchjson::WorkloadResult out;
+  out.name = "resilience_basic";
+  out.scenario = "basic-low";
+  out.slots = 24;
+  out.workers = workers;
+
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ms = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+  };
+
+  ResilientController::Options serial_opt;
+  serial_opt.workers = 1;
+  OptimizedPolicy serial_policy(popt);
+  auto t0 = Clock::now();
+  const RunResult serial =
+      controller.run(serial_policy, out.slots, 0, serial_opt);
+  out.serial_ms = elapsed_ms(t0);
+
+  ResilientController::Options parallel_opt;
+  parallel_opt.workers = workers;
+  OptimizedPolicy parallel_policy(popt);
+  t0 = Clock::now();
+  const RunResult parallel =
+      controller.run(parallel_policy, out.slots, 0, parallel_opt);
+  out.parallel_ms = elapsed_ms(t0);
+
+  out.plans_identical = plan_json::run_to_json(serial).dump() ==
+                            plan_json::run_to_json(parallel).dump() &&
+                        serial.fallback_rungs == parallel.fallback_rungs;
+  out.solver = parallel.stats;
+  out.faulted_slots = parallel.faulted_slots;
+  out.repairs = parallel.total_repairs();
+  out.fallback_rungs = parallel.fallback_rungs;
+  return out;
+}
+
 int cmd_bench(const Args& args) {
   const bool smoke = args.options.count("smoke") > 0;
   const std::string out_path = args.options.count("out")
@@ -466,6 +628,9 @@ int cmd_bench(const Args& args) {
                  wl.name.c_str(), wl.slots, workers);
     results.push_back(run_bench_workload(wl, workers));
   }
+  std::fprintf(stderr, "bench: resilience_basic (24 slots, %zu workers)...\n",
+               workers);
+  results.push_back(run_resilience_workload(workers));
 
   benchjson::write_file(out_path,
                         benchjson::document(hardware, workers, smoke,
@@ -559,6 +724,7 @@ int main(int argc, char** argv) {
     if (cmd == "check-plan") {
       return cmd_check_plan(parse_args(argc, argv, 2));
     }
+    if (cmd == "inject") return cmd_inject(parse_args(argc, argv, 2));
     if (cmd == "bench") return cmd_bench(parse_args(argc, argv, 2));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
