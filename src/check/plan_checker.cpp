@@ -461,9 +461,16 @@ int default_plan_checks() {
 bool plan_checks_enabled() {
   int mode = g_plan_checks.load(std::memory_order_relaxed);
   if (mode < 0) {
-    mode = default_plan_checks();
-    // Multiple threads may race here; they all compute the same default.
-    g_plan_checks.store(mode, std::memory_order_relaxed);
+    // Lazy env resolution via CAS: the unconditional store this
+    // replaces was a check-then-act — a thread parked between "observe
+    // -1" and "store default" could clobber a concurrent
+    // set_plan_checks_enabled() override. The CAS only ever fills the
+    // unresolved slot; if someone else resolved (or overrode) first,
+    // their value wins and we re-read it.
+    int expected = -1;
+    g_plan_checks.compare_exchange_strong(expected, default_plan_checks(),
+                                          std::memory_order_relaxed);
+    mode = g_plan_checks.load(std::memory_order_relaxed);
   }
   return mode != 0;
 }

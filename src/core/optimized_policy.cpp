@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
+#include <utility>
 
 #include "check/plan_checker.hpp"
 #include "queueing/mm1.hpp"
 #include "solver/simplex.hpp"
 #include "units/units.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -91,6 +93,35 @@ units::Seconds worst_propagation(const Topology& topo, const SlotInput& input,
   }
   return worst;
 }
+
+/// Incumbent tracker shared by the parallel enumeration sweep.
+/// Lexicographic (objective, lowest index): exact-objective ties would
+/// otherwise resolve by thread schedule. A named struct instead of a
+/// captured local + std::mutex so the lock discipline is
+/// capability-checked: the incumbent is unreachable without its mutex.
+class BestTracker {
+ public:
+  explicit BestTracker(ProfileOutcome initial) : best_(std::move(initial)) {}
+
+  void offer(ProfileOutcome&& outcome) PALB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (outcome.objective > best_.objective ||
+        (outcome.objective == best_.objective &&
+         outcome.index < best_.index)) {
+      best_ = std::move(outcome);
+    }
+  }
+
+  /// Moves the winner out; call once, after every worker has drained.
+  ProfileOutcome take() PALB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return std::move(best_);
+  }
+
+ private:
+  Mutex mutex_;
+  ProfileOutcome best_ PALB_GUARDED_BY(mutex_);
+};
 
 /// The band-deduced quantities an LP solve and the value bound share.
 struct ProfilePrep {
@@ -534,12 +565,12 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   phase1_skips_ = 0;
   basis_warm_hits_ = 0;
 
-  std::mutex best_mutex;
-  ProfileOutcome best;
-  best.feasible = true;
-  best.objective = 0.0;  // the all-off plan is always available
-  best.index = 0;        // ... and is profile 0 by construction
-  best.plan = DispatchPlan::zero(topo);
+  ProfileOutcome initial;
+  initial.feasible = true;
+  initial.objective = 0.0;  // the all-off plan is always available
+  initial.index = 0;        // ... and is profile 0 by construction
+  initial.plan = DispatchPlan::zero(topo);
+  BestTracker tracker(std::move(initial));
 
   std::atomic<std::uint64_t> examined{0};
   std::atomic<std::uint64_t> pruned{0};
@@ -567,13 +598,7 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
     if (!outcome.feasible) return -kInfinity;
     if (capture) *capture = std::move(outcome.basis);
     const double objective = outcome.objective;
-    std::lock_guard lock(best_mutex);
-    // Lexicographic (objective, lowest index): exact-objective ties would
-    // otherwise resolve by thread schedule in the parallel sweep.
-    if (objective > best.objective ||
-        (objective == best.objective && outcome.index < best.index)) {
-      best = std::move(outcome);
-    }
+    tracker.offer(std::move(outcome));
     return objective;
   };
   auto consider = [&](const Profile& profile, std::uint64_t index,
@@ -661,11 +686,6 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
         body(static_cast<std::size_t>(i));
       }
     }
-    cache_.valid = true;
-    cache_.winning_index = best.index;
-    cache_.radices = profile_radices(topo);
-    cache_.arrival_rate = input.arrival_rate;
-    cache_.price = input.price;
   } else {
     // First-improvement local search over profile cells from several
     // deterministic/random starting profiles.
@@ -731,6 +751,18 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
         }
       }
     }
+  }
+
+  // Every worker has drained (parallel_for joins before returning), so
+  // the incumbent is final; the cache write happens here — after the
+  // sweep — because it records the *winning* index.
+  const ProfileOutcome best = tracker.take();
+  if (enumerated) {
+    cache_.valid = true;
+    cache_.winning_index = best.index;
+    cache_.radices = profile_radices(topo);
+    cache_.arrival_rate = input.arrival_rate;
+    cache_.price = input.price;
   }
 
   profiles_examined_ = examined.load();

@@ -1,0 +1,48 @@
+#include "core/plan_handle.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/mutex.hpp"
+
+namespace palb {
+
+PlanHandle::Snapshot PlanHandle::acquire() const {
+  std::shared_ptr<const Node> node;
+  {
+    MutexLock lock(snap_mutex_);
+    node = current_;
+  }
+  if (!node) return Snapshot{};
+  // Aliasing constructor: the snapshot's plan pointer borrows the
+  // node's refcount, so (plan, version) stay coherent and alive
+  // together no matter how many publishes happen meanwhile.
+  return Snapshot{
+      std::shared_ptr<const DispatchPlan>(node, &node->plan),
+      node->version};
+}
+
+std::uint64_t PlanHandle::version() const {
+  MutexLock lock(snap_mutex_);
+  return current_ ? current_->version : 0;
+}
+
+std::uint64_t PlanHandle::publish(DispatchPlan plan) {
+  MutexLock lock(mutex_);
+  return publish_locked(std::move(plan));
+}
+
+std::uint64_t PlanHandle::publish_locked(DispatchPlan plan) {
+  const std::uint64_t version = ++version_;
+  // Node construction (the plan move) happens outside snap_mutex_, so
+  // readers are only ever blocked for the pointer assignment.
+  auto node = std::make_shared<Node>();
+  node->plan = std::move(plan);
+  node->version = version;
+  MutexLock lock(snap_mutex_);
+  current_ = std::move(node);
+  return version;
+}
+
+}  // namespace palb

@@ -4,8 +4,12 @@
 #include <memory>
 #include <string>
 
-#include "cloud/model.hpp"
-#include "cloud/plan.hpp"
+// Exported deliberately: the Policy interface trades in Topology /
+// SlotInput / DispatchPlan, so including a policy header means using
+// the cloud vocabulary — every policy implementation and caller relies
+// on this seam.
+#include "cloud/model.hpp"  // IWYU pragma: export
+#include "cloud/plan.hpp"   // IWYU pragma: export
 
 namespace palb {
 

@@ -215,6 +215,10 @@ RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
       try_rung(FallbackRung::kShedAll, DispatchPlan::zero(world.topology));
     }
     previous = &result.plans[t];
+    // Hot-swap the applied plan for concurrent readers. Publishing
+    // *after* the ladder accepts means a reader can never acquire() a
+    // plan that failed its audit.
+    if (options.live != nullptr) options.live->publish(result.plans[t]);
   }
 
   result.total = accumulate(result.slots);

@@ -5,6 +5,7 @@
 
 #include "check/plan_checker.hpp"
 #include "core/controller.hpp"
+#include "core/plan_handle.hpp"
 #include "fault/fault.hpp"
 
 namespace palb {
@@ -55,6 +56,12 @@ class ResilientController {
     /// Rung-4 heuristic override (not owned; must outlive the
     /// controller). nullptr = an internal BalancedPolicy.
     Policy* heuristic = nullptr;
+    /// Optional live-plan cell (not owned): every plan the ladder
+    /// applies is publish()ed here the moment it is accepted, in slot
+    /// order, so concurrent readers — the seed of the ROADMAP's
+    /// fast-path dispatcher — always acquire() a checked, coherent
+    /// plan while the run is still in flight.
+    PlanHandle* live = nullptr;
   };
 
   ResilientController(Scenario scenario, FaultSchedule schedule);

@@ -1,0 +1,79 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros (tier 5 of
+// docs/STATIC_ANALYSIS.md). Under clang with -Wthread-safety the
+// annotations make lock-discipline errors — reading a PALB_GUARDED_BY
+// member without its mutex, calling a PALB_REQUIRES function unlocked,
+// double-acquiring a capability — *compile errors* (the thread-safety
+// preset promotes the warnings with -Werror=thread-safety). Off clang
+// every macro expands to nothing, so gcc builds are unaffected and the
+// annotations cost zero at runtime everywhere.
+//
+// The macro set mirrors the canonical clang/abseil vocabulary with a
+// PALB_ prefix; src/util/mutex.hpp provides the annotated Mutex /
+// MutexLock / CondVar wrappers every palb component synchronizes with.
+// tests/compile_fail/thread_safety_cases/ holds the negative-compilation
+// suite proving misuse is rejected.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PALB_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PALB_TSA_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability ("mutex" in diagnostics).
+#define PALB_CAPABILITY(x) PALB_TSA_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type that acquires on construction, releases on
+/// destruction (MutexLock).
+#define PALB_SCOPED_CAPABILITY PALB_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define PALB_GUARDED_BY(x) PALB_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PALB_PT_GUARDED_BY(x) PALB_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed
+/// capabilities (and does not release them).
+#define PALB_REQUIRES(...) \
+  PALB_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquiring the listed capabilities (caller must not hold).
+#define PALB_ACQUIRE(...) \
+  PALB_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releasing the listed capabilities (caller must hold).
+#define PALB_RELEASE(...) \
+  PALB_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that acquires only when it returns `ret` (try_lock).
+#define PALB_TRY_ACQUIRE(ret, ...) \
+  PALB_TSA_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function the caller must NOT hold the listed capabilities around —
+/// the machine-checked "this locks internally" contract.
+#define PALB_EXCLUDES(...) PALB_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares lock-ordering edges (deadlock-freedom documentation the
+/// analysis checks where it can).
+#define PALB_ACQUIRED_BEFORE(...) \
+  PALB_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define PALB_ACQUIRED_AFTER(...) \
+  PALB_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the named capability (lets callers
+/// write MutexLock lock(h.publish_mutex()) and have the analysis track
+/// it as `h`'s mutex).
+#define PALB_RETURN_CAPABILITY(x) PALB_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Asserts (not acquires) that the capability is held — for fan-in
+/// callbacks that inherit a lock the analysis cannot see.
+#define PALB_ASSERT_CAPABILITY(x) \
+  PALB_TSA_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: body not analyzed. Every use must say why — the
+/// wrappers use it only where std primitives (condition_variable
+/// re-lock protocols) are invisible to the analysis.
+#define PALB_NO_THREAD_SAFETY_ANALYSIS \
+  PALB_TSA_ATTRIBUTE(no_thread_safety_analysis)

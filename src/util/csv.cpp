@@ -1,9 +1,10 @@
 #include "util/csv.hpp"
 
-#include <charconv>
 #include <fstream>
+#include <istream>
 #include <ostream>
-#include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "util/error.hpp"
 

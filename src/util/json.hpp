@@ -1,9 +1,9 @@
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
 #include <map>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace palb {

@@ -2,13 +2,29 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace palb {
 
 namespace {
+
+/// The level gate stays a lone atomic: it is a monotonic filter read on
+/// every emission, and a stale read only mis-drops one borderline line.
+/// Everything stateful about *where* lines go lives under one annotated
+/// mutex. The previous design kept an unsynchronized registration flag
+/// next to the I/O mutex — a check-then-act race where an emitter could
+/// observe "sink registered", lose the CPU, and then invoke a sink that
+/// a concurrent set_log_sink() had already torn down. Now the sink is
+/// read, and invoked, under the same mutex that set_log_sink() swaps it
+/// under; GUARDED_BY makes the discipline machine-checked.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_io_mutex;
+
+Mutex g_sink_mutex;
+LogSink g_sink PALB_GUARDED_BY(g_sink_mutex);
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,15 +39,27 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+LogSink set_log_sink(LogSink sink) {
+  MutexLock lock(g_sink_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard lock(g_io_mutex);
+  MutexLock lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,7 +13,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr: "[level] message". Thread-safe.
+/// Receives every emitted (level-passing) line. Called with the logger's
+/// sink mutex held, so invocations are serialized; keep sinks fast and
+/// never log from inside one (self-deadlock).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the destination of all subsequent messages; an empty
+/// function restores the default stderr sink. Thread-safe against
+/// concurrent emission: the swap and every use of the sink happen under
+/// one mutex — there is deliberately no "is a sink registered?" fast
+/// path, because checking a flag and then locking to fetch the sink is
+/// exactly the check-then-act race that lets an emitter use a sink
+/// being deregistered. Returns the previous sink (empty if stderr).
+LogSink set_log_sink(LogSink sink);
+
+/// Emits one line — "[level] message" to stderr, or the registered
+/// sink. Thread-safe.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

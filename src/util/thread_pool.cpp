@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <exception>
+#include <functional>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
 
-#include "util/error.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace palb {
 
@@ -22,13 +29,13 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   // joinable() flips to false under join_mutex_, so concurrent callers
   // split the joins between them instead of double-joining.
-  std::lock_guard join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -38,8 +45,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      // Manual wait loop instead of a predicate lambda: the predicate
+      // reads guarded state, and here the analysis can see mutex_ held
+      // around both the reads and the wait.
+      while (!stopping_ && jobs_.empty()) cv_.wait(mutex_);
       if (jobs_.empty()) return;  // stopping_ with a drained queue
       job = std::move(jobs_.front());
       jobs_.pop();
@@ -47,6 +57,39 @@ void ThreadPool::worker_loop() {
     job();
   }
 }
+
+namespace {
+
+/// The parallel_for fault slot: the exception of the lowest-index
+/// failing iteration, whatever the race to fail looked like. A named
+/// struct (instead of captured locals) so the lock discipline is
+/// machine-checked: both members are GUARDED_BY the slot's mutex.
+struct FirstErrorSlot {
+  Mutex mutex;
+  std::exception_ptr error PALB_GUARDED_BY(mutex);
+  std::size_t index PALB_GUARDED_BY(mutex) = 0;
+
+  void record(std::size_t i) PALB_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    if (!error || i < index) {
+      error = std::current_exception();
+      index = i;
+    }
+  }
+
+  /// Single-threaded by the time it runs (all futures collected), but
+  /// locking is cheap and keeps the annotation story uniform.
+  void rethrow_if_set() PALB_EXCLUDES(mutex) {
+    std::exception_ptr to_throw;
+    {
+      MutexLock lock(mutex);
+      to_throw = error;
+    }
+    if (to_throw) std::rethrow_exception(to_throw);
+  }
+};
+
+}  // namespace
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
@@ -58,9 +101,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   // its share of [0, n) regardless, and the caller sees the exception of
   // the *lowest-index* failing iteration — deterministic no matter which
   // worker hit its failure first.
-  std::exception_ptr first_error = nullptr;
-  std::size_t first_error_index = 0;
-  std::mutex error_mutex;
+  FirstErrorSlot first_error;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -71,17 +112,13 @@ void parallel_for(ThreadPool& pool, std::size_t n,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error || i < first_error_index) {
-            first_error = std::current_exception();
-            first_error_index = i;
-          }
+          first_error.record(i);
         }
       }
     }));
   }
   for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

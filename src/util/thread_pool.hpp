@@ -1,15 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace palb {
 
@@ -37,13 +37,14 @@ class ThreadPool {
   /// Enqueues a task; the returned future rethrows any task exception.
   /// Throws InvalidArgument if the pool has begun shutting down.
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>>
+      PALB_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       PALB_CHECK(!stopping_,
                  "submit() on a ThreadPool that is shutting down");
       jobs_.emplace([task] { (*task)(); });
@@ -55,18 +56,22 @@ class ThreadPool {
   /// Drains the queue and joins the workers. Every job accepted before
   /// (or while) this call runs to completion. Idempotent and safe to
   /// call from several threads concurrently; the destructor calls it.
-  void shutdown();
+  void shutdown() PALB_EXCLUDES(mutex_, join_mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() PALB_EXCLUDES(mutex_);
 
+  /// Written only by the constructor (single-threaded) and joined under
+  /// join_mutex_; size() reads the by-then-immutable length unlocked,
+  /// which is why the vector itself carries no GUARDED_BY.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> jobs_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  /// Serializes concurrent shutdown() callers around the joins.
-  std::mutex join_mutex_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  /// Serializes concurrent shutdown() callers around the joins. Never
+  /// nested with mutex_ (shutdown releases mutex_ before taking it).
+  Mutex join_mutex_;
+  std::queue<std::function<void()>> jobs_ PALB_GUARDED_BY(mutex_);
+  bool stopping_ PALB_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, n) across the pool, blocking until all finish.

@@ -1,0 +1,8 @@
+// Thread-safety negative-compilation case: CondVar::wait REQUIRES the
+// paired mutex — waiting without holding it is UB on the underlying
+// condition variable and must be rejected.
+#include "util/mutex.hpp"
+
+void wait_unlocked(palb::Mutex& mu, palb::CondVar& cv) {
+  cv.wait(mu);  // mutex not held: must not compile
+}

@@ -1,0 +1,11 @@
+// Thread-safety negative-compilation case: acquiring a capability the
+// caller already holds (self-deadlock on a non-recursive mutex) must be
+// rejected.
+#include "util/mutex.hpp"
+
+void double_acquire(palb::Mutex& mu) {
+  mu.lock();
+  mu.lock();  // already held: must not compile
+  mu.unlock();
+  mu.unlock();
+}

@@ -1,0 +1,18 @@
+// Thread-safety negative-compilation case: calling a PALB_EXCLUDES
+// function while holding the excluded mutex (the "this locks
+// internally" contract — violating it self-deadlocks) must be rejected.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+struct Registry {
+  palb::Mutex mutex;
+
+  void register_internally() PALB_EXCLUDES(mutex) {
+    palb::MutexLock lock(mutex);
+  }
+};
+
+void call_while_holding(Registry& registry) {
+  palb::MutexLock lock(registry.mutex);
+  registry.register_internally();  // EXCLUDES(mutex) violated: must not compile
+}

@@ -1,0 +1,9 @@
+// Thread-safety negative-compilation case: a function that acquires a
+// capability and returns without releasing it (a lock leak the scoped
+// MutexLock makes impossible) must be rejected.
+#include "util/mutex.hpp"
+
+void leak_lock(palb::Mutex& mu) {
+  mu.lock();
+  // returns with mu held: must not compile
+}

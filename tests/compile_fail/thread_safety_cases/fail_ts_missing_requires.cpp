@@ -1,0 +1,15 @@
+// Thread-safety negative-compilation case: calling a PALB_REQUIRES
+// function without holding the capability must be rejected.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+struct Ledger {
+  palb::Mutex mutex;
+  int entries PALB_GUARDED_BY(mutex) = 0;
+
+  void append() PALB_REQUIRES(mutex) { ++entries; }
+};
+
+void call_without_lock(Ledger& ledger) {
+  ledger.append();  // REQUIRES(mutex) not satisfied: must not compile
+}

@@ -1,0 +1,11 @@
+// Thread-safety negative-compilation case: PlanHandle::publish_locked
+// REQUIRES the handle's publish mutex; calling it without holding
+// publish_mutex() must be rejected.
+#include <utility>
+
+#include "core/plan_handle.hpp"
+
+void publish_without_lock(palb::PlanHandle& handle,
+                          palb::DispatchPlan plan) {
+  handle.publish_locked(std::move(plan));  // mutex not held: must not compile
+}

@@ -1,0 +1,15 @@
+// Thread-safety negative-compilation case: PlanHandle::publish EXCLUDES
+// the publish mutex (it locks internally); calling it while holding
+// publish_mutex() would self-deadlock and must be rejected. Exercises
+// PALB_RETURN_CAPABILITY: the analysis must recognize the MutexLock on
+// publish_mutex() as holding the handle's internal mutex.
+#include <utility>
+
+#include "core/plan_handle.hpp"
+#include "util/mutex.hpp"
+
+void publish_while_locked(palb::PlanHandle& handle,
+                          palb::DispatchPlan plan) {
+  palb::MutexLock lock(handle.publish_mutex());
+  handle.publish(std::move(plan));  // EXCLUDES violated: must not compile
+}

@@ -1,0 +1,7 @@
+// Thread-safety negative-compilation case: releasing a capability the
+// caller does not hold must be rejected.
+#include "util/mutex.hpp"
+
+void release_unheld(palb::Mutex& mu) {
+  mu.unlock();  // never acquired: must not compile
+}

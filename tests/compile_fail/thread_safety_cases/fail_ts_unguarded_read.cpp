@@ -1,0 +1,14 @@
+// Thread-safety negative-compilation case: reading a PALB_GUARDED_BY
+// member without holding its mutex must be rejected by clang's
+// -Wthread-safety (promoted to an error by the harness).
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+struct Account {
+  palb::Mutex mutex;
+  int balance PALB_GUARDED_BY(mutex) = 0;
+};
+
+int read_unlocked(Account& account) {
+  return account.balance;  // no lock held: must not compile
+}

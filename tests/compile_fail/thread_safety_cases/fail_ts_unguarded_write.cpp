@@ -1,0 +1,13 @@
+// Thread-safety negative-compilation case: writing a PALB_GUARDED_BY
+// member without holding its mutex must be rejected.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+struct Account {
+  palb::Mutex mutex;
+  int balance PALB_GUARDED_BY(mutex) = 0;
+};
+
+void write_unlocked(Account& account) {
+  account.balance = 7;  // no lock held: must not compile
+}

@@ -2,15 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace palb {
 namespace {
 
-/// The logger writes to stderr; these tests pin the level gate and the
-/// thread-safety contract (no crashes under concurrent emission).
+/// The logger writes to stderr or a registered sink; these tests pin
+/// the level gate, the sink-registration contract (no check-then-act
+/// window: a message is delivered to exactly the sink registered at
+/// emission time, under the sink mutex), and the thread-safety contract
+/// (no crashes under concurrent emission + registration churn).
 
 class LogLevelGuard {
  public:
@@ -19,6 +27,13 @@ class LogLevelGuard {
 
  private:
   LogLevel saved_;
+};
+
+/// Restores the default stderr sink on scope exit.
+class LogSinkGuard {
+ public:
+  LogSinkGuard() = default;
+  ~LogSinkGuard() { set_log_sink(LogSink{}); }
 };
 
 TEST(Log, DefaultLevelIsWarn) {
@@ -54,6 +69,86 @@ TEST(Log, StreamMacroBuildsMessages) {
   PALB_DEBUG << "value=" << 42 << " ratio=" << 1.5;
   PALB_INFO << "composed " << std::string("message");
   PALB_WARN << "warning path";
+  SUCCEED();
+}
+
+TEST(Log, SinkReceivesLevelPassingMessagesOnly) {
+  LogLevelGuard level_guard;
+  LogSinkGuard sink_guard;
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  set_log_sink([&seen](LogLevel level, const std::string& message) {
+    seen.emplace_back(level, message);
+  });
+  log_message(LogLevel::kDebug, "below threshold");
+  log_message(LogLevel::kWarn, "at threshold");
+  log_message(LogLevel::kError, "above threshold");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, LogLevel::kWarn);
+  EXPECT_EQ(seen[0].second, "at threshold");
+  EXPECT_EQ(seen[1].first, LogLevel::kError);
+  EXPECT_EQ(seen[1].second, "above threshold");
+}
+
+TEST(Log, SetSinkReturnsThePreviousSink) {
+  LogSinkGuard sink_guard;
+  LogSink previous = set_log_sink(
+      [](LogLevel, const std::string&) { /* first sink */ });
+  EXPECT_FALSE(previous);  // default stderr sink reports as empty
+  previous = set_log_sink(LogSink{});
+  EXPECT_TRUE(previous);  // the first sink comes back out
+}
+
+TEST(Log, StreamMacrosReachTheSink) {
+  LogLevelGuard level_guard;
+  LogSinkGuard sink_guard;
+  set_log_level(LogLevel::kDebug);
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, const std::string& message) {
+    lines.push_back(message);
+  });
+  PALB_DEBUG << "value=" << 42;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "value=42");
+}
+
+TEST(Log, ConcurrentEmissionAndSinkChurnIsSafe) {
+  // The regression this pins: emitters racing set_log_sink() must never
+  // invoke a torn-down sink (the old check-then-act window). The
+  // counting sink outlives the churn, so any use-after-swap would be a
+  // TSan hit or a crash rather than a flaky count.
+  LogLevelGuard level_guard;
+  LogSinkGuard sink_guard;
+  set_log_level(LogLevel::kDebug);
+  struct Counter {
+    Mutex mutex;
+    std::size_t count PALB_GUARDED_BY(mutex) = 0;
+    void bump() PALB_EXCLUDES(mutex) {
+      MutexLock lock(mutex);
+      ++count;
+    }
+  };
+  auto counter = std::make_shared<Counter>();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        log_message(LogLevel::kError,
+                    "thread " + std::to_string(t) + " line " +
+                        std::to_string(i));
+      }
+    });
+  }
+  threads.emplace_back([&counter] {
+    for (int i = 0; i < 50; ++i) {
+      set_log_sink([counter](LogLevel, const std::string&) {
+        counter->bump();
+      });
+      set_log_sink([](LogLevel, const std::string&) { /* drop */ });
+    }
+    set_log_sink([](LogLevel, const std::string&) { /* final: quiet */ });
+  });
+  for (auto& th : threads) th.join();
   SUCCEED();
 }
 

@@ -1,0 +1,172 @@
+#include "core/plan_handle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cloud/plan.hpp"
+#include "core/balanced_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "fault/fault.hpp"
+#include "fault/resilient_controller.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/mutex.hpp"
+
+namespace palb {
+namespace {
+
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+/// A plan whose every routing entry equals `stamp` — so a reader can
+/// verify a snapshot is internally coherent (no torn half-old plan).
+DispatchPlan stamped_plan(const Topology& topo, double stamp) {
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  for (auto& per_class : plan.rate) {
+    for (auto& per_frontend : per_class) {
+      for (double& rate : per_frontend) rate = stamp;
+    }
+  }
+  return plan;
+}
+
+TEST(PlanHandle, EmptyBeforeFirstPublish) {
+  PlanHandle handle;
+  const PlanHandle::Snapshot snap = handle.acquire();
+  EXPECT_FALSE(snap);
+  EXPECT_EQ(snap.plan, nullptr);
+  EXPECT_EQ(snap.version, 0u);
+  EXPECT_EQ(handle.version(), 0u);
+}
+
+TEST(PlanHandle, PublishBumpsVersionAndSwapsThePlan) {
+  const Topology topo = small_topology();
+  PlanHandle handle;
+  EXPECT_EQ(handle.publish(stamped_plan(topo, 1.0)), 1u);
+  EXPECT_EQ(handle.publish(stamped_plan(topo, 2.0)), 2u);
+  EXPECT_EQ(handle.version(), 2u);
+  const PlanHandle::Snapshot snap = handle.acquire();
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap.version, 2u);
+  EXPECT_DOUBLE_EQ(snap.plan->rate[0][0][0], 2.0);
+}
+
+TEST(PlanHandle, SnapshotSurvivesLaterPublishes) {
+  const Topology topo = small_topology();
+  PlanHandle handle;
+  handle.publish(stamped_plan(topo, 1.0));
+  const PlanHandle::Snapshot old_snap = handle.acquire();
+  handle.publish(stamped_plan(topo, 2.0));
+  handle.publish(stamped_plan(topo, 3.0));
+  // RCU grace-period semantics: the old snapshot is immutable and alive
+  // until this reader lets go, regardless of how many swaps landed.
+  ASSERT_TRUE(old_snap);
+  EXPECT_EQ(old_snap.version, 1u);
+  EXPECT_DOUBLE_EQ(old_snap.plan->rate[1][1][1], 1.0);
+  EXPECT_EQ(handle.acquire().version, 3u);
+}
+
+TEST(PlanHandle, TwoStepLockedPublishSerializesReadModifyPublish) {
+  const Topology topo = small_topology();
+  PlanHandle handle;
+  handle.publish(stamped_plan(topo, 5.0));
+  {
+    MutexLock lock(handle.publish_mutex());
+    // Decide against the incumbent, then swap atomically w.r.t. other
+    // writers — the canonical two-step surface.
+    const PlanHandle::Snapshot incumbent = handle.acquire();
+    ASSERT_TRUE(incumbent);
+    DispatchPlan next = stamped_plan(topo, incumbent.plan->rate[0][0][0] + 1.0);
+    EXPECT_EQ(handle.publish_locked(std::move(next)), 2u);
+  }
+  EXPECT_DOUBLE_EQ(handle.acquire().plan->rate[0][0][0], 6.0);
+}
+
+TEST(PlanHandleDeterminism, ConcurrentReadersSeeOnlyCoherentSnapshots) {
+  // The dispatcher-seed contract: while a writer hot-swaps stamped
+  // plans, every reader snapshot must be (a) internally uniform — all
+  // entries carry one stamp, never a torn mix — and (b) version-coherent
+  // — the stamp must equal the snapshot's version. Runs under the tsan
+  // preset (test name matches the ctest filter).
+  const Topology topo = small_topology();
+  PlanHandle handle;
+  constexpr std::uint64_t kPublishes = 400;
+  constexpr std::size_t kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> incoherent{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const PlanHandle::Snapshot snap = handle.acquire();
+        if (!snap) continue;
+        if (snap.version < last_version) incoherent.fetch_add(1);
+        last_version = snap.version;
+        const double stamp = static_cast<double>(snap.version);
+        for (const auto& per_class : snap.plan->rate) {
+          for (const auto& per_frontend : per_class) {
+            for (double rate : per_frontend) {
+              if (rate != stamp) incoherent.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::uint64_t v = 1; v <= kPublishes; ++v) {
+    handle.publish(stamped_plan(topo, static_cast<double>(v)));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(incoherent.load(), 0u);
+  EXPECT_EQ(handle.version(), kPublishes);
+}
+
+TEST(PlanHandleDeterminism, ResilientControllerPublishesEveryAppliedPlan) {
+  // Dog-food: the ladder publishes each applied plan as it is accepted,
+  // so a concurrent reader only ever acquires audited plans and the
+  // final version equals the slot count.
+  const Scenario sc = paper::basic_synthetic(paper::ArrivalSet::kLow);
+  const FaultSchedule schedule;  // clean run: rung 1 everywhere
+  const ResilientController controller(sc, schedule);
+  PlanHandle live;
+  ResilientController::Options options;
+  options.live = &live;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> empty_after_first{0};
+  std::thread reader([&] {
+    bool seen_any = false;
+    while (!done.load(std::memory_order_acquire)) {
+      const PlanHandle::Snapshot snap = live.acquire();
+      if (snap) {
+        seen_any = true;
+      } else if (seen_any) {
+        empty_after_first.fetch_add(1);  // plans must never un-publish
+      }
+    }
+  });
+
+  BalancedPolicy policy;
+  constexpr std::size_t kSlots = 6;
+  const RunResult result = controller.run(policy, kSlots, 0, options);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(live.version(), kSlots);
+  EXPECT_EQ(empty_after_first.load(), 0u);
+  const PlanHandle::Snapshot last = live.acquire();
+  ASSERT_TRUE(last);
+  // The published plan is byte-identical to the run's applied plan.
+  EXPECT_EQ(last.plan->rate, result.plans.back().rate);
+}
+
+}  // namespace
+}  // namespace palb

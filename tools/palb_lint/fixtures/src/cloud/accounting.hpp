@@ -1,0 +1,18 @@
+// Fixture: shared declarations for the P1 cases. This path
+// (src/cloud/accounting.hpp) is on the P1 allowlist — like the real
+// accounting.hpp, the scorer declarations live at an audited path, so
+// the tokens here must lint clean.
+#pragma once
+
+struct Topology {};
+struct SlotInput {};
+struct DispatchPlan {};
+struct SlotMetrics {};
+
+SlotMetrics evaluate_plan(const Topology&, const SlotInput&,
+                          const DispatchPlan&);
+
+struct Sim {
+  SlotMetrics simulate(const Topology&, const SlotInput&,
+                       const DispatchPlan&);
+};

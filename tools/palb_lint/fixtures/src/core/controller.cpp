@@ -1,0 +1,8 @@
+// Fixture: P1 negative case. This path (src/core/controller.cpp) is an
+// audited scorer call site, so evaluate_plan() here must lint clean.
+#include "../cloud/accounting.hpp"
+
+SlotMetrics audited_score(const Topology& topology, const SlotInput& input,
+                          const DispatchPlan& plan) {
+  return evaluate_plan(topology, input, plan);
+}

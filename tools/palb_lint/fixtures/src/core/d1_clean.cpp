@@ -1,0 +1,15 @@
+// Fixture: D1 negative case. Deterministic code in src/core/ — ordered
+// containers, no clocks, no PRNGs. Mentions of rand() or time() in
+// comments or string literals must NOT fire:
+//   std::rand(); std::time(nullptr); std::unordered_map<int, int> m;
+#include <map>
+#include <string>
+
+int ordered_sum() {
+  std::map<int, int> histogram;
+  histogram[1] = 2;
+  const std::string doc = "policies must not call rand() or time()";
+  int sum = static_cast<int>(doc.size());
+  for (const auto& [key, count] : histogram) sum += key * count;
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: D1 suppressed case. Both suppression placements — trailing
+// on the offending line, and a standalone comment on the line above —
+// carry a reason, so the file must lint clean.
+#include <random>
+
+// palb-lint: allow(D1) fixture exercising the standalone suppression form
+std::mt19937 make_engine() {
+  std::random_device seed;  // palb-lint: allow(D1) fixture: trailing suppression form
+  return std::mt19937(seed());  // palb-lint: allow(D1) fixture: second trailing suppression
+}

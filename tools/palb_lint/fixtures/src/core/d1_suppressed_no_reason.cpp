@@ -1,0 +1,8 @@
+// Fixture: D1 suppression-without-reason case. The allow() carries no
+// reason, so palb_lint must reject the suppression (LINT finding) AND
+// still report the underlying D1 finding.
+#include <cstdlib>
+
+int bad_seed() {
+  return std::rand();  // palb-lint: allow(D1)
+}

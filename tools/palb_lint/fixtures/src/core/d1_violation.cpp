@@ -1,0 +1,16 @@
+// Fixture: D1 positive case. A PRNG, a wall-clock call, and an
+// unordered container inside src/core/ — palb_lint must flag all three.
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+int jitter_seed() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return std::rand();
+}
+
+int bucket_count() {
+  std::unordered_map<int, int> histogram;
+  histogram[1] = 2;
+  return static_cast<int>(histogram.size());
+}

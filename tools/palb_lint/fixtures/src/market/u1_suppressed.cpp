@@ -1,0 +1,10 @@
+// Fixture: U1 suppressed case. The `.value()` escape is annotated with
+// a reasoned suppression, so the file must lint clean.
+struct Price {
+  double raw = 0.0;
+  double value() const { return raw; }
+};
+
+double audited_boundary(const Price& p) {
+  return p.value();  // palb-lint: allow(U1) fixture: serializing to an external ledger format
+}

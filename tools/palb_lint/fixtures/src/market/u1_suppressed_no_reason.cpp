@@ -1,0 +1,11 @@
+// Fixture: U1 suppression-without-reason case. Must be rejected: the
+// LINT finding fires and the underlying U1 finding still reports.
+struct Price {
+  double raw = 0.0;
+  double value() const { return raw; }
+};
+
+double unaudited_boundary(const Price& p) {
+  // palb-lint: allow(U1)
+  return p.value();
+}

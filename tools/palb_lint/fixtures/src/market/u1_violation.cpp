@@ -1,0 +1,10 @@
+// Fixture: U1 positive case. `.value()` on a typed quantity outside the
+// audited units seam — palb_lint must flag it.
+struct Price {
+  double raw = 0.0;
+  double value() const { return raw; }
+};
+
+double leak_raw_double(const Price& p) {
+  return p.value();
+}

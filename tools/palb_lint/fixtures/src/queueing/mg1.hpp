@@ -1,0 +1,12 @@
+// Fixture: U1 negative case. This path (src/queueing/mg1.hpp) is on the
+// audited units-seam allowlist, so `.value()` here must lint clean.
+#pragma once
+
+struct ServiceRate {
+  double raw = 0.0;
+  double value() const { return raw; }
+};
+
+inline double waiting_time_seconds(const ServiceRate& mu) {
+  return 1.0 / mu.value();
+}

@@ -1,0 +1,9 @@
+// Fixture: P1 suppressed case. The out-of-band evaluate_plan() call is
+// annotated with a reasoned suppression, so the file must lint clean.
+#include "../cloud/accounting.hpp"
+
+SlotMetrics debug_score(const Topology& topology, const SlotInput& input,
+                        const DispatchPlan& plan) {
+  // palb-lint: allow(P1) fixture: diagnostic path, result never reaches a plan
+  return evaluate_plan(topology, input, plan);
+}

@@ -1,0 +1,8 @@
+// Fixture: P1 suppression-without-reason case. Must be rejected: the
+// LINT finding fires and the underlying P1 finding still reports.
+#include "../cloud/accounting.hpp"
+
+SlotMetrics unaudited_score(const Topology& topology, const SlotInput& input,
+                            const DispatchPlan& plan) {
+  return evaluate_plan(topology, input, plan);  // palb-lint: allow(P1)
+}

@@ -1,0 +1,11 @@
+// Fixture: P1 positive case. Scoring a plan via evaluate_plan() and
+// simulate() from outside the audited call sites — palb_lint must flag
+// both calls.
+#include "../cloud/accounting.hpp"
+
+SlotMetrics side_channel_score(Sim& sim, const Topology& topology,
+                               const SlotInput& input,
+                               const DispatchPlan& plan) {
+  evaluate_plan(topology, input, plan);
+  return sim.simulate(topology, input, plan);
+}

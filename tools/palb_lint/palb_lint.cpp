@@ -1,0 +1,553 @@
+// palb_lint — a standalone token-level invariant checker for this repo.
+//
+// clang-tidy and the compiler enforce language-level rules; this tool
+// enforces three *project* invariants that neither can express
+// (docs/STATIC_ANALYSIS.md tier 6):
+//
+//   D1  determinism  — plan-affecting code must not consult wall clocks,
+//                      PRNGs, or sleep; core/solver additionally must not
+//                      iterate unordered containers (iteration order would
+//                      leak into plans and break the byte-identical
+//                      determinism guarantee).
+//   U1  units seam   — the dimensional-analysis escape hatch `.value()`
+//                      may appear only at the audited boundary files where
+//                      raw doubles legitimately enter or leave the typed
+//                      quantity layer.
+//   P1  plan lifecycle — `evaluate_plan(` / `simulate(` may be called only
+//                      from the audited ledger/simulator call sites, so a
+//                      plan cannot be scored by a side channel that skips
+//                      the PlanChecker audit path.
+//
+// Mechanics: each file is scanned once; comments, string literals
+// (including raw strings), and character literals are blanked before
+// token matching, so a banned name inside a string or comment never
+// fires. Suppressions are ordinary comments of the form
+//
+//     // palb-lint: allow(D1) <non-empty reason>
+//
+// and apply to the same line when trailing code, otherwise to the next
+// line. A suppression with a missing or empty reason is itself a
+// finding — the reason is the audit trail.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// Deliberately dependency-free (no LLVM, no regex engine): the whole
+// point is that it builds and runs on the bare gcc container in
+// seconds, as a tier-1 ctest.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string path;  // repo-relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Comment {
+  std::string text;
+  std::size_t line = 0;   // line the comment starts on
+  bool trailing = false;  // code precedes it on the same line
+};
+
+struct Suppression {
+  std::string rule;
+  std::size_t target_line = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Source scrubbing: blank comments / strings / char literals in place,
+// preserving line structure, and collect the comments for suppression
+// parsing.
+// ---------------------------------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+struct ScrubResult {
+  std::string code;  // same length as input; non-code bytes -> ' '
+  std::vector<Comment> comments;
+};
+
+ScrubResult scrub(const std::string& in) {
+  ScrubResult out;
+  out.code.assign(in.size(), ' ');
+  std::size_t line = 1;
+  bool line_has_code = false;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+
+  auto bump_line = [&](char c) {
+    if (c == '\n') {
+      line += 1;
+      line_has_code = false;
+    }
+  };
+
+  while (i < n) {
+    const char c = in[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      Comment comment;
+      comment.line = line;
+      comment.trailing = line_has_code;
+      i += 2;
+      while (i < n && in[i] != '\n') comment.text.push_back(in[i++]);
+      out.comments.push_back(std::move(comment));
+      continue;  // newline handled by the main loop
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      Comment comment;
+      comment.line = line;
+      comment.trailing = line_has_code;
+      i += 2;
+      while (i + 1 < n && !(in[i] == '*' && in[i + 1] == '/')) {
+        comment.text.push_back(in[i]);
+        bump_line(in[i]);
+        out.code[i] = (in[i] == '\n') ? '\n' : ' ';
+        ++i;
+      }
+      if (i + 1 < n) i += 2;  // consume "*/"
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == '"' && i > 0 && in[i - 1] == 'R' &&
+        (i < 2 || !is_ident_char(in[i - 2]))) {
+      std::size_t j = i + 1;
+      std::string delim;
+      while (j < n && in[j] != '(') delim.push_back(in[j++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = in.find(closer, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < std::min(end + closer.size(), n); ++k) {
+        bump_line(in[k]);
+        out.code[k] = (in[k] == '\n') ? '\n' : ' ';
+      }
+      i = std::min(end + closer.size(), n);
+      line_has_code = true;
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      ++i;
+      while (i < n && in[i] != '"') {
+        if (in[i] == '\\' && i + 1 < n) ++i;
+        bump_line(in[i]);
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      line_has_code = true;
+      continue;
+    }
+    // Character literal — but not a digit separator (1'000'000) and not
+    // part of an identifier (alignof('x') is fine; user-defined suffix
+    // separators never follow an identifier char in this codebase).
+    if (c == '\'' && (i == 0 || !is_ident_char(in[i - 1]))) {
+      ++i;
+      while (i < n && in[i] != '\'') {
+        if (in[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      line_has_code = true;
+      continue;
+    }
+    // Plain code byte.
+    out.code[i] = c;
+    if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+    bump_line(c);
+    ++i;
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Parse "palb-lint: allow(RULE) reason" out of comment text. Returns
+// true if the comment is a palb-lint directive at all (well-formed or
+// not); fills either `supp` or `error`.
+bool parse_suppression(const Comment& comment, Suppression* supp,
+                       std::string* error) {
+  static constexpr std::string_view kMarker = "palb-lint:";
+  const std::size_t at = comment.text.find(kMarker);
+  if (at == std::string::npos) return false;
+  std::string rest = trim(std::string_view(comment.text).substr(at + kMarker.size()));
+  static constexpr std::string_view kAllow = "allow(";
+  if (rest.rfind(kAllow, 0) != 0) {
+    *error = "malformed palb-lint directive; expected 'allow(RULE) reason'";
+    return true;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    *error = "malformed palb-lint directive; missing ')' after rule name";
+    return true;
+  }
+  const std::string rule = trim(std::string_view(rest).substr(kAllow.size(), close - kAllow.size()));
+  const std::string reason = trim(std::string_view(rest).substr(close + 1));
+  if (rule.empty()) {
+    *error = "palb-lint suppression names no rule";
+    return true;
+  }
+  if (reason.empty()) {
+    *error = "palb-lint suppression of " + rule +
+             " has no reason; a reason is required";
+    return true;
+  }
+  supp->rule = rule;
+  supp->target_line = comment.trailing ? comment.line : comment.line + 1;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers over scrubbed code.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  std::size_t begin = 0;  // offset in the line
+};
+
+std::vector<Token> identifiers(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (is_ident_char(line[i]) &&
+        std::isdigit(static_cast<unsigned char>(line[i])) == 0) {
+      Token t;
+      t.begin = i;
+      while (i < line.size() && is_ident_char(line[i])) t.text.push_back(line[i++]);
+      out.push_back(std::move(t));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool next_nonspace_is(const std::string& line, std::size_t pos, char want) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0)
+    ++pos;
+  return pos < line.size() && line[pos] == want;
+}
+
+bool prev_nonspace_is(const std::string& line, std::size_t pos, char want) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(line[pos - 1])) != 0)
+    --pos;
+  return pos > 0 && line[pos - 1] == want;
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog.
+// ---------------------------------------------------------------------------
+
+bool path_in(const std::string& rel, std::initializer_list<std::string_view> dirs) {
+  for (const std::string_view d : dirs) {
+    if (rel.rfind(d, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool path_is(const std::string& rel, std::initializer_list<std::string_view> files) {
+  for (const std::string_view f : files) {
+    if (rel == f) return true;
+  }
+  return false;
+}
+
+// D1: plan-affecting directories. Everything a DispatchPlan flows
+// through between policy and audit.
+bool d1_applies(const std::string& rel) {
+  return path_in(rel, {"src/core/", "src/solver/", "src/cloud/", "src/check/",
+                       "src/fault/", "src/sim/", "src/forecast/"});
+}
+
+// D1 sub-rule: unordered containers only banned where iteration order
+// could reach a plan (core enumeration and solver pivoting).
+bool d1_unordered_applies(const std::string& rel) {
+  return path_in(rel, {"src/core/", "src/solver/"});
+}
+
+// U1: the audited `.value()` boundary. Everything else must stay inside
+// the typed quantity layer (src/units/ catches mixups at compile time
+// only while values remain wrapped).
+bool u1_allowlisted(const std::string& rel) {
+  return path_is(rel, {"src/queueing/mg1.hpp", "src/queueing/mm1.hpp",
+                       "src/units/units.hpp", "src/cloud/accounting.cpp",
+                       "src/cloud/tuf.hpp", "src/check/plan_checker.cpp",
+                       "src/core/balanced_policy.cpp",
+                       "src/core/bigm_nlp_policy.cpp",
+                       "src/core/optimized_policy.cpp"});
+}
+
+// P1: audited scorer call sites (definitions included — the definition
+// file is where the contract lives).
+bool p1_allowlisted(const std::string& rel) {
+  return path_is(rel, {"src/sim/slot_simulator.cpp", "src/sim/slot_simulator.hpp",
+                       "src/cloud/accounting.cpp", "src/cloud/accounting.hpp",
+                       "src/core/controller.cpp",
+                       "src/fault/resilient_controller.cpp",
+                       "src/forecast/forecasting_controller.cpp",
+                       "tools/tool_main.cpp"});
+}
+
+// Identifiers whose mere appearance breaks determinism (declaring a
+// std::mt19937 member is as much a violation as calling it).
+bool d1_banned_bare(const std::string& name) {
+  static const std::vector<std::string> kBanned = {
+      "rand",          "srand",         "random_device",
+      "mt19937",       "mt19937_64",    "default_random_engine",
+      "sleep_for",     "sleep_until",
+  };
+  return std::find(kBanned.begin(), kBanned.end(), name) != kBanned.end();
+}
+
+// Identifiers banned only in call position (the bare words are too
+// common as nouns: `time`, `clock`).
+bool d1_banned_call(const std::string& name) {
+  return name == "time" || name == "clock" || name == "localtime" ||
+         name == "gmtime";
+}
+
+bool p1_scorer(const std::string& name) {
+  return name == "evaluate_plan" || name == "simulate";
+}
+
+void check_line(const std::string& rel, std::size_t line_no,
+                const std::string& line, std::vector<Finding>* findings) {
+  const std::vector<Token> toks = identifiers(line);
+  for (const Token& tok : toks) {
+    const std::size_t after = tok.begin + tok.text.size();
+    const bool call_form = next_nonspace_is(line, after, '(');
+    const bool member_access = prev_nonspace_is(line, tok.begin, '.') ||
+                               (tok.begin >= 2 && line[tok.begin - 1] == '>' &&
+                                line[tok.begin - 2] == '-');
+    if (d1_applies(rel)) {
+      if (d1_banned_bare(tok.text) || (call_form && d1_banned_call(tok.text))) {
+        findings->push_back({rel, line_no, "D1",
+                             "'" + tok.text +
+                                 "' in plan-affecting code; plans must be a "
+                                 "pure function of (topology, input)"});
+      }
+      if (d1_unordered_applies(rel) &&
+          (tok.text == "unordered_map" || tok.text == "unordered_set")) {
+        findings->push_back({rel, line_no, "D1",
+                             "'" + tok.text +
+                                 "' in core/solver; iteration order is "
+                                 "load-factor-dependent and would leak into "
+                                 "plans (use std::map / sorted vector)"});
+      }
+    }
+    if (tok.text == "value" && call_form && member_access &&
+        !u1_allowlisted(rel)) {
+      findings->push_back({rel, line_no, "U1",
+                           ".value() outside the audited units seam; keep "
+                           "quantities typed or extend the allowlist in "
+                           "docs/STATIC_ANALYSIS.md tier 6"});
+    }
+    if (p1_scorer(tok.text) && call_form && !p1_allowlisted(rel)) {
+      findings->push_back({rel, line_no, "P1",
+                           "'" + tok.text +
+                               "(' outside the audited scorer call sites; "
+                               "plans must be scored via the controller / "
+                               "resilience path so the PlanChecker audit "
+                               "cannot be skipped"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file driver.
+// ---------------------------------------------------------------------------
+
+int lint_file(const fs::path& file, const fs::path& root,
+              std::vector<Finding>* findings) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::cerr << "palb-lint: cannot read " << file.string() << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::error_code ec;
+  fs::path rel_path = fs::proximate(fs::weakly_canonical(file, ec),
+                                    fs::weakly_canonical(root, ec), ec);
+  const std::string rel = rel_path.generic_string();
+
+  const ScrubResult scrubbed = scrub(text);
+
+  std::vector<Suppression> suppressions;
+  for (const Comment& comment : scrubbed.comments) {
+    Suppression supp;
+    std::string error;
+    if (!parse_suppression(comment, &supp, &error)) continue;
+    if (!error.empty()) {
+      findings->push_back({rel, comment.line, "LINT", error});
+      continue;
+    }
+    suppressions.push_back(supp);
+  }
+
+  std::vector<Finding> raw;
+  std::istringstream lines(scrubbed.code);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    check_line(rel, line_no, line, &raw);
+  }
+
+  for (Finding& f : raw) {
+    const bool suppressed =
+        std::any_of(suppressions.begin(), suppressions.end(),
+                    [&f](const Suppression& s) {
+                      return s.rule == f.rule && s.target_line == f.line;
+                    });
+    if (!suppressed) findings->push_back(std::move(f));
+  }
+  return 0;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool in_fixture_dir(const fs::path& p) {
+  for (const fs::path& part : p) {
+    if (part == "fixtures") return true;
+  }
+  return false;
+}
+
+void collect(const fs::path& arg, std::vector<fs::path>* files) {
+  if (fs::is_directory(arg)) {
+    for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+      if (entry.is_regular_file() && lintable(entry.path()) &&
+          !in_fixture_dir(entry.path())) {
+        files->push_back(entry.path());
+      }
+    }
+  } else {
+    // Explicit file arguments are always linted, fixtures included —
+    // that is how the fixture tests drive the tool.
+    files->push_back(arg);
+  }
+}
+
+void print_rules() {
+  std::cout
+      << "palb-lint rules (docs/STATIC_ANALYSIS.md tier 6):\n"
+      << "  D1  determinism    no rand/srand/random_device/mt19937/"
+         "default_random_engine,\n"
+      << "                     no sleep_for/sleep_until, no time()/clock() "
+         "in plan-affecting\n"
+      << "                     dirs (src/core, src/solver, src/cloud, "
+         "src/check, src/fault,\n"
+      << "                     src/sim, src/forecast); additionally no "
+         "unordered_map/\n"
+      << "                     unordered_set in src/core + src/solver\n"
+      << "  U1  units-seam     .value() only in the audited boundary files\n"
+      << "  P1  plan-lifecycle evaluate_plan(/simulate( only at audited "
+         "call sites\n"
+      << "suppress with: // palb-lint: allow(RULE) <non-empty reason>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string report_path;
+  std::vector<fs::path> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "palb-lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--report") {
+      if (i + 1 >= argc) {
+        std::cerr << "palb-lint: --report needs a file path\n";
+        return 2;
+      }
+      report_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: palb_lint [--list-rules] [--root DIR] "
+                   "[--report FILE] <files-or-dirs>...\n";
+      return 0;
+    } else {
+      args.emplace_back(std::string(arg));
+    }
+  }
+  if (args.empty()) {
+    std::cerr << "palb-lint: no files or directories given (try --help)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& arg : args) {
+    if (!fs::exists(arg)) {
+      std::cerr << "palb-lint: no such path: " << arg.string() << "\n";
+      return 2;
+    }
+    collect(arg, &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    if (const int status = lint_file(file, root, &findings); status != 0) {
+      return status;
+    }
+  }
+
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  out << "palb-lint: " << findings.size() << " finding(s) in " << files.size()
+      << " file(s) scanned\n";
+  std::cout << out.str();
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "palb-lint: cannot write report to " << report_path << "\n";
+      return 2;
+    }
+    report << out.str();
+  }
+  return findings.empty() ? 0 : 1;
+}

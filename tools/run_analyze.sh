@@ -1,0 +1,77 @@
+#!/bin/sh
+# clang static analyzer (scan-build) entry point shared by CI and local
+# runs (docs/STATIC_ANALYSIS.md tier 4).
+#
+# Environment:
+#   SCAN_BUILD  scan-build binary to use (default: first found on PATH)
+#   BUILD_DIR   analyzer build dir (default: build-analyze)
+#
+# --status-bugs makes scan-build exit non-zero when it reports anything;
+# known-acceptable reports are filtered through the checked-in
+# tools/analyze_suppressions.txt (one substring per line, '#' comments)
+# so a finding can only be silenced by a reviewed commit to that file.
+#
+# If no scan-build is installed the script *skips* (exit 0) so the
+# tier-1 flow works on gcc-only boxes; set PALB_ANALYZE_REQUIRED=1 (CI
+# does) to turn a missing binary into a hard failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SCAN="${SCAN_BUILD:-}"
+if [ -z "$SCAN" ]; then
+  for candidate in scan-build scan-build-19 scan-build-18 scan-build-17 \
+                   scan-build-16 scan-build-15 scan-build-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      SCAN="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$SCAN" ]; then
+  if [ "${PALB_ANALYZE_REQUIRED:-0}" = "1" ]; then
+    echo "run_analyze: no scan-build found and PALB_ANALYZE_REQUIRED=1;" \
+         "failing" >&2
+    exit 1
+  fi
+  echo "run_analyze: no scan-build found; skipping (install clang-tools" \
+       "or set SCAN_BUILD=/path/to/scan-build)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build-analyze}"
+LOG="$BUILD_DIR/scan-build.log"
+
+rm -rf "$BUILD_DIR"
+"$SCAN" --status-bugs cmake -B "$BUILD_DIR" -S . \
+        -DPALB_BUILD_BENCH=OFF \
+        -DPALB_BUILD_EXAMPLES=OFF >/dev/null
+mkdir -p "$BUILD_DIR"
+
+status=0
+"$SCAN" --status-bugs -o "$BUILD_DIR/scan-results" \
+        cmake --build "$BUILD_DIR" -j "$(nproc)" 2>&1 | tee "$LOG" || status=$?
+
+if [ "$status" -eq 0 ]; then
+  echo "run_analyze: clean" >&2
+  exit 0
+fi
+
+# Non-zero: check whether every reported bug line matches a reviewed
+# suppression. scan-build bug lines look like "path:line:col: warning: ...".
+unsuppressed=$(grep ': warning:' "$LOG" | while IFS= read -r line; do
+  matched=0
+  while IFS= read -r pattern; do
+    case "$pattern" in ''|'#'*) continue ;; esac
+    case "$line" in *"$pattern"*) matched=1; break ;; esac
+  done < tools/analyze_suppressions.txt
+  [ "$matched" -eq 0 ] && printf '%s\n' "$line"
+done)
+
+if [ -n "$unsuppressed" ]; then
+  echo "run_analyze: unsuppressed analyzer findings:" >&2
+  printf '%s\n' "$unsuppressed" >&2
+  exit 1
+fi
+echo "run_analyze: all findings matched tools/analyze_suppressions.txt" >&2
+exit 0

@@ -1,0 +1,52 @@
+#!/bin/sh
+# include-what-you-use entry point for src/util/ and src/core/
+# (docs/STATIC_ANALYSIS.md tier 6 rides along: the include seams those
+# layers rely on are pinned with "// IWYU pragma:" comments).
+#
+#   tools/run_iwyu.sh [extra iwyu_tool args...]
+#
+# Environment:
+#   IWYU_TOOL   iwyu_tool.py / iwyu-tool binary (default: first on PATH)
+#   BUILD_DIR   compile-commands build dir (default: build-iwyu)
+#
+# If no iwyu_tool is installed the script *skips* (exit 0) so the tier-1
+# flow works on boxes without the clang toolchain; set
+# PALB_IWYU_REQUIRED=1 to make a missing binary a hard failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+IWYU="${IWYU_TOOL:-}"
+if [ -z "$IWYU" ]; then
+  for candidate in iwyu_tool.py iwyu-tool iwyu_tool; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      IWYU="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$IWYU" ]; then
+  if [ "${PALB_IWYU_REQUIRED:-0}" = "1" ]; then
+    echo "run_iwyu: no iwyu_tool found and PALB_IWYU_REQUIRED=1; failing" >&2
+    exit 1
+  fi
+  echo "run_iwyu: no iwyu_tool found; skipping (install" \
+       "include-what-you-use or set IWYU_TOOL=/path/to/iwyu_tool.py)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build-iwyu}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DPALB_BUILD_BENCH=OFF \
+        -DPALB_BUILD_EXAMPLES=OFF >/dev/null
+fi
+
+# The audited scope: the layers whose includes were hand-tightened and
+# pinned with IWYU pragmas. Widen deliberately, not by default.
+files=$(find src/util src/core -name '*.cpp' | sort)
+
+echo "run_iwyu: $IWYU over $(echo "$files" | wc -l) files" >&2
+# shellcheck disable=SC2086
+exec "$IWYU" -p "$BUILD_DIR" $files -- -Xiwyu --error "$@"

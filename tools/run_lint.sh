@@ -1,0 +1,29 @@
+#!/bin/sh
+# palb-lint entry point shared by CI and local runs
+# (docs/STATIC_ANALYSIS.md tier 6).
+#
+#   tools/run_lint.sh [report-file]
+#
+# Builds the palb_lint tool (dependency-free C++, works on the bare gcc
+# container) and runs it over src/ and tools/. Writes the findings
+# report to the optional [report-file] argument (default:
+# build/palb_lint_report.txt) — CI uploads it as an artifact. Exit
+# status is palb_lint's own: 0 clean, 1 findings.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REPORT="${1:-build/palb_lint_report.txt}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . \
+        -DPALB_BUILD_BENCH=OFF \
+        -DPALB_BUILD_EXAMPLES=OFF >/dev/null
+fi
+cmake --build "$BUILD_DIR" --target palb_lint -j "$(nproc)" >/dev/null
+
+mkdir -p "$(dirname "$REPORT")"
+echo "run_lint: scanning src/ and tools/ (report: $REPORT)" >&2
+"$BUILD_DIR/tools/palb_lint/palb_lint" \
+    --root . --report "$REPORT" src tools
