@@ -1,0 +1,153 @@
+// Online-serving throughput bench (docs/SERVING.md): the dispatcher
+// fast path under a driver-thread sweep. For each thread count the
+// harness rebuilds the full serving stack — AsyncPlanner solving the
+// scenario on a background thread, Dispatcher compiling routing tables
+// off the live PlanHandle — and runs the closed-loop QPS driver for a
+// fixed wall-clock window, so the table shows how routing throughput
+// scales with drivers while plans hot-swap mid-stream. After each timed
+// window a fixed-mode pass replays 2^16 stream indices and compares the
+// recorded decisions against the 1-thread baseline: a single differing
+// word fails the bench. The widest sweep point is emitted as the
+// palb-qps-v1 section of BENCH_palb.json (or argv[1]); argv[2] overrides
+// the per-point seconds (CI smoke uses a short window).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/balanced_policy.hpp"
+#include "core/paper_scenarios.hpp"
+#include "fault/fault.hpp"
+#include "serve/async_planner.hpp"
+#include "serve/dispatcher.hpp"
+#include "serve/load_driver.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace palb;
+
+namespace {
+
+constexpr std::size_t kSlots = 24;
+constexpr std::uint64_t kSeed = 7;
+constexpr std::uint64_t kVerifyRequests = 1u << 16;
+
+struct SweepPoint {
+  serve::QpsReport timed;
+  std::vector<std::uint64_t> decisions;  ///< fixed-mode replay
+};
+
+SweepPoint sweep_point(const Scenario& sc, std::size_t threads,
+                       double seconds) {
+  PlanHandle live;
+  serve::Dispatcher dispatcher(sc.topology, live);
+  serve::AsyncPlanner planner(sc, FaultSchedule{}, live);
+  BalancedPolicy policy;
+  std::future<RunResult> run = planner.solve_async(policy, kSlots);
+  if (serve::wait_for_version(dispatcher, 1, 120.0) == 0) {
+    run.get();
+    throw NumericalError("no plan published within 120 s");
+  }
+  const serve::RequestStream stream =
+      serve::RequestStream::compile(sc.topology, sc.slot_input(0), kSeed);
+
+  SweepPoint out;
+  serve::QpsOptions timed_opt;
+  timed_opt.threads = threads;
+  timed_opt.seconds = seconds;
+  out.timed = run_qps(dispatcher, stream, timed_opt);
+
+  run.get();  // quiesce the plan stream before the determinism replay
+  dispatcher.refresh();
+  serve::QpsOptions fixed_opt;
+  fixed_opt.threads = threads;
+  fixed_opt.total_requests = kVerifyRequests;
+  fixed_opt.record_decisions = true;
+  out.decisions = run_qps(dispatcher, stream, fixed_opt).decisions;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_palb.json");
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const Scenario sc = paper::worldcup_study();
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::vector<std::size_t> sweep = {1};
+  for (std::size_t n = 2; n < hardware; n *= 2) sweep.push_back(n);
+  if (hardware > 1) sweep.push_back(hardware);
+
+  std::printf("---- QPS: routing throughput vs driver threads "
+              "(worldcup, %zu slots, %.2f s/point, seed %llu) ----\n",
+              kSlots, seconds, static_cast<unsigned long long>(kSeed));
+
+  TextTable t({"threads", "decisions/s", "p50 ns", "p99 ns", "p999 ns",
+               "rebuilds", "stalls", "identical"});
+  std::vector<SweepPoint> points;
+  bool all_identical = true;
+  bool all_stall_free = true;
+  for (const std::size_t threads : sweep) {
+    points.push_back(sweep_point(sc, threads, seconds));
+    const SweepPoint& p = points.back();
+    const bool identical = p.decisions == points.front().decisions;
+    all_identical = all_identical && identical;
+    all_stall_free =
+        all_stall_free && p.timed.dispatcher.stalled_routes == 0;
+    t.add_row({std::to_string(threads), format_double(p.timed.qps(), 0),
+               format_double(p.timed.p50_ns, 0),
+               format_double(p.timed.p99_ns, 0),
+               format_double(p.timed.p999_ns, 0),
+               std::to_string(p.timed.dispatcher.rebuilds),
+               std::to_string(p.timed.dispatcher.stalled_routes),
+               identical ? "yes" : "NO"});
+  }
+  std::printf("%s", t.render().c_str());
+
+  const serve::QpsReport& widest = points.back().timed;
+  benchjson::QpsResult result;
+  result.scenario = "worldcup";
+  result.slots = kSlots;
+  result.threads = widest.threads;
+  result.requests = widest.requests;
+  result.routed = widest.routed;
+  result.no_route = widest.no_route;
+  result.elapsed_seconds = widest.elapsed_seconds;
+  result.qps = widest.qps();
+  result.p50_ns = widest.p50_ns;
+  result.p90_ns = widest.p90_ns;
+  result.p99_ns = widest.p99_ns;
+  result.p999_ns = widest.p999_ns;
+  result.max_ns = widest.max_ns;
+  result.latency_samples = widest.latency_samples;
+  result.min_plan_version = widest.min_plan_version;
+  result.max_plan_version = widest.max_plan_version;
+  result.rebuilds = widest.dispatcher.rebuilds;
+  result.refresh_skips = widest.dispatcher.refresh_skips;
+  result.stalled_routes = widest.dispatcher.stalled_routes;
+  result.identical_across_threads = all_identical;
+  benchjson::write_file(out_path,
+                        benchjson::with_qps_section(out_path, result));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: routing decisions diverge from the "
+                         "1-thread baseline\n");
+    return 1;
+  }
+  if (!all_stall_free) {
+    std::fprintf(stderr,
+                 "FAIL: a route stalled on a plan swap (contract: zero)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "util/mutex.hpp"
@@ -26,6 +27,19 @@ PlanHandle::Snapshot PlanHandle::acquire() const {
 std::uint64_t PlanHandle::version() const {
   MutexLock lock(snap_mutex_);
   return current_ ? current_->version : 0;
+}
+
+std::optional<PlanHandle::Snapshot> PlanHandle::acquire_if_newer(
+    std::uint64_t since) const {
+  std::shared_ptr<const Node> node;
+  {
+    MutexLock lock(snap_mutex_);
+    if (!current_ || current_->version <= since) return std::nullopt;
+    node = current_;
+  }
+  return Snapshot{
+      std::shared_ptr<const DispatchPlan>(node, &node->plan),
+      node->version};
 }
 
 std::uint64_t PlanHandle::publish(DispatchPlan plan) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "cloud/plan.hpp"
 #include "util/annotations.hpp"
@@ -64,6 +65,14 @@ class PlanHandle {
   /// Version of the currently published plan (0 = none yet); the same
   /// constant-time read as acquire() without materializing a snapshot.
   std::uint64_t version() const PALB_EXCLUDES(snap_mutex_);
+
+  /// acquire(), but only when the current version is strictly newer
+  /// than `since`; an empty optional means the caller's copy is still
+  /// current. One lock round-trip instead of the racy version() +
+  /// acquire() pair — the poll the serving fast path's table refresh
+  /// (src/serve/dispatcher.hpp) runs between request batches.
+  std::optional<Snapshot> acquire_if_newer(std::uint64_t since) const
+      PALB_EXCLUDES(snap_mutex_);
 
   /// Publishes `plan` as the new current plan; returns its version.
   /// Serializes with other publishers internally.

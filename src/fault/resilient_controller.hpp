@@ -58,9 +58,10 @@ class ResilientController {
     Policy* heuristic = nullptr;
     /// Optional live-plan cell (not owned): every plan the ladder
     /// applies is publish()ed here the moment it is accepted, in slot
-    /// order, so concurrent readers — the seed of the ROADMAP's
-    /// fast-path dispatcher — always acquire() a checked, coherent
-    /// plan while the run is still in flight.
+    /// order (version v = slot v-1), so concurrent readers — the
+    /// serve::Dispatcher's routing tables, wired up by
+    /// serve::AsyncPlanner — always acquire() a checked, coherent
+    /// plan while the run is still in flight (docs/SERVING.md).
     PlanHandle* live = nullptr;
   };
 

@@ -1,0 +1,38 @@
+#include "serve/async_planner.hpp"
+
+#include <cstddef>
+#include <future>
+#include <utility>
+
+#include "core/controller.hpp"
+#include "core/policy.hpp"
+#include "fault/resilient_controller.hpp"
+
+namespace palb::serve {
+
+AsyncPlanner::AsyncPlanner(Scenario scenario, FaultSchedule schedule,
+                           PlanHandle& live)
+    : AsyncPlanner(std::move(scenario), std::move(schedule), live,
+                   Options{}) {}
+
+AsyncPlanner::AsyncPlanner(Scenario scenario, FaultSchedule schedule,
+                           PlanHandle& live, Options options)
+    : controller_(std::move(scenario), std::move(schedule)),
+      live_(live),
+      options_(options),
+      pool_(1) {}
+
+AsyncPlanner::~AsyncPlanner() { pool_.shutdown(); }
+
+std::future<RunResult> AsyncPlanner::solve_async(Policy& policy,
+                                                 std::size_t num_slots,
+                                                 std::size_t first_slot) {
+  return pool_.submit([this, &policy, num_slots, first_slot] {
+    ResilientController::Options run_options = options_.resilient;
+    run_options.workers = options_.solve_workers;
+    run_options.live = &live_;
+    return controller_.run(policy, num_slots, first_slot, run_options);
+  });
+}
+
+}  // namespace palb::serve

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <future>
+
+#include "core/controller.hpp"
+#include "core/plan_handle.hpp"
+#include "core/policy.hpp"
+#include "fault/fault.hpp"
+#include "fault/resilient_controller.hpp"
+#include "util/thread_pool.hpp"
+
+namespace palb::serve {
+
+/// The serving slow path: runs ResilientController solves asynchronously
+/// on a ThreadPool and hot-swaps every applied plan into a PlanHandle
+/// the moment the ladder accepts it — in slot order, post-audit — so a
+/// Dispatcher's routing tables follow the run while it is in flight.
+///
+/// One pool thread executes solve jobs in submission order (a Policy is
+/// not safe for concurrent plan_slot calls); each job fans its candidate
+/// solves across `Options::solve_workers` internally, exactly as a
+/// foreground ResilientController run would. The fast path never waits
+/// on this class: readers route against whatever plan version has
+/// landed, and `route()` returns an explicit no-route until the first
+/// publish.
+class AsyncPlanner {
+ public:
+  struct Options {
+    /// Candidate-solve fan-out inside each run (ResilientController
+    /// Options::workers semantics; 1 = serial).
+    std::size_t solve_workers = 1;
+    /// Checker / heuristic configuration forwarded to every run.
+    /// `live` is overwritten with this planner's PlanHandle.
+    ResilientController::Options resilient;
+  };
+
+  /// `live` is not owned and must outlive the planner.
+  AsyncPlanner(Scenario scenario, FaultSchedule schedule, PlanHandle& live);
+  AsyncPlanner(Scenario scenario, FaultSchedule schedule, PlanHandle& live,
+               Options options);
+  /// Joins the solve thread; queued runs complete first (ThreadPool
+  /// shutdown contract).
+  ~AsyncPlanner();
+
+  AsyncPlanner(const AsyncPlanner&) = delete;
+  AsyncPlanner& operator=(const AsyncPlanner&) = delete;
+
+  const ResilientController& controller() const { return controller_; }
+  const PlanHandle& live() const { return live_; }
+
+  /// Enqueues an asynchronous run of [first_slot, first_slot + num_slots).
+  /// `policy` must outlive the returned future's completion and must not
+  /// be used by the caller until then. The future carries the RunResult
+  /// (or rethrows a configuration error).
+  std::future<RunResult> solve_async(Policy& policy, std::size_t num_slots,
+                                     std::size_t first_slot = 0);
+
+ private:
+  ResilientController controller_;
+  PlanHandle& live_;
+  Options options_;
+  ThreadPool pool_;
+};
+
+}  // namespace palb::serve

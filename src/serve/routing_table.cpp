@@ -1,0 +1,118 @@
+#include "serve/routing_table.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace palb::serve {
+
+namespace {
+
+/// request id -> uniform double in [0, 1). SplitMix64 is a bijective
+/// scramble, so consecutive ids land uniformly and two tables built from
+/// the same plan route the same id identically — no per-call RNG state.
+double unit_interval(std::uint64_t request_id) {
+  SplitMix64 mix(request_id);
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+RoutingTable RoutingTable::compile(const Topology& topology,
+                                   const DispatchPlan& plan,
+                                   std::uint64_t plan_version) {
+  const std::size_t K = topology.num_classes();
+  const std::size_t S = topology.num_frontends();
+  const std::size_t L = topology.num_datacenters();
+  PALB_REQUIRE(plan.rate.size() == K,
+               "plan/topology class-count mismatch in RoutingTable");
+  PALB_REQUIRE(L <= std::numeric_limits<std::uint32_t>::max(),
+               "data-center count overflows the routing-table index");
+
+  RoutingTable table;
+  table.num_classes_ = K;
+  table.num_frontends_ = S;
+  table.plan_version_ = plan_version;
+  table.entries_.resize(K * S);
+  table.cum_share_.reserve(K * S);
+  table.dc_.reserve(K * S);
+
+  for (std::size_t k = 0; k < K; ++k) {
+    PALB_REQUIRE(plan.rate[k].size() == S,
+                 "plan/topology front-end-count mismatch in RoutingTable");
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::vector<double>& row = plan.rate[k][s];
+      PALB_REQUIRE(row.size() == L,
+                   "plan/topology DC-count mismatch in RoutingTable");
+      double total = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        PALB_REQUIRE(row[l] >= 0.0,
+                     "negative dispatch rate in RoutingTable");
+        total += row[l];
+      }
+      Entry& entry = table.entries_[k * S + s];
+      entry.offset = static_cast<std::uint32_t>(table.cum_share_.size());
+      if (total <= 0.0) {
+        entry.count = 0;  // explicit no-route: shed stream / shed-all plan
+        continue;
+      }
+      double cumulative = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        if (row[l] <= 0.0) continue;  // zero-share DCs never enter the CDF
+        cumulative += row[l] / total;
+        table.cum_share_.push_back(cumulative);
+        table.dc_.push_back(static_cast<std::uint32_t>(l));
+      }
+      // The run must end at exactly 1.0 so every u in [0, 1) selects a
+      // destination; the prefix sums above can land at 1 - epsilon.
+      table.cum_share_.back() = 1.0;
+      entry.count = static_cast<std::uint32_t>(table.cum_share_.size()) -
+                    entry.offset;
+    }
+  }
+  return table;
+}
+
+Route RoutingTable::route(std::size_t klass, std::size_t frontend,
+                          std::uint64_t request_id) const {
+  PALB_DCHECK(klass < num_classes_ && frontend < num_frontends_,
+              "route() indices outside the compiled table");
+  const Entry& e = entry(klass, frontend);
+  if (e.count == 0) return Route{RouteStatus::kNoRoute, 0, plan_version_};
+  const double u = unit_interval(request_id);
+  const double* first = cum_share_.data() + e.offset;
+  const double* last = first + e.count;
+  // First CDF step strictly above u; u < 1.0 == *(last - 1), so the
+  // search cannot run off the end.
+  const double* hit = std::upper_bound(first, last, u);
+  if (hit == last) --hit;  // u == nextafter(1.0, 0) vs FP-rounded steps
+  const std::size_t dc = dc_[e.offset + static_cast<std::size_t>(hit - first)];
+  return Route{RouteStatus::kRouted, dc, plan_version_};
+}
+
+bool RoutingTable::has_route(std::size_t klass, std::size_t frontend) const {
+  PALB_REQUIRE(klass < num_classes_ && frontend < num_frontends_,
+               "has_route() indices outside the compiled table");
+  return entry(klass, frontend).count > 0;
+}
+
+std::vector<std::pair<std::size_t, double>> RoutingTable::cdf(
+    std::size_t klass, std::size_t frontend) const {
+  PALB_REQUIRE(klass < num_classes_ && frontend < num_frontends_,
+               "cdf() indices outside the compiled table");
+  const Entry& e = entry(klass, frontend);
+  std::vector<std::pair<std::size_t, double>> out;
+  out.reserve(e.count);
+  for (std::uint32_t i = 0; i < e.count; ++i) {
+    out.emplace_back(dc_[e.offset + i], cum_share_[e.offset + i]);
+  }
+  return out;
+}
+
+}  // namespace palb::serve

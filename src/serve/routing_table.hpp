@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cloud/model.hpp"
+#include "cloud/plan.hpp"
+
+namespace palb::serve {
+
+/// Outcome of routing one request on the fast path.
+enum class RouteStatus {
+  kRouted,   ///< `dc` holds the destination data center
+  kNoRoute,  ///< the applied plan dispatches nothing for this stream
+             ///< (shed front-end, shed-all plan, or no plan published)
+};
+
+/// One routing decision, stamped with the version of the published plan
+/// it was derived from — every routed request is attributable to
+/// exactly one PlanHandle::publish() (version 0 = no plan yet).
+struct Route {
+  RouteStatus status = RouteStatus::kNoRoute;
+  std::size_t dc = 0;  ///< meaningful only when status == kRouted
+  std::uint64_t plan_version = 0;
+
+  bool routed() const { return status == RouteStatus::kRouted; }
+};
+
+/// Immutable per-front-end routing tables compiled from one
+/// DispatchPlan: for every (class k, front-end s) stream, a prefix-sum
+/// CDF over the data centers that receive a positive share of that
+/// stream's dispatched rate. route() hashes the request id into [0, 1)
+/// and binary-searches the CDF — a deterministic, alias-free pure
+/// function of (table, request id), which is what makes routing
+/// sequences byte-identical across driver-thread counts
+/// (tests/test_dispatch_determinism.cpp).
+///
+/// Zero-rate (class, front-end) streams — a shed front-end, or the
+/// whole table under a rung-5 shed-all plan — compile to an explicit
+/// empty entry and route() reports kNoRoute; there is no fallback
+/// destination and no UB. Data centers with zero rate for a stream
+/// (including links the ResilientController projected off after a cut,
+/// and fully-outaged DCs whose plans carry no flow) are never entered
+/// in the CDF, so no hash value can select them.
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  /// Compiles `plan` (shaped for `topology`) published as `plan_version`.
+  /// Throws InvalidArgument on a shape mismatch or a negative rate.
+  static RoutingTable compile(const Topology& topology,
+                              const DispatchPlan& plan,
+                              std::uint64_t plan_version);
+
+  /// Routes one class-`klass` request arriving at front-end `frontend`.
+  /// Pure and lock-free: any number of threads may call it on a shared
+  /// immutable table. Indices are bounds-checked in debug builds only.
+  Route route(std::size_t klass, std::size_t frontend,
+              std::uint64_t request_id) const;
+
+  std::uint64_t plan_version() const { return plan_version_; }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t num_frontends() const { return num_frontends_; }
+
+  /// True when the (klass, frontend) stream has at least one destination.
+  bool has_route(std::size_t klass, std::size_t frontend) const;
+
+  /// The compiled (data center, cumulative share) pairs of one stream,
+  /// in DC order — the test surface for CDF exactness. Empty when the
+  /// stream has no route. The last cumulative share is exactly 1.0.
+  std::vector<std::pair<std::size_t, double>> cdf(
+      std::size_t klass, std::size_t frontend) const;
+
+ private:
+  struct Entry {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  const Entry& entry(std::size_t klass, std::size_t frontend) const {
+    return entries_[klass * num_frontends_ + frontend];
+  }
+
+  std::size_t num_classes_ = 0;
+  std::size_t num_frontends_ = 0;
+  std::uint64_t plan_version_ = 0;
+  /// entries_[k * S + s] indexes a run of `count` destinations in the
+  /// flat arrays below (struct-of-arrays keeps the binary search inside
+  /// one cache line for paper-scale DC counts).
+  std::vector<Entry> entries_;
+  std::vector<double> cum_share_;   ///< cumulative shares, run ends at 1.0
+  std::vector<std::uint32_t> dc_;   ///< destination DC per CDF step
+};
+
+}  // namespace palb::serve

@@ -15,8 +15,10 @@ namespace palb {
 
 /// Fixed-size worker pool. The profit-aware optimizer fans hundreds of
 /// independent LP solves (one per TUF-level profile) across cores; the
-/// benches fan Monte-Carlo replications. A dedicated pool (instead of
-/// std::async) keeps thread counts bounded and deterministic.
+/// benches fan Monte-Carlo replications; serve::AsyncPlanner runs
+/// whole controller solves on it so the online dispatcher's route path
+/// never waits on a solver. A dedicated pool (instead of std::async)
+/// keeps thread counts bounded and deterministic.
 ///
 /// Shutdown contract (exercised under TSan by the test suite): once
 /// shutdown() starts, in-flight and already-queued jobs all run to

@@ -71,6 +71,34 @@ TEST(PlanHandle, SnapshotSurvivesLaterPublishes) {
   EXPECT_EQ(handle.acquire().version, 3u);
 }
 
+TEST(PlanHandle, AcquireIfNewerReturnsEmptyWhenCurrent) {
+  const Topology topo = small_topology();
+  PlanHandle handle;
+  // No plan yet: nothing is newer than anything.
+  EXPECT_FALSE(handle.acquire_if_newer(0).has_value());
+  handle.publish(stamped_plan(topo, 1.0));
+  // since == current: the caller's copy is still current.
+  EXPECT_FALSE(handle.acquire_if_newer(1).has_value());
+  EXPECT_FALSE(handle.acquire_if_newer(7).has_value());
+}
+
+TEST(PlanHandle, AcquireIfNewerReturnsTheNewerSnapshot) {
+  const Topology topo = small_topology();
+  PlanHandle handle;
+  handle.publish(stamped_plan(topo, 1.0));
+  handle.publish(stamped_plan(topo, 2.0));
+  const auto snap = handle.acquire_if_newer(1);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_TRUE(*snap);
+  EXPECT_EQ(snap->version, 2u);
+  EXPECT_DOUBLE_EQ(snap->plan->rate[0][0][0], 2.0);
+  // The returned pair is coherent: one lock round-trip, so the plan and
+  // the version come from the same node (never a torn version() +
+  // acquire() interleaving).
+  EXPECT_DOUBLE_EQ(snap->plan->rate[1][1][1],
+                   static_cast<double>(snap->version));
+}
+
 TEST(PlanHandle, TwoStepLockedPublishSerializesReadModifyPublish) {
   const Topology topo = small_topology();
   PlanHandle handle;

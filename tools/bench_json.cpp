@@ -55,6 +55,50 @@ Json to_json(const WorkloadResult& w) {
   return doc;
 }
 
+Json to_json(const QpsResult& q) {
+  Json doc = Json::object();
+  doc.set("schema", Json(kQpsSchema));
+  doc.set("scenario", Json(q.scenario));
+  doc.set("slots", Json(q.slots));
+  doc.set("threads", Json(q.threads));
+  doc.set("requests", counter(q.requests));
+  doc.set("routed", counter(q.routed));
+  doc.set("no_route", counter(q.no_route));
+  doc.set("elapsed_seconds", Json(q.elapsed_seconds));
+  doc.set("qps", Json(q.qps));
+  doc.set("p50_ns", Json(q.p50_ns));
+  doc.set("p90_ns", Json(q.p90_ns));
+  doc.set("p99_ns", Json(q.p99_ns));
+  doc.set("p999_ns", Json(q.p999_ns));
+  doc.set("max_ns", Json(q.max_ns));
+  doc.set("latency_samples", counter(q.latency_samples));
+  doc.set("min_plan_version", counter(q.min_plan_version));
+  doc.set("max_plan_version", counter(q.max_plan_version));
+  doc.set("rebuilds", counter(q.rebuilds));
+  doc.set("refresh_skips", counter(q.refresh_skips));
+  doc.set("stalled_routes", counter(q.stalled_routes));
+  doc.set("identical_across_threads", Json(q.identical_across_threads));
+  return doc;
+}
+
+Json with_qps_section(const std::string& path, const QpsResult& q) {
+  Json doc = Json::object();
+  std::ifstream is(path);
+  if (is) {
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    try {
+      Json existing = Json::parse(buffer.str());
+      if (existing.is_object()) doc = std::move(existing);
+    } catch (const std::exception&) {
+      // An unparseable report is replaced wholesale, never appended to.
+    }
+  }
+  if (!doc.contains("schema")) doc.set("schema", Json(kSchema));
+  doc.set("qps", to_json(q));
+  return doc;
+}
+
 Json document(std::size_t hardware_concurrency, std::size_t workers,
               bool smoke, const std::vector<WorkloadResult>& workloads) {
   Json list = Json::array();

@@ -41,6 +41,7 @@
 // docs/BENCHMARKING.md); keep the schema additive — consumers pin
 // "schema" and ignore unknown keys.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,17 @@
 namespace palb::benchjson {
 
 inline constexpr const char* kSchema = "palb-bench-v1";
+
+/// Schema tag of the "qps" section `palb qps` adds to the same report
+/// file — the online dispatcher fast path (src/serve/) driven by the
+/// closed-loop QPS driver. Nested under the top-level document as
+///
+///   { "schema": "palb-bench-v1", ..., "qps": { "schema": "palb-qps-v1",
+///     "qps": 2.3e7, "p50_ns": 41.0, "stalled_routes": 0, ... } }
+///
+/// so bench and qps runs accumulate into one artifact; each command
+/// overwrites only its own section. docs/SERVING.md documents the keys.
+inline constexpr const char* kQpsSchema = "palb-qps-v1";
 
 /// One workload's head-to-head timing: the same slot range planned by
 /// the same policy configuration, once with 1 worker and once with the
@@ -83,6 +95,34 @@ struct WorkloadResult {
 };
 
 Json to_json(const WorkloadResult& w);
+
+/// One `palb qps` run: throughput and routing-latency percentiles of the
+/// timed arm, plus the fixed-mode determinism verdict (decisions
+/// byte-identical across driver-thread counts).
+struct QpsResult {
+  std::string scenario;
+  std::size_t slots = 0;
+  std::size_t threads = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t no_route = 0;
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ns = 0.0, p90_ns = 0.0, p99_ns = 0.0, p999_ns = 0.0;
+  double max_ns = 0.0;
+  std::uint64_t latency_samples = 0;
+  std::uint64_t min_plan_version = 0, max_plan_version = 0;
+  std::uint64_t rebuilds = 0, refresh_skips = 0, stalled_routes = 0;
+  bool identical_across_threads = false;
+};
+
+Json to_json(const QpsResult& q);
+
+/// Loads `path` when it already holds a parseable JSON object (a prior
+/// `palb bench` report, typically) and replaces its "qps" section;
+/// otherwise starts a fresh skeleton document carrying only the schema
+/// tag and the section.
+Json with_qps_section(const std::string& path, const QpsResult& q);
 
 /// Assembles the whole palb-bench-v1 document.
 Json document(std::size_t hardware_concurrency, std::size_t workers,

@@ -278,10 +278,14 @@ bool path_is(const std::string& rel, std::initializer_list<std::string_view> fil
 }
 
 // D1: plan-affecting directories. Everything a DispatchPlan flows
-// through between policy and audit.
+// through between policy and audit — plus src/serve/, where the same
+// discipline makes per-request routing a pure function of (plan,
+// request id) and the QPS driver's streams a pure function of
+// (mix, seed, index).
 bool d1_applies(const std::string& rel) {
   return path_in(rel, {"src/core/", "src/solver/", "src/cloud/", "src/check/",
-                       "src/fault/", "src/sim/", "src/forecast/"});
+                       "src/fault/", "src/sim/", "src/forecast/",
+                       "src/serve/"});
 }
 
 // D1 sub-rule: unordered containers only banned where iteration order
@@ -468,8 +472,8 @@ void print_rules() {
          "in plan-affecting\n"
       << "                     dirs (src/core, src/solver, src/cloud, "
          "src/check, src/fault,\n"
-      << "                     src/sim, src/forecast); additionally no "
-         "unordered_map/\n"
+      << "                     src/sim, src/forecast, src/serve); "
+         "additionally no unordered_map/\n"
       << "                     unordered_set in src/core + src/solver\n"
       << "  U1  units-seam     .value() only in the audited boundary files\n"
       << "  P1  plan-lifecycle evaluate_plan(/simulate( only at audited "

@@ -28,15 +28,26 @@
 //       and write a machine-readable palb-bench-v1 report
 //       (BENCH_palb.json by default); exit 1 if any workload's plans
 //       diverge or the fig06 workload misses --min-speedup
+//   palb qps [scenario] [--threads N] [--seconds X] [--slots N] [--seed S]
+//       [--policy optimized|balanced] [--out FILE] [--min-qps X]
+//       drive the online dispatcher (src/serve/): solve the scenario
+//       asynchronously, hot-swap plans into the routing tables, and
+//       hammer route() from N closed-loop driver threads; reports
+//       sustained routing decisions/sec, p50/p99/p999 latency and
+//       plan-swap stalls into a palb-qps-v1 section of the bench
+//       report; exit 1 when decisions differ across thread counts,
+//       any route stalled on a swap, or throughput misses --min-qps
 //
 // Built-in scenario names: basic-low, basic-high, worldcup, google;
 // "random:SEED" generates a deterministic random world.
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <map>
 #include <memory>
@@ -59,6 +70,9 @@
 #include "fault/fault_json.hpp"
 #include "fault/resilient_controller.hpp"
 #include "forecast/forecasting_controller.hpp"
+#include "serve/async_planner.hpp"
+#include "serve/dispatcher.hpp"
+#include "serve/load_driver.hpp"
 #include "sim/slot_simulator.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -85,6 +99,9 @@ int usage() {
                "[--policy optimized|balanced] [--workers N]\n"
                "  palb bench [--smoke] [--out FILE] [--workers N] "
                "[--min-speedup X]\n"
+               "  palb qps [scenario] [--threads N] [--seconds X] "
+               "[--slots N] [--seed S] [--policy optimized|balanced] "
+               "[--out FILE] [--min-qps X]\n"
                "built-ins: basic-low basic-high worldcup google; also random:SEED\n");
   return 2;
 }
@@ -678,6 +695,151 @@ int cmd_bench(const Args& args) {
   return rc;
 }
 
+// ---- palb qps -------------------------------------------------------------
+
+int cmd_qps(const Args& args) {
+  const std::string name =
+      args.positional.empty() ? std::string("worldcup") : args.positional[0];
+  const Scenario sc = resolve_scenario(name);
+  const std::size_t slots =
+      args.options.count("slots")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("slots")))
+          : std::min<std::size_t>(24, default_slots(sc));
+  const std::size_t threads =
+      args.options.count("threads")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("threads")))
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const double seconds = args.options.count("seconds")
+                             ? std::stod(args.options.at("seconds"))
+                             : 1.0;
+  const std::uint64_t seed =
+      args.options.count("seed") ? std::stoull(args.options.at("seed")) : 1;
+  const std::string out_path = args.options.count("out")
+                                   ? args.options.at("out")
+                                   : std::string("BENCH_palb.json");
+  const std::string which = args.options.count("policy")
+                                ? args.options.at("policy")
+                                : std::string("balanced");
+
+  std::unique_ptr<Policy> policy;
+  if (which == "optimized") {
+    policy = std::make_unique<OptimizedPolicy>();
+  } else if (which == "balanced") {
+    policy = std::make_unique<BalancedPolicy>();
+  } else {
+    throw InvalidArgument("unknown policy '" + which +
+                          "' (optimized|balanced)");
+  }
+
+  // Slow path: the planner solves asynchronously and hot-swaps each
+  // applied plan into `live`; the dispatcher compiles routing tables off
+  // those snapshots. The fast path starts the moment slot 0's plan lands
+  // and keeps routing through every subsequent mid-stream swap.
+  PlanHandle live;
+  serve::Dispatcher dispatcher(sc.topology, live);
+  serve::AsyncPlanner planner(sc, FaultSchedule{}, live);
+  std::future<RunResult> run = planner.solve_async(*policy, slots);
+  if (serve::wait_for_version(dispatcher, 1, 120.0) == 0) {
+    run.get();  // surfaces the solve failure that kept version at 0
+    throw NumericalError("no plan published within 120 s");
+  }
+
+  const serve::RequestStream stream =
+      serve::RequestStream::compile(sc.topology, sc.slot_input(0), seed);
+
+  std::fprintf(stderr, "qps: %s, %zu driver thread(s), %.1f s timed run\n",
+               name.c_str(), threads, seconds);
+  serve::QpsOptions timed_opt;
+  timed_opt.threads = threads;
+  timed_opt.seconds = seconds;
+  const serve::QpsReport timed = run_qps(dispatcher, stream, timed_opt);
+
+  const RunResult solved = run.get();  // plan stream is now quiescent
+  dispatcher.refresh();
+
+  // Determinism arm: with the plan quiescent, the recorded decisions of
+  // a 1-thread run and an N-thread run must be byte-identical.
+  serve::QpsOptions fixed_opt;
+  fixed_opt.total_requests = 1u << 16;
+  fixed_opt.record_decisions = true;
+  fixed_opt.threads = 1;
+  const serve::QpsReport lone = run_qps(dispatcher, stream, fixed_opt);
+  fixed_opt.threads = std::max<std::size_t>(2, threads);
+  const serve::QpsReport many = run_qps(dispatcher, stream, fixed_opt);
+  const bool identical = lone.decisions == many.decisions;
+
+  benchjson::QpsResult result;
+  result.scenario = name;
+  result.slots = slots;
+  result.threads = timed.threads;
+  result.requests = timed.requests;
+  result.routed = timed.routed;
+  result.no_route = timed.no_route;
+  result.elapsed_seconds = timed.elapsed_seconds;
+  result.qps = timed.qps();
+  result.p50_ns = timed.p50_ns;
+  result.p90_ns = timed.p90_ns;
+  result.p99_ns = timed.p99_ns;
+  result.p999_ns = timed.p999_ns;
+  result.max_ns = timed.max_ns;
+  result.latency_samples = timed.latency_samples;
+  result.min_plan_version = timed.min_plan_version;
+  result.max_plan_version = timed.max_plan_version;
+  result.rebuilds = timed.dispatcher.rebuilds;
+  result.refresh_skips = timed.dispatcher.refresh_skips;
+  result.stalled_routes = timed.dispatcher.stalled_routes;
+  result.identical_across_threads = identical;
+  benchjson::write_file(out_path,
+                        benchjson::with_qps_section(out_path, result));
+
+  TextTable t({"metric", "value"});
+  t.add_row({"routing decisions/s", format_double(timed.qps(), 0)});
+  t.add_row({"requests routed", std::to_string(timed.routed)});
+  t.add_row({"no-route", std::to_string(timed.no_route)});
+  t.add_row({"p50 latency ns", format_double(timed.p50_ns, 0)});
+  t.add_row({"p99 latency ns", format_double(timed.p99_ns, 0)});
+  t.add_row({"p999 latency ns", format_double(timed.p999_ns, 0)});
+  t.add_row({"plan versions seen",
+             std::to_string(timed.min_plan_version) + ".." +
+                 std::to_string(timed.max_plan_version)});
+  t.add_row({"table rebuilds", std::to_string(timed.dispatcher.rebuilds)});
+  t.add_row({"refresh skips",
+             std::to_string(timed.dispatcher.refresh_skips)});
+  t.add_row({"plan-swap stalls",
+             std::to_string(timed.dispatcher.stalled_routes)});
+  t.add_row({"identical across threads", identical ? "yes" : "NO"});
+  std::printf("%zu slot(s) solved (net profit $%s) | %zu driver thread(s)"
+              "\n%swrote %s\n",
+              slots, format_double(solved.total.net_profit(), 2).c_str(),
+              timed.threads, t.render().c_str(), out_path.c_str());
+
+  int rc = 0;
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: routing decisions differ between 1 and "
+                         "%zu driver threads\n",
+                 many.threads);
+    rc = 1;
+  }
+  if (timed.dispatcher.stalled_routes != 0) {
+    std::fprintf(stderr, "FAIL: %llu route(s) stalled on a plan swap "
+                         "(contract: zero)\n",
+                 static_cast<unsigned long long>(
+                     timed.dispatcher.stalled_routes));
+    rc = 1;
+  }
+  if (args.options.count("min-qps")) {
+    const double min_qps = std::stod(args.options.at("min-qps"));
+    if (timed.qps() < min_qps) {
+      std::fprintf(stderr,
+                   "FAIL: %.0f routing decisions/s below the --min-qps "
+                   "%.0f gate\n",
+                   timed.qps(), min_qps);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_simulate(const Args& args) {
   if (args.positional.empty()) return usage();
   const Scenario sc = resolve_scenario(args.positional[0]);
@@ -726,6 +888,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "inject") return cmd_inject(parse_args(argc, argv, 2));
     if (cmd == "bench") return cmd_bench(parse_args(argc, argv, 2));
+    if (cmd == "qps") return cmd_qps(parse_args(argc, argv, 2));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
