@@ -41,6 +41,7 @@ Tally run(const Scenario& sc, RightSizingPolicy& policy,
     DispatchPlan plan = policy.plan_slot(sc.topology, input);
     if (force_all_on) {
       for (std::size_t l = 0; l < plan.dc.size(); ++l) {
+        // palb-lint: allow(P3) the always-on baseline overrides right-sizing before scoring; that IS the experiment
         plan.dc[l].servers_on = sc.topology.datacenters[l].num_servers;
       }
     }

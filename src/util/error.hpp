@@ -1,7 +1,103 @@
 #pragma once
 
-// The exception hierarchy and the PALB_REQUIRE/PALB_CHECK macro family
-// moved to check/check.hpp when the invariant subsystem grew into its
-// own module. This forwarder keeps the seed's 70+ include sites (and any
-// downstream code) compiling unchanged.
-#include "check/check.hpp"  // IWYU pragma: export
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace palb {
+
+/// Root of the library's exception hierarchy. All throwing paths in palb
+/// raise a subclass of Error so callers can catch the library errors
+/// without swallowing unrelated std exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an argument outside the documented domain
+/// (negative rate, empty trace, mismatched dimensions, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or detected an inconsistent
+/// model (infeasible LP asked for a solution, singular basis, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure (trace file missing, malformed CSV, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A plan failed the paper-constraint audit: one of Eqs. 6-8, queue
+/// stability or rate sanity does not hold (thrown by PlanChecker's
+/// enforcing entry points). Derives from InvalidArgument because a
+/// constraint-violating plan *is* a bad argument — callers that already
+/// catch InvalidArgument keep working.
+class ConstraintViolation : public InvalidArgument {
+ public:
+  explicit ConstraintViolation(const std::string& what)
+      : InvalidArgument(what) {}
+};
+
+namespace detail {
+
+/// Shared thrower behind the PALB_CHECK family: prefixes the failure
+/// with file:line so a tripped invariant deep inside a solver names the
+/// exact check instead of an anonymous message.
+[[noreturn]] inline void throw_check_failure(const char* file, int line,
+                                             const char* cond,
+                                             const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": check `" + cond + "` failed: " + msg);
+}
+
+}  // namespace detail
+
+/// Lightweight invariant check used across the library. Unlike assert()
+/// it is active in release builds: the library is the backing of a
+/// simulation harness, and silent UB on bad scenario files is worse than
+/// the branch cost. The thrown message carries file:line of the check
+/// site so violations are locatable from a test log alone.
+#define PALB_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::palb::detail::throw_check_failure(__FILE__, __LINE__, #cond,  \
+                                          (msg));                     \
+    }                                                                 \
+  } while (0)
+
+/// Checks that a floating-point expression is finite (rejects NaN and
+/// +-inf). `what` names the quantity in the thrown message.
+#define PALB_CHECK_FINITE(value, what)                                  \
+  do {                                                                  \
+    const double palb_check_finite_v_ = static_cast<double>(value);     \
+    if (!std::isfinite(palb_check_finite_v_)) {                         \
+      ::palb::detail::throw_check_failure(                              \
+          __FILE__, __LINE__, #value,                                   \
+          std::string(what) + " must be finite, got " +                 \
+              std::to_string(palb_check_finite_v_));                    \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only check: compiled out (condition not evaluated) in NDEBUG
+/// builds. For invariants on hot paths whose failure is impossible
+/// unless the surrounding function itself is broken.
+#ifdef NDEBUG
+#define PALB_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define PALB_DCHECK(cond, msg) PALB_CHECK(cond, msg)
+#endif
+
+/// Historical name of PALB_CHECK, kept as a thin alias so the seed's
+/// call sites (and downstream users) keep compiling unchanged.
+#define PALB_REQUIRE(cond, msg) PALB_CHECK(cond, msg)
+
+}  // namespace palb

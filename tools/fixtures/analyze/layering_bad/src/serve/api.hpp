@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture {
+
+inline int serve_api() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+
+// Seeded violation: a foundation module reaching up into the serving
+// plane. palb-analyze must flag this include as an upward L1 edge.
+#include "serve/api.hpp"
+
+namespace fixture {
+
+inline int helper() { return serve_api(); }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/helper.hpp"
+
+namespace fixture {
+
+inline int serve_api() { return helper(); }
+
+}  // namespace fixture

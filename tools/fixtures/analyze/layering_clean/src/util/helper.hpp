@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture {
+
+inline int helper() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Seeded P3 violation: serving code reaching into a DispatchPlan and
+// editing routed rate mass after the audit.
+#include "cloud/plan.hpp"
+
+namespace fixture {
+
+void skim(DispatchPlan& plan) { plan.rate[0][0][0] = 0.0; }
+
+}  // namespace fixture

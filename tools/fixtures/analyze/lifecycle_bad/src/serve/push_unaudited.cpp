@@ -1,0 +1,9 @@
+// Seeded P2 violation: the plan goes straight to publish() with no
+// PlanChecker check()/repair() anywhere in the file.
+#include "core/plan_handle.hpp"
+
+namespace fixture {
+
+void push(PlanHandle& live, DispatchPlan plan) { live.publish(plan); }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Negative case for P2: the plan passes the checker's audit (with the
+// repair fallback) before it is published.
+#include "check/plan_checker.hpp"
+#include "core/plan_handle.hpp"
+
+namespace fixture {
+
+void push(PlanChecker& checker, PlanHandle& live, DispatchPlan plan) {
+  checker.check(plan);
+  live.publish(plan);
+}
+
+}  // namespace fixture

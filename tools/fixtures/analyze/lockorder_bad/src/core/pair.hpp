@@ -1,0 +1,24 @@
+#pragma once
+
+// Seeded lock-order inversion: the declared order is a_ before b_
+// (PALB_ACQUIRED_AFTER), but swapped() nests the MutexLock scopes the
+// other way around. The union graph has a_ -> b_ (declared) and
+// b_ -> a_ (observed) — a K1 cycle.
+
+namespace fixture {
+
+class Pair {
+ public:
+  void swapped() {
+    MutexLock hold_b(b_);
+    MutexLock hold_a(a_);
+    ++n_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_ PALB_ACQUIRED_AFTER(a_);
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+#pragma once
+
+// Seeded K2 violation: mu_ is designated `fastpath` in this fixture's
+// layers.txt, and stall() dispatches pool work while holding it — the
+// blocking call the zero-stall contract forbids.
+
+namespace fixture {
+
+class Handle {
+ public:
+  void stall() {
+    MutexLock hold(mu_);
+    pool_.submit([] {});
+  }
+
+ private:
+  Mutex mu_;
+  ThreadPool pool_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+#pragma once
+
+// Negative case for K1: the nested MutexLock scopes agree with the
+// declared PALB_ACQUIRED_AFTER order, so the union graph is acyclic.
+
+namespace fixture {
+
+class Pair {
+ public:
+  void ordered() {
+    MutexLock hold_a(a_);
+    MutexLock hold_b(b_);
+    ++n_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_ PALB_ACQUIRED_AFTER(a_);
+  int n_ = 0;
+};
+
+}  // namespace fixture

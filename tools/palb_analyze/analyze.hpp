@@ -1,0 +1,186 @@
+#pragma once
+// palb-analyze — the repo's multi-pass static analysis suite
+// (docs/STATIC_ANALYSIS.md tier 7). One shared token-level scanner
+// feeds four rule passes:
+//
+//   token     D1 determinism, U1 units seam, P1 scorer call sites
+//             (the original palb-lint rules, unchanged semantics)
+//   layering  L1 module-layering DAG over the #include graph, against
+//             the declared ranks in tools/palb_analyze/layers.txt
+//   lockorder K1 lock-acquisition-order cycles recovered from
+//             PALB_ACQUIRED_AFTER/BEFORE declarations, PALB_REQUIRES
+//             contracts and nested MutexLock scopes; K2 blocking calls
+//             while a designated route-path/publish mutex is held
+//   lifecycle P2 PlanHandle::publish* not dominated in-file by a
+//             PlanChecker check/repair; P3 direct DispatchPlan
+//             mutation outside the audited seams
+//
+// plus the meta-rules S1 (stale inline suppression) and S2 (stale
+// baseline entry) that keep the audit trail honest, and LINT for
+// malformed directives.
+//
+// Deliberately dependency-free (no LLVM, no regex engine): the whole
+// point is that it builds and runs on the bare gcc container in
+// seconds, as a tier-1 ctest.
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace palb_analyze {
+
+struct Finding {
+  std::string path;  // repo-relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  bool gated = true;  // false: reported but not exit-status-affecting
+};
+
+struct Comment {
+  std::string text;
+  std::size_t line = 0;   // line the comment starts on
+  bool trailing = false;  // code precedes it on the same line
+};
+
+struct Suppression {
+  std::string rule;
+  std::size_t target_line = 0;   // line the suppression applies to
+  std::size_t comment_line = 0;  // line the directive itself is on
+  bool used = false;             // matched at least one raw finding
+};
+
+struct IncludeDirective {
+  std::string header;  // the quoted text, e.g. "core/plan_handle.hpp"
+  std::size_t line = 0;
+};
+
+struct Token {
+  std::string text;
+  std::size_t begin = 0;  // offset in the line
+};
+
+/// One scanned file: scrubbed code (comments / string literals /
+/// char literals blanked, line structure preserved), plus everything
+/// the passes consume.
+struct FileScan {
+  std::string rel;                  // repo-relative, forward slashes
+  std::string code;                 // scrubbed, same length as input
+  std::vector<std::string> lines;   // scrubbed, split on '\n'
+  std::vector<Comment> comments;
+  std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;  // #include "..." only
+};
+
+// ---------------------------------------------------------------------------
+// scanner.cpp — shared lexical core.
+// ---------------------------------------------------------------------------
+
+bool is_ident_char(char c);
+std::string trim_copy(const std::string& s);
+
+/// Identifier tokens of one scrubbed line (never starts with a digit).
+std::vector<Token> identifiers(const std::string& line);
+
+/// True when the first non-space character at/after `pos` is `want`.
+bool next_nonspace_is(const std::string& line, std::size_t pos, char want);
+/// True when the last non-space character before `pos` is `want`.
+bool prev_nonspace_is(const std::string& line, std::size_t pos, char want);
+
+/// Member-access check for a token starting at `begin`: preceded by
+/// '.' or '->'.
+bool is_member_access(const std::string& line, std::size_t begin);
+
+/// Reads + scrubs one file. Malformed suppression directives become
+/// LINT findings; well-formed suppressions land in scan->suppressions.
+/// Returns false on I/O error (message on stderr).
+bool scan_file(const std::string& path, const std::string& rel,
+               FileScan* scan, std::vector<Finding>* findings);
+
+// ---------------------------------------------------------------------------
+// config.cpp — layers.txt (layer ranks, toplevel dirs, reviewed edge
+// exceptions, fast-path mutex designations).
+// ---------------------------------------------------------------------------
+
+struct Config {
+  bool loaded = false;
+  std::string path;  // for messages
+  std::map<std::string, int> rank;        // module -> rank (1 = lowest)
+  std::vector<std::string> toplevel;      // dirs above all of src/
+  // Reviewed exception edges "from -> to" (module names).
+  std::set<std::pair<std::string, std::string>> allowed_edges;
+  // "component::mutex" designations for rule K2.
+  std::set<std::string> fastpath;
+};
+
+/// Parses layers.txt. Returns false (with *error filled) on a
+/// malformed file — the config is part of the contract, so a parse
+/// error is a hard failure, not a skip.
+bool load_config(const std::string& file, Config* config, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Passes. Token + lifecycle are per-file; layering + lockorder need
+// the whole file set (graph rules).
+// ---------------------------------------------------------------------------
+
+void pass_token(const FileScan& scan, std::vector<Finding>* findings);
+
+/// `full_src_scan`: at least one scan root was a directory named src —
+/// only then is "declared module has no files" a meaningful finding.
+void pass_layering(const std::vector<FileScan>& scans, const Config& config,
+                   bool full_src_scan, std::vector<Finding>* findings);
+
+void pass_lockorder(const std::vector<FileScan>& scans, const Config& config,
+                    std::vector<Finding>* findings);
+
+void pass_lifecycle(const FileScan& scan, std::vector<Finding>* findings);
+
+// ---------------------------------------------------------------------------
+// baseline.cpp — checked-in known-findings ledger (lint_baseline.json,
+// schema palb-analyze-baseline-v1).
+// ---------------------------------------------------------------------------
+
+struct BaselineEntry {
+  std::string path;
+  std::string rule;
+  std::size_t count = 0;
+  std::size_t matched = 0;  // findings consumed this run
+};
+
+struct Baseline {
+  bool loaded = false;
+  std::string path;
+  std::vector<BaselineEntry> entries;
+};
+
+bool load_baseline(const std::string& file, Baseline* baseline,
+                   std::string* error);
+bool write_baseline(const std::string& file,
+                    const std::vector<Finding>& findings, std::string* error);
+
+// ---------------------------------------------------------------------------
+// sarif.cpp — SARIF 2.1.0 writer (GitHub code scanning).
+// ---------------------------------------------------------------------------
+
+bool write_sarif(const std::string& file, const std::vector<Finding>& findings,
+                 std::string* error);
+
+// ---------------------------------------------------------------------------
+// gitdiff.cpp — changed-line ranges vs a git ref (--diff-base).
+// ---------------------------------------------------------------------------
+
+/// Inclusive [first, last] line ranges of *new-side* lines, keyed by
+/// repo-relative path.
+using DiffRanges = std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>;
+
+/// Runs `git -C root diff --unified=0 ref` and parses the hunk
+/// headers. Returns false (with *error filled) when git fails.
+bool load_diff_ranges(const std::string& root, const std::string& ref,
+                      DiffRanges* ranges, std::string* error);
+
+bool diff_touches(const DiffRanges& ranges, const std::string& rel,
+                  std::size_t line);
+
+}  // namespace palb_analyze

@@ -1,0 +1,192 @@
+// lint_baseline.json — the checked-in ledger of known findings
+// (schema palb-analyze-baseline-v1):
+//
+//   {
+//     "schema": "palb-analyze-baseline-v1",
+//     "entries": [
+//       {"path": "src/x/y.cpp", "rule": "U1", "count": 2}
+//     ]
+//   }
+//
+// Each entry absorbs up to `count` findings of `rule` in `path`
+// without failing the run; a finding beyond the budget gates as
+// usual. The ledger must shrink monotonically: capacity left over on
+// a full-tree run means the debt was paid off, and rule S2 demands
+// the stale entry be deleted so the baseline never masks a
+// *reintroduced* instance of a fixed problem.
+//
+// Parsed with a purpose-built reader for exactly this shape — the
+// suite is dependency-free by design, and a hand-rolled general JSON
+// parser would be more code than the feature.
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0)
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      out->push_back(text[pos++]);
+    }
+    return eat('"');
+  }
+  bool number(std::size_t* out) {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])) != 0)
+      ++pos;
+    if (pos == start) return false;
+    *out = static_cast<std::size_t>(std::stoull(text.substr(start, pos - start)));
+    return true;
+  }
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& file, Baseline* baseline,
+                   std::string* error) {
+  std::ifstream in(file);
+  if (!in) {
+    *error = "cannot read baseline: " + file;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Cursor c{text};
+
+  const auto fail = [&](const std::string& what) {
+    *error = file + ": " + what;
+    return false;
+  };
+
+  if (!c.eat('{')) return fail("expected '{'");
+  bool saw_schema = false;
+  bool first_key = true;
+  while (!c.peek('}')) {
+    if (!first_key && !c.eat(',')) return fail("expected ',' between keys");
+    first_key = false;
+    std::string key;
+    if (!c.string(&key) || !c.eat(':')) return fail("expected \"key\":");
+    if (key == "schema") {
+      std::string schema;
+      if (!c.string(&schema)) return fail("schema must be a string");
+      if (schema != "palb-analyze-baseline-v1")
+        return fail("unsupported schema '" + schema + "'");
+      saw_schema = true;
+    } else if (key == "entries") {
+      if (!c.eat('[')) return fail("entries must be an array");
+      bool first_entry = true;
+      while (!c.peek(']')) {
+        if (!first_entry && !c.eat(',')) return fail("expected ',' in entries");
+        first_entry = false;
+        if (!c.eat('{')) return fail("entry must be an object");
+        BaselineEntry entry;
+        bool first_field = true;
+        while (!c.peek('}')) {
+          if (!first_field && !c.eat(','))
+            return fail("expected ',' in entry");
+          first_field = false;
+          std::string field;
+          if (!c.string(&field) || !c.eat(':'))
+            return fail("expected \"field\": in entry");
+          if (field == "path") {
+            if (!c.string(&entry.path)) return fail("path must be a string");
+          } else if (field == "rule") {
+            if (!c.string(&entry.rule)) return fail("rule must be a string");
+          } else if (field == "count") {
+            if (!c.number(&entry.count)) return fail("count must be a number");
+          } else {
+            return fail("unknown entry field '" + field + "'");
+          }
+        }
+        c.eat('}');
+        if (entry.path.empty() || entry.rule.empty() || entry.count == 0)
+          return fail("entry needs non-empty path, rule and count >= 1");
+        baseline->entries.push_back(std::move(entry));
+      }
+      c.eat(']');
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  c.eat('}');
+  if (!saw_schema) return fail("missing \"schema\" key");
+  baseline->loaded = true;
+  baseline->path = file;
+  return true;
+}
+
+bool write_baseline(const std::string& file,
+                    const std::vector<Finding>& findings, std::string* error) {
+  // Aggregate (path, rule) -> count, in first-seen order (findings
+  // arrive path-sorted from the driver, so output is deterministic).
+  std::vector<BaselineEntry> entries;
+  for (const Finding& f : findings) {
+    bool merged = false;
+    for (BaselineEntry& e : entries) {
+      if (e.path == f.path && e.rule == f.rule) {
+        ++e.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) entries.push_back({f.path, f.rule, 1, 0});
+  }
+
+  std::ofstream out(file);
+  if (!out) {
+    *error = "cannot write baseline: " + file;
+    return false;
+  }
+  out << "{\n  \"schema\": \"palb-analyze-baseline-v1\",\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"path\": \"" << json_escape(entries[i].path)
+        << "\", \"rule\": \"" << json_escape(entries[i].rule)
+        << "\", \"count\": " << entries[i].count << "}";
+  }
+  out << (entries.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.good();
+}
+
+}  // namespace palb_analyze

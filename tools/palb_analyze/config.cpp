@@ -1,0 +1,87 @@
+// layers.txt parser: the declared module-layering DAG (pass A), the
+// reviewed edge exceptions, and the fast-path mutex designations rule
+// K2 polices. The file is part of the analysis contract, so any
+// malformed line is a hard error, not a skip — a typo must not
+// silently un-declare a layer.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+
+bool load_config(const std::string& file, Config* config, std::string* error) {
+  std::ifstream in(file);
+  if (!in) {
+    *error = "cannot read layers file: " + file;
+    return false;
+  }
+  config->path = file;
+  int next_rank = 1;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim_copy(raw);
+    if (line.empty()) continue;
+
+    std::istringstream words(line);
+    std::string keyword;
+    words >> keyword;
+    const auto fail = [&](const std::string& what) {
+      *error = file + ":" + std::to_string(line_no) + ": " + what;
+      return false;
+    };
+
+    if (keyword == "layer") {
+      std::string module;
+      bool any = false;
+      while (words >> module) {
+        if (config->rank.count(module) != 0)
+          return fail("module '" + module + "' declared twice");
+        config->rank[module] = next_rank;
+        any = true;
+      }
+      if (!any) return fail("'layer' names no modules");
+      ++next_rank;
+    } else if (keyword == "toplevel") {
+      std::string dir;
+      bool any = false;
+      while (words >> dir) {
+        config->toplevel.push_back(dir);
+        any = true;
+      }
+      if (!any) return fail("'toplevel' names no directories");
+    } else if (keyword == "allow") {
+      // allow FROM -> TO
+      std::string from;
+      std::string arrow;
+      std::string to;
+      if (!(words >> from >> arrow >> to) || arrow != "->")
+        return fail("expected 'allow FROM -> TO'");
+      config->allowed_edges.insert({from, to});
+    } else if (keyword == "fastpath") {
+      // fastpath COMPONENT MUTEX  (component = path stem, e.g.
+      // core/plan_handle; mutex = member name, e.g. snap_mutex_)
+      std::string component;
+      std::string mutex;
+      if (!(words >> component >> mutex))
+        return fail("expected 'fastpath COMPONENT MUTEX'");
+      config->fastpath.insert(component + "::" + mutex);
+    } else {
+      return fail("unknown directive '" + keyword + "'");
+    }
+  }
+  if (config->rank.empty()) {
+    *error = file + ": no 'layer' lines — the DAG must declare every module";
+    return false;
+  }
+  config->loaded = true;
+  return true;
+}
+
+}  // namespace palb_analyze

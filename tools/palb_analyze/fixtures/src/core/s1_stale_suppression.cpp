@@ -1,0 +1,11 @@
+// Fixture for rule S1: the allow() below targets a line that produces
+// no D1 finding, so the suppression itself must be flagged as stale.
+
+namespace palb {
+
+int answer() {
+  // palb-lint: allow(D1) this used to call rand() before the refactor
+  return 42;
+}
+
+}  // namespace palb

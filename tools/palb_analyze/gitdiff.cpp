@@ -1,0 +1,89 @@
+// --diff-base support: changed-line ranges against a git ref. The
+// analyzer still scans and reports the whole tree (a layering cycle
+// is a whole-graph property), but with --diff-base only findings on
+// new-side changed lines *gate* the exit status — preexisting debt
+// stays visible without failing an unrelated PR.
+//
+// `git diff --unified=0` hunk headers carry exactly what we need:
+//   +++ b/<path>
+//   @@ -<old> +<start>[,<count>] @@
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+
+bool load_diff_ranges(const std::string& root, const std::string& ref,
+                      DiffRanges* ranges, std::string* error) {
+  const std::string cmd = "git -C '" + root +
+                          "' diff --unified=0 --no-color '" + ref +
+                          "' -- 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    *error = "cannot run git diff";
+    return false;
+  }
+
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    output.append(buf, got);
+  }
+  const int status = pclose(pipe);
+  if (status != 0) {
+    *error = "git diff against '" + ref + "' failed: " +
+             output.substr(0, output.find('\n'));
+    return false;
+  }
+
+  std::string current;  // path of the file the hunks belong to
+  std::size_t pos = 0;
+  while (pos < output.size()) {
+    std::size_t eol = output.find('\n', pos);
+    if (eol == std::string::npos) eol = output.size();
+    const std::string line = output.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    if (line.rfind("+++ ", 0) == 0) {
+      // "+++ b/src/x.cpp" or "+++ /dev/null" (deletion).
+      current.clear();
+      if (line.rfind("+++ b/", 0) == 0) current = line.substr(6);
+      continue;
+    }
+    if (line.rfind("@@", 0) != 0 || current.empty()) continue;
+
+    // "@@ -a[,b] +start[,count] @@ ..."
+    const std::size_t plus = line.find('+');
+    if (plus == std::string::npos) continue;
+    std::size_t i = plus + 1;
+    std::size_t start = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+      start = start * 10 + static_cast<std::size_t>(line[i++] - '0');
+    std::size_t count = 1;
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      count = 0;
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+        count = count * 10 + static_cast<std::size_t>(line[i++] - '0');
+    }
+    if (count == 0) continue;  // pure deletion: no new-side lines
+    (*ranges)[current].push_back({start, start + count - 1});
+  }
+  return true;
+}
+
+bool diff_touches(const DiffRanges& ranges, const std::string& rel,
+                  std::size_t line) {
+  const auto it = ranges.find(rel);
+  if (it == ranges.end()) return false;
+  for (const auto& [first, last] : it->second) {
+    if (line >= first && line <= last) return true;
+  }
+  return false;
+}
+
+}  // namespace palb_analyze

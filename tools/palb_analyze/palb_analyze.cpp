@@ -1,0 +1,462 @@
+// palb-analyze driver: collects files, runs the shared scanner once,
+// dispatches the rule passes, applies suppressions (S1 polices stale
+// ones), consumes the baseline ledger (S2 polices stale entries),
+// optionally gates only on --diff-base changed lines, and writes
+// text / report / SARIF output.
+//
+// Exit codes: 0 clean, 1 gated findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace fs = std::filesystem;
+
+namespace palb_analyze {
+namespace {
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+// Fixture-ness is judged *below* the scan argument: scanning tools/
+// skips tools/palb_analyze/fixtures/, but pointing the tool directly at
+// a fixture tree (how the self-gate tests drive it) scans that tree.
+bool in_fixture_dir(const fs::path& p, const fs::path& arg) {
+  for (const fs::path& part : p.lexically_relative(arg)) {
+    if (part == "fixtures") return true;
+  }
+  return false;
+}
+
+void collect(const fs::path& arg, std::vector<fs::path>* files) {
+  if (fs::is_directory(arg)) {
+    for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+      if (entry.is_regular_file() && scannable(entry.path()) &&
+          !in_fixture_dir(entry.path(), arg)) {
+        files->push_back(entry.path());
+      }
+    }
+  } else {
+    // Explicit file arguments are always scanned, fixtures included —
+    // that is how the fixture tests drive the tool.
+    files->push_back(arg);
+  }
+}
+
+void print_rules() {
+  std::cout
+      << "palb-analyze rules (docs/STATIC_ANALYSIS.md tier 7):\n"
+      << "token pass (the original palb-lint rules):\n"
+      << "  D1  determinism    no rand/srand/random_device/mt19937/"
+         "default_random_engine,\n"
+      << "                     no sleep_for/sleep_until, no time()/clock() "
+         "in plan-affecting\n"
+      << "                     dirs (src/core, src/solver, src/cloud, "
+         "src/check, src/fault,\n"
+      << "                     src/sim, src/forecast, src/serve); "
+         "additionally no unordered_map/\n"
+      << "                     unordered_set in src/core + src/solver; "
+         "bench/ + examples/\n"
+      << "                     get the seeded-reproducibility subset "
+         "(no ad-hoc PRNG/sleep)\n"
+      << "  U1  units-seam     .value() only in the audited boundary files\n"
+      << "  P1  plan-scoring   evaluate_plan(/simulate( only at audited "
+         "call sites\n"
+      << "layering pass (tools/palb_analyze/layers.txt):\n"
+      << "  L1  layering       #include edges must follow the declared "
+         "module DAG;\n"
+      << "                     no upward or same-rank includes, src/ never "
+         "includes toplevel\n"
+      << "lockorder pass:\n"
+      << "  K1  lock-order     the union of declared "
+         "(PALB_ACQUIRED_AFTER/BEFORE) and\n"
+      << "                     observed (nested MutexLock/.lock()) "
+         "acquisition edges must\n"
+      << "                     be acyclic\n"
+      << "  K2  fast-path      no blocking call (submit/wait/join/sleep/"
+         "stream I/O) while\n"
+      << "                     a layers.txt-designated fastpath mutex is "
+         "held\n"
+      << "lifecycle pass:\n"
+      << "  P2  publish-audit  member publish(/publish_locked( needs a "
+         "PlanChecker\n"
+      << "                     check()/repair() earlier in the file\n"
+      << "  P3  plan-mutation  DispatchPlan members mutated only in the "
+         "audited seams\n"
+      << "meta:\n"
+      << "  S1  stale-allow    a suppression that matches no finding is "
+         "itself a finding\n"
+      << "  S2  stale-baseline a baseline entry with unused capacity must "
+         "be deleted\n"
+      << "suppress with: // palb-lint: allow(RULE) <non-empty reason>\n";
+}
+
+void print_usage() {
+  std::cout
+      << "usage: palb_analyze [options] <files-or-dirs>...\n"
+      << "  --root DIR          repo root for relative paths (default: cwd)\n"
+      << "  --layers FILE       layering config (default: "
+         "<root>/tools/palb_analyze/layers.txt)\n"
+      << "  --baseline FILE     known-findings ledger (default: "
+         "<root>/tools/palb_analyze/lint_baseline.json if present)\n"
+      << "  --write-baseline F  write current findings as a new ledger and "
+         "exit 0\n"
+      << "  --sarif FILE        write SARIF 2.1.0 (all findings, gated "
+         "level=error)\n"
+      << "  --diff-base REF     gate only findings on lines changed vs the "
+         "git ref\n"
+      << "  --report FILE       also write the text output to FILE\n"
+      << "  --passes LIST       comma list of token,layering,lockorder,"
+         "lifecycle (default all)\n"
+      << "  --list-rules        print the rule catalog and exit\n";
+}
+
+struct ActiveRules {
+  bool token = true;
+  bool layering = true;
+  bool lockorder = true;
+  bool lifecycle = true;
+
+  bool covers(const std::string& rule) const {
+    if (rule == "D1" || rule == "U1" || rule == "P1") return token;
+    if (rule == "L1") return layering;
+    if (rule == "K1" || rule == "K2") return lockorder;
+    if (rule == "P2" || rule == "P3") return lifecycle;
+    // LINT/S1/S2 always; unknown rule names fall through to "active"
+    // so a suppression of a nonexistent rule cannot hide forever.
+    return true;
+  }
+};
+
+bool finding_order(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  return a.rule < b.rule;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string layers_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
+  std::string diff_base;
+  std::string report_path;
+  ActiveRules active;
+  std::vector<fs::path> args;
+
+  const auto need_value = [&](int i, const char* flag) {
+    if (i + 1 >= argc) {
+      std::cerr << "palb-analyze: " << flag << " needs a value\n";
+      return false;
+    }
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--root") {
+      if (!need_value(i, "--root")) return 2;
+      root = argv[++i];
+    } else if (arg == "--layers") {
+      if (!need_value(i, "--layers")) return 2;
+      layers_path = argv[++i];
+    } else if (arg == "--baseline") {
+      if (!need_value(i, "--baseline")) return 2;
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (!need_value(i, "--write-baseline")) return 2;
+      write_baseline_path = argv[++i];
+    } else if (arg == "--sarif") {
+      if (!need_value(i, "--sarif")) return 2;
+      sarif_path = argv[++i];
+    } else if (arg == "--diff-base") {
+      if (!need_value(i, "--diff-base")) return 2;
+      diff_base = argv[++i];
+    } else if (arg == "--report") {
+      if (!need_value(i, "--report")) return 2;
+      report_path = argv[++i];
+    } else if (arg == "--passes") {
+      if (!need_value(i, "--passes")) return 2;
+      active = {false, false, false, false};
+      std::istringstream list(argv[++i]);
+      std::string pass;
+      while (std::getline(list, pass, ',')) {
+        if (pass == "token") {
+          active.token = true;
+        } else if (pass == "layering") {
+          active.layering = true;
+        } else if (pass == "lockorder") {
+          active.lockorder = true;
+        } else if (pass == "lifecycle") {
+          active.lifecycle = true;
+        } else {
+          std::cerr << "palb-analyze: unknown pass '" << pass << "'\n";
+          return 2;
+        }
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "palb-analyze: unknown option " << arg << " (try --help)\n";
+      return 2;
+    } else {
+      args.emplace_back(std::string(arg));
+    }
+  }
+  if (args.empty()) {
+    std::cerr << "palb-analyze: no files or directories given (try --help)\n";
+    return 2;
+  }
+
+  // ---- collect ----
+  std::vector<fs::path> files;
+  bool full_src_scan = false;
+  std::vector<std::string> scan_prefixes;  // repo-relative, for S2 scoping
+  std::error_code ec;
+  const fs::path canon_root = fs::weakly_canonical(root, ec);
+  for (const fs::path& arg : args) {
+    if (!fs::exists(arg)) {
+      std::cerr << "palb-analyze: no such path: " << arg.string() << "\n";
+      return 2;
+    }
+    if (fs::is_directory(arg) && arg.filename().string() == "src")
+      full_src_scan = true;
+    scan_prefixes.push_back(
+        fs::proximate(fs::weakly_canonical(arg, ec), canon_root, ec)
+            .generic_string());
+    collect(arg, &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // ---- config ----
+  Config config;
+  {
+    const bool explicit_layers = !layers_path.empty();
+    if (!explicit_layers)
+      layers_path = (root / "tools/palb_analyze/layers.txt").string();
+    std::string error;
+    if (fs::exists(layers_path)) {
+      if (!load_config(layers_path, &config, &error)) {
+        std::cerr << "palb-analyze: " << error << "\n";
+        return 2;
+      }
+    } else if (explicit_layers) {
+      std::cerr << "palb-analyze: cannot read layers file: " << layers_path
+                << "\n";
+      return 2;
+    }
+    // No layers file (fixture trees): layering is a no-op, lockorder
+    // runs with an empty fastpath set.
+  }
+
+  // ---- scan ----
+  std::vector<FileScan> scans;
+  std::vector<Finding> findings;  // LINT first, then the passes append
+  scans.reserve(files.size());
+  for (const fs::path& file : files) {
+    FileScan scan;
+    const std::string rel =
+        fs::proximate(fs::weakly_canonical(file, ec), canon_root, ec)
+            .generic_string();
+    if (!scan_file(file.string(), rel, &scan, &findings)) return 2;
+    scans.push_back(std::move(scan));
+  }
+
+  // ---- passes ----
+  for (const FileScan& scan : scans) {
+    if (active.token) pass_token(scan, &findings);
+    if (active.lifecycle) pass_lifecycle(scan, &findings);
+  }
+  if (active.layering) pass_layering(scans, config, full_src_scan, &findings);
+  if (active.lockorder) pass_lockorder(scans, config, &findings);
+
+  // ---- suppressions + S1 ----
+  {
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+      bool suppressed = false;
+      for (FileScan& scan : scans) {
+        if (scan.rel != f.path) continue;
+        for (Suppression& s : scan.suppressions) {
+          if (s.rule == f.rule && s.target_line == f.line) {
+            s.used = true;
+            suppressed = true;
+          }
+        }
+      }
+      if (suppressed) {
+        f.gated = false;  // kept for SARIF visibility, never gates
+      }
+      kept.push_back(std::move(f));
+    }
+    findings = std::move(kept);
+    for (FileScan& scan : scans) {
+      for (Suppression& s : scan.suppressions) {
+        if (!s.used && active.covers(s.rule)) {
+          findings.push_back(
+              {scan.rel, s.comment_line, "S1",
+               "stale suppression: allow(" + s.rule +
+                   ") matches no finding on its target line; delete the "
+                   "directive (or fix the rule name) so the audit trail "
+                   "stays honest",
+               true});
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), finding_order);
+
+  // ---- write-baseline mode ----
+  if (!write_baseline_path.empty()) {
+    std::vector<Finding> gated;
+    for (const Finding& f : findings) {
+      if (f.gated) gated.push_back(f);
+    }
+    std::string error;
+    if (!write_baseline(write_baseline_path, gated, &error)) {
+      std::cerr << "palb-analyze: " << error << "\n";
+      return 2;
+    }
+    std::cout << "palb-analyze: wrote " << gated.size()
+              << " finding(s) to baseline " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  // ---- baseline consume + S2 ----
+  Baseline baseline;
+  {
+    const bool explicit_baseline = !baseline_path.empty();
+    if (!explicit_baseline)
+      baseline_path = (root / "tools/palb_analyze/lint_baseline.json").string();
+    if (fs::exists(baseline_path)) {
+      std::string error;
+      if (!load_baseline(baseline_path, &baseline, &error)) {
+        std::cerr << "palb-analyze: " << error << "\n";
+        return 2;
+      }
+    } else if (explicit_baseline) {
+      std::cerr << "palb-analyze: cannot read baseline: " << baseline_path
+                << "\n";
+      return 2;
+    }
+  }
+  if (baseline.loaded) {
+    const std::string baseline_rel =
+        fs::proximate(fs::weakly_canonical(fs::path(baseline_path), ec),
+                      canon_root, ec)
+            .generic_string();
+    for (Finding& f : findings) {
+      if (!f.gated) continue;
+      for (BaselineEntry& e : baseline.entries) {
+        if (e.path == f.path && e.rule == f.rule && e.matched < e.count) {
+          ++e.matched;
+          f.gated = false;
+          break;
+        }
+      }
+    }
+    // S2 only on full (non-diff) runs, and only for entries whose path
+    // was actually scanned — a tools/-only run must not flag src/ debt.
+    if (diff_base.empty()) {
+      for (const BaselineEntry& e : baseline.entries) {
+        const bool in_scope = [&] {
+          for (const std::string& prefix : scan_prefixes) {
+            if (e.path == prefix || e.path.rfind(prefix + "/", 0) == 0)
+              return true;
+          }
+          return false;
+        }();
+        if (in_scope && e.matched < e.count) {
+          findings.push_back(
+              {baseline_rel, 1, "S2",
+               "stale baseline entry: " + e.path + " [" + e.rule +
+                   "] budgets " + std::to_string(e.count) +
+                   " finding(s) but only " + std::to_string(e.matched) +
+                   " remain; shrink or delete the entry so the ledger "
+                   "cannot mask a regression",
+               true});
+        }
+      }
+      std::sort(findings.begin(), findings.end(), finding_order);
+    }
+  }
+
+  // ---- diff gating ----
+  if (!diff_base.empty()) {
+    DiffRanges ranges;
+    std::string error;
+    if (!load_diff_ranges(root.string(), diff_base, &ranges, &error)) {
+      std::cerr << "palb-analyze: " << error << "\n";
+      return 2;
+    }
+    for (Finding& f : findings) {
+      if (f.gated && !diff_touches(ranges, f.path, f.line)) f.gated = false;
+    }
+  }
+
+  // ---- output ----
+  std::size_t gated_count = 0;
+  std::size_t ungated_count = 0;
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    if (f.gated) {
+      ++gated_count;
+      out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+          << "\n";
+    } else {
+      ++ungated_count;
+    }
+  }
+  out << "palb-analyze: " << gated_count << " finding(s) in " << files.size()
+      << " file(s) scanned";
+  if (ungated_count > 0) {
+    out << " (" << ungated_count << " suppressed/baselined";
+    if (!diff_base.empty()) out << "/outside the diff vs " << diff_base;
+    out << ")";
+  }
+  out << "\n";
+  std::cout << out.str();
+
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "palb-analyze: cannot write report to " << report_path
+                << "\n";
+      return 2;
+    }
+    report << out.str();
+  }
+  if (!sarif_path.empty()) {
+    std::string error;
+    if (!write_sarif(sarif_path, findings, &error)) {
+      std::cerr << "palb-analyze: " << error << "\n";
+      return 2;
+    }
+  }
+  return gated_count == 0 ? 0 : 1;
+}
+
+}  // namespace palb_analyze
+
+int main(int argc, char** argv) { return palb_analyze::run(argc, argv); }

@@ -1,0 +1,141 @@
+// Pass A — module-layering DAG (rule L1). The architecture is a
+// ranked DAG declared in tools/palb_analyze/layers.txt: a file in
+// module M may include "X/..." only when rank(X) < rank(M) or X == M;
+// modules sharing a rank must not include each other (their order
+// would be ambiguous); the toplevel dirs (tools/bench/tests/examples)
+// sit above all of src/ and may include anything. Because ranks are a
+// topological order by construction, enforcing "no upward or
+// same-rank edge" is exactly "the include graph restricted to src/ is
+// acyclic and respects the declared order" — a cycle would need at
+// least one upward edge.
+//
+// The pass also keeps layers.txt itself honest: a scanned src/ module
+// missing from the declaration is a finding, and (on full src/ scans)
+// so is a declared module with no files left on disk.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+namespace {
+
+// Module of a scanned file: "src/core/x.cpp" -> "core";
+// "tools/x.cpp" -> "" (toplevel); fixture trees use the same shapes.
+std::string module_of(const std::string& rel, const Config& config,
+                      bool* toplevel) {
+  *toplevel = false;
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) {
+    *toplevel = true;  // a root-level file constrains nothing
+    return "";
+  }
+  const std::string first = rel.substr(0, slash);
+  if (first == "src") {
+    const std::size_t second = rel.find('/', slash + 1);
+    if (second == std::string::npos) return "";
+    return rel.substr(slash + 1, second - slash - 1);
+  }
+  for (const std::string& dir : config.toplevel) {
+    if (first == dir) {
+      *toplevel = true;
+      return first;
+    }
+  }
+  return first;  // unknown tree root; treated as an undeclared module
+}
+
+// Module of an include directive: "core/plan_handle.hpp" -> "core".
+// Same-directory includes ("bench_common.hpp") and relative escapes
+// ("../cloud/x.hpp") carry no module claim and are skipped.
+std::string include_module(const std::string& header) {
+  if (header.empty() || header[0] == '.') return "";
+  const std::size_t slash = header.find('/');
+  if (slash == std::string::npos) return "";
+  return header.substr(0, slash);
+}
+
+}  // namespace
+
+void pass_layering(const std::vector<FileScan>& scans, const Config& config,
+                   bool full_src_scan, std::vector<Finding>* findings) {
+  if (!config.loaded) return;
+
+  std::set<std::string> seen_modules;
+  for (const FileScan& scan : scans) {
+    bool file_toplevel = false;
+    const std::string mod = module_of(scan.rel, config, &file_toplevel);
+    if (!file_toplevel && !mod.empty()) seen_modules.insert(mod);
+
+    if (!file_toplevel && !mod.empty() && config.rank.count(mod) == 0) {
+      findings->push_back(
+          {scan.rel, 1, "L1",
+           "module '" + mod + "' is not declared in " + config.path +
+               "; every src/ module must have a rank in the layering DAG",
+           true});
+      continue;  // no rank to compare against
+    }
+
+    // tools/bench/tests/examples sit above the whole DAG and may
+    // include any module (and each other).
+    if (file_toplevel) continue;
+
+    for (const IncludeDirective& inc : scan.includes) {
+      const std::string target = include_module(inc.header);
+      if (target.empty() || target == mod) continue;
+      const bool target_is_toplevel = [&] {
+        for (const std::string& dir : config.toplevel)
+          if (target == dir) return true;
+        return false;
+      }();
+      if (target_is_toplevel) {
+        findings->push_back(
+            {scan.rel, inc.line, "L1",
+             "src module '" + mod + "' includes toplevel tree '" + target +
+                 "/'; the library must not depend on its drivers",
+             true});
+        continue;
+      }
+      const auto it = config.rank.find(target);
+      if (it == config.rank.end()) continue;  // external quoted include
+      if (config.allowed_edges.count({mod, target}) != 0) continue;
+      const int own = config.rank.at(mod);
+      const int theirs = it->second;
+      if (theirs > own) {
+        findings->push_back(
+            {scan.rel, inc.line, "L1",
+             "upward include: module '" + mod + "' (rank " +
+                 std::to_string(own) + ") includes '" + inc.header +
+                 "' from higher-ranked module '" + target + "' (rank " +
+                 std::to_string(theirs) +
+                 ") — this inverts the layering DAG in " + config.path,
+             true});
+      } else if (theirs == own) {
+        findings->push_back(
+            {scan.rel, inc.line, "L1",
+             "same-rank include: modules '" + mod + "' and '" + target +
+                 "' share a layer in " + config.path +
+                 " and must not depend on each other (order would be "
+                 "ambiguous; split the layer or move the shared code down)",
+             true});
+      }
+    }
+  }
+
+  if (full_src_scan) {
+    for (const auto& [mod, rank] : config.rank) {
+      (void)rank;
+      if (seen_modules.count(mod) == 0) {
+        findings->push_back(
+            {config.path, 1, "L1",
+             "declared module '" + mod +
+                 "' has no files under src/; remove the stale layer entry",
+             true});
+      }
+    }
+  }
+}
+
+}  // namespace palb_analyze

@@ -1,0 +1,164 @@
+// Pass C — plan-lifecycle API misuse (rules P2, P3).
+//
+//   P2  A member-form `publish(` / `publish_locked(` call that is not
+//       preceded, earlier in the same file, by a member-form
+//       PlanChecker `check(` or `repair(` call. PlanHandle::publish
+//       makes a plan visible to every dispatcher thread at once; the
+//       repo's contract (docs/STATIC_ANALYSIS.md tier 7) is that
+//       nothing reaches publish without passing the audit path. The
+//       in-file dominance heuristic is deliberately coarse — it cannot
+//       prove the checked plan is the published one — but it catches
+//       the real failure mode: a new call site that never consults the
+//       checker at all.
+//
+//   P3  Direct mutation of DispatchPlan state (`.rate[..] =`,
+//       `.share[..] /=`, `.servers_on +=`, mutator calls on `.dc`)
+//       outside the audited seams. Policies construct plans, the
+//       checker repairs them, the resilience ladder degrades them, the
+//       closed-loop sim replays them; everyone else gets a const view.
+//       A drive-by mutation after the audit invalidates the
+//       PlanChecker certificate silently.
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+namespace {
+
+// Audited mutation seams. Directory-level for the plan factories
+// (core policies + JSON loader) and the checker; file-level elsewhere.
+bool p3_allowlisted(const std::string& rel) {
+  for (const std::string_view dir : {"src/core/", "src/check/"}) {
+    if (rel.rfind(dir, 0) == 0) return true;
+  }
+  for (const std::string_view file :
+       {// DispatchPlan's own methods: self-mutation is definitionally
+        // inside the type's invariants.
+        "src/cloud/plan.cpp", "src/cloud/plan.hpp",
+        // Accounting aggregates metrics structs that reuse the plan's
+        // field names (servers_on totals, per-class rate rows).
+        "src/cloud/accounting.cpp",
+        // The degrade ladder zeroes blacked-out routes before repair.
+        "src/fault/resilient_controller.cpp",
+        // Closed-loop replay derives world-coupled candidate plans.
+        "src/sim/closed_loop.cpp"}) {
+    if (rel == file) return true;
+  }
+  return false;
+}
+
+bool plan_member(const std::string& name) {
+  return name == "rate" || name == "share" || name == "servers_on" ||
+         name == "dc";
+}
+
+bool mutator_method(const std::string& name) {
+  return name == "push_back" || name == "emplace_back" || name == "assign" ||
+         name == "clear" || name == "resize" || name == "swap" ||
+         name == "erase" || name == "insert";
+}
+
+// After a plan member token ends at `pos`, skip any `[...]` subscript
+// groups (balanced, possibly several) and trailing spaces; returns the
+// index of the first character after them and reports whether any
+// subscript was consumed.
+std::size_t skip_subscripts(const std::string& line, std::size_t pos,
+                            bool* subscripted) {
+  *subscripted = false;
+  while (true) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size() || line[pos] != '[') return pos;
+    *subscripted = true;
+    int nest = 0;
+    while (pos < line.size()) {
+      if (line[pos] == '[') ++nest;
+      if (line[pos] == ']') {
+        --nest;
+        if (nest == 0) {
+          ++pos;
+          break;
+        }
+      }
+      ++pos;
+    }
+  }
+}
+
+// `=` (not `==`), `+=`, `-=`, `*=`, `/=` at `pos`.
+bool assignment_at(const std::string& line, std::size_t pos) {
+  if (pos >= line.size()) return false;
+  const char c = line[pos];
+  if (c == '=') return pos + 1 >= line.size() || line[pos + 1] != '=';
+  if ((c == '+' || c == '-' || c == '*' || c == '/') && pos + 1 < line.size())
+    return line[pos + 1] == '=';
+  return false;
+}
+
+// `.push_back(` etc. at `pos`.
+bool mutator_call_at(const std::string& line, std::size_t pos) {
+  if (pos >= line.size() || line[pos] != '.') return false;
+  ++pos;
+  std::string name;
+  while (pos < line.size() && is_ident_char(line[pos])) name.push_back(line[pos++]);
+  return mutator_method(name) && next_nonspace_is(line, pos, '(');
+}
+
+}  // namespace
+
+void pass_lifecycle(const FileScan& scan, std::vector<Finding>* findings) {
+  const bool p3_exempt = p3_allowlisted(scan.rel);
+
+  // P2 dominance anchor: first member-form check(/repair( call.
+  std::size_t guard_line = 0;  // 0 = none seen
+
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    const std::string& line = scan.lines[i];
+    for (const Token& tok : identifiers(line)) {
+      const std::size_t after = tok.begin + tok.text.size();
+      const bool call_form = next_nonspace_is(line, after, '(');
+      const bool member = is_member_access(line, tok.begin);
+
+      if (member && call_form && (tok.text == "check" || tok.text == "repair")) {
+        if (guard_line == 0) guard_line = line_no;
+      }
+
+      if (member && call_form &&
+          (tok.text == "publish" || tok.text == "publish_locked")) {
+        if (guard_line == 0) {
+          findings->push_back(
+              {scan.rel, line_no, "P2",
+               "'" + tok.text +
+                   "(' with no PlanChecker check()/repair() call earlier in "
+                   "this file; a plan must pass the audit path before it is "
+                   "published to the dispatchers",
+               true});
+        }
+      }
+
+      if (!p3_exempt && member && plan_member(tok.text) && !call_form) {
+        bool subscripted = false;
+        const std::size_t rest = skip_subscripts(line, after, &subscripted);
+        // `.dc` alone is too generic a member name (fault events carry a
+        // `dc` index); it only counts with a subscript (`plan.dc[l] =`).
+        // The distinctive members fire subscripted or not.
+        if (tok.text == "dc" && !subscripted) continue;
+        if (assignment_at(line, rest) || mutator_call_at(line, rest)) {
+          findings->push_back(
+              {scan.rel, line_no, "P3",
+               "direct mutation of DispatchPlan member '" + tok.text +
+                   "' outside the audited seams (policies, checker, degrade "
+                   "ladder); mutating a plan after its audit invalidates the "
+                   "PlanChecker certificate",
+               true});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace palb_analyze

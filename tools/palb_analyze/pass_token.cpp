@@ -1,0 +1,186 @@
+// Token pass: the original palb-lint rules, unchanged semantics, on the
+// shared scanner core.
+//
+//   D1  determinism  — plan-affecting code must not consult wall clocks,
+//                      PRNGs, or sleep; core/solver additionally must not
+//                      iterate unordered containers (iteration order would
+//                      leak into plans and break the byte-identical
+//                      determinism guarantee). bench/ and examples/ get
+//                      the seeded-reproducibility subset: no ad-hoc PRNGs
+//                      or sleeps (all randomness must flow through the
+//                      seeded util/rng substreams), while wall-clock
+//                      *timing* stays legal — that is what benches do.
+//   U1  units seam   — the dimensional-analysis escape hatch `.value()`
+//                      may appear only at the audited boundary files where
+//                      raw doubles legitimately enter or leave the typed
+//                      quantity layer.
+//   P1  plan lifecycle — `evaluate_plan(` / `simulate(` may be called only
+//                      from the audited ledger/simulator call sites, so a
+//                      plan cannot be scored by a side channel that skips
+//                      the PlanChecker audit path.
+#include <algorithm>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+namespace {
+
+bool path_in(const std::string& rel,
+             std::initializer_list<std::string_view> dirs) {
+  for (const std::string_view d : dirs) {
+    if (rel.rfind(d, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool path_is(const std::string& rel,
+             std::initializer_list<std::string_view> files) {
+  for (const std::string_view f : files) {
+    if (rel == f) return true;
+  }
+  return false;
+}
+
+// D1: plan-affecting directories. Everything a DispatchPlan flows
+// through between policy and audit — plus src/serve/, where the same
+// discipline makes per-request routing a pure function of (plan,
+// request id) and the QPS driver's streams a pure function of
+// (mix, seed, index).
+bool d1_applies(const std::string& rel) {
+  return path_in(rel, {"src/core/", "src/solver/", "src/cloud/", "src/check/",
+                       "src/fault/", "src/sim/", "src/forecast/",
+                       "src/serve/"});
+}
+
+// D1 seeded-reproducibility subset: bench/ and examples/ drive the
+// library off fixed seeds so every reported number replays; an ad-hoc
+// PRNG or a sleep would break that. Wall-clock reads stay legal here
+// (benches time things), so the time()/clock() call ban does not apply.
+bool d1_seeded_applies(const std::string& rel) {
+  return path_in(rel, {"bench/", "examples/"});
+}
+
+// D1 sub-rule: unordered containers only banned where iteration order
+// could reach a plan (core enumeration and solver pivoting).
+bool d1_unordered_applies(const std::string& rel) {
+  return path_in(rel, {"src/core/", "src/solver/"});
+}
+
+// U1/P1 police the library and its CLI seams; bench/ and examples/
+// consume the audited interfaces and legitimately unwrap quantities in
+// their report tables, so only src/ and tools/ are in scope.
+bool u1_p1_scope(const std::string& rel) {
+  return path_in(rel, {"src/", "tools/"});
+}
+
+// U1: the audited `.value()` boundary. Everything else must stay inside
+// the typed quantity layer (src/units/ catches mixups at compile time
+// only while values remain wrapped).
+bool u1_allowlisted(const std::string& rel) {
+  return path_is(rel, {"src/queueing/mg1.hpp", "src/queueing/mm1.hpp",
+                       "src/units/units.hpp", "src/cloud/accounting.cpp",
+                       "src/cloud/tuf.hpp", "src/check/plan_checker.cpp",
+                       "src/core/balanced_policy.cpp",
+                       "src/core/bigm_nlp_policy.cpp",
+                       "src/core/optimized_policy.cpp"});
+}
+
+// P1: audited scorer call sites (definitions included — the definition
+// file is where the contract lives).
+bool p1_allowlisted(const std::string& rel) {
+  return path_is(rel, {"src/sim/slot_simulator.cpp", "src/sim/slot_simulator.hpp",
+                       "src/cloud/accounting.cpp", "src/cloud/accounting.hpp",
+                       "src/core/controller.cpp",
+                       "src/fault/resilient_controller.cpp",
+                       "src/forecast/forecasting_controller.cpp",
+                       "tools/tool_main.cpp"});
+}
+
+// Identifiers whose mere appearance breaks determinism (declaring a
+// std::mt19937 member is as much a violation as calling it).
+bool d1_banned_bare(const std::string& name) {
+  static const std::vector<std::string> kBanned = {
+      "rand",          "srand",         "random_device",
+      "mt19937",       "mt19937_64",    "default_random_engine",
+      "sleep_for",     "sleep_until",
+  };
+  return std::find(kBanned.begin(), kBanned.end(), name) != kBanned.end();
+}
+
+// Identifiers banned only in call position (the bare words are too
+// common as nouns: `time`, `clock`).
+bool d1_banned_call(const std::string& name) {
+  return name == "time" || name == "clock" || name == "localtime" ||
+         name == "gmtime";
+}
+
+bool p1_scorer(const std::string& name) {
+  return name == "evaluate_plan" || name == "simulate";
+}
+
+void check_line(const std::string& rel, std::size_t line_no,
+                const std::string& line, std::vector<Finding>* findings) {
+  const std::vector<Token> toks = identifiers(line);
+  for (const Token& tok : toks) {
+    const std::size_t after = tok.begin + tok.text.size();
+    const bool call_form = next_nonspace_is(line, after, '(');
+    const bool member_access = is_member_access(line, tok.begin);
+    if (d1_applies(rel)) {
+      if (d1_banned_bare(tok.text) || (call_form && d1_banned_call(tok.text))) {
+        findings->push_back({rel, line_no, "D1",
+                             "'" + tok.text +
+                                 "' in plan-affecting code; plans must be a "
+                                 "pure function of (topology, input)",
+                             true});
+      }
+      if (d1_unordered_applies(rel) &&
+          (tok.text == "unordered_map" || tok.text == "unordered_set")) {
+        findings->push_back({rel, line_no, "D1",
+                             "'" + tok.text +
+                                 "' in core/solver; iteration order is "
+                                 "load-factor-dependent and would leak into "
+                                 "plans (use std::map / sorted vector)",
+                             true});
+      }
+    } else if (d1_seeded_applies(rel) && d1_banned_bare(tok.text)) {
+      findings->push_back({rel, line_no, "D1",
+                           "'" + tok.text +
+                               "' in bench/examples; draw randomness from the "
+                               "seeded util/rng substreams so every reported "
+                               "number replays",
+                           true});
+    }
+    if (!u1_p1_scope(rel)) continue;
+    if (tok.text == "value" && call_form && member_access &&
+        !u1_allowlisted(rel)) {
+      findings->push_back({rel, line_no, "U1",
+                           ".value() outside the audited units seam; keep "
+                           "quantities typed or extend the allowlist in "
+                           "docs/STATIC_ANALYSIS.md tier 7",
+                           true});
+    }
+    if (p1_scorer(tok.text) && call_form && !p1_allowlisted(rel)) {
+      findings->push_back({rel, line_no, "P1",
+                           "'" + tok.text +
+                               "(' outside the audited scorer call sites; "
+                               "plans must be scored via the controller / "
+                               "resilience path so the PlanChecker audit "
+                               "cannot be skipped",
+                           true});
+    }
+  }
+}
+
+}  // namespace
+
+void pass_token(const FileScan& scan, std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    check_line(scan.rel, i + 1, scan.lines[i], findings);
+  }
+}
+
+}  // namespace palb_analyze

@@ -1,0 +1,124 @@
+// SARIF 2.1.0 writer — the minimal single-run document GitHub code
+// scanning ingests: one tool descriptor with the rule catalog, one
+// result per finding with a physicalLocation. Suppressed and
+// baselined findings are emitted too (with "suppressions" /
+// level "note") so the SARIF view shows the whole audit trail, not
+// just what gates.
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, std::string>& rule_descriptions() {
+  static const std::map<std::string, std::string> kRules = {
+      {"D1", "determinism: no PRNG/clock/sleep in plan-affecting code"},
+      {"U1", ".value() outside the audited units seam"},
+      {"P1", "plan scorer called outside the audited call sites"},
+      {"L1", "module-layering DAG violation (upward or same-rank include)"},
+      {"K1", "lock-acquisition-order cycle (potential deadlock)"},
+      {"K2", "blocking call while a fast-path mutex is held"},
+      {"P2", "publish without a PlanChecker check/repair in the file"},
+      {"P3", "DispatchPlan mutated outside the audited seams"},
+      {"S1", "stale suppression: directive matches no finding"},
+      {"S2", "stale baseline entry: capacity exceeds current findings"},
+      {"LINT", "malformed palb-lint directive"},
+  };
+  return kRules;
+}
+
+}  // namespace
+
+bool write_sarif(const std::string& file, const std::vector<Finding>& findings,
+                 std::string* error) {
+  std::ofstream out(file);
+  if (!out) {
+    *error = "cannot write SARIF: " + file;
+    return false;
+  }
+
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"palb-analyze\",\n"
+      << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const auto& [id, desc] : rule_descriptions()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "            {\"id\": \"" << id
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(desc)
+        << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "          \"level\": \"" << (f.gated ? "error" : "note") << "\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.path) << "\"},\n"
+        << "                \"region\": {\"startLine\": "
+        << (f.line == 0 ? 1 : f.line) << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.good();
+}
+
+}  // namespace palb_analyze

@@ -1,0 +1,277 @@
+// Shared lexical core of palb-analyze: source scrubbing (comments,
+// string literals and char literals blanked in place, line structure
+// preserved), identifier tokenization, suppression-directive parsing,
+// and #include extraction. Every pass consumes the same FileScan, so
+// a banned name inside a string or comment can never fire anywhere.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace palb_analyze {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim_copy(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<Token> identifiers(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (is_ident_char(line[i]) &&
+        std::isdigit(static_cast<unsigned char>(line[i])) == 0) {
+      Token t;
+      t.begin = i;
+      while (i < line.size() && is_ident_char(line[i])) t.text.push_back(line[i++]);
+      out.push_back(std::move(t));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool next_nonspace_is(const std::string& line, std::size_t pos, char want) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0)
+    ++pos;
+  return pos < line.size() && line[pos] == want;
+}
+
+bool prev_nonspace_is(const std::string& line, std::size_t pos, char want) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(line[pos - 1])) != 0)
+    --pos;
+  return pos > 0 && line[pos - 1] == want;
+}
+
+bool is_member_access(const std::string& line, std::size_t begin) {
+  return prev_nonspace_is(line, begin, '.') ||
+         (begin >= 2 && line[begin - 1] == '>' && line[begin - 2] == '-');
+}
+
+namespace {
+
+struct ScrubResult {
+  std::string code;  // same length as input; non-code bytes -> ' '
+  std::vector<Comment> comments;
+};
+
+ScrubResult scrub(const std::string& in) {
+  ScrubResult out;
+  out.code.assign(in.size(), ' ');
+  std::size_t line = 1;
+  bool line_has_code = false;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+
+  auto bump_line = [&](char c) {
+    if (c == '\n') {
+      line += 1;
+      line_has_code = false;
+    }
+  };
+
+  while (i < n) {
+    const char c = in[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      Comment comment;
+      comment.line = line;
+      comment.trailing = line_has_code;
+      i += 2;
+      while (i < n && in[i] != '\n') comment.text.push_back(in[i++]);
+      out.comments.push_back(std::move(comment));
+      continue;  // newline handled by the main loop
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      Comment comment;
+      comment.line = line;
+      comment.trailing = line_has_code;
+      i += 2;
+      while (i + 1 < n && !(in[i] == '*' && in[i + 1] == '/')) {
+        comment.text.push_back(in[i]);
+        bump_line(in[i]);
+        out.code[i] = (in[i] == '\n') ? '\n' : ' ';
+        ++i;
+      }
+      if (i + 1 < n) i += 2;  // consume "*/"
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == '"' && i > 0 && in[i - 1] == 'R' &&
+        (i < 2 || !is_ident_char(in[i - 2]))) {
+      std::size_t j = i + 1;
+      std::string delim;
+      while (j < n && in[j] != '(') delim.push_back(in[j++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = in.find(closer, j);
+      if (end == std::string::npos) end = n;
+      const std::size_t stop =
+          (end + closer.size() < n) ? end + closer.size() : n;
+      for (std::size_t k = i; k < stop; ++k) {
+        bump_line(in[k]);
+        out.code[k] = (in[k] == '\n') ? '\n' : ' ';
+      }
+      i = stop;
+      line_has_code = true;
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      ++i;
+      while (i < n && in[i] != '"') {
+        if (in[i] == '\\' && i + 1 < n) ++i;
+        bump_line(in[i]);
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      line_has_code = true;
+      continue;
+    }
+    // Character literal — but not a digit separator (1'000'000) and not
+    // part of an identifier (alignof('x') is fine; user-defined suffix
+    // separators never follow an identifier char in this codebase).
+    if (c == '\'' && (i == 0 || !is_ident_char(in[i - 1]))) {
+      ++i;
+      while (i < n && in[i] != '\'') {
+        if (in[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      line_has_code = true;
+      continue;
+    }
+    // Plain code byte.
+    out.code[i] = c;
+    if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+    bump_line(c);
+    ++i;
+  }
+  return out;
+}
+
+// Parse a suppression directive — the kMarker prefix followed by
+// "allow(RULE) reason" — out of comment text. Returns true if the
+// comment carries the marker at all (well-formed or not); fills
+// either `supp` or `error`.
+bool parse_suppression(const Comment& comment, Suppression* supp,
+                       std::string* error) {
+  static constexpr std::string_view kMarker = "palb-lint:";
+  const std::size_t at = comment.text.find(kMarker);
+  if (at == std::string::npos) return false;
+  const std::string rest = trim_copy(comment.text.substr(at + kMarker.size()));
+  static constexpr std::string_view kAllow = "allow(";
+  if (rest.rfind(kAllow, 0) != 0) {
+    *error = "malformed palb-lint directive; expected 'allow(RULE) reason'";
+    return true;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    *error = "malformed palb-lint directive; missing ')' after rule name";
+    return true;
+  }
+  const std::string rule =
+      trim_copy(rest.substr(kAllow.size(), close - kAllow.size()));
+  const std::string reason = trim_copy(rest.substr(close + 1));
+  if (rule.empty()) {
+    *error = "palb-lint suppression names no rule";
+    return true;
+  }
+  if (reason.empty()) {
+    *error = "palb-lint suppression of " + rule +
+             " has no reason; a reason is required";
+    return true;
+  }
+  supp->rule = rule;
+  supp->comment_line = comment.line;
+  supp->target_line = comment.trailing ? comment.line : comment.line + 1;
+  return true;
+}
+
+// #include "..." extraction off one *raw* line (the scrubber blanks
+// quoted text, so the header path must come from the unscrubbed file).
+void extract_include(const std::string& raw_line, std::size_t line_no,
+                     std::vector<IncludeDirective>* includes) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < raw_line.size() &&
+           std::isspace(static_cast<unsigned char>(raw_line[i])) != 0)
+      ++i;
+  };
+  skip_ws();
+  if (i >= raw_line.size() || raw_line[i] != '#') return;
+  ++i;
+  skip_ws();
+  static constexpr std::string_view kInclude = "include";
+  if (raw_line.compare(i, kInclude.size(), kInclude) != 0) return;
+  i += kInclude.size();
+  skip_ws();
+  if (i >= raw_line.size() || raw_line[i] != '"') return;  // <...> skipped
+  const std::size_t close = raw_line.find('"', i + 1);
+  if (close == std::string::npos) return;
+  includes->push_back({raw_line.substr(i + 1, close - i - 1), line_no});
+}
+
+}  // namespace
+
+bool scan_file(const std::string& path, const std::string& rel,
+               FileScan* scan, std::vector<Finding>* findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "palb-analyze: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  scan->rel = rel;
+  ScrubResult scrubbed = scrub(text);
+  scan->code = std::move(scrubbed.code);
+  scan->comments = std::move(scrubbed.comments);
+
+  for (const Comment& comment : scan->comments) {
+    Suppression supp;
+    std::string error;
+    if (!parse_suppression(comment, &supp, &error)) continue;
+    if (!error.empty()) {
+      findings->push_back({rel, comment.line, "LINT", error, true});
+      continue;
+    }
+    scan->suppressions.push_back(supp);
+  }
+
+  {
+    std::istringstream lines(scan->code);
+    std::string line;
+    while (std::getline(lines, line)) scan->lines.push_back(line);
+  }
+  {
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(lines, line)) {
+      ++line_no;
+      extract_include(line, line_no, &scan->includes);
+    }
+  }
+  return true;
+}
+
+}  // namespace palb_analyze

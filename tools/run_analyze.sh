@@ -52,6 +52,25 @@ status=0
 "$SCAN" --status-bugs -o "$BUILD_DIR/scan-results" \
         cmake --build "$BUILD_DIR" -j "$(nproc)" 2>&1 | tee "$LOG" || status=$?
 
+# Every suppression pattern must still match a current warning: a
+# stale entry means the underlying finding was fixed, and leaving the
+# pattern around could silently absorb a future regression. Mirrors
+# palb_analyze's S1/S2 rules for its own suppressions and baseline.
+stale=$(while IFS= read -r pattern; do
+  case "$pattern" in ''|'#'*) continue ;; esac
+  if ! grep ': warning:' "$LOG" | grep -qF "$pattern"; then
+    printf '%s\n' "$pattern"
+  fi
+done < tools/analyze_suppressions.txt)
+
+if [ -n "$stale" ]; then
+  echo "run_analyze: stale suppression pattern(s) in" \
+       "tools/analyze_suppressions.txt (no current warning matches;" \
+       "delete them):" >&2
+  printf '%s\n' "$stale" >&2
+  exit 1
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "run_analyze: clean" >&2
   exit 0

@@ -1,29 +1,36 @@
 #!/bin/sh
-# palb-lint entry point shared by CI and local runs
-# (docs/STATIC_ANALYSIS.md tier 6).
+# palb-analyze entry point shared by CI and local runs
+# (docs/STATIC_ANALYSIS.md tier 7).
 #
-#   tools/run_lint.sh [report-file]
+#   tools/run_lint.sh [report-file] [extra palb_analyze args...]
 #
-# Builds the palb_lint tool (dependency-free C++, works on the bare gcc
-# container) and runs it over src/ and tools/. Writes the findings
-# report to the optional [report-file] argument (default:
-# build/palb_lint_report.txt) — CI uploads it as an artifact. Exit
-# status is palb_lint's own: 0 clean, 1 findings.
+# Builds the palb_analyze suite (dependency-free C++, works on the bare
+# gcc container) and runs every pass — token rules, layering DAG,
+# lock-order, plan lifecycle — over src/, tools/, bench/ and examples/.
+# Writes the findings report to the optional [report-file] argument
+# (default: build/palb_analyze_report.txt) and a SARIF 2.1.0 document
+# next to it — CI uploads both as artifacts. Extra arguments (e.g.
+# --diff-base origin/main) are passed straight through. Exit status is
+# palb_analyze's own: 0 clean, 1 gated findings.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-REPORT="${1:-build/palb_lint_report.txt}"
+REPORT="${1:-build/palb_analyze_report.txt}"
+[ $# -gt 0 ] && shift
 BUILD_DIR="${BUILD_DIR:-build}"
+SARIF="${SARIF:-${REPORT%.txt}.sarif}"
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . \
         -DPALB_BUILD_BENCH=OFF \
         -DPALB_BUILD_EXAMPLES=OFF >/dev/null
 fi
-cmake --build "$BUILD_DIR" --target palb_lint -j "$(nproc)" >/dev/null
+cmake --build "$BUILD_DIR" --target palb_analyze -j "$(nproc)" >/dev/null
 
 mkdir -p "$(dirname "$REPORT")"
-echo "run_lint: scanning src/ and tools/ (report: $REPORT)" >&2
-"$BUILD_DIR/tools/palb_lint/palb_lint" \
-    --root . --report "$REPORT" src tools
+echo "run_lint: analyzing src/ tools/ bench/ examples/ (report: $REPORT," \
+     "sarif: $SARIF)" >&2
+"$BUILD_DIR/tools/palb_analyze/palb_analyze" \
+    --root . --report "$REPORT" --sarif "$SARIF" "$@" \
+    src tools bench examples
