@@ -10,10 +10,116 @@
 #include "core/balanced_policy.hpp"
 #include "core/controller.hpp"
 #include "core/optimized_policy.hpp"
+#include "solver/linear_program.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace palb::bench {
+
+/// Beyond-paper-scale topology generator shared by ext_scale and the
+/// fig11 scale sweep: `classes` request classes with 3-level TUFs,
+/// `frontends` front-ends, `dcs` data centers of 12 servers each.
+/// Draw order is (classes, data centers, distances) so for a fixed Rng
+/// state and class/DC counts the topology is independent of how many
+/// front-ends the caller asks for until the distance matrix.
+inline Topology scale_topology(std::size_t classes, std::size_t frontends,
+                               std::size_t dcs, Rng& rng) {
+  Topology topo;
+  for (std::size_t k = 0; k < classes; ++k) {
+    const double u1 = rng.uniform(0.006, 0.03);
+    const double d1 = rng.uniform(0.03, 0.08);
+    topo.classes.push_back(
+        {"class" + std::to_string(k),
+         StepTuf({u1, 0.6 * u1, 0.3 * u1}, {d1, 2.2 * d1, 4.5 * d1}),
+         rng.uniform(0.5e-6, 2e-6)});
+  }
+  for (std::size_t s = 0; s < frontends; ++s) {
+    topo.frontends.push_back({"fe" + std::to_string(s)});
+  }
+  for (std::size_t l = 0; l < dcs; ++l) {
+    DataCenter dc;
+    dc.name = "dc" + std::to_string(l);
+    dc.num_servers = 12;
+    dc.server_capacity = 1.0;
+    for (std::size_t k = 0; k < classes; ++k) {
+      dc.service_rate.push_back(rng.uniform(80.0, 220.0));
+      dc.energy_per_request_kwh.push_back(rng.uniform(0.001, 0.004));
+    }
+    topo.datacenters.push_back(std::move(dc));
+  }
+  topo.distance_miles.assign(frontends, std::vector<double>(dcs, 0.0));
+  for (auto& row : topo.distance_miles) {
+    for (double& d : row) d = rng.uniform(100.0, 2800.0);
+  }
+  topo.validate();
+  return topo;
+}
+
+/// Matching slot input: per-(class, front-end) arrivals and per-DC
+/// energy prices, drawn after the topology from the same stream.
+inline SlotInput scale_input(std::size_t classes, std::size_t frontends,
+                             std::size_t dcs, Rng& rng) {
+  SlotInput input;
+  input.arrival_rate.assign(classes, std::vector<double>(frontends, 0.0));
+  for (auto& row : input.arrival_rate) {
+    for (double& r : row) r = rng.uniform(50.0, 350.0);
+  }
+  input.price.assign(dcs, 0.0);
+  for (double& p : input.price) p = rng.uniform(0.03, 0.11);
+  input.slot_seconds = 3600.0;
+  return input;
+}
+
+/// The anchor-profile dispatch LP for (topo, input): one routing
+/// variable per (class, front-end, DC) arc capped by the arrival rate,
+/// flow rows per (class, front-end), linearized capacity rows per DC —
+/// the same block-angular shape (and size) OptimizedPolicy's largest
+/// per-profile LP has, built directly so solver-level scaling can be
+/// measured without the profile search around it.
+inline LinearProgram anchor_dispatch_lp(const Topology& topo,
+                                        const SlotInput& input) {
+  const std::size_t K = topo.classes.size();
+  const std::size_t S = topo.num_frontends();
+  const std::size_t L = topo.datacenters.size();
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t l = 0; l < L; ++l) {
+        const double value =
+            topo.classes[k].tuf.utility_at_level(0) -
+            topo.distance_miles[s][l] *
+                topo.classes[k].transfer_cost_per_mile -
+            input.price[l] * topo.datacenters[l].energy_per_request_kwh[k];
+        lp.add_variable(0.0, input.arrival_rate[k][s],
+                        value * input.slot_seconds);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t s = 0; s < S; ++s) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t l = 0; l < L; ++l) {
+        terms.emplace_back(static_cast<int>((k * S + s) * L + l), 1.0);
+      }
+      lp.add_constraint(terms, Relation::kLe, input.arrival_rate[k][s]);
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& dc = topo.datacenters[l];
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double inv_rate = 1.0 / (dc.server_capacity * dc.service_rate[k]);
+      for (std::size_t s = 0; s < S; ++s) {
+        terms.emplace_back(static_cast<int>((k * S + s) * L + l), inv_rate);
+      }
+    }
+    lp.add_constraint(terms, Relation::kLe,
+                      0.9 * static_cast<double>(dc.num_servers));
+  }
+  return lp;
+}
 
 struct HeadToHead {
   RunResult optimized;

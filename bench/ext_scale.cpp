@@ -4,16 +4,35 @@
 // far past exhaustive enumeration — exercising the optimizer's
 // local-search path. Reports profit vs the baselines and the planning
 // cost per slot.
+//
+// A second mode carries the CI solver scale gate:
+//
+//   ext_scale --gate BENCH_palb.json [--min-speedup X]
+//
+// On the 16 DC x 32 FE anchor dispatch LP (the largest per-profile LP
+// that topology produces) the decomposed+sparse solver must beat the
+// monolithic dense simplex by at least X (default 3) and land within
+// 1e-9 of the dense point (the anchor LP is degenerate, so the two
+// paths may end at different optimal bases whose refactorized points
+// differ at ulp level), and OptimizedPolicy's plans must not change a
+// byte when the decomposed path switches on. Results merge into the
+// palb-bench-v1 report as the "ext_scale" section.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "cloud/accounting.hpp"
 #include "core/balanced_policy.hpp"
 #include "core/optimized_policy.hpp"
+#include "core/plan_json.hpp"
 #include "core/simple_policies.hpp"
-#include "market/price_generator.hpp"
+#include "solver/decomposed.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -21,41 +40,163 @@ using namespace palb;
 
 namespace {
 
-Topology big_topology(std::size_t classes, std::size_t dcs, Rng& rng) {
-  Topology topo;
-  for (std::size_t k = 0; k < classes; ++k) {
-    const double u1 = rng.uniform(0.006, 0.03);
-    const double d1 = rng.uniform(0.03, 0.08);
-    topo.classes.push_back(
-        {"class" + std::to_string(k),
-         StepTuf({u1, 0.6 * u1, 0.3 * u1}, {d1, 2.2 * d1, 4.5 * d1}),
-         rng.uniform(0.5e-6, 2e-6)});
-  }
-  for (std::size_t s = 0; s < 6; ++s) {
-    topo.frontends.push_back({"fe" + std::to_string(s)});
-  }
-  for (std::size_t l = 0; l < dcs; ++l) {
-    DataCenter dc;
-    dc.name = "dc" + std::to_string(l);
-    dc.num_servers = 12;
-    dc.server_capacity = 1.0;
-    for (std::size_t k = 0; k < classes; ++k) {
-      dc.service_rate.push_back(rng.uniform(80.0, 220.0));
-      dc.energy_per_request_kwh.push_back(rng.uniform(0.001, 0.004));
-    }
-    topo.datacenters.push_back(std::move(dc));
-  }
-  topo.distance_miles.assign(6, std::vector<double>(dcs, 0.0));
-  for (auto& row : topo.distance_miles) {
-    for (double& d : row) d = rng.uniform(100.0, 2800.0);
-  }
-  topo.validate();
-  return topo;
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
-}  // namespace
+int run_gate(const std::string& out_path, double min_speedup) {
+  std::printf(
+      "solver scale gate — 8 classes x 32 front-ends x 16 DCs anchor LP\n");
+  Rng rng(4242);
+  const Topology topo = bench::scale_topology(8, 32, 16, rng);
+  const SlotInput input = bench::scale_input(8, 32, 16, rng);
+  const LinearProgram lp = bench::anchor_dispatch_lp(topo, input);
+  (void)lp.column_view();  // both arms start from a materialized matrix
 
-int main() {
+  SimplexSolver::Options dense_opt;
+  dense_opt.sparse_pivoting = false;
+  const SimplexSolver dense(dense_opt);
+  DecomposedSolver::Options dec_opt;
+  dec_opt.subproblem_workers = 0;  // hardware concurrency
+  const DecomposedSolver dec(dec_opt);
+
+  // Best-of-3 per arm: the gate compares algorithms, not scheduler
+  // noise. Every repetition must return the same point (determinism).
+  double dense_ms = 1e300;
+  double dec_ms = 1e300;
+  LpSolution dense_sol, dec_sol;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    dense_sol = dense.solve(lp);
+    dense_ms = std::min(dense_ms, ms_since(t0));
+    t0 = std::chrono::steady_clock::now();
+    dec_sol = dec.solve(lp);
+    dec_ms = std::min(dec_ms, ms_since(t0));
+  }
+  const double speedup = dec_ms > 0.0 ? dense_ms / dec_ms : 0.0;
+  // The anchor LP is degenerate: both arms reach the optimum but may
+  // stop at different optimal bases, whose refactorized points differ
+  // at ulp level. Gate the LP points at 1e-9 (objective scale-relative,
+  // x componentwise); the policy-plan check below stays byte-exact.
+  double dx_max = 0.0;
+  if (dense_sol.x.size() == dec_sol.x.size()) {
+    for (std::size_t i = 0; i < dense_sol.x.size(); ++i) {
+      dx_max = std::max(dx_max, std::abs(dense_sol.x[i] - dec_sol.x[i]));
+    }
+  } else {
+    dx_max = 1e300;
+  }
+  const double dobj = std::abs(dense_sol.objective - dec_sol.objective);
+  const double obj_tol = 1e-9 * (1.0 + std::abs(dense_sol.objective));
+  const bool lp_identical = dense_sol.status == LpStatus::kOptimal &&
+                            dec_sol.status == LpStatus::kOptimal &&
+                            dobj <= obj_tol && dx_max <= 1e-9;
+  std::printf(
+      "  %d vars, %d rows: monolithic dense %.1f ms | decomposed+sparse "
+      "%.1f ms | speedup %.2fx (gate >= %.1fx) | points %s "
+      "(dobj %.2e, dx_max %.2e)\n",
+      lp.num_variables(), lp.num_constraints(), dense_ms, dec_ms, speedup,
+      min_speedup, lp_identical ? "agree to 1e-9" : "DIVERGED", dobj,
+      dx_max);
+  std::printf(
+      "  decomposition: %d blocks, %d coupling rows, %d master rounds, "
+      "%d subproblem solves, %llu column updates skipped\n",
+      dec.stats().blocks, dec.stats().coupling_rows,
+      dec.stats().master_iterations, dec.stats().subproblem_solves,
+      static_cast<unsigned long long>(dec_sol.sparse_price_skips));
+
+  bool ok = true;
+  if (!lp_identical) {
+    std::fprintf(stderr,
+                 "FAIL: decomposed point diverged from dense past 1e-9\n");
+    ok = false;
+  }
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.1fx gate\n",
+                 speedup, min_speedup);
+    ok = false;
+  }
+
+  // Policy-level plan identity on a 16-DC topology whose per-profile
+  // LPs (288 vars) sit above the kAuto threshold: switching the
+  // decomposed driver on must not change a byte of the plan.
+  Rng prng(9090);
+  const Topology ptopo = bench::scale_topology(3, 6, 16, prng);
+  const SlotInput pinput = bench::scale_input(3, 6, 16, prng);
+  OptimizedPolicy::Options off_opt;
+  off_opt.local_search_restarts = 1;
+  off_opt.decomposed_solve = OptimizedPolicy::DecomposedSolve::kOff;
+  OptimizedPolicy off_policy(off_opt);
+  OptimizedPolicy::Options on_opt = off_opt;
+  on_opt.decomposed_solve = OptimizedPolicy::DecomposedSolve::kOn;
+  OptimizedPolicy on_policy(on_opt);
+  const std::string off_plan =
+      plan_json::to_json(off_policy.plan_slot(ptopo, pinput)).dump(2);
+  const std::string on_plan =
+      plan_json::to_json(on_policy.plan_slot(ptopo, pinput)).dump(2);
+  const bool plans_identical = off_plan == on_plan;
+  std::printf("  policy plans (16 DC, decomposed off vs on): %s "
+              "(%llu master rounds, %llu subproblem solves)\n",
+              plans_identical ? "byte-identical" : "DIVERGED",
+              static_cast<unsigned long long>(on_policy.master_iterations()),
+              static_cast<unsigned long long>(on_policy.subproblem_solves()));
+  if (!plans_identical) {
+    std::fprintf(stderr, "FAIL: decomposed solve changed a plan\n");
+    ok = false;
+  }
+
+  // 50-DC scaling point: one decomposed solve of the 3 x 32 x 50 anchor
+  // LP (4800 variables), timed so the bench-smoke budget keeps a ceiling
+  // on the large-fleet solve path.
+  Rng rng50(5050);
+  const Topology topo50 = bench::scale_topology(3, 32, 50, rng50);
+  const SlotInput input50 = bench::scale_input(3, 32, 50, rng50);
+  const LinearProgram lp50 = bench::anchor_dispatch_lp(topo50, input50);
+  (void)lp50.column_view();
+  const auto t50 = std::chrono::steady_clock::now();
+  const LpSolution sol50 = dec.solve(lp50);
+  const double fifty_ms = ms_since(t50);
+  std::printf("  50-DC point: %d vars solved in %.1f ms (%s)\n",
+              lp50.num_variables(), fifty_ms,
+              to_string(sol50.status));
+  if (sol50.status != LpStatus::kOptimal) {
+    std::fprintf(stderr, "FAIL: 50-DC anchor LP did not reach optimal\n");
+    ok = false;
+  }
+
+  Json section = Json::object();
+  section.set("schema", Json(std::string("palb-ext-scale-v1")));
+  section.set("datacenters", Json(16.0));
+  section.set("frontends", Json(32.0));
+  section.set("classes", Json(8.0));
+  section.set("variables", Json(static_cast<double>(lp.num_variables())));
+  section.set("rows", Json(static_cast<double>(lp.num_constraints())));
+  section.set("monolithic_dense_ms", Json(dense_ms));
+  section.set("decomposed_sparse_ms", Json(dec_ms));
+  section.set("speedup", Json(speedup));
+  section.set("min_speedup", Json(min_speedup));
+  section.set("lp_points_agree", Json(lp_identical));
+  section.set("lp_dx_max", Json(dx_max));
+  section.set("plans_identical", Json(plans_identical));
+  section.set("master_iterations",
+              Json(static_cast<double>(dec.stats().master_iterations)));
+  section.set("subproblem_solves",
+              Json(static_cast<double>(dec.stats().subproblem_solves)));
+  section.set("sparse_price_skips",
+              Json(static_cast<double>(dec_sol.sparse_price_skips)));
+  section.set("fifty_dc_ms", Json(fifty_ms));
+  section.set("pass", Json(ok));
+  benchjson::write_file(
+      out_path, benchjson::with_section(out_path, "ext_scale",
+                                        std::move(section)));
+  std::printf("%s (section \"ext_scale\" written to %s)\n",
+              ok ? "PASS" : "FAIL", out_path.c_str());
+  return ok ? 0 : 1;
+}
+
+int run_scale_table() {
   Rng rng(8080);
   std::printf(
       "scale bench — 6 front-ends, 12 servers/DC, 3-level TUFs; profile\n"
@@ -65,15 +206,8 @@ int main() {
   for (const auto& [classes, dcs] :
        std::vector<std::pair<std::size_t, std::size_t>>{
            {3, 3}, {4, 5}, {5, 8}}) {
-    const Topology topo = big_topology(classes, dcs, rng);
-    SlotInput input;
-    input.arrival_rate.assign(classes, std::vector<double>(6, 0.0));
-    for (auto& row : input.arrival_rate) {
-      for (double& r : row) r = rng.uniform(50.0, 350.0);
-    }
-    input.price.assign(dcs, 0.0);
-    for (double& p : input.price) p = rng.uniform(0.03, 0.11);
-    input.slot_seconds = 3600.0;
+    const Topology topo = bench::scale_topology(classes, 6, dcs, rng);
+    const SlotInput input = bench::scale_input(classes, 6, dcs, rng);
 
     OptimizedPolicy::Options opt_options;
     opt_options.local_search_restarts = 2;
@@ -110,4 +244,25 @@ int main() {
       "per hourly slot against a 10^12-10^24-profile space and still\n"
       "clears both heuristics by 2-5x.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string gate_path;
+  double min_speedup = 3.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      gate_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_scale [--gate <report.json> "
+                   "[--min-speedup X]]\n");
+      return 2;
+    }
+  }
+  if (!gate_path.empty()) return run_gate(gate_path, min_speedup);
+  return run_scale_table();
 }

@@ -26,6 +26,7 @@
 #include "core/controller.hpp"
 #include "core/optimized_policy.hpp"
 #include "core/paper_scenarios.hpp"
+#include "solver/decomposed.hpp"
 #include "solver/milp.hpp"
 #include "solver/nlp.hpp"
 #include "solver/simplex.hpp"
@@ -128,6 +129,15 @@ struct PivotCounts {
   std::uint64_t phase1_skips = 0;
   std::uint64_t basis_warm_hits = 0;
   std::uint64_t profiles_examined = 0;
+  std::uint64_t sparse_price_skips = 0;
+};
+
+struct DecompCounts {
+  std::uint64_t master_iterations = 0;
+  std::uint64_t subproblem_solves = 0;
+  /// Decomposed x bitwise equals the monolithic x on the fixture (the
+  /// crossover contract); a hard failure, not a headroom check.
+  bool identical = false;
 };
 
 // Plans the fig06 worldcup study (24 slots) serially with the default
@@ -146,6 +156,53 @@ PivotCounts measure_fig06_pivots() {
   c.phase1_skips = run.stats.phase1_skips;
   c.basis_warm_hits = run.stats.basis_warm_hits;
   c.profiles_examined = run.stats.profiles_examined;
+  c.sparse_price_skips = run.stats.sparse_price_skips;
+  return c;
+}
+
+// Canned block-angular fixture for the Dantzig-Wolfe gate: 8 flow-style
+// blocks of 4 bounded variables coupled by 3 dense capacity-style rows —
+// the dispatcher's profile-LP shape at a size where column generation
+// does several pricing rounds. Deterministic (fixed seed), so the round
+// and subproblem counts are exact machine-independent numbers.
+LinearProgram decomposition_fixture() {
+  Rng rng(4242);
+  LinearProgram lp;
+  lp.set_objective_sense(Sense::kMaximize);
+  constexpr int kBlocks = 8;
+  constexpr int kVarsPerBlock = 4;
+  for (int b = 0; b < kBlocks; ++b) {
+    std::vector<std::pair<int, double>> terms;
+    for (int v = 0; v < kVarsPerBlock; ++v) {
+      terms.emplace_back(
+          lp.add_variable(0.0, rng.uniform(1.0, 5.0), rng.uniform(0.5, 3.0)),
+          1.0);
+    }
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(1.5, 6.0));
+  }
+  for (int c = 0; c < 3; ++c) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < lp.num_variables(); ++j) {
+      terms.emplace_back(j, rng.uniform(0.2, 1.5));
+    }
+    lp.add_constraint(terms, Relation::kLe, rng.uniform(4.0, 10.0));
+  }
+  return lp;
+}
+
+DecompCounts measure_decomposition_fixture() {
+  const LinearProgram lp = decomposition_fixture();
+  const DecomposedSolver dec;
+  const LpSolution sol = dec.solve(lp);
+  const LpSolution mono = SimplexSolver().solve(lp);
+  DecompCounts c;
+  c.master_iterations =
+      static_cast<std::uint64_t>(dec.stats().master_iterations);
+  c.subproblem_solves =
+      static_cast<std::uint64_t>(dec.stats().subproblem_solves);
+  c.identical = dec.stats().decomposed &&
+                sol.status == LpStatus::kOptimal &&
+                mono.status == LpStatus::kOptimal && sol.x == mono.x;
   return c;
 }
 
@@ -171,6 +228,7 @@ bool model_build_stays_subdominant() {
 
 int write_pivot_baseline(const std::string& path) {
   const PivotCounts c = measure_fig06_pivots();
+  const DecompCounts d = measure_decomposition_fixture();
   Json doc = Json::object();
   doc.set("schema", Json(std::string(kPivotSchema)));
   doc.set("scenario", Json(std::string("worldcup")));
@@ -180,6 +238,12 @@ int write_pivot_baseline(const std::string& path) {
   doc.set("basis_warm_hits", Json(static_cast<double>(c.basis_warm_hits)));
   doc.set("profiles_examined",
           Json(static_cast<double>(c.profiles_examined)));
+  doc.set("sparse_price_skips",
+          Json(static_cast<double>(c.sparse_price_skips)));
+  doc.set("dw_master_iterations",
+          Json(static_cast<double>(d.master_iterations)));
+  doc.set("dw_subproblem_solves",
+          Json(static_cast<double>(d.subproblem_solves)));
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -211,13 +275,51 @@ int check_pivot_baseline(const std::string& path) {
       static_cast<double>(baseline) * (1.0 + kPivotHeadroom);
   std::printf(
       "fig06 pivots: measured=%llu baseline=%llu limit=%.0f "
-      "(phase1_skips=%llu basis_warm_hits=%llu profiles=%llu)\n",
+      "(phase1_skips=%llu basis_warm_hits=%llu profiles=%llu "
+      "sparse_price_skips=%llu)\n",
       static_cast<unsigned long long>(c.simplex_pivots),
       static_cast<unsigned long long>(baseline), limit,
       static_cast<unsigned long long>(c.phase1_skips),
       static_cast<unsigned long long>(c.basis_warm_hits),
-      static_cast<unsigned long long>(c.profiles_examined));
+      static_cast<unsigned long long>(c.profiles_examined),
+      static_cast<unsigned long long>(c.sparse_price_skips));
   bool ok = true;
+  // Dantzig-Wolfe gate on the canned block fixture: the crossover must
+  // reproduce the monolithic point bitwise (hard), and the round /
+  // subproblem counts get the same +10% headroom as the pivot count (a
+  // regression here means column generation started spinning).
+  {
+    const DecompCounts d = measure_decomposition_fixture();
+    const auto base_rounds = static_cast<std::uint64_t>(
+        doc.at("dw_master_iterations").as_number());
+    const auto base_subs = static_cast<std::uint64_t>(
+        doc.at("dw_subproblem_solves").as_number());
+    std::printf(
+        "dw fixture: master_iterations=%llu (baseline %llu) "
+        "subproblem_solves=%llu (baseline %llu) identical=%s\n",
+        static_cast<unsigned long long>(d.master_iterations),
+        static_cast<unsigned long long>(base_rounds),
+        static_cast<unsigned long long>(d.subproblem_solves),
+        static_cast<unsigned long long>(base_subs),
+        d.identical ? "yes" : "NO");
+    if (!d.identical) {
+      std::fprintf(stderr,
+                   "FAIL: decomposed solve no longer reproduces the "
+                   "monolithic point on the fixture\n");
+      ok = false;
+    }
+    if (static_cast<double>(d.master_iterations) >
+            static_cast<double>(base_rounds) * (1.0 + kPivotHeadroom) ||
+        static_cast<double>(d.subproblem_solves) >
+            static_cast<double>(base_subs) * (1.0 + kPivotHeadroom)) {
+      std::fprintf(stderr,
+                   "FAIL: Dantzig-Wolfe effort regressed more than %.0f%% "
+                   "over the baseline; if intentional, refresh with "
+                   "--write-pivots\n",
+                   100.0 * kPivotHeadroom);
+      ok = false;
+    }
+  }
   if (static_cast<double>(c.simplex_pivots) > limit) {
     std::fprintf(stderr,
                  "FAIL: simplex pivot count regressed more than %.0f%% "

@@ -41,6 +41,13 @@ struct PolicyStats {
   /// basis-level warm start, distinct from the profile-level cache
   /// behind warm_start_hits).
   std::uint64_t basis_warm_hits = 0;
+  /// Dense column updates the simplex's support-walking pivot kernel
+  /// skipped (work avoided relative to the dense kernel).
+  std::uint64_t sparse_price_skips = 0;
+  /// Dantzig-Wolfe master re-solves across decomposed LP solves.
+  std::uint64_t master_iterations = 0;
+  /// Dantzig-Wolfe block subproblem solves across decomposed LP solves.
+  std::uint64_t subproblem_solves = 0;
 
   PolicyStats& operator+=(const PolicyStats& other) {
     warm_start_hits += other.warm_start_hits;
@@ -51,6 +58,9 @@ struct PolicyStats {
     nlp_iterations += other.nlp_iterations;
     phase1_skips += other.phase1_skips;
     basis_warm_hits += other.basis_warm_hits;
+    sparse_price_skips += other.sparse_price_skips;
+    master_iterations += other.master_iterations;
+    subproblem_solves += other.subproblem_solves;
     return *this;
   }
   PolicyStats operator-(const PolicyStats& other) const {
@@ -63,6 +73,9 @@ struct PolicyStats {
     d.nlp_iterations = nlp_iterations - other.nlp_iterations;
     d.phase1_skips = phase1_skips - other.phase1_skips;
     d.basis_warm_hits = basis_warm_hits - other.basis_warm_hits;
+    d.sparse_price_skips = sparse_price_skips - other.sparse_price_skips;
+    d.master_iterations = master_iterations - other.master_iterations;
+    d.subproblem_solves = subproblem_solves - other.subproblem_solves;
     return d;
   }
   /// Fraction of slots served from the warm-start cache (0 when the

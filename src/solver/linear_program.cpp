@@ -10,6 +10,7 @@ namespace palb {
 int LinearProgram::add_variable(double lb, double ub, double cost,
                                 std::string name) {
   PALB_REQUIRE(lb <= ub, "variable bounds must satisfy lb <= ub");
+  invalidate_columns();
   costs_.push_back(cost);
   lbs_.push_back(lb);
   ubs_.push_back(ub);
@@ -20,6 +21,7 @@ int LinearProgram::add_variable(double lb, double ub, double cost,
 
 int LinearProgram::add_constraint(Relation rel, double rhs,
                                   std::string name) {
+  invalidate_columns();
   rows_.emplace_back();
   relations_.push_back(rel);
   rhss_.push_back(rhs);
@@ -72,6 +74,7 @@ std::vector<std::pair<int, double>>::iterator LinearProgram::find_term(
 void LinearProgram::set_coefficient(int row, int var, double value) {
   check_row(row);
   check_var(var);
+  invalidate_columns();
   auto it = find_term(row, var);
   if (it != rows_[row].end() && it->first == var) {
     it->second = value;
@@ -83,6 +86,7 @@ void LinearProgram::set_coefficient(int row, int var, double value) {
 void LinearProgram::add_term(int row, int var, double value) {
   check_row(row);
   check_var(var);
+  invalidate_columns();
   auto it = find_term(row, var);
   if (it != rows_[row].end() && it->first == var) {
     it->second += value;
@@ -132,6 +136,40 @@ const std::vector<std::pair<int, double>>& LinearProgram::row_terms(
     int row) const {
   check_row(row);
   return rows_[row];
+}
+
+const ColumnView& LinearProgram::column_view() const {
+  if (!columns_) {
+    // One counting pass sizes the columns, one scatter pass fills them.
+    // Rows are visited in index order, so each column's entries come out
+    // row-ascending with no per-column sort.
+    auto view = std::make_shared<ColumnView>();
+    const auto n = static_cast<std::size_t>(num_variables());
+    view->col_start.assign(n + 1, 0);
+    for (const auto& row : rows_) {
+      for (const auto& [var, coef] : row) {
+        (void)coef;
+        ++view->col_start[static_cast<std::size_t>(var) + 1];
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      view->col_start[j + 1] += view->col_start[j];
+    }
+    view->row_index.resize(static_cast<std::size_t>(view->col_start[n]));
+    view->value.resize(view->row_index.size());
+    std::vector<int> fill(view->col_start.begin(),
+                          view->col_start.end() - 1);
+    for (int r = 0; r < num_constraints(); ++r) {
+      for (const auto& [var, coef] : rows_[static_cast<std::size_t>(r)]) {
+        const auto at =
+            static_cast<std::size_t>(fill[static_cast<std::size_t>(var)]++);
+        view->row_index[at] = r;
+        view->value[at] = coef;
+      }
+    }
+    columns_ = std::move(view);
+  }
+  return *columns_;
 }
 
 const std::string& LinearProgram::variable_name(int var) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,21 @@ enum class Relation { kLe, kEq, kGe };
 enum class Sense { kMinimize, kMaximize };
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Compressed-sparse-column view of a LinearProgram's constraint matrix:
+/// column j's entries live at [col_start[j], col_start[j+1]) in
+/// `row_index` / `value`, sorted by row index. Built once per model (see
+/// LinearProgram::column_view) so column-walking consumers — the
+/// simplex's sparse pricer, the Dantzig-Wolfe master's per-column
+/// coupling coefficients — share one pass over the rows instead of each
+/// re-scanning them.
+struct ColumnView {
+  std::vector<int> col_start;  ///< size num_variables() + 1
+  std::vector<int> row_index;  ///< size nnz, ascending within a column
+  std::vector<double> value;   ///< size nnz, parallel to row_index
+
+  int nnz() const { return static_cast<int>(row_index.size()); }
+};
 
 /// Sparse linear-program model:
 ///
@@ -67,6 +83,14 @@ class LinearProgram {
   double rhs(int row) const;
   /// Terms of a row, sorted by variable index.
   const std::vector<std::pair<int, double>>& row_terms(int row) const;
+  /// Column-major (CSC) view of the constraint matrix, built lazily on
+  /// first call and cached until the next matrix mutation (add_variable,
+  /// add_constraint, set_coefficient, add_term); cost/bound/sense edits
+  /// keep it valid. Copies share the cache. The lazy build is not
+  /// synchronized — materialize it before handing one model to several
+  /// threads (every solver-internal consumer runs single-threaded per
+  /// LP, so this only matters for exotic callers).
+  const ColumnView& column_view() const;
   const std::string& variable_name(int var) const;
   const std::string& constraint_name(int row) const;
 
@@ -82,6 +106,9 @@ class LinearProgram {
   void check_row(int row) const;
   std::vector<std::pair<int, double>>::iterator find_term(int row, int var);
 
+  /// Drops the cached CSC view; every matrix mutator calls this.
+  void invalidate_columns() { columns_.reset(); }
+
   Sense sense_ = Sense::kMinimize;
   double offset_ = 0.0;
   std::vector<double> costs_;
@@ -92,6 +119,9 @@ class LinearProgram {
   std::vector<Relation> relations_;
   std::vector<double> rhss_;
   std::vector<std::string> row_names_;
+  /// Lazily built CSC cache (shared_ptr so copies stay copyable and
+  /// share the already-built view; the pointee is immutable).
+  mutable std::shared_ptr<const ColumnView> columns_;
 };
 
 }  // namespace palb

@@ -59,6 +59,10 @@ struct Tableau {
   std::vector<int> basis;         // basic column per row
   std::vector<double> lo, up;     // per-column bounds (internal space)
   std::vector<ColStatus> status;  // per-column status
+  std::vector<int> row_id;        // surviving row -> original model row
+  bool sparse = false;            // support-walking pivot kernel enabled
+  std::uint64_t skips = 0;        // see LpSolution::sparse_price_skips
+  std::vector<int> support;       // pivot-row support scratch (sparse)
 
   double* row(int r) {
     return arena.data() +
@@ -84,6 +88,7 @@ struct Tableau {
     }
     xb.erase(xb.begin() + r);
     basis.erase(basis.begin() + r);
+    row_id.erase(row_id.begin() + r);
     --rows;
   }
 };
@@ -92,26 +97,73 @@ struct Tableau {
 /// eliminates the column elsewhere. `d` (reduced costs) and `rhs` are
 /// transformed alongside when supplied; basis/status/xb bookkeeping is
 /// the caller's job.
+///
+/// With `t.sparse` set, the kernel gathers the pivot row's nonzero
+/// support once and normalizes / eliminates / reprices over just those
+/// columns. Skipping an exact zero is arithmetically a no-op
+/// (x - f*0 == x for every finite x), so the two kernels agree
+/// bit-for-bit on every value a pivot decision ever reads — only the
+/// sign of stored zeros can differ, and no comparison in this solver
+/// distinguishes +0.0 from -0.0. Because the kernels are equivalent,
+/// the sparse path hands rows whose support has filled in (more than
+/// half the columns) back to the dense loops — indexed access costs
+/// more than it saves there — without affecting any result.
 void pivot_on(Tableau& t, int prow, int pcol, std::vector<double>* d,
               std::vector<double>* rhs) {
   double* pr = t.row(prow);
   const double inv = 1.0 / pr[pcol];
-  for (int c = 0; c < t.cols; ++c) pr[c] *= inv;
-  pr[pcol] = 1.0;  // kill rounding residue on the pivot itself
+  bool walk_support = false;
+  if (t.sparse) {
+    auto& sup = t.support;
+    sup.clear();
+    for (int c = 0; c < t.cols; ++c) {
+      if (pr[c] != 0.0) sup.push_back(c);
+    }
+    walk_support = 2 * sup.size() < static_cast<std::size_t>(t.cols);
+    if (walk_support) {
+      t.skips += static_cast<std::uint64_t>(t.cols) -
+                 static_cast<std::uint64_t>(sup.size());
+    }
+  }
+  if (!walk_support) {
+    for (int c = 0; c < t.cols; ++c) pr[c] *= inv;
+    pr[pcol] = 1.0;  // kill rounding residue on the pivot itself
+    if (rhs) (*rhs)[prow] *= inv;
+    for (int r = 0; r < t.rows; ++r) {
+      if (r == prow) continue;
+      double* rr = t.row(r);
+      const double f = rr[pcol];
+      if (f == 0.0) continue;
+      for (int c = 0; c < t.cols; ++c) rr[c] -= f * pr[c];
+      rr[pcol] = 0.0;
+      if (rhs) (*rhs)[r] -= f * (*rhs)[prow];
+    }
+    if (d) {
+      const double f = (*d)[pcol];
+      if (f != 0.0) {
+        for (int c = 0; c < t.cols; ++c) (*d)[c] -= f * pr[c];
+        (*d)[pcol] = 0.0;
+      }
+    }
+    return;
+  }
+  const auto& sup = t.support;
+  for (const int c : sup) pr[c] *= inv;
+  pr[pcol] = 1.0;  // pcol is in the support: |pivot| > tolerance
   if (rhs) (*rhs)[prow] *= inv;
   for (int r = 0; r < t.rows; ++r) {
     if (r == prow) continue;
     double* rr = t.row(r);
     const double f = rr[pcol];
     if (f == 0.0) continue;
-    for (int c = 0; c < t.cols; ++c) rr[c] -= f * pr[c];
+    for (const int c : sup) rr[c] -= f * pr[c];
     rr[pcol] = 0.0;
     if (rhs) (*rhs)[r] -= f * (*rhs)[prow];
   }
   if (d) {
     const double f = (*d)[pcol];
     if (f != 0.0) {
-      for (int c = 0; c < t.cols; ++c) (*d)[c] -= f * pr[c];
+      for (const int c : sup) (*d)[c] -= f * pr[c];
       (*d)[pcol] = 0.0;
     }
   }
@@ -141,7 +193,9 @@ LpStatus run_bounded(Tableau& t, std::vector<double>& d,
 
   std::vector<int> cands;
   std::vector<std::pair<double, int>> scored;  // refill scratch
+  std::vector<std::pair<double, int>> pack;    // ratio-test candidates
   cands.reserve(static_cast<std::size_t>(opt.candidate_list_size));
+  pack.reserve(static_cast<std::size_t>(t.rows));
 
   int stalled = 0;
   double obj = 0.0;       // objective delta accumulated this phase
@@ -206,11 +260,21 @@ LpStatus run_bounded(Tableau& t, std::vector<double>& d,
     // column index, an anti-cycling aid carried over from the dense
     // solver.
     const double dir = t.status[enter] == ColStatus::kAtLower ? 1.0 : -1.0;
+    // Pass 1 packs the rows whose entering-column entry is significant —
+    // one strided load and a magnitude compare per row, no bound logic —
+    // then pass 2 runs the bound/tie logic over just the packed
+    // candidates. Candidates keep ascending row order, so the
+    // lowest-basic-index near-tie rule picks the same leaving row as the
+    // classic fused loop.
+    pack.clear();
+    for (int r = 0; r < t.rows; ++r) {
+      const double e = dir * t.row(r)[enter];
+      if (e > tol || e < -tol) pack.emplace_back(e, r);
+    }
     int leave = -1;
     bool leave_at_upper = false;
     double limit = kInfinity;
-    for (int r = 0; r < t.rows; ++r) {
-      const double e = dir * t.row(r)[enter];
+    for (const auto& [e, r] : pack) {
       double ratio;
       bool to_upper;
       if (e > tol) {  // basic value decreases toward its lower bound
@@ -218,13 +282,11 @@ LpStatus run_bounded(Tableau& t, std::vector<double>& d,
         if (!std::isfinite(blo)) continue;
         ratio = (t.xb[r] - blo) / e;
         to_upper = false;
-      } else if (e < -tol) {  // basic value increases toward its upper
+      } else {  // e < -tol: basic value increases toward its upper
         const double bup = t.up[t.basis[r]];
         if (!std::isfinite(bup)) continue;
         ratio = (bup - t.xb[r]) / (-e);
         to_upper = true;
-      } else {
-        continue;
       }
       if (ratio < 0.0) ratio = 0.0;  // degeneracy drift guard
       if (leave < 0 || ratio < limit - tol ||
@@ -330,26 +392,35 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
     }
   }
 
-  // --- 2. Dense rows + shifted rhs, built once. ---------------------------
+  // --- 2. Dense rows + shifted rhs, built once off the CSC view. ----------
+  // Walking columns instead of rows lets this share the cached
+  // ColumnView with the decomposed driver's master build. The rhs shift
+  // accumulates per row in ascending-variable order either way (the
+  // outer loop here is ascending j), so rhs0 is bit-identical to the
+  // old row-walking construction.
+  const ColumnView& csc = lp.column_view();
   std::vector<double> dense(
       static_cast<std::size_t>(m) * static_cast<std::size_t>(n_internal),
       0.0);
   std::vector<double> rhs0(static_cast<std::size_t>(m), 0.0);
-  for (int r = 0; r < m; ++r) {
-    double* dr = dense.data() +
-                 static_cast<std::size_t>(r) *
-                     static_cast<std::size_t>(n_internal);
-    double b = lp.rhs(r);
-    for (const auto& [var, coef] : lp.row_terms(r)) {
-      const VarMap& vm = vmap[static_cast<std::size_t>(var)];
+  for (int r = 0; r < m; ++r) rhs0[static_cast<std::size_t>(r)] = lp.rhs(r);
+  for (int j = 0; j < n_orig; ++j) {
+    const VarMap& vm = vmap[static_cast<std::size_t>(j)];
+    const int lo_at = csc.col_start[static_cast<std::size_t>(j)];
+    const int hi_at = csc.col_start[static_cast<std::size_t>(j) + 1];
+    for (int at = lo_at; at < hi_at; ++at) {
+      const auto r = static_cast<std::size_t>(
+          csc.row_index[static_cast<std::size_t>(at)]);
+      const double coef = csc.value[static_cast<std::size_t>(at)];
+      double* dr = dense.data() + r * static_cast<std::size_t>(n_internal);
       switch (vm.kind) {
         case VarMap::Kind::kShifted:
           dr[vm.primary] += coef;
-          b -= coef * vm.shift;
+          rhs0[r] -= coef * vm.shift;
           break;
         case VarMap::Kind::kReflected:
           dr[vm.primary] -= coef;
-          b -= coef * vm.shift;
+          rhs0[r] -= coef * vm.shift;
           break;
         case VarMap::Kind::kFree:
           dr[vm.primary] += coef;
@@ -357,11 +428,11 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
           break;
       }
     }
-    rhs0[r] = b;
   }
 
   // --- 3. Column bounds. --------------------------------------------------
   Tableau t;
+  t.sparse = options_.sparse_pivoting;
   t.stride = full_cols;
   t.lo.assign(static_cast<std::size_t>(full_cols), 0.0);
   t.up.assign(static_cast<std::size_t>(full_cols), kInfinity);
@@ -405,6 +476,8 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
     }
     t.basis.assign(static_cast<std::size_t>(m), -1);
     t.xb.assign(static_cast<std::size_t>(m), 0.0);
+    t.row_id.resize(static_cast<std::size_t>(m));
+    for (int r = 0; r < m; ++r) t.row_id[static_cast<std::size_t>(r)] = r;
   };
 
   // Default statuses: every structural column at its lower bound, slacks
@@ -556,6 +629,7 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
         // A bounded-below phase 1 cannot be unbounded; if numerics say
         // otherwise, refuse to certify anything.
         out.status = LpStatus::kIterationLimit;
+        out.sparse_price_skips = t.skips;
         return out;
       }
       double infeas = 0.0;
@@ -564,6 +638,7 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
       }
       if (infeas > kFeasTol) {
         out.status = LpStatus::kInfeasible;
+        out.sparse_price_skips = t.skips;
         return out;
       }
       // Pivot remaining (degenerate) artificials out of the basis; rows
@@ -619,9 +694,148 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
   }
   for (int r = 0; r < t.rows; ++r) d[t.basis[r]] = 0.0;
   const LpStatus st = run_bounded(t, d, options_, out.iterations, log);
+  out.sparse_price_skips = t.skips;
   if (st != LpStatus::kOptimal) {
     out.status = st;
     return out;
+  }
+
+  // --- 6.5 Deterministic refactorization of the basic values. -------------
+  // The incremental xb carries the roundoff of the whole pivot path, so
+  // two paths ending in the same basis (monolithic vs the decomposed
+  // driver's crossover, warm vs cold) could disagree in the last ulp —
+  // enough to flip downstream profit near-ties and break the
+  // byte-identical-plans contract. Recomputing B xb = rhs0 - N x_N from
+  // the *original* data makes the returned point a pure function of
+  // (model, final basis set, nonbasic statuses), independent of how the
+  // solver got there. Falls back to the incremental values if the basis
+  // matrix looks singular (it never is for a basis this solver
+  // produced).
+  if (options_.refactor_solution && t.rows > 0) {
+    const int mb = t.rows;
+    const auto mbz = static_cast<std::size_t>(mb);
+    // Right-hand side over the surviving rows, nonbasic bound
+    // contributions removed. Only shifted structural columns can sit at
+    // a nonzero bound — every nonbasic-reachable slack/artificial bound
+    // is zero.
+    std::vector<double> fb(mbz);
+    for (int i = 0; i < mb; ++i) {
+      fb[static_cast<std::size_t>(i)] =
+          rhs0[static_cast<std::size_t>(t.row_id[i])];
+    }
+    for (int c = 0; c < n_internal; ++c) {
+      if (t.status[c] == ColStatus::kBasic) continue;
+      const double v = t.nonbasic_value(c);
+      if (v == 0.0) continue;
+      for (int i = 0; i < mb; ++i) {
+        fb[static_cast<std::size_t>(i)] -=
+            dense[static_cast<std::size_t>(t.row_id[i]) *
+                      static_cast<std::size_t>(n_internal) +
+                  static_cast<std::size_t>(c)] *
+            v;
+      }
+    }
+    // Basis matrix with columns in ascending column-index order, so the
+    // factorization depends only on the basis *set* — different pivot
+    // paths assign the same columns to different rows.
+    std::vector<int> order(t.basis.begin(), t.basis.end());
+    std::sort(order.begin(), order.end());
+    bool ok = true;
+    std::vector<double> B(mbz * mbz, 0.0);
+    for (int j = 0; j < mb && ok; ++j) {
+      const int col = order[static_cast<std::size_t>(j)];
+      if (col >= art_base) {
+        ok = false;  // basic artificial should be impossible at optimal
+      } else if (col < n_internal) {
+        for (int i = 0; i < mb; ++i) {
+          B[static_cast<std::size_t>(i) * mbz + static_cast<std::size_t>(j)] =
+              dense[static_cast<std::size_t>(t.row_id[i]) *
+                        static_cast<std::size_t>(n_internal) +
+                    static_cast<std::size_t>(col)];
+        }
+      } else {
+        const int s = col - n_internal;
+        for (int i = 0; i < mb; ++i) {
+          if (t.row_id[i] == s) {
+            B[static_cast<std::size_t>(i) * mbz +
+              static_cast<std::size_t>(j)] = 1.0;
+            break;
+          }
+        }
+      }
+    }
+    // In-place LU with partial pivoting (largest magnitude, first index
+    // on ties) applied to the augmented system [B | fb].
+    for (int k = 0; k < mb && ok; ++k) {
+      int piv = k;
+      double best = std::abs(B[static_cast<std::size_t>(k) * mbz +
+                               static_cast<std::size_t>(k)]);
+      for (int i = k + 1; i < mb; ++i) {
+        const double a = std::abs(B[static_cast<std::size_t>(i) * mbz +
+                                    static_cast<std::size_t>(k)]);
+        if (a > best) {
+          best = a;
+          piv = i;
+        }
+      }
+      if (!(best > 1e-11)) {
+        ok = false;
+        break;
+      }
+      if (piv != k) {
+        for (int c2 = k; c2 < mb; ++c2) {
+          std::swap(B[static_cast<std::size_t>(k) * mbz +
+                      static_cast<std::size_t>(c2)],
+                    B[static_cast<std::size_t>(piv) * mbz +
+                      static_cast<std::size_t>(c2)]);
+        }
+        std::swap(fb[static_cast<std::size_t>(k)],
+                  fb[static_cast<std::size_t>(piv)]);
+      }
+      const double inv = 1.0 / B[static_cast<std::size_t>(k) * mbz +
+                                 static_cast<std::size_t>(k)];
+      for (int i = k + 1; i < mb; ++i) {
+        const double f = B[static_cast<std::size_t>(i) * mbz +
+                           static_cast<std::size_t>(k)] *
+                         inv;
+        if (f == 0.0) continue;
+        for (int c2 = k + 1; c2 < mb; ++c2) {
+          B[static_cast<std::size_t>(i) * mbz +
+            static_cast<std::size_t>(c2)] -=
+              f * B[static_cast<std::size_t>(k) * mbz +
+                    static_cast<std::size_t>(c2)];
+        }
+        fb[static_cast<std::size_t>(i)] -= f * fb[static_cast<std::size_t>(k)];
+      }
+    }
+    if (ok) {
+      std::vector<double> yb(mbz);
+      for (int k = mb - 1; k >= 0; --k) {
+        double acc = fb[static_cast<std::size_t>(k)];
+        for (int c2 = k + 1; c2 < mb; ++c2) {
+          acc -= B[static_cast<std::size_t>(k) * mbz +
+                   static_cast<std::size_t>(c2)] *
+                 yb[static_cast<std::size_t>(c2)];
+        }
+        yb[static_cast<std::size_t>(k)] =
+            acc / B[static_cast<std::size_t>(k) * mbz +
+                    static_cast<std::size_t>(k)];
+        if (!std::isfinite(yb[static_cast<std::size_t>(k)])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        // yb[j] is the value of basis column order[j]; hand each
+        // tableau row its own column's value.
+        for (int i = 0; i < mb; ++i) {
+          const auto at = std::lower_bound(order.begin(), order.end(),
+                                           t.basis[i]) -
+                          order.begin();
+          t.xb[i] = yb[static_cast<std::size_t>(at)];
+        }
+      }
+    }
   }
 
   // --- 7. Extract the solution back into the original space. --------------

@@ -56,6 +56,13 @@ struct LpSolution {
   /// Pivot steps taken (basis changes plus bound flips) across both
   /// phases.
   int iterations = 0;
+  /// Dense column updates the support-walking pivot kernel skipped: for
+  /// each pivot that took the sparse path, the number of tableau columns
+  /// outside the pivot row's nonzero support (each would have been a
+  /// multiply-subtract per row in the dense kernel). Pivots whose row
+  /// had filled in past half density run the dense loops and count
+  /// nothing. Zero when Options::sparse_pivoting is off.
+  std::uint64_t sparse_price_skips = 0;
   /// True when no phase-1 work was needed: either the model cold-started
   /// feasible (no artificial columns) or a warm basis landed in-bounds.
   bool phase1_skipped = false;
@@ -102,6 +109,22 @@ class SimplexSolver {
     /// Record the (entering, leaving) pivot sequence in
     /// LpSolution::pivot_log.
     bool record_pivots = false;
+    /// Use the support-walking pivot kernel: per pivot, gather the
+    /// pivot row's nonzero columns once and update only those. Pivot
+    /// sequences, statuses, and every returned value are identical to
+    /// the dense kernel (skipping an exact zero is an arithmetic
+    /// no-op); LpSolution::sparse_price_skips counts the work avoided.
+    bool sparse_pivoting = true;
+    /// At optimality, recompute the basic values from the original
+    /// data given the final basis (dense LU, deterministic partial
+    /// pivoting) instead of trusting the incrementally updated tableau.
+    /// This makes the returned point a pure function of (model, basis
+    /// set, nonbasic statuses): any two solve paths that end in the
+    /// same basis — warm or cold, monolithic or decomposed-then-
+    /// crossover — return bitwise-identical x, which is what the
+    /// byte-identical-plans contract rests on. Falls back to the
+    /// incremental values if the basis matrix is numerically singular.
+    bool refactor_solution = true;
   };
 
   SimplexSolver() = default;

@@ -31,6 +31,9 @@ Json to_json(const WorkloadResult& w) {
   solver.set("simplex_pivots", counter(w.solver.lp_iterations));
   solver.set("phase1_skips", counter(w.solver.phase1_skips));
   solver.set("basis_warm_hits", counter(w.solver.basis_warm_hits));
+  solver.set("sparse_price_skips", counter(w.solver.sparse_price_skips));
+  solver.set("master_iterations", counter(w.solver.master_iterations));
+  solver.set("subproblem_solves", counter(w.solver.subproblem_solves));
   solver.set("nlp_iterations", counter(w.solver.nlp_iterations));
   solver.set("warm_start_hits", counter(w.solver.warm_start_hits));
   solver.set("warm_start_misses", counter(w.solver.warm_start_misses));
@@ -81,7 +84,8 @@ Json to_json(const QpsResult& q) {
   return doc;
 }
 
-Json with_qps_section(const std::string& path, const QpsResult& q) {
+Json with_section(const std::string& path, const std::string& key,
+                  Json section) {
   Json doc = Json::object();
   std::ifstream is(path);
   if (is) {
@@ -95,8 +99,12 @@ Json with_qps_section(const std::string& path, const QpsResult& q) {
     }
   }
   if (!doc.contains("schema")) doc.set("schema", Json(kSchema));
-  doc.set("qps", to_json(q));
+  doc.set(key, std::move(section));
   return doc;
+}
+
+Json with_qps_section(const std::string& path, const QpsResult& q) {
+  return with_section(path, "qps", to_json(q));
 }
 
 Json document(std::size_t hardware_concurrency, std::size_t workers,

@@ -119,6 +119,15 @@ struct QpsResult {
 Json to_json(const QpsResult& q);
 
 /// Loads `path` when it already holds a parseable JSON object (a prior
+/// `palb bench` report, typically) and replaces its `key` section with
+/// `section`; otherwise starts a fresh skeleton document carrying only
+/// the schema tag and the section. This is how side harnesses (`palb
+/// qps`, the ext_scale solver gate) accumulate into the one report
+/// artifact without clobbering each other's sections.
+Json with_section(const std::string& path, const std::string& key,
+                  Json section);
+
+/// Loads `path` when it already holds a parseable JSON object (a prior
 /// `palb bench` report, typically) and replaces its "qps" section;
 /// otherwise starts a fresh skeleton document carrying only the schema
 /// tag and the section.
