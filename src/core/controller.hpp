@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cloud/accounting.hpp"
@@ -43,6 +44,23 @@ struct RunResult {
   std::vector<int> fallback_rungs;
   std::vector<std::size_t> repair_adjustments;
   std::size_t faulted_slots = 0;
+
+  /// Overload telemetry (docs/OVERLOAD.md), filled by the
+  /// ResilientController when Options::live is wired up. live_slots[t]
+  /// is the index of the slot whose applied plan was *live* (published)
+  /// after slot t's ladder ran — equal to t normally, an earlier slot
+  /// while a publish-delay fault suppresses publishes, and -1 before
+  /// the first publish. The stale-plan age of slot t is thus
+  /// t - live_slots[t]. Empty when no live handle was attached.
+  std::vector<std::int64_t> live_slots;
+  /// Slots whose rung-1 full solve was skipped by a planner-stall fault
+  /// (deadline consumed before the solve could finish).
+  std::size_t stalled_solves = 0;
+  /// Publishes suppressed by publish-delay faults.
+  std::size_t delayed_publishes = 0;
+  /// Publishes forced through a publish-delay window because the live
+  /// plan's age exceeded Options::stale_plan_ttl_slots.
+  std::size_t ttl_escalations = 0;
 
   /// Total repair() adjustments across the run.
   std::size_t total_repairs() const;

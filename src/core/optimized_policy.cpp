@@ -360,6 +360,7 @@ ProfileOutcome solve_profile(const Topology& topo, const SlotInput& input,
   if (opt.lp_max_iterations > 0) {
     solver_opt.max_iterations = static_cast<int>(opt.lp_max_iterations);
   }
+  solver_opt.cancel = opt.cancel;
   const bool decompose =
       opt.decomposed_solve == OptimizedPolicy::DecomposedSolve::kOn ||
       (opt.decomposed_solve == OptimizedPolicy::DecomposedSolve::kAuto &&
@@ -607,6 +608,16 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   auto evaluate = [&](const Profile& profile, std::uint64_t index,
                       const ProfilePrep& prep, const GlobalBasis* warm_basis,
                       GlobalBasis* capture) {
+    // Cancellation drains the sweep instead of throwing out of a pool
+    // worker: remaining profiles fall through without an LP solve and
+    // plan_slot raises SolveCancelled once every worker has joined. A
+    // solve already in flight stops at its next pivot batch
+    // (SimplexSolver::Options::cancel) and reports kCancelled, which
+    // lands here as an infeasible outcome.
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return -kInfinity;
+    }
     examined.fetch_add(1, std::memory_order_relaxed);
     if (!prep.feasible) return -kInfinity;
     ProfileOutcome outcome =
@@ -790,6 +801,14 @@ DispatchPlan OptimizedPolicy::plan_slot(const Topology& topo,
   // Every worker has drained (parallel_for joins before returning), so
   // the incumbent is final; the cache write happens here — after the
   // sweep — because it records the *winning* index.
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    // Thrown only after the drain: no worker is left touching tracker
+    // state, and the warm-start cache is not polluted with a partial
+    // sweep's winner.
+    throw SolveCancelled("OptimizedPolicy::plan_slot cancelled by its "
+                         "deadline watchdog");
+  }
   const ProfileOutcome best = tracker.take();
   if (enumerated) {
     cache_.valid = true;
@@ -838,6 +857,10 @@ std::unique_ptr<Policy> OptimizedPolicy::degraded() const {
   // Column generation spends pivots across many inner solves before the
   // crossover; under a tight per-LP budget that overhead is pure risk.
   opt.decomposed_solve = DecomposedSolve::kOff;
+  // The fallback rung must be allowed to finish even while the watchdog
+  // is cancelling the full solve: the pivot budget above already bounds
+  // its runtime, so the token is dropped rather than inherited.
+  opt.cancel = nullptr;
   return std::make_unique<OptimizedPolicy>(opt);
 }
 

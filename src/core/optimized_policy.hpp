@@ -111,6 +111,13 @@ class OptimizedPolicy : public Policy {
     /// profiles are solved one at a time (huge LPs, serial sweeps).
     /// Plans are identical for every value.
     std::size_t decomposed_workers = 1;
+    /// Cooperative cancellation token (not owned; may be nullptr),
+    /// normally installed via Policy::set_cancel(). Forwarded into every
+    /// profile LP (SimplexSolver::Options::cancel) and polled between
+    /// profiles; once it reads true the sweep stops solving and
+    /// plan_slot throws SolveCancelled. Living in Options means clone()
+    /// propagates it to parallel workers; degraded() clears it.
+    const std::atomic<bool>* cancel = nullptr;
   };
 
   OptimizedPolicy() = default;
@@ -129,6 +136,10 @@ class OptimizedPolicy : public Policy {
   /// and bounded. Plans remain deterministic in (topology, input) alone
   /// — the ResilientController builds a fresh instance per failed slot.
   std::unique_ptr<Policy> degraded() const override;
+  /// Installs the watchdog's cancellation token (see Options::cancel).
+  void set_cancel(const std::atomic<bool>* cancel) override {
+    options_.cancel = cancel;
+  }
   /// Cumulative counters since construction, including warm-start cache
   /// hits/misses and incumbent-bound prunes.
   PolicyStats stats() const override { return totals_; }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -115,6 +116,18 @@ class Policy {
   /// means the policy has no cheaper mode and the ladder skips straight
   /// to rung 3.
   virtual std::unique_ptr<Policy> degraded() const { return nullptr; }
+
+  /// Installs a cooperative cancellation token (not owned; nullptr
+  /// clears it; must outlive every subsequent plan_slot). A policy that
+  /// honors it aborts an in-flight plan_slot with SolveCancelled soon
+  /// after the token reads true — the AsyncPlanner watchdog's deadline
+  /// lever (docs/OVERLOAD.md). Clones made *after* the call inherit the
+  /// token so a whole parallel candidate phase can be cancelled at once;
+  /// degraded() instances deliberately do not (their bounded pivot
+  /// budget already guarantees quick termination, and the fallback rung
+  /// must be allowed to finish). The default is a no-op: a policy that
+  /// ignores the token just runs to completion.
+  virtual void set_cancel(const std::atomic<bool>* cancel) { (void)cancel; }
 
   /// Cumulative effort counters since construction (see PolicyStats).
   virtual PolicyStats stats() const { return {}; }

@@ -21,6 +21,12 @@ const char* to_string(FaultKind kind) {
       return "link-cut";
     case FaultKind::kSolverFailure:
       return "solver-failure";
+    case FaultKind::kPlannerStall:
+      return "planner-stall";
+    case FaultKind::kPublishDelay:
+      return "publish-delay";
+    case FaultKind::kDemandSurge:
+      return "demand-surge";
   }
   return "unknown";
 }
@@ -77,9 +83,15 @@ void FaultSchedule::validate(const Topology& topology) const {
         PALB_REQUIRE(std::isfinite(e.magnitude) && e.magnitude > 0.0,
                      where + ": spike multiplier must be finite and > 0");
         break;
+      case FaultKind::kDemandSurge:
+        PALB_REQUIRE(std::isfinite(e.magnitude) && e.magnitude > 0.0,
+                     where + ": surge multiplier must be finite and > 0");
+        break;
       case FaultKind::kTraceGap:
       case FaultKind::kLinkCut:
       case FaultKind::kSolverFailure:
+      case FaultKind::kPlannerStall:
+      case FaultKind::kPublishDelay:
         break;
     }
   }
@@ -154,6 +166,30 @@ FaultedSlot FaultSchedule::materialize(const Scenario& scenario,
       case FaultKind::kSolverFailure:
         out.solver_failure = true;
         break;
+      case FaultKind::kPlannerStall:
+        out.planner_stall = true;
+        break;
+      case FaultKind::kPublishDelay:
+        out.publish_delayed = true;
+        break;
+      case FaultKind::kDemandSurge: {
+        // Real demand, not a telemetry artifact: the surge lands before
+        // the raw_input copy below, so both the planner's sanitized view
+        // and the observed telemetry carry it. Overlapping surges stack
+        // multiplicatively. Imputation of a gapped surged stream still
+        // reads the (unsurged) scenario history — a gap hides the surge,
+        // which is exactly the double-fault the ladder must absorb.
+        for (std::size_t k = 0; k < K; ++k) {
+          if (e.klass != FaultEvent::kNoIndex && e.klass != k) continue;
+          for (std::size_t s = 0; s < S; ++s) {
+            if (e.frontend != FaultEvent::kNoIndex && e.frontend != s) {
+              continue;
+            }
+            out.input.arrival_rate[k][s] *= e.magnitude;
+          }
+        }
+        break;
+      }
       case FaultKind::kTraceGap:
         break;  // handled below, after prices
     }
@@ -200,6 +236,11 @@ FaultSchedule generate(const Topology& topology, std::uint64_t seed,
   if (options.trace_gaps) kinds.push_back(FaultKind::kTraceGap);
   if (options.link_cuts) kinds.push_back(FaultKind::kLinkCut);
   if (options.solver_failures) kinds.push_back(FaultKind::kSolverFailure);
+  // The chaos kinds append after the legacy five, so enabling them
+  // never re-maps the kind draws of a schedule generated without them.
+  if (options.planner_stalls) kinds.push_back(FaultKind::kPlannerStall);
+  if (options.publish_delays) kinds.push_back(FaultKind::kPublishDelay);
+  if (options.demand_surges) kinds.push_back(FaultKind::kDemandSurge);
 
   std::vector<FaultEvent> events;
   Rng rng(seed);
@@ -236,6 +277,15 @@ FaultSchedule generate(const Topology& topology, std::uint64_t seed,
       case FaultKind::kSolverFailure:
         e.last_slot = e.first_slot;  // a crash is a one-slot affair
         break;
+      case FaultKind::kPlannerStall:
+      case FaultKind::kPublishDelay:
+        break;  // windowed, no indices
+      case FaultKind::kDemandSurge:
+        // Half the surges hit one front-end, half are global.
+        e.frontend = rng.uniform(0.0, 1.0) < 0.5 ? rng.uniform_index(S)
+                                                 : FaultEvent::kNoIndex;
+        e.magnitude = rng.uniform(options.min_surge, options.max_surge);
+        break;
     }
     events.push_back(e);
   }
@@ -270,6 +320,43 @@ FaultSchedule canned_acceptance() {
   crash.first_slot = 19;
   crash.last_slot = 19;
   events.push_back(crash);
+  return FaultSchedule(std::move(events));
+}
+
+FaultSchedule canned_chaos() {
+  std::vector<FaultEvent> events;
+  FaultEvent surge;
+  surge.kind = FaultKind::kDemandSurge;
+  surge.first_slot = 4;
+  surge.last_slot = 9;
+  surge.magnitude = 3.0;
+  events.push_back(surge);
+  FaultEvent stall;
+  stall.kind = FaultKind::kPlannerStall;
+  stall.first_slot = 6;
+  stall.last_slot = 8;
+  events.push_back(stall);
+  // Overlaps the surge's onset: while publishes are suppressed the live
+  // plan is still slot 3's unsurged one, so admission faces 3x the
+  // provisioned demand and must shed — until the stale-plan TTL forces
+  // a fresh (surge-sized) plan through. The later window tests delay
+  // under calm demand (no shedding expected).
+  FaultEvent delay;
+  delay.kind = FaultKind::kPublishDelay;
+  delay.first_slot = 4;
+  delay.last_slot = 6;
+  events.push_back(delay);
+  FaultEvent calm_delay;
+  calm_delay.kind = FaultKind::kPublishDelay;
+  calm_delay.first_slot = 12;
+  calm_delay.last_slot = 15;
+  events.push_back(calm_delay);
+  FaultEvent spike;
+  spike.kind = FaultKind::kPriceSpike;
+  spike.first_slot = 18;
+  spike.last_slot = 18;
+  spike.magnitude = 5.0;
+  events.push_back(spike);
   return FaultSchedule(std::move(events));
 }
 

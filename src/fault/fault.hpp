@@ -30,6 +30,22 @@ enum class FaultKind {
   /// crash or a per-slot pivot budget acting as a deadline), pushing the
   /// resilient controller onto its fallback ladder.
   kSolverFailure,
+  /// The planner's full solve blows its deadline budget this slot (the
+  /// watchdog cancelled it mid-pivot): rung 1 is deterministically
+  /// skipped and the slot is counted in RunResult::stalled_solves. Same
+  /// plan effect as kSolverFailure, distinct telemetry — a stall is a
+  /// deadline event, not a crash.
+  kPlannerStall,
+  /// The publish of this slot's applied plan is suppressed: readers keep
+  /// serving the previous live plan (measurable stale-plan exposure)
+  /// until the window ends or the stale-plan TTL escalation forces the
+  /// publish through (ResilientController::Options::stale_plan_ttl_slots).
+  kPublishDelay,
+  /// Real demand surge: every targeted arrival rate (klass / frontend
+  /// pins honored, kNoIndex = all) multiplies by `magnitude` in both the
+  /// sanitized and the raw telemetry — the planner sees it, and so does
+  /// the offered mix admission control sizes against.
+  kDemandSurge,
 };
 
 /// Stable kebab-case name ("dc-outage", ...) used by the JSON schema and
@@ -45,9 +61,10 @@ struct FaultEvent {
   std::size_t first_slot = 0;
   std::size_t last_slot = 0;  ///< inclusive
   std::size_t dc = kNoIndex;        ///< kDcOutage, kPriceSpike, kLinkCut
-  std::size_t frontend = kNoIndex;  ///< kTraceGap, kLinkCut
-  std::size_t klass = kNoIndex;     ///< kTraceGap (kNoIndex = all classes)
-  /// kDcOutage: fraction of servers lost; kPriceSpike: price multiplier.
+  std::size_t frontend = kNoIndex;  ///< kTraceGap, kLinkCut, kDemandSurge
+  std::size_t klass = kNoIndex;     ///< kTraceGap, kDemandSurge (= all)
+  /// kDcOutage: fraction of servers lost; kPriceSpike: price multiplier;
+  /// kDemandSurge: arrival-rate multiplier.
   double magnitude = 1.0;
 
   bool active(std::size_t t) const {
@@ -72,6 +89,8 @@ struct FaultedSlot {
   /// blocked[s * num_datacenters + l] != 0 when the s->l link is cut.
   std::vector<std::uint8_t> link_blocked;
   bool solver_failure = false;  ///< rung 1 is forced to fail this slot
+  bool planner_stall = false;   ///< rung 1 cancelled by its deadline
+  bool publish_delayed = false; ///< this slot's publish is suppressed
   bool faulted = false;         ///< any event active this slot
   bool has_blocked_link = false;
 
@@ -131,10 +150,17 @@ struct Options {
   bool trace_gaps = true;
   bool link_cuts = true;
   bool solver_failures = true;
+  /// The serving-path chaos kinds (PR 10) default OFF so schedules
+  /// generated from pre-existing seeds stay byte-identical.
+  bool planner_stalls = false;
+  bool publish_delays = false;
+  bool demand_surges = false;
   /// Outage severity range (fraction of the fleet lost).
   double min_outage = 0.5, max_outage = 1.0;
   /// Price-spike multiplier range.
   double min_spike = 2.0, max_spike = 10.0;
+  /// Demand-surge multiplier range.
+  double min_surge = 1.5, max_surge = 4.0;
 };
 
 FaultSchedule generate(const Topology& topology, std::uint64_t seed,
@@ -146,6 +172,15 @@ FaultSchedule generate(const Topology& topology, std::uint64_t seed);
 /// slots 3 and 15, and one forced solver failure at slot 19. The CLI
 /// spells it "canned"; CI's resilience-smoke job replays it.
 FaultSchedule canned_acceptance();
+
+/// The canned 24-slot overload schedule (docs/OVERLOAD.md): a 3x demand
+/// surge over slots 4-9, publishes suppressed for slots 4-6 (so the
+/// stale pre-surge plan faces the surge and admission must shed until
+/// the TTL forces a publish through) and again for the calm slots
+/// 12-15, the planner stalled for slots 6-8 inside the surge, and a
+/// price spike at slot 18 for flavor. The CLI spells it "canned-chaos";
+/// CI's chaos-smoke job replays it.
+FaultSchedule canned_chaos();
 
 }  // namespace fault_gen
 }  // namespace palb

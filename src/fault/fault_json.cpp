@@ -12,7 +12,9 @@ namespace {
 FaultKind kind_from_string(const std::string& name) {
   for (const FaultKind kind :
        {FaultKind::kDcOutage, FaultKind::kPriceSpike, FaultKind::kTraceGap,
-        FaultKind::kLinkCut, FaultKind::kSolverFailure}) {
+        FaultKind::kLinkCut, FaultKind::kSolverFailure,
+        FaultKind::kPlannerStall, FaultKind::kPublishDelay,
+        FaultKind::kDemandSurge}) {
     if (name == to_string(kind)) return kind;
   }
   throw IoError("unknown fault kind: '" + name + "'");

@@ -1,5 +1,6 @@
 #include "fault/resilient_controller.hpp"
 
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <optional>
@@ -60,19 +61,26 @@ void project_off_cut_links(const FaultedSlot& world, DispatchPlan& plan) {
 
 SlotCandidates solve_candidates(const Scenario& scenario,
                                 const FaultSchedule& schedule,
-                                std::size_t slot, Policy& policy) {
+                                std::size_t slot, Policy& policy,
+                                FallbackRung max_effort) {
   SlotCandidates out;
   out.world = schedule.materialize(scenario, slot);
   // Rung 1: the wrapped policy at full effort, fed the *sanitized*
-  // input. A forced solver failure skips it outright.
-  if (!out.world.solver_failure) {
+  // input. A forced solver failure or planner stall skips it outright,
+  // as does a caller capping effort below kFullSolve (the watchdog's
+  // descending retry ladder).
+  if (!out.world.solver_failure && !out.world.planner_stall &&
+      max_effort == FallbackRung::kFullSolve) {
     try {
       out.full = policy.plan_slot(out.world.topology, out.world.input);
     } catch (const std::exception&) {
-      // Fall through to the ladder.
+      // Fall through to the ladder (SolveCancelled lands here too: a
+      // cancelled full solve degrades instead of propagating).
     }
   }
-  if (!out.full) {
+  if (!out.full &&
+      static_cast<int>(max_effort) <=
+          static_cast<int>(FallbackRung::kReducedResolve)) {
     // Rung 2: bounded re-solve on a *fresh* degraded instance, so the
     // candidate depends only on (topology, input) — never on which
     // other slots in this worker's block failed.
@@ -109,6 +117,11 @@ RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
   std::size_t workers = bounded_workers(
       options.workers == 0 ? 0 : options.workers, num_slots);
 
+  // Install the watchdog's cancellation token before any clone is made
+  // so the whole candidate phase shares it (clone() copies it; a no-op
+  // for policies that ignore set_cancel).
+  policy.set_cancel(options.cancel);
+
   // ---- Phase A: candidate solves, SlotController's exact block layout
   // (contiguous slot blocks, one clone per worker, serial inside a block
   // so warm-start chains stay intact).
@@ -131,7 +144,7 @@ RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
     const PolicyStats before = policy.stats();
     for (std::size_t t = 0; t < num_slots; ++t) {
       slots[t] = solve_candidates(scenario_, schedule_, first_slot + t,
-                                  policy);
+                                  policy, options.max_effort);
     }
     result.stats = policy.stats() - before;
   } else {
@@ -150,7 +163,8 @@ RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
       for (std::size_t t = 0; t < count; ++t) {
         const std::size_t index = block_offset + t;
         slots[index] = solve_candidates(scenario_, schedule_,
-                                        first_slot + index, *clones[w]);
+                                        first_slot + index, *clones[w],
+                                        options.max_effort);
       }
     });
     for (const auto& clone : clones) result.stats += clone->stats();
@@ -169,8 +183,12 @@ RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
   result.fallback_rungs.assign(num_slots, 0);
   result.repair_adjustments.assign(num_slots, 0);
   result.faulted_slots = schedule_.count_faulted(num_slots, first_slot);
+  if (options.live != nullptr) result.live_slots.assign(num_slots, -1);
 
   const DispatchPlan* previous = nullptr;
+  // Index of the last slot whose plan reached the live handle; -1 until
+  // the first publish. Stale-plan age of slot t = t - last_published.
+  std::int64_t last_published = -1;
   for (std::size_t t = 0; t < num_slots; ++t) {
     SlotCandidates& slot = slots[t];
     const FaultedSlot& world = slot.world;
@@ -215,10 +233,29 @@ RunResult ResilientController::run(Policy& policy, std::size_t num_slots,
       try_rung(FallbackRung::kShedAll, DispatchPlan::zero(world.topology));
     }
     previous = &result.plans[t];
+    if (world.planner_stall) ++result.stalled_solves;
     // Hot-swap the applied plan for concurrent readers. Publishing
     // *after* the ladder accepts means a reader can never acquire() a
-    // plan that failed its audit.
-    if (options.live != nullptr) options.live->publish(result.plans[t]);
+    // plan that failed its audit. A publish-delay fault suppresses the
+    // swap — readers keep the previous live plan — unless the live
+    // plan's age would blow the stale-plan TTL, in which case the
+    // publish is forced through (escalation).
+    if (options.live != nullptr) {
+      bool delayed = world.publish_delayed;
+      if (delayed && options.stale_plan_ttl_slots > 0 &&
+          static_cast<std::int64_t>(t) - last_published >
+              static_cast<std::int64_t>(options.stale_plan_ttl_slots)) {
+        delayed = false;
+        ++result.ttl_escalations;
+      }
+      if (delayed) {
+        ++result.delayed_publishes;
+      } else {
+        options.live->publish(result.plans[t]);
+        last_published = static_cast<std::int64_t>(t);
+      }
+      result.live_slots[t] = last_published;
+    }
   }
 
   result.total = accumulate(result.slots);

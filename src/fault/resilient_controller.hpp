@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 
@@ -63,6 +64,25 @@ class ResilientController {
     /// serve::AsyncPlanner — always acquire() a checked, coherent
     /// plan while the run is still in flight (docs/SERVING.md).
     PlanHandle* live = nullptr;
+    /// Cooperative cancellation token (not owned; may be nullptr),
+    /// installed on `policy` via Policy::set_cancel() before the
+    /// candidate phase so clones inherit it. Once it reads true,
+    /// in-flight full solves abort (SolveCancelled) and the ladder
+    /// serves those slots from its cheaper rungs — the AsyncPlanner
+    /// watchdog's deadline lever (docs/OVERLOAD.md).
+    const std::atomic<bool>* cancel = nullptr;
+    /// Highest-effort rung the candidate phase may attempt: kFullSolve
+    /// (the default) tries everything; kReducedResolve skips rung 1
+    /// outright; kPreviousPlan (or lower) skips rungs 1 and 2 — the
+    /// descending-effort retry ladder the watchdog walks after repeated
+    /// deadline expirations.
+    FallbackRung max_effort = FallbackRung::kFullSolve;
+    /// Stale-plan TTL in slots, active only with `live` attached and a
+    /// publish-delay fault suppressing publishes: when the live plan's
+    /// age (current slot minus last published slot) would exceed this
+    /// bound, the publish is forced through anyway and counted in
+    /// RunResult::ttl_escalations. 0 disables escalation (delays win).
+    std::size_t stale_plan_ttl_slots = 0;
   };
 
   ResilientController(Scenario scenario, FaultSchedule schedule);

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 
 #include "core/controller.hpp"
@@ -26,13 +28,57 @@ namespace palb::serve {
 /// publish.
 class AsyncPlanner {
  public:
+  /// Solve-lifecycle watchdog (docs/OVERLOAD.md): a wall-clock budget
+  /// per solve attempt, enforced by cooperative cancellation. When the
+  /// budget expires, the attempt's cancel token flips, in-flight full
+  /// solves abort at pivot-batch granularity, and the ladder finishes
+  /// the run from its cheaper rungs — the dispatcher keeps serving the
+  /// whole time. The planner then retries after a seed-jittered
+  /// exponential backoff, each retry capped one effort rung lower
+  /// (full-solve -> reduced-resolve -> previous-plan), so a retry that
+  /// fits the budget re-publishes fresher plans.
+  ///
+  /// The watchdog is *real-time* hardening and deliberately outside the
+  /// determinism perimeter: byte-identical chaos runs use planner-stall
+  /// faults (fault.hpp), which model the same event as a pure function
+  /// of (scenario, schedule, slot).
+  struct Watchdog {
+    /// Wall-clock budget per solve attempt in seconds; 0 disables the
+    /// watchdog entirely (no thread, no token — today's behavior).
+    double solve_deadline_seconds = 0.0;
+    /// Retries after a deadline expiration (on top of the first
+    /// attempt); each one descends the effort ladder by one rung.
+    std::size_t max_retries = 2;
+    /// Backoff before retry r is base * 2^r, scaled by a deterministic
+    /// jitter factor in [0.5, 1.5) drawn from `jitter_seed`.
+    double backoff_base_seconds = 0.02;
+    std::uint64_t jitter_seed = 0;
+  };
+
+  /// Cumulative watchdog telemetry across all solve_async jobs.
+  struct WatchdogStats {
+    /// Attempts whose deadline expired (the cancel token flipped).
+    std::uint64_t deadline_expirations = 0;
+    /// Retry attempts launched after an expiration.
+    std::uint64_t retries = 0;
+    /// Wall-clock nanoseconds between a job's *first* deadline
+    /// expiration and its final attempt returning — the window during
+    /// which the live handle served plans degraded by cancellation
+    /// while retries were still in flight.
+    std::uint64_t stale_plan_ns = 0;
+  };
+
   struct Options {
     /// Candidate-solve fan-out inside each run (ResilientController
     /// Options::workers semantics; 1 = serial).
     std::size_t solve_workers = 1;
     /// Checker / heuristic configuration forwarded to every run.
-    /// `live` is overwritten with this planner's PlanHandle.
+    /// `live` is overwritten with this planner's PlanHandle, and
+    /// `cancel` / `max_effort` with each watchdog attempt's token and
+    /// rung cap (set Watchdog::solve_deadline_seconds = 0 to keep them
+    /// yours).
     ResilientController::Options resilient;
+    Watchdog watchdog;
   };
 
   /// `live` is not owned and must outlive the planner.
@@ -56,10 +102,20 @@ class AsyncPlanner {
   std::future<RunResult> solve_async(Policy& policy, std::size_t num_slots,
                                      std::size_t first_slot = 0);
 
+  WatchdogStats watchdog_stats() const;
+
  private:
+  /// One job's body on the solve thread: the watchdog-guarded retry
+  /// loop (or a plain run when the watchdog is disabled).
+  RunResult run_guarded(Policy& policy, std::size_t num_slots,
+                        std::size_t first_slot);
+
   ResilientController controller_;
   PlanHandle& live_;
   Options options_;
+  std::atomic<std::uint64_t> deadline_expirations_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> stale_plan_ns_{0};
   ThreadPool pool_;
 };
 

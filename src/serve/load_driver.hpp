@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cloud/model.hpp"
+#include "serve/admission.hpp"
 #include "serve/dispatcher.hpp"
 
 namespace palb::serve {
@@ -58,8 +59,18 @@ struct QpsOptions {
   /// (the plan-swap pickup cadence of the batch fast path).
   std::uint64_t refresh_every = 1024;
   /// Sample the per-route latency on every Nth request (timed mode).
+  /// The gate is a per-thread countdown, not a modulo, and the steady-
+  /// clock read overhead (calibrated once per run) is subtracted from
+  /// every sample — so sampling distorts neither the unsampled fast
+  /// path nor the sampled latencies themselves (docs/SERVING.md).
   std::uint64_t latency_sample_every = 16;
   bool record_decisions = false;  ///< fixed mode only
+  /// Optional admission gate (not owned; must outlive the run). When
+  /// set, every request is admission-controlled *before* routing:
+  /// rejected requests count as shed and never reach the dispatcher
+  /// (docs/OVERLOAD.md). Refreshed at the same batch cadence as the
+  /// routing tables.
+  const AdmissionController* admission = nullptr;
 };
 
 /// Merged result of one driver run.
@@ -68,6 +79,9 @@ struct QpsReport {
   std::uint64_t requests = 0;
   std::uint64_t routed = 0;
   std::uint64_t no_route = 0;
+  /// Requests dropped by the admission gate before routing (always 0
+  /// when QpsOptions::admission is unset).
+  std::uint64_t shed = 0;
   double elapsed_seconds = 0.0;
   /// Aggregate routing decisions per second across all driver threads.
   double qps() const {
@@ -80,6 +94,9 @@ struct QpsReport {
   double p50_ns = 0.0, p90_ns = 0.0, p99_ns = 0.0, p999_ns = 0.0;
   double max_ns = 0.0;
   std::uint64_t latency_samples = 0;
+  /// Calibrated steady-clock read overhead subtracted from every
+  /// latency sample (the min of a back-to-back Clock::now() burst).
+  double clock_overhead_ns = 0.0;
   /// Plan versions observed on routed requests (both 0 when none routed).
   std::uint64_t min_plan_version = 0;
   std::uint64_t max_plan_version = 0;
@@ -87,8 +104,11 @@ struct QpsReport {
   /// refresh skips, and the plan-swap stall count (contractually 0).
   Dispatcher::Stats dispatcher;
   /// Fixed mode with record_decisions: one word per stream index —
-  /// 0 for no-route, else (plan_version << 16) | (dc + 1). Two runs
-  /// routed identically iff these vectors compare equal.
+  /// 0 for no-route, (plan_version << 16) | (dc + 1) for a routed
+  /// request, and (plan_version << 16) | 0xFFFF for one the admission
+  /// gate shed (version = the gate's compiled plan version; 0xFFFF
+  /// cannot collide with dc + 1 at paper-scale DC counts). Two runs
+  /// decided identically iff these vectors compare equal.
   std::vector<std::uint64_t> decisions;
 };
 

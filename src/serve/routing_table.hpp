@@ -15,6 +15,9 @@ enum class RouteStatus {
   kRouted,   ///< `dc` holds the destination data center
   kNoRoute,  ///< the applied plan dispatches nothing for this stream
              ///< (shed front-end, shed-all plan, or no plan published)
+  kShed,     ///< dropped by admission control before routing: the
+             ///< offered load exceeds what the applied plan admits for
+             ///< this stream (serve/admission.hpp, docs/OVERLOAD.md)
 };
 
 /// One routing decision, stamped with the version of the published plan

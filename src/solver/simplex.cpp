@@ -20,6 +20,8 @@ const char* to_string(LpStatus status) {
       return "unbounded";
     case LpStatus::kIterationLimit:
       return "iteration-limit";
+    case LpStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -200,7 +202,18 @@ LpStatus run_bounded(Tableau& t, std::vector<double>& d,
   int stalled = 0;
   double obj = 0.0;       // objective delta accumulated this phase
   double last_obj = 0.0;  // (absolute value is irrelevant for stalling)
+  const int check_every = std::max(1, opt.cancel_check_every);
+  int until_cancel_check = check_every;
   while (iterations < opt.max_iterations) {
+    // Cooperative cancellation at pivot-batch granularity: one relaxed
+    // load per `cancel_check_every` pivots, no effect on the arithmetic
+    // path when the token never fires.
+    if (opt.cancel != nullptr && --until_cancel_check <= 0) {
+      if (opt.cancel->load(std::memory_order_relaxed)) {
+        return LpStatus::kCancelled;
+      }
+      until_cancel_check = check_every;
+    }
     // --- Entering column. ------------------------------------------------
     int enter = -1;
     if (stalled >= opt.stall_threshold) {
@@ -625,6 +638,11 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp,
       for (int r = 0; r < m; ++r) d[t.basis[r]] = 0.0;
       const LpStatus st =
           run_bounded(t, d, options_, out.iterations, log);
+      if (st == LpStatus::kCancelled) {
+        out.status = LpStatus::kCancelled;
+        out.sparse_price_skips = t.skips;
+        return out;
+      }
       if (st == LpStatus::kIterationLimit || st == LpStatus::kUnbounded) {
         // A bounded-below phase 1 cannot be unbounded; if numerics say
         // otherwise, refuse to certify anything.

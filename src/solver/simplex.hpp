@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -9,7 +10,15 @@
 
 namespace palb {
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  /// The solve observed its Options::cancel token set and stopped at a
+  /// pivot-batch boundary; the partial state certifies nothing.
+  kCancelled,
+};
 
 const char* to_string(LpStatus status);
 
@@ -125,6 +134,19 @@ class SimplexSolver {
     /// byte-identical-plans contract rests on. Falls back to the
     /// incremental values if the basis matrix is numerically singular.
     bool refactor_solution = true;
+    /// Cooperative cancellation token (not owned; may be nullptr). The
+    /// pivot loop polls it every `cancel_check_every` pivots and returns
+    /// LpStatus::kCancelled when it reads true — so a watchdog can stop
+    /// a runaway solve at pivot-batch granularity without signals or
+    /// thread kills. A solve that never observes the token set is
+    /// bit-identical to one run without it (polling has no arithmetic
+    /// effect). DecomposedSolver shares these Options across master,
+    /// subproblem, and crossover solves, so one token covers the whole
+    /// decomposed pipeline.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Pivots between cancellation polls (bounds the cancel latency to
+    /// this many pivots per in-flight solve).
+    int cancel_check_every = 256;
   };
 
   SimplexSolver() = default;

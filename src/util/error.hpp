@@ -34,6 +34,17 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// A solve was cooperatively cancelled before it finished — the
+/// watchdog's deadline budget expired, or a stale-plan TTL escalation
+/// pulled the plug (docs/OVERLOAD.md). Not an input or numerics problem:
+/// the ResilientController catches it like any solve failure and walks
+/// its fallback ladder, so a cancelled full solve degrades instead of
+/// propagating.
+class SolveCancelled : public Error {
+ public:
+  explicit SolveCancelled(const std::string& what) : Error(what) {}
+};
+
 /// A plan failed the paper-constraint audit: one of Eqs. 6-8, queue
 /// stability or rate sanity does not hold (thrown by PlanChecker's
 /// enforcing entry points). Derives from InvalidArgument because a

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -73,6 +74,15 @@ class CondVar {
   /// returning. Spurious wakeups possible — always wait in a loop.
   void wait(Mutex& mu) PALB_REQUIRES(mu) { wait_impl(mu); }
 
+  /// wait() with a relative timeout. Returns false when the timeout
+  /// elapsed without a notification, true otherwise; either way the
+  /// mutex is held again on return. Spurious wakeups possible — re-check
+  /// the predicate *and* the clock in a loop (the AsyncPlanner watchdog
+  /// is the canonical caller).
+  bool wait_for(Mutex& mu, double seconds) PALB_REQUIRES(mu) {
+    return wait_for_impl(mu, seconds);
+  }
+
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 
@@ -85,6 +95,15 @@ class CondVar {
     std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
     cv_.wait(relock);
     relock.release();
+  }
+
+  bool wait_for_impl(Mutex& mu,
+                     double seconds) PALB_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(relock, std::chrono::duration<double>(seconds));
+    relock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   std::condition_variable cv_;

@@ -1,0 +1,224 @@
+// Admission-control unit tests (docs/OVERLOAD.md): admit-fraction
+// sizing from planned vs offered rates, priority-ordered spare
+// redistribution (interactive refills before batch), the rung-5
+// shed-all plan shedding 100% deterministically, hash-space purity (no
+// counters, byte-identical decisions across any call interleaving), and
+// the controller's plan-version / offered-mix refresh discipline.
+
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/plan.hpp"
+#include "core/plan_handle.hpp"
+#include "scenario_fixtures.hpp"
+#include "util/error.hpp"
+
+namespace palb {
+namespace {
+
+using serve::AdmissionController;
+using serve::AdmissionTable;
+using testing_fixtures::small_input;
+using testing_fixtures::small_topology;
+
+DispatchPlan plan_with_rates(
+    const Topology& topo,
+    const std::vector<std::vector<std::vector<double>>>& rates) {
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate = rates;
+  return plan;
+}
+
+TEST(AdmissionTable, PlanCoveringOfferedAdmitsEverything) {
+  const Topology topo = small_topology();
+  const SlotInput offered = small_input();  // 60/40 and 30/50 req/s
+  // The plan dispatches exactly the offered rate of every stream.
+  const DispatchPlan plan = plan_with_rates(
+      topo, {{{30.0, 30.0}, {20.0, 20.0}}, {{15.0, 15.0}, {25.0, 25.0}}});
+  const AdmissionTable table =
+      AdmissionTable::compile(topo, plan, 1, offered, 0.05);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_EQ(table.admit_fraction(k, s), 1.0);
+      for (std::uint64_t id = 0; id < 200; ++id) {
+        EXPECT_TRUE(table.admit(k, s, id));
+      }
+    }
+  }
+  EXPECT_EQ(table.plan_version(), 1u);
+}
+
+TEST(AdmissionTable, ShedAllPlanShedsEverythingDeterministically) {
+  // The rung-5 acceptance case: a shed-all plan provisions nothing, so
+  // every admit fraction is exactly 0 and 100% of requests shed — same
+  // verdict for every id, every time.
+  const Topology topo = small_topology();
+  const AdmissionTable table = AdmissionTable::compile(
+      topo, DispatchPlan::zero(topo), 5, small_input(), 0.05);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_EQ(table.admit_fraction(k, s), 0.0);
+      for (std::uint64_t id = 0; id < 500; ++id) {
+        EXPECT_FALSE(table.admit(k, s, id));
+      }
+    }
+  }
+}
+
+TEST(AdmissionTable, SurgeShedsTheUnprovisionedFraction) {
+  const Topology topo = small_topology();
+  // Plan sized for the calm mix, demand surged 4x: with zero burst
+  // margin each stream admits ~1/4 of its hash space.
+  const DispatchPlan plan = plan_with_rates(
+      topo, {{{30.0, 30.0}, {20.0, 20.0}}, {{15.0, 15.0}, {25.0, 25.0}}});
+  const SlotInput surged = small_input(4.0);
+  const AdmissionTable table =
+      AdmissionTable::compile(topo, plan, 2, surged, 0.0);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_NEAR(table.admit_fraction(k, s), 0.25, 1e-12);
+    }
+  }
+  // And the empirical shed fraction tracks it.
+  std::size_t admitted = 0;
+  const std::size_t kIds = 20000;
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    if (table.admit(0, 0, id)) ++admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / kIds, 0.25, 0.02);
+}
+
+TEST(AdmissionTable, SpareCapacityRefillsInteractiveBeforeBatch) {
+  const Topology topo = small_topology();
+  // Front-end 0: class 0 (interactive) offered 90 but planned 60; class
+  // 1 offered 10 but planned 40 — 30 spare. Priority order grants all
+  // 30 spare to class 0 first, fully covering its deficit.
+  SlotInput offered = small_input();
+  offered.arrival_rate = {{90.0, 40.0}, {10.0, 50.0}};
+  const DispatchPlan plan = plan_with_rates(
+      topo, {{{30.0, 30.0}, {20.0, 20.0}}, {{20.0, 20.0}, {25.0, 25.0}}});
+  const AdmissionTable table =
+      AdmissionTable::compile(topo, plan, 1, offered, 0.0);
+  EXPECT_EQ(table.admit_fraction(0, 0), 1.0);  // 60 + 30 spare >= 90
+  EXPECT_EQ(table.admit_fraction(1, 0), 1.0);  // under its own plan
+  // Reverse the roles: batch (class 1) in deficit, interactive spare.
+  // Batch gets the leftover spare only.
+  offered.arrival_rate = {{10.0, 40.0}, {100.0, 50.0}};
+  const AdmissionTable reversed =
+      AdmissionTable::compile(topo, plan, 2, offered, 0.0);
+  EXPECT_EQ(reversed.admit_fraction(0, 0), 1.0);
+  // Class 1 planned 40, plus the 50 spare from class 0 = 90 of 100.
+  EXPECT_NEAR(reversed.admit_fraction(1, 0), 0.9, 1e-12);
+}
+
+TEST(AdmissionTable, BurstMarginWidensTheGate) {
+  const Topology topo = small_topology();
+  const DispatchPlan plan = plan_with_rates(
+      topo, {{{30.0, 30.0}, {20.0, 20.0}}, {{15.0, 15.0}, {25.0, 25.0}}});
+  const SlotInput doubled = small_input(2.0);
+  const AdmissionTable tight =
+      AdmissionTable::compile(topo, plan, 1, doubled, 0.0);
+  const AdmissionTable slack =
+      AdmissionTable::compile(topo, plan, 1, doubled, 0.10);
+  EXPECT_NEAR(tight.admit_fraction(0, 0), 0.50, 1e-12);
+  EXPECT_NEAR(slack.admit_fraction(0, 0), 0.55, 1e-12);
+}
+
+TEST(AdmissionTable, AdmitIsAPureFunctionOfStreamAndId) {
+  const Topology topo = small_topology();
+  const DispatchPlan plan = plan_with_rates(
+      topo, {{{30.0, 30.0}, {20.0, 20.0}}, {{15.0, 15.0}, {25.0, 25.0}}});
+  const AdmissionTable table =
+      AdmissionTable::compile(topo, plan, 1, small_input(3.0), 0.05);
+  // Same verdicts in any evaluation order, and across an identically
+  // compiled table — the byte-identical-across-thread-counts root.
+  const AdmissionTable twin =
+      AdmissionTable::compile(topo, plan, 1, small_input(3.0), 0.05);
+  for (std::uint64_t id = 2000; id-- > 0;) {
+    EXPECT_EQ(table.admit(0, 0, id), table.admit(0, 0, id));
+    EXPECT_EQ(table.admit(0, 0, id), twin.admit(0, 0, id));
+    EXPECT_EQ(table.admit(1, 1, id), twin.admit(1, 1, id));
+  }
+}
+
+TEST(AdmissionTable, ZeroOfferedStreamStaysOpenWhenProvisioned) {
+  const Topology topo = small_topology();
+  const DispatchPlan plan = plan_with_rates(
+      topo, {{{30.0, 30.0}, {0.0, 0.0}}, {{0.0, 0.0}, {25.0, 25.0}}});
+  SlotInput offered = small_input();
+  offered.arrival_rate = {{0.0, 0.0}, {0.0, 50.0}};
+  const AdmissionTable table =
+      AdmissionTable::compile(topo, plan, 1, offered, 0.0);
+  // Provisioned but quiet: a trickle beyond the forecast routes.
+  EXPECT_EQ(table.admit_fraction(0, 0), 1.0);
+  // Unprovisioned and quiet: stays closed.
+  EXPECT_EQ(table.admit_fraction(0, 1), 0.0);
+}
+
+TEST(AdmissionTable, ShapeMismatchThrows) {
+  const Topology topo = small_topology();
+  DispatchPlan plan = DispatchPlan::zero(topo);
+  plan.rate.pop_back();
+  EXPECT_THROW(AdmissionTable::compile(topo, plan, 1, small_input(), 0.05),
+               InvalidArgument);
+  EXPECT_THROW(AdmissionTable::compile(topo, DispatchPlan::zero(topo), 1,
+                                       small_input(), -0.5),
+               InvalidArgument);
+}
+
+TEST(AdmissionController, AdmitsEverythingBeforeFirstPlan) {
+  const Topology topo = small_topology();
+  PlanHandle live;
+  const AdmissionController admission(topo, live, small_input());
+  EXPECT_EQ(admission.table(), nullptr);
+  EXPECT_EQ(admission.table_version(), 0u);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_TRUE(admission.admit(0, 0, id));
+  }
+}
+
+TEST(AdmissionController, CompilesOnFirstAdmitAfterPublish) {
+  const Topology topo = small_topology();
+  PlanHandle live;
+  const AdmissionController admission(topo, live, small_input());
+  live.publish(DispatchPlan::zero(topo));  // rung-5 shed-all
+  EXPECT_FALSE(admission.admit(0, 0, 7));
+  EXPECT_EQ(admission.table_version(), 1u);
+  EXPECT_EQ(admission.stats().rebuilds, 1u);
+}
+
+TEST(AdmissionController, SetOfferedRecompilesAtUnchangedPlanVersion) {
+  const Topology topo = small_topology();
+  PlanHandle live;
+  AdmissionController admission(topo, live, small_input());
+  live.publish(plan_with_rates(
+      topo, {{{30.0, 30.0}, {20.0, 20.0}}, {{15.0, 15.0}, {25.0, 25.0}}}));
+  ASSERT_TRUE(admission.refresh());
+  EXPECT_EQ(admission.table()->admit_fraction(0, 0), 1.0);
+  // A 4x surge with the same plan version must take effect immediately
+  // — the chaos harness re-points the offered mix every slot.
+  admission.set_offered(small_input(4.0));
+  ASSERT_NE(admission.table(), nullptr);
+  EXPECT_NEAR(admission.table()->admit_fraction(0, 0), 0.25 * 1.05, 1e-9);
+  EXPECT_EQ(admission.stats().rebuilds, 2u);
+}
+
+TEST(AdmissionController, RefreshIsIdempotentAtCurrentVersion) {
+  const Topology topo = small_topology();
+  PlanHandle live;
+  const AdmissionController admission(topo, live, small_input());
+  live.publish(DispatchPlan::zero(topo));
+  EXPECT_TRUE(admission.refresh());
+  EXPECT_FALSE(admission.refresh());
+  EXPECT_FALSE(admission.try_refresh());
+  EXPECT_EQ(admission.stats().rebuilds, 1u);
+}
+
+}  // namespace
+}  // namespace palb

@@ -1,0 +1,156 @@
+// Bench-report schema tests (tools/bench_json.hpp): the palb-qps-v1
+// section carries the overload counters (shed_requests, retry_count,
+// stale_plan_ns), the palb-chaos-v1 section serializes the chaos
+// harness verdicts, sections accumulate into one document without
+// clobbering each other, and write_file's write/re-parse roundtrip
+// self-check holds for documents carrying every section at once.
+
+#include "bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace palb {
+namespace {
+
+/// Unique-ish temp path per test; removed on teardown.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string("/tmp/palb_bench_json_test_") + name + ".json") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+benchjson::QpsResult sample_qps() {
+  benchjson::QpsResult q;
+  q.scenario = "worldcup";
+  q.slots = 24;
+  q.threads = 4;
+  q.requests = 1000000;
+  q.routed = 900000;
+  q.no_route = 50000;
+  q.qps = 2.5e7;
+  q.identical_across_threads = true;
+  q.shed_requests = 50000;
+  q.retry_count = 2;
+  q.stale_plan_ns = 1234567;
+  return q;
+}
+
+benchjson::ChaosResult sample_chaos() {
+  benchjson::ChaosResult c;
+  c.scenario = "basic-low";
+  c.schedule = "canned-chaos";
+  c.slots = 20;
+  c.faulted_slots = 11;
+  c.stalled_solves = 3;
+  c.delayed_publishes = 6;
+  c.ttl_escalations = 1;
+  c.fallback_rungs = {1, 1, 1, 1, 1, 3, 3, 3, 3, 1};
+  c.requests = 40960;
+  c.routed = 36000;
+  c.no_route = 0;
+  c.shed = 4960;
+  c.shed_fraction = 0.1211;
+  c.max_stale_slots = 3;
+  c.mean_stale_slots = 0.45;
+  c.stale_plan_ttl_slots = 3;
+  c.stalled_routes = 0;
+  c.decisions_identical = true;
+  c.thread_counts = {1, 2, 4};
+  return c;
+}
+
+TEST(BenchJson, QpsSectionCarriesTheOverloadCounters) {
+  const Json doc = to_json(sample_qps());
+  EXPECT_EQ(doc.at("schema").as_string(), benchjson::kQpsSchema);
+  EXPECT_EQ(doc.at("shed_requests").as_number(), 50000.0);
+  EXPECT_EQ(doc.at("retry_count").as_number(), 2.0);
+  EXPECT_EQ(doc.at("stale_plan_ns").as_number(), 1234567.0);
+  // Keys are emitted even when zero — consumers never branch on
+  // presence.
+  benchjson::QpsResult calm = sample_qps();
+  calm.shed_requests = 0;
+  calm.retry_count = 0;
+  calm.stale_plan_ns = 0;
+  const Json calm_doc = to_json(calm);
+  EXPECT_TRUE(calm_doc.contains("shed_requests"));
+  EXPECT_TRUE(calm_doc.contains("retry_count"));
+  EXPECT_TRUE(calm_doc.contains("stale_plan_ns"));
+  EXPECT_EQ(calm_doc.at("shed_requests").as_number(), 0.0);
+}
+
+TEST(BenchJson, ChaosSectionSerializesTheHarnessVerdicts) {
+  const Json doc = to_json(sample_chaos());
+  EXPECT_EQ(doc.at("schema").as_string(), benchjson::kChaosSchema);
+  EXPECT_EQ(doc.at("scenario").as_string(), "basic-low");
+  EXPECT_EQ(doc.at("schedule").as_string(), "canned-chaos");
+  EXPECT_EQ(doc.at("stalled_solves").as_number(), 3.0);
+  EXPECT_EQ(doc.at("ttl_escalations").as_number(), 1.0);
+  EXPECT_EQ(doc.at("shed").as_number(), 4960.0);
+  EXPECT_EQ(doc.at("max_stale_slots").as_number(), 3.0);
+  EXPECT_EQ(doc.at("stalled_routes").as_number(), 0.0);
+  EXPECT_TRUE(doc.at("decisions_identical").as_bool());
+  EXPECT_EQ(doc.at("fallback_rungs").size(), 10u);
+  EXPECT_EQ(doc.at("thread_counts").size(), 3u);
+  EXPECT_EQ(doc.at("thread_counts")[2].as_number(), 4.0);
+}
+
+TEST(BenchJson, SectionsAccumulateWithoutClobbering) {
+  const TempFile file("accumulate");
+  // qps lands first in a fresh skeleton...
+  Json doc = benchjson::with_qps_section(file.path(), sample_qps());
+  benchjson::write_file(file.path(), doc);
+  // ...then chaos accumulates into the same document.
+  doc = benchjson::with_chaos_section(file.path(), sample_chaos());
+  benchjson::write_file(file.path(), doc);
+  EXPECT_EQ(doc.at("schema").as_string(), benchjson::kSchema);
+  ASSERT_TRUE(doc.contains("qps"));
+  ASSERT_TRUE(doc.contains("chaos"));
+  EXPECT_EQ(doc.at("qps").at("schema").as_string(), benchjson::kQpsSchema);
+  EXPECT_EQ(doc.at("chaos").at("schema").as_string(),
+            benchjson::kChaosSchema);
+  // Re-writing one section leaves the other untouched.
+  benchjson::ChaosResult updated = sample_chaos();
+  updated.shed = 9999;
+  doc = benchjson::with_chaos_section(file.path(), updated);
+  EXPECT_EQ(doc.at("chaos").at("shed").as_number(), 9999.0);
+  EXPECT_EQ(doc.at("qps").at("qps").as_number(), 2.5e7);
+}
+
+TEST(BenchJson, WriteFileRoundTripsEverySection) {
+  const TempFile file("roundtrip");
+  Json doc = benchjson::with_qps_section(file.path(), sample_qps());
+  benchjson::write_file(file.path(), doc);
+  doc = benchjson::with_chaos_section(file.path(), sample_chaos());
+  // write_file itself re-parses and compares — a schema that cannot
+  // round-trip throws IoError here.
+  EXPECT_NO_THROW(benchjson::write_file(file.path(), doc));
+}
+
+TEST(BenchJson, UnparseableReportIsReplacedWholesale) {
+  const TempFile file("garbage");
+  {
+    FILE* f = std::fopen(file.path().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not json at all {{{", f);
+    std::fclose(f);
+  }
+  const Json doc = benchjson::with_chaos_section(file.path(), sample_chaos());
+  EXPECT_EQ(doc.at("schema").as_string(), benchjson::kSchema);
+  EXPECT_TRUE(doc.contains("chaos"));
+  EXPECT_FALSE(doc.contains("qps"));
+}
+
+}  // namespace
+}  // namespace palb

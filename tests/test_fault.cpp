@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "fault/fault_json.hpp"
 #include "market/price_library.hpp"
@@ -172,6 +173,94 @@ TEST(FaultSchedule, SolverFailureSetsTheFlagOnly) {
   EXPECT_EQ(world.topology.datacenters[0].num_servers, 4);
 }
 
+TEST(FaultSchedule, PlannerStallAndPublishDelaySetFlagsOnly) {
+  const Scenario sc = small_scenario();
+  const FaultSchedule schedule({event(FaultKind::kPlannerStall, 1, 1),
+                                event(FaultKind::kPublishDelay, 1, 2)});
+  schedule.validate(sc.topology);
+
+  const FaultedSlot calm = schedule.materialize(sc, 0);
+  EXPECT_FALSE(calm.planner_stall);
+  EXPECT_FALSE(calm.publish_delayed);
+
+  const FaultedSlot both = schedule.materialize(sc, 1);
+  EXPECT_TRUE(both.planner_stall);
+  EXPECT_TRUE(both.publish_delayed);
+  // Serving-path kinds never touch the planning world itself.
+  EXPECT_EQ(both.topology.datacenters[0].num_servers, 4);
+  EXPECT_FALSE(both.solver_failure);
+  EXPECT_DOUBLE_EQ(both.input.arrival_rate[0][0],
+                   sc.arrivals[0][0].at(1));
+
+  const FaultedSlot delayed = schedule.materialize(sc, 2);
+  EXPECT_FALSE(delayed.planner_stall);
+  EXPECT_TRUE(delayed.publish_delayed);
+}
+
+TEST(FaultSchedule, DemandSurgeMultipliesBothViewsAndHonorsPins) {
+  const Scenario sc = small_scenario();
+  FaultEvent global = event(FaultKind::kDemandSurge, 1, 1);
+  global.magnitude = 3.0;
+  const FaultedSlot surged = FaultSchedule({global}).materialize(sc, 1);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      // Real demand, not a telemetry artifact: the sanitized planning
+      // input AND the raw observed telemetry both carry the 3x.
+      EXPECT_DOUBLE_EQ(surged.input.arrival_rate[k][s], 3.0 * 70.0);
+      EXPECT_DOUBLE_EQ(surged.raw_input.arrival_rate[k][s], 3.0 * 70.0);
+    }
+  }
+
+  // Front-end / class pins confine the surge to one stream.
+  FaultEvent pinned = event(FaultKind::kDemandSurge, 0, 0);
+  pinned.frontend = 1;
+  pinned.klass = 0;
+  pinned.magnitude = 2.0;
+  const FaultedSlot partial = FaultSchedule({pinned}).materialize(sc, 0);
+  EXPECT_DOUBLE_EQ(partial.input.arrival_rate[0][1],
+                   2.0 * sc.arrivals[0][1].at(0));
+  EXPECT_DOUBLE_EQ(partial.input.arrival_rate[0][0],
+                   sc.arrivals[0][0].at(0));
+  EXPECT_DOUBLE_EQ(partial.input.arrival_rate[1][1],
+                   sc.arrivals[1][1].at(0));
+
+  // Overlapping surges stack multiplicatively.
+  FaultEvent twice = event(FaultKind::kDemandSurge, 0, 0);
+  twice.magnitude = 2.0;
+  const FaultedSlot stacked =
+      FaultSchedule({twice, twice}).materialize(sc, 0);
+  EXPECT_DOUBLE_EQ(stacked.input.arrival_rate[1][1],
+                   4.0 * sc.arrivals[1][1].at(0));
+}
+
+TEST(FaultSchedule, GapHidesTheSurgeFromImputation) {
+  // The double fault: a surged stream whose telemetry is also gapped
+  // imputes from the *unsurged* scenario history — the planner
+  // under-sizes, and the ladder (plus admission) must absorb it.
+  const Scenario sc = small_scenario();
+  FaultEvent surge = event(FaultKind::kDemandSurge, 1, 1);
+  surge.magnitude = 3.0;
+  FaultEvent gap = event(FaultKind::kTraceGap, 1, 1);
+  gap.frontend = 0;
+  const FaultedSlot world = FaultSchedule({surge, gap}).materialize(sc, 1);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_TRUE(std::isnan(world.raw_input.arrival_rate[k][0]));
+    EXPECT_DOUBLE_EQ(world.input.arrival_rate[k][0],
+                     sc.arrivals[k][0].at(0));  // unsurged slot 0
+    EXPECT_DOUBLE_EQ(world.input.arrival_rate[k][1], 3.0 * 70.0);
+  }
+}
+
+TEST(FaultSchedule, ValidateRejectsBadSurgeMagnitude) {
+  const Topology topo = testing_fixtures::small_topology();
+  FaultEvent zero = event(FaultKind::kDemandSurge, 0, 0);
+  zero.magnitude = 0.0;
+  EXPECT_THROW(FaultSchedule({zero}).validate(topo), InvalidArgument);
+  FaultEvent inf = event(FaultKind::kDemandSurge, 0, 0);
+  inf.magnitude = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(FaultSchedule({inf}).validate(topo), InvalidArgument);
+}
+
 TEST(FaultJson, RoundTripsEverySchemaField) {
   FaultEvent outage = event(FaultKind::kDcOutage, 8, 11);
   outage.dc = 0;
@@ -266,6 +355,91 @@ TEST(FaultGen, CannedAcceptanceMatchesTheIssueSchedule) {
   EXPECT_TRUE(schedule.materialize(sc, 19).solver_failure);
   EXPECT_TRUE(
       std::isnan(schedule.materialize(sc, 3).raw_input.arrival_rate[0][0]));
+}
+
+TEST(FaultJson, RoundTripsTheChaosKinds) {
+  FaultEvent surge = event(FaultKind::kDemandSurge, 4, 9);
+  surge.frontend = 1;
+  surge.magnitude = 3.0;
+  const FaultSchedule schedule({surge,
+                                event(FaultKind::kPlannerStall, 6, 8),
+                                event(FaultKind::kPublishDelay, 12, 15)});
+  const FaultSchedule reread =
+      fault_json::from_json(fault_json::to_json(schedule));
+  ASSERT_EQ(reread.events().size(), 3u);
+  EXPECT_EQ(reread.events()[0].kind, FaultKind::kDemandSurge);
+  EXPECT_EQ(reread.events()[0].frontend, 1u);
+  EXPECT_DOUBLE_EQ(reread.events()[0].magnitude, 3.0);
+  EXPECT_EQ(reread.events()[1].kind, FaultKind::kPlannerStall);
+  EXPECT_EQ(reread.events()[2].kind, FaultKind::kPublishDelay);
+  EXPECT_STREQ(to_string(FaultKind::kPlannerStall), "planner-stall");
+  EXPECT_STREQ(to_string(FaultKind::kPublishDelay), "publish-delay");
+  EXPECT_STREQ(to_string(FaultKind::kDemandSurge), "demand-surge");
+}
+
+TEST(FaultGen, CannedChaosMatchesTheOverloadSchedule) {
+  const FaultSchedule schedule = fault_gen::canned_chaos();
+  const Scenario sc = small_scenario();
+  schedule.validate(sc.topology);
+  // Surge 4-9, stall 6-8, delays 4-6 and 12-15, price spike at 18:
+  // eleven distinct faulted slots in the 24-slot horizon.
+  EXPECT_EQ(schedule.count_faulted(24), 11u);
+
+  // Surge onset under a suppressed publish — the shed window.
+  const FaultedSlot onset = schedule.materialize(sc, 5);
+  EXPECT_TRUE(onset.publish_delayed);
+  EXPECT_FALSE(onset.planner_stall);
+  EXPECT_DOUBLE_EQ(onset.input.arrival_rate[0][0],
+                   3.0 * sc.arrivals[0][0].at(5));
+
+  // Mid-surge the planner stalls too.
+  const FaultedSlot stalled = schedule.materialize(sc, 7);
+  EXPECT_TRUE(stalled.planner_stall);
+  EXPECT_DOUBLE_EQ(stalled.input.arrival_rate[1][1],
+                   3.0 * sc.arrivals[1][1].at(7));
+
+  // The calm delay window: stale plan, unchanged demand, no shedding.
+  const FaultedSlot calm = schedule.materialize(sc, 13);
+  EXPECT_TRUE(calm.publish_delayed);
+  EXPECT_DOUBLE_EQ(calm.input.arrival_rate[0][0],
+                   sc.arrivals[0][0].at(13));
+
+  const FaultedSlot spiked = schedule.materialize(sc, 18);
+  EXPECT_DOUBLE_EQ(spiked.input.price[0], 5.0 * 0.04);
+}
+
+TEST(FaultGen, ChaosKindsStayOffUnlessOptedIn) {
+  const Topology topo = testing_fixtures::small_topology();
+  fault_gen::Options opt;
+  opt.slots = 96;
+  opt.fault_rate = 0.6;
+  // Defaults: no serving-path chaos kinds ever drawn, so schedules from
+  // pre-existing seeds stay byte-identical.
+  const FaultSchedule legacy = fault_gen::generate(topo, 7, opt);
+  for (const FaultEvent& e : legacy.events()) {
+    EXPECT_NE(e.kind, FaultKind::kPlannerStall);
+    EXPECT_NE(e.kind, FaultKind::kPublishDelay);
+    EXPECT_NE(e.kind, FaultKind::kDemandSurge);
+  }
+  // Opted in, the new kinds appear and the schedule still validates.
+  opt.planner_stalls = true;
+  opt.publish_delays = true;
+  opt.demand_surges = true;
+  const FaultSchedule chaotic = fault_gen::generate(topo, 7, opt);
+  EXPECT_NO_THROW(chaotic.validate(topo));
+  bool any_chaos = false;
+  for (const FaultEvent& e : chaotic.events()) {
+    if (e.kind == FaultKind::kPlannerStall ||
+        e.kind == FaultKind::kPublishDelay ||
+        e.kind == FaultKind::kDemandSurge) {
+      any_chaos = true;
+      if (e.kind == FaultKind::kDemandSurge) {
+        EXPECT_GE(e.magnitude, opt.min_surge);
+        EXPECT_LE(e.magnitude, opt.max_surge);
+      }
+    }
+  }
+  EXPECT_TRUE(any_chaos);
 }
 
 }  // namespace

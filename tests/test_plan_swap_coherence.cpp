@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "core/plan_handle.hpp"
 #include "fault/fault.hpp"
 #include "scenario_fixtures.hpp"
+#include "serve/admission.hpp"
 #include "serve/async_planner.hpp"
 #include "serve/dispatcher.hpp"
 #include "serve/load_driver.hpp"
@@ -29,6 +31,7 @@
 namespace palb {
 namespace {
 
+using testing_fixtures::small_input;
 using testing_fixtures::small_topology;
 
 /// All-streams-positive plan whose rates encode `stamp` (so any table
@@ -98,6 +101,75 @@ TEST(PlanSwapCoherence, ReadersStayCoherentAcross10kPublishes) {
   // Rebuilds cannot exceed publishes (each swap targets one version).
   EXPECT_LE(stats.rebuilds, kPublishes);
   EXPECT_GE(stats.rebuilds, 1u);
+}
+
+TEST(PlanSwapCoherence, AdmissionGateStaysCoherentAcross10kPublishes) {
+  // The PR 10 hammer: the same publish storm, now with the admission
+  // gate in front of route(). Readers run the full decide path —
+  // admit() (which lazily refreshes the gate) then route() — while the
+  // writer lands 10k plan versions, and the gate's table version must
+  // never run backwards for any reader nor overshoot the publish count.
+  const Topology topo = small_topology();
+  PlanHandle live;
+  const serve::Dispatcher dispatcher(topo, live);
+  const serve::AdmissionController admission(topo, live, small_input());
+  constexpr std::uint64_t kPublishes = 10000;
+  constexpr std::size_t kReaders = 4;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> admitted_and_routed{0};
+  std::atomic<std::uint64_t> incoherent{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t last_version = 0;
+      std::uint64_t id = r;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t k = id % topo.num_classes();
+        const std::size_t s = id % topo.num_frontends();
+        if (admission.admit(k, s, id)) {
+          const serve::Route route = dispatcher.route(k, s, id);
+          if (route.routed()) {
+            admitted_and_routed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        const std::shared_ptr<const serve::AdmissionTable> gate =
+            admission.table();
+        if (gate != nullptr) {
+          if (gate->plan_version() > kPublishes ||
+              gate->plan_version() < last_version) {
+            incoherent.fetch_add(1);
+          }
+          last_version = gate->plan_version();
+        }
+        ++id;
+      }
+    });
+  }
+
+  // Rates >= the offered mix everywhere, so admission stays open and the
+  // admitted-and-routed counter is guaranteed to move.
+  for (std::uint64_t v = 1; v <= kPublishes; ++v) {
+    live.publish(stamped_plan(topo, 60.0 + static_cast<double>(v % 7)));
+  }
+  while (admitted_and_routed.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  admission.refresh();
+  dispatcher.refresh();
+  EXPECT_EQ(incoherent.load(), 0u);
+  EXPECT_GT(admitted_and_routed.load(), 0u);
+  EXPECT_EQ(admission.table_version(), kPublishes);
+  EXPECT_EQ(dispatcher.table_version(), kPublishes);
+  const serve::AdmissionController::Stats stats = admission.stats();
+  // One compile per swap target at most; never zero once published.
+  EXPECT_GE(stats.rebuilds, 1u);
+  EXPECT_LE(stats.rebuilds, kPublishes);
+  EXPECT_EQ(dispatcher.stats().stalled_routes, 0u);
 }
 
 /// Link fe0->dc0 cut for slots 1-3, DC 0 fully dark for slots 4-6.

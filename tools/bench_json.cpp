@@ -81,6 +81,44 @@ Json to_json(const QpsResult& q) {
   doc.set("refresh_skips", counter(q.refresh_skips));
   doc.set("stalled_routes", counter(q.stalled_routes));
   doc.set("identical_across_threads", Json(q.identical_across_threads));
+  doc.set("shed_requests", counter(q.shed_requests));
+  doc.set("retry_count", counter(q.retry_count));
+  doc.set("stale_plan_ns", counter(q.stale_plan_ns));
+  return doc;
+}
+
+Json to_json(const ChaosResult& c) {
+  Json doc = Json::object();
+  doc.set("schema", Json(kChaosSchema));
+  doc.set("scenario", Json(c.scenario));
+  doc.set("schedule", Json(c.schedule));
+  doc.set("slots", Json(c.slots));
+  doc.set("faulted_slots", Json(c.faulted_slots));
+  doc.set("stalled_solves", Json(c.stalled_solves));
+  doc.set("delayed_publishes", Json(c.delayed_publishes));
+  doc.set("ttl_escalations", Json(c.ttl_escalations));
+  Json rungs = Json::array();
+  for (const int r : c.fallback_rungs) rungs.push_back(Json(r));
+  doc.set("fallback_rungs", std::move(rungs));
+  doc.set("requests", counter(c.requests));
+  doc.set("routed", counter(c.routed));
+  doc.set("no_route", counter(c.no_route));
+  doc.set("shed", counter(c.shed));
+  doc.set("shed_fraction", Json(c.shed_fraction));
+  doc.set("max_stale_slots", Json(c.max_stale_slots));
+  doc.set("mean_stale_slots", Json(c.mean_stale_slots));
+  doc.set("stale_plan_ttl_slots", Json(c.stale_plan_ttl_slots));
+  doc.set("stalled_routes", counter(c.stalled_routes));
+  doc.set("decisions_identical", Json(c.decisions_identical));
+  Json threads = Json::array();
+  for (const std::size_t t : c.thread_counts) threads.push_back(Json(t));
+  doc.set("thread_counts", std::move(threads));
+  doc.set("timed_qps", Json(c.timed_qps));
+  doc.set("p50_ns", Json(c.p50_ns));
+  doc.set("p99_ns", Json(c.p99_ns));
+  doc.set("p999_ns", Json(c.p999_ns));
+  doc.set("max_ns", Json(c.max_ns));
+  doc.set("latency_samples", counter(c.latency_samples));
   return doc;
 }
 
@@ -105,6 +143,10 @@ Json with_section(const std::string& path, const std::string& key,
 
 Json with_qps_section(const std::string& path, const QpsResult& q) {
   return with_section(path, "qps", to_json(q));
+}
+
+Json with_chaos_section(const std::string& path, const ChaosResult& c) {
+  return with_section(path, "chaos", to_json(c));
 }
 
 Json document(std::size_t hardware_concurrency, std::size_t workers,

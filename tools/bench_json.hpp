@@ -63,6 +63,13 @@ inline constexpr const char* kSchema = "palb-bench-v1";
 /// overwrites only its own section. docs/SERVING.md documents the keys.
 inline constexpr const char* kQpsSchema = "palb-qps-v1";
 
+/// Schema tag of the "chaos" section `palb chaos` adds to the same
+/// report file — the overload-hardening harness (src/serve/chaos.hpp):
+/// shed fraction, stale-plan exposure, fallback-ladder usage, and the
+/// cross-thread-count determinism verdict under a fault schedule.
+/// Nested exactly like "qps"; docs/OVERLOAD.md documents the keys.
+inline constexpr const char* kChaosSchema = "palb-chaos-v1";
+
 /// One workload's head-to-head timing: the same slot range planned by
 /// the same policy configuration, once with 1 worker and once with the
 /// full worker budget.
@@ -114,9 +121,47 @@ struct QpsResult {
   std::uint64_t min_plan_version = 0, max_plan_version = 0;
   std::uint64_t rebuilds = 0, refresh_skips = 0, stalled_routes = 0;
   bool identical_across_threads = false;
+  /// Overload counters (docs/OVERLOAD.md): requests shed by the
+  /// admission gate, watchdog retries, and the wall-clock nanoseconds
+  /// the live handle served cancellation-degraded plans. All zero when
+  /// the run had no admission gate / watchdog attached — the keys are
+  /// emitted regardless so consumers never branch on presence.
+  std::uint64_t shed_requests = 0;
+  std::uint64_t retry_count = 0;
+  std::uint64_t stale_plan_ns = 0;
 };
 
 Json to_json(const QpsResult& q);
+
+/// One `palb chaos` run (src/serve/chaos.hpp): the slow-path fault
+/// telemetry plus the fast-path replay's shed / staleness / determinism
+/// verdicts, serialized as the "chaos" section.
+struct ChaosResult {
+  std::string scenario;
+  std::string schedule;
+  std::size_t slots = 0;
+  std::size_t faulted_slots = 0;
+  std::size_t stalled_solves = 0;
+  std::size_t delayed_publishes = 0;
+  std::size_t ttl_escalations = 0;
+  std::vector<int> fallback_rungs;
+  std::uint64_t requests = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t shed = 0;
+  double shed_fraction = 0.0;
+  std::size_t max_stale_slots = 0;
+  double mean_stale_slots = 0.0;
+  std::size_t stale_plan_ttl_slots = 0;
+  std::uint64_t stalled_routes = 0;
+  bool decisions_identical = false;
+  std::vector<std::size_t> thread_counts;
+  double timed_qps = 0.0;
+  double p50_ns = 0.0, p99_ns = 0.0, p999_ns = 0.0, max_ns = 0.0;
+  std::uint64_t latency_samples = 0;
+};
+
+Json to_json(const ChaosResult& c);
 
 /// Loads `path` when it already holds a parseable JSON object (a prior
 /// `palb bench` report, typically) and replaces its `key` section with
@@ -132,6 +177,9 @@ Json with_section(const std::string& path, const std::string& key,
 /// otherwise starts a fresh skeleton document carrying only the schema
 /// tag and the section.
 Json with_qps_section(const std::string& path, const QpsResult& q);
+
+/// Same accumulation contract for the "chaos" section.
+Json with_chaos_section(const std::string& path, const ChaosResult& c);
 
 /// Assembles the whole palb-bench-v1 document.
 Json document(std::size_t hardware_concurrency, std::size_t workers,

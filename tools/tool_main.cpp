@@ -30,13 +30,28 @@
 //       diverge or the fig06 workload misses --min-speedup
 //   palb qps [scenario] [--threads N] [--seconds X] [--slots N] [--seed S]
 //       [--policy optimized|balanced] [--out FILE] [--min-qps X]
+//       [--admission]
 //       drive the online dispatcher (src/serve/): solve the scenario
 //       asynchronously, hot-swap plans into the routing tables, and
 //       hammer route() from N closed-loop driver threads; reports
 //       sustained routing decisions/sec, p50/p99/p999 latency and
 //       plan-swap stalls into a palb-qps-v1 section of the bench
 //       report; exit 1 when decisions differ across thread counts,
-//       any route stalled on a swap, or throughput misses --min-qps
+//       any route stalled on a swap, or throughput misses --min-qps.
+//       --admission puts the AdmissionController in front of routing
+//       (docs/OVERLOAD.md) and reports shed counts
+//   palb chaos [scenario] [schedule] [--slots N] [--workers N]
+//       [--policy optimized|balanced] [--requests N] [--ttl N] [--seed S]
+//       [--out FILE] [--max-shed X] [--timed X]
+//       the overload-hardening gate (docs/OVERLOAD.md): run the
+//       ResilientController through a fault schedule with planner
+//       stalls, publish delays and demand surges, then replay the
+//       admission-gated fast path slot by slot; reports shed fraction,
+//       stale-plan exposure and ladder usage into a palb-chaos-v1
+//       section; exit 1 when any route stalled, decisions differ
+//       across driver thread counts, staleness exceeds the TTL, or
+//       shed fraction exceeds --max-shed. Default schedule:
+//       canned-chaos
 //
 // Built-in scenario names: basic-low, basic-high, worldcup, google;
 // "random:SEED" generates a deterministic random world.
@@ -70,7 +85,9 @@
 #include "fault/fault_json.hpp"
 #include "fault/resilient_controller.hpp"
 #include "forecast/forecasting_controller.hpp"
+#include "serve/admission.hpp"
 #include "serve/async_planner.hpp"
+#include "serve/chaos.hpp"
 #include "serve/dispatcher.hpp"
 #include "serve/load_driver.hpp"
 #include "sim/slot_simulator.hpp"
@@ -101,7 +118,11 @@ int usage() {
                "[--min-speedup X]\n"
                "  palb qps [scenario] [--threads N] [--seconds X] "
                "[--slots N] [--seed S] [--policy optimized|balanced] "
-               "[--out FILE] [--min-qps X]\n"
+               "[--out FILE] [--min-qps X] [--admission]\n"
+               "  palb chaos [scenario] [schedule] [--slots N] "
+               "[--workers N] [--policy optimized|balanced] [--requests N] "
+               "[--ttl N] [--seed S] [--out FILE] [--max-shed X] "
+               "[--timed X]\n"
                "built-ins: basic-low basic-high worldcup google; also random:SEED\n");
   return 2;
 }
@@ -145,7 +166,8 @@ struct Args {
 Args parse_args(int argc, char** argv, int first) {
   // Valueless switches; everything else starting with "--" takes the
   // next argument as its value.
-  static const std::vector<std::string> kFlags = {"no-deadline", "smoke"};
+  static const std::vector<std::string> kFlags = {"no-deadline", "smoke",
+                                                  "admission"};
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -358,6 +380,7 @@ int cmd_check_plan(const Args& args) {
 FaultSchedule resolve_schedule(const std::string& name, const Scenario& sc,
                                std::size_t slots) {
   if (name == "canned") return fault_gen::canned_acceptance();
+  if (name == "canned-chaos") return fault_gen::canned_chaos();
   if (ends_with(name, ".json")) return fault_json::load(name);
   if (name.rfind("random:", 0) == 0) {
     fault_gen::Options opt;
@@ -366,8 +389,8 @@ FaultSchedule resolve_schedule(const std::string& name, const Scenario& sc,
                                opt);
   }
   throw InvalidArgument("unknown fault schedule '" + name +
-                        "' (not \"canned\", not random:SEED, not a .json "
-                        "file)");
+                        "' (not \"canned\", not \"canned-chaos\", not "
+                        "random:SEED, not a .json file)");
 }
 
 int cmd_inject(const Args& args) {
@@ -747,11 +770,23 @@ int cmd_qps(const Args& args) {
   const serve::RequestStream stream =
       serve::RequestStream::compile(sc.topology, sc.slot_input(0), seed);
 
-  std::fprintf(stderr, "qps: %s, %zu driver thread(s), %.1f s timed run\n",
-               name.c_str(), threads, seconds);
+  // --admission: the overload gate in front of routing, sized against
+  // the same offered mix the request stream draws from.
+  const bool with_admission = args.options.count("admission") > 0;
+  std::unique_ptr<serve::AdmissionController> admission;
+  if (with_admission) {
+    admission = std::make_unique<serve::AdmissionController>(
+        sc.topology, live, sc.slot_input(0));
+  }
+
+  std::fprintf(stderr,
+               "qps: %s, %zu driver thread(s), %.1f s timed run%s\n",
+               name.c_str(), threads, seconds,
+               with_admission ? ", admission on" : "");
   serve::QpsOptions timed_opt;
   timed_opt.threads = threads;
   timed_opt.seconds = seconds;
+  timed_opt.admission = admission.get();
   const serve::QpsReport timed = run_qps(dispatcher, stream, timed_opt);
 
   const RunResult solved = run.get();  // plan stream is now quiescent
@@ -762,6 +797,7 @@ int cmd_qps(const Args& args) {
   serve::QpsOptions fixed_opt;
   fixed_opt.total_requests = 1u << 16;
   fixed_opt.record_decisions = true;
+  fixed_opt.admission = admission.get();
   fixed_opt.threads = 1;
   const serve::QpsReport lone = run_qps(dispatcher, stream, fixed_opt);
   fixed_opt.threads = std::max<std::size_t>(2, threads);
@@ -789,6 +825,11 @@ int cmd_qps(const Args& args) {
   result.refresh_skips = timed.dispatcher.refresh_skips;
   result.stalled_routes = timed.dispatcher.stalled_routes;
   result.identical_across_threads = identical;
+  result.shed_requests = timed.shed;
+  const serve::AsyncPlanner::WatchdogStats watchdog =
+      planner.watchdog_stats();
+  result.retry_count = watchdog.retries;
+  result.stale_plan_ns = watchdog.stale_plan_ns;
   benchjson::write_file(out_path,
                         benchjson::with_qps_section(out_path, result));
 
@@ -796,6 +837,7 @@ int cmd_qps(const Args& args) {
   t.add_row({"routing decisions/s", format_double(timed.qps(), 0)});
   t.add_row({"requests routed", std::to_string(timed.routed)});
   t.add_row({"no-route", std::to_string(timed.no_route)});
+  if (with_admission) t.add_row({"shed", std::to_string(timed.shed)});
   t.add_row({"p50 latency ns", format_double(timed.p50_ns, 0)});
   t.add_row({"p99 latency ns", format_double(timed.p99_ns, 0)});
   t.add_row({"p999 latency ns", format_double(timed.p999_ns, 0)});
@@ -834,6 +876,148 @@ int cmd_qps(const Args& args) {
                    "FAIL: %.0f routing decisions/s below the --min-qps "
                    "%.0f gate\n",
                    timed.qps(), min_qps);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+// ---- palb chaos -----------------------------------------------------------
+
+int cmd_chaos(const Args& args) {
+  const std::string name =
+      args.positional.empty() ? std::string("worldcup") : args.positional[0];
+  const std::string schedule_name = args.positional.size() > 1
+                                        ? args.positional[1]
+                                        : std::string("canned-chaos");
+  const Scenario sc = resolve_scenario(name);
+  const std::size_t slots =
+      args.options.count("slots")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("slots")))
+          : std::min<std::size_t>(24, default_slots(sc));
+  const FaultSchedule schedule = resolve_schedule(schedule_name, sc, slots);
+  const std::string which = args.options.count("policy")
+                                ? args.options.at("policy")
+                                : std::string("balanced");
+  const std::string out_path = args.options.count("out")
+                                   ? args.options.at("out")
+                                   : std::string("BENCH_palb.json");
+
+  std::unique_ptr<Policy> policy;
+  if (which == "optimized") {
+    policy = std::make_unique<OptimizedPolicy>();
+  } else if (which == "balanced") {
+    policy = std::make_unique<BalancedPolicy>();
+  } else {
+    throw InvalidArgument("unknown policy '" + which +
+                          "' (optimized|balanced)");
+  }
+
+  serve::ChaosOptions opt;
+  opt.num_slots = slots;
+  if (args.options.count("workers")) {
+    opt.solve_workers =
+        static_cast<std::size_t>(std::stoul(args.options.at("workers")));
+  }
+  if (args.options.count("requests")) {
+    opt.requests_per_slot = std::stoull(args.options.at("requests"));
+  }
+  if (args.options.count("ttl")) {
+    opt.stale_plan_ttl_slots =
+        static_cast<std::size_t>(std::stoul(args.options.at("ttl")));
+  }
+  if (args.options.count("seed")) {
+    opt.stream_seed = std::stoull(args.options.at("seed"));
+  }
+  if (args.options.count("timed")) {
+    opt.timed_seconds = std::stod(args.options.at("timed"));
+  }
+
+  std::fprintf(stderr, "chaos: %s x %s, %zu slot(s), policy %s\n",
+               name.c_str(), schedule_name.c_str(), slots, which.c_str());
+  const serve::ChaosReport report =
+      serve::run_chaos(sc, schedule, *policy, opt);
+
+  benchjson::ChaosResult result;
+  result.scenario = name;
+  result.schedule = schedule_name;
+  result.slots = report.slots;
+  result.faulted_slots = report.faulted_slots;
+  result.stalled_solves = report.stalled_solves;
+  result.delayed_publishes = report.delayed_publishes;
+  result.ttl_escalations = report.ttl_escalations;
+  result.fallback_rungs = report.fallback_rungs;
+  result.requests = report.requests;
+  result.routed = report.routed;
+  result.no_route = report.no_route;
+  result.shed = report.shed;
+  result.shed_fraction = report.shed_fraction();
+  result.max_stale_slots = report.max_stale_slots;
+  result.mean_stale_slots = report.mean_stale_slots;
+  result.stale_plan_ttl_slots = opt.stale_plan_ttl_slots;
+  result.stalled_routes = report.stalled_routes;
+  result.decisions_identical = report.decisions_identical;
+  result.thread_counts = opt.thread_counts;
+  result.timed_qps = report.timed_qps;
+  result.p50_ns = report.p50_ns;
+  result.p99_ns = report.p99_ns;
+  result.p999_ns = report.p999_ns;
+  result.max_ns = report.max_ns;
+  result.latency_samples = report.latency_samples;
+  benchjson::write_file(out_path,
+                        benchjson::with_chaos_section(out_path, result));
+
+  TextTable t({"metric", "value"});
+  t.add_row({"slots / faulted", std::to_string(report.slots) + " / " +
+                                    std::to_string(report.faulted_slots)});
+  t.add_row({"stalled solves", std::to_string(report.stalled_solves)});
+  t.add_row({"delayed publishes",
+             std::to_string(report.delayed_publishes)});
+  t.add_row({"ttl escalations", std::to_string(report.ttl_escalations)});
+  t.add_row({"requests replayed", std::to_string(report.requests)});
+  t.add_row({"shed fraction",
+             format_double(report.shed_fraction(), 4)});
+  t.add_row({"max stale slots", std::to_string(report.max_stale_slots)});
+  t.add_row({"plan-swap stalls", std::to_string(report.stalled_routes)});
+  t.add_row({"identical across threads",
+             report.decisions_identical ? "yes" : "NO"});
+  if (report.latency_samples > 0) {
+    t.add_row({"timed decisions/s", format_double(report.timed_qps, 0)});
+    t.add_row({"p99 latency ns", format_double(report.p99_ns, 0)});
+    t.add_row({"p999 latency ns", format_double(report.p999_ns, 0)});
+  }
+  std::printf("%swrote %s\n", t.render().c_str(), out_path.c_str());
+
+  // Graceful-degradation gates: serving never stalls, decisions stay
+  // deterministic, staleness stays within the TTL, shedding stays
+  // bounded.
+  int rc = 0;
+  if (report.stalled_routes != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu route(s) stalled on a plan swap "
+                 "(contract: zero)\n",
+                 static_cast<unsigned long long>(report.stalled_routes));
+    rc = 1;
+  }
+  if (!report.decisions_identical) {
+    std::fprintf(stderr,
+                 "FAIL: decisions differ across driver thread counts\n");
+    rc = 1;
+  }
+  if (report.max_stale_slots > opt.stale_plan_ttl_slots) {
+    std::fprintf(stderr,
+                 "FAIL: stale-plan exposure %zu slot(s) exceeds the TTL "
+                 "of %zu\n",
+                 report.max_stale_slots, opt.stale_plan_ttl_slots);
+    rc = 1;
+  }
+  if (args.options.count("max-shed")) {
+    const double max_shed = std::stod(args.options.at("max-shed"));
+    if (report.shed_fraction() > max_shed) {
+      std::fprintf(stderr,
+                   "FAIL: shed fraction %.4f exceeds the --max-shed %.4f "
+                   "gate\n",
+                   report.shed_fraction(), max_shed);
       rc = 1;
     }
   }
@@ -889,6 +1073,7 @@ int main(int argc, char** argv) {
     if (cmd == "inject") return cmd_inject(parse_args(argc, argv, 2));
     if (cmd == "bench") return cmd_bench(parse_args(argc, argv, 2));
     if (cmd == "qps") return cmd_qps(parse_args(argc, argv, 2));
+    if (cmd == "chaos") return cmd_chaos(parse_args(argc, argv, 2));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
